@@ -1,0 +1,760 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md for the experiment index).
+
+     dune exec bench/main.exe -- [all|fig1|fig2|fig3|fig6|fig7|fig8|fig9|
+                                  fig10|fig11|fig12|fig13|tab1|tab2|
+                                  ablation|micro] ...
+
+   The per-(application, prefetcher) simulation matrix is computed once
+   and memoized; figures are views over it.  Trace length is controlled
+   with RIPPLE_BENCH_INSTRS (default 4,000,000 original instructions; the
+   paper used 100 M on real hardware — scaled down for a laptop-class
+   reproduction, see EXPERIMENTS.md). *)
+
+module W = Ripple_workloads
+module Cache = Ripple_cache
+module Cpu = Ripple_cpu
+module Core = Ripple_core
+module Table = Ripple_util.Table
+module Summary = Ripple_util.Summary
+
+let n_instrs =
+  match Sys.getenv_opt "RIPPLE_BENCH_INSTRS" with
+  | Some s -> int_of_string s
+  | None -> 4_000_000
+
+let threshold_candidates = [ 0.5; 0.65 ]
+let apps = W.Apps.all
+let prefetches = [ Core.Pipeline.No_prefetch; Core.Pipeline.Nlp; Core.Pipeline.Fdip ]
+
+let pct x = Printf.sprintf "%+.2f%%" (100.0 *. x)
+let pct0 x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let speedup ~base (r : Cpu.Simulator.result) =
+  (r.Cpu.Simulator.ipc /. base.Cpu.Simulator.ipc) -. 1.0
+
+let miss_reduction ~base (r : Cpu.Simulator.result) =
+  if base.Cpu.Simulator.demand_misses = 0 then 0.0
+  else
+    1.0
+    -. (Float.of_int r.Cpu.Simulator.demand_misses
+       /. Float.of_int base.Cpu.Simulator.demand_misses)
+
+(* ------------------------------------------------------------------ *)
+(* The simulation matrix                                               *)
+(* ------------------------------------------------------------------ *)
+
+type workload_data = {
+  workload : W.Cfg_gen.t;
+  train : int array;  (** profiling trace *)
+  eval : int array;  (** evaluation trace (input #0) *)
+  warmup : int;
+}
+
+let workload_cache : (string, workload_data) Hashtbl.t = Hashtbl.create 16
+
+let workload_of (model : W.App_model.t) =
+  let name = model.W.App_model.name in
+  match Hashtbl.find_opt workload_cache name with
+  | Some data -> data
+  | None ->
+    let workload = W.Cfg_gen.generate model in
+    let train = W.Executor.run workload ~input:W.Executor.train ~n_instrs in
+    let eval = W.Executor.run workload ~input:W.Executor.eval_inputs.(0) ~n_instrs in
+    let data = { workload; train; eval; warmup = Array.length eval / 2 } in
+    Hashtbl.add workload_cache name data;
+    data
+
+type ripple_result = { threshold : float; ev : Core.Pipeline.evaluation }
+
+type cell = {
+  lru : Cpu.Simulator.result;
+  random : Cpu.Simulator.result;
+  srrip : Cpu.Simulator.result;
+  drrip : Cpu.Simulator.result;
+  ghrp : Cpu.Simulator.result;
+  hawkeye : Cpu.Simulator.result;
+  ideal_cache : Cpu.Simulator.result;
+  oracle : Cpu.Simulator.result;  (** ideal replacement (MIN / Demand-MIN) *)
+  ripple_lru : ripple_result;
+  ripple_random : Core.Pipeline.evaluation;
+}
+
+let cell_cache : (string * string, cell) Hashtbl.t = Hashtbl.create 64
+
+let log fmt =
+  Printf.ksprintf
+    (fun s ->
+      if Sys.getenv_opt "RIPPLE_BENCH_QUIET" = None then Printf.eprintf "[bench] %s\n%!" s)
+    fmt
+
+let cell_of model prefetch =
+  let key = (model.W.App_model.name, Core.Pipeline.prefetch_name prefetch) in
+  match Hashtbl.find_opt cell_cache key with
+  | Some cell -> cell
+  | None ->
+    let t0 = Unix.gettimeofday () in
+    let { workload; train; eval; warmup } = workload_of model in
+    let program = workload.W.Cfg_gen.program in
+    let prefetcher = Core.Pipeline.prefetcher_of prefetch in
+    let run policy =
+      Cpu.Simulator.run ~warmup ~program ~trace:eval ~policy ~prefetcher ()
+    in
+    let lru = run Cache.Lru.make in
+    let random = run (Cache.Random_policy.make ~seed:1234) in
+    let srrip = run Cache.Srrip.make in
+    let drrip = run Cache.Drrip.make in
+    let ghrp = run (Cache.Ghrp.make ()) in
+    let hawkeye = run (Cache.Hawkeye.make ()) in
+    let ideal_cache = Cpu.Simulator.ideal_cache ~warmup ~program ~trace:eval () in
+    let oracle =
+      Cpu.Simulator.oracle ~warmup ~mode:(Core.Pipeline.belady_mode_of prefetch) ~program
+        ~trace:eval ~prefetcher ()
+    in
+    (* Per-application invalidation threshold (§III-C): best-performing
+       candidate. *)
+    let exclude_prefetch_covered = false in
+    let threshold, ev =
+      Core.Pipeline.search_threshold ~warmup ~candidates:threshold_candidates
+        ~exclude_prefetch_covered ~program ~profile_trace:train ~eval_trace:eval
+        ~policy:Cache.Lru.make ~prefetch ()
+    in
+    let instrumented, _ =
+      Core.Pipeline.instrument ~threshold ~exclude_prefetch_covered ~program
+        ~profile_trace:train ~prefetch ()
+    in
+    let ripple_random =
+      Core.Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval
+        ~policy:(Cache.Random_policy.make ~seed:1234) ~prefetch ()
+    in
+    let cell =
+      {
+        lru;
+        random;
+        srrip;
+        drrip;
+        ghrp;
+        hawkeye;
+        ideal_cache;
+        oracle;
+        ripple_lru = { threshold; ev };
+        ripple_random;
+      }
+    in
+    Hashtbl.add cell_cache key cell;
+    log "%s/%s done in %.1fs" (fst key) (snd key) (Unix.gettimeofday () -. t0);
+    cell
+
+(* ------------------------------------------------------------------ *)
+(* Tables and figures                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let app_rows f =
+  (* Rows for all nine apps plus a mean row. *)
+  let acc : (string * float list) list ref = ref [] in
+  List.iter (fun model -> acc := (model.W.App_model.name, f model) :: !acc) apps;
+  List.rev !acc
+
+let print_per_app ~title ~columns ~fmt rows =
+  let table = Table.create ~title ~columns:(("application", Table.Left) :: columns) in
+  let sums = Array.make (List.length columns) (Summary.create ()) in
+  Array.iteri (fun i _ -> sums.(i) <- Summary.create ()) sums;
+  List.iter
+    (fun (name, values) ->
+      List.iteri (fun i v -> Summary.add sums.(i) v) values;
+      Table.add_row table (name :: List.map fmt values))
+    rows;
+  Table.add_sep table;
+  Table.add_row table ("mean" :: Array.to_list (Array.map (fun s -> fmt (Summary.mean s)) sums));
+  Table.print table;
+  print_newline ()
+
+let tab2 () =
+  Format.printf "%a@.@." Cpu.Config.pp_table Cpu.Config.default
+
+let tab1 () =
+  let geometry = Cpu.Config.default.Cpu.Config.l1i in
+  let sets = Cache.Geometry.sets geometry and ways = geometry.Cache.Geometry.ways in
+  let policies =
+    [
+      ("LRU", (Cache.Lru.make ~sets ~ways).Cache.Policy.storage_bits, "1 bit per line");
+      ( "GHRP",
+        (Cache.Ghrp.make () ~sets ~ways).Cache.Policy.storage_bits,
+        "3 KiB tables, dead bits, signatures, history" );
+      ("SRRIP", (Cache.Srrip.make ~sets ~ways).Cache.Policy.storage_bits, "2 bits per line");
+      ("DRRIP", (Cache.Drrip.make ~sets ~ways).Cache.Policy.storage_bits, "2 bits per line + PSEL");
+      ( "Hawkeye/Harmony",
+        (Cache.Hawkeye.make () ~sets ~ways).Cache.Policy.storage_bits,
+        "sampler, occupancy vectors, predictor, RRIP counters" );
+      ("Random", (Cache.Random_policy.make ~seed:0 ~sets ~ways).Cache.Policy.storage_bits, "none");
+      ("Ripple (software)", 0, "no hardware metadata beyond the base policy");
+    ]
+  in
+  let table =
+    Table.create ~title:"Table I: replacement metadata for a 32 KiB, 8-way, 64 B-line I-cache"
+      ~columns:[ ("policy", Table.Left); ("overhead", Table.Right); ("notes", Table.Left) ]
+  in
+  List.iter
+    (fun (name, bits, notes) ->
+      let bytes = Float.of_int bits /. 8.0 in
+      let overhead =
+        if bytes >= 1024.0 then Printf.sprintf "%.2f KiB" (bytes /. 1024.0)
+        else Printf.sprintf "%.0f B" bytes
+      in
+      Table.add_row table [ name; overhead; notes ])
+    policies;
+  Table.print table;
+  print_newline ()
+
+let fig1 () =
+  let rows =
+    app_rows (fun model ->
+        let cell = cell_of model Core.Pipeline.No_prefetch in
+        [ speedup ~base:cell.lru cell.ideal_cache ])
+  in
+  print_per_app
+    ~title:
+      "Fig. 1: ideal I-cache (no misses) speedup over LRU, no prefetching\n\
+       (paper: 11-47%, mean 17.7%)"
+    ~columns:[ ("ideal $ speedup", Table.Right) ]
+    ~fmt:pct rows
+
+let fig2 () =
+  let rows =
+    app_rows (fun model ->
+        let none = cell_of model Core.Pipeline.No_prefetch in
+        let fdip = cell_of model Core.Pipeline.Fdip in
+        let base = none.lru in
+        [ speedup ~base fdip.lru; speedup ~base fdip.oracle; speedup ~base none.ideal_cache ])
+  in
+  print_per_app
+    ~title:
+      "Fig. 2: FDIP speedup over the no-prefetch LRU baseline\n\
+       (paper: FDIP+LRU 13.4%, FDIP+ideal-replacement 16.6%, ideal cache 17.7%)"
+    ~columns:
+      [
+        ("FDIP+LRU", Table.Right);
+        ("FDIP+ideal repl", Table.Right);
+        ("ideal $", Table.Right);
+      ]
+    ~fmt:pct rows
+
+let fig3 () =
+  let rows =
+    app_rows (fun model ->
+        let cell = cell_of model Core.Pipeline.Fdip in
+        let base = cell.lru in
+        [
+          speedup ~base cell.ghrp;
+          speedup ~base cell.hawkeye;
+          speedup ~base cell.srrip;
+          speedup ~base cell.drrip;
+          speedup ~base cell.oracle;
+        ])
+  in
+  print_per_app
+    ~title:
+      "Fig. 3: prior replacement policies over LRU, with FDIP\n\
+       (paper: none beat LRU; ideal replacement +3.16% mean)"
+    ~columns:
+      [
+        ("GHRP", Table.Right);
+        ("Hawkeye", Table.Right);
+        ("SRRIP", Table.Right);
+        ("DRRIP", Table.Right);
+        ("ideal repl", Table.Right);
+      ]
+    ~fmt:pct rows
+
+let fig6 () =
+  (* Coverage/accuracy trade-off for finagle-http under FDIP. *)
+  let model = W.Apps.finagle_http in
+  let { workload; train; eval; warmup } = workload_of model in
+  let program = workload.W.Cfg_gen.program in
+  let table =
+    Table.create
+      ~title:
+        "Fig. 6: Ripple coverage vs accuracy across invalidation thresholds\n\
+         (finagle-http, FDIP; paper: coverage ~100% at low thresholds, accuracy\n\
+         near-perfect at high thresholds, sweet spot at 40-60%)"
+      ~columns:
+        [
+          ("threshold", Table.Right);
+          ("coverage", Table.Right);
+          ("accuracy", Table.Right);
+          ("speedup vs LRU", Table.Right);
+        ]
+  in
+  let base = (cell_of model Core.Pipeline.Fdip).lru in
+  List.iter
+    (fun threshold ->
+      let instrumented, _ =
+        Core.Pipeline.instrument ~threshold ~program ~profile_trace:train
+          ~prefetch:Core.Pipeline.Fdip ()
+      in
+      let ev =
+        Core.Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval
+          ~policy:Cache.Lru.make ~prefetch:Core.Pipeline.Fdip ()
+      in
+      Table.add_row table
+        [
+          Printf.sprintf "%.0f%%" (100.0 *. threshold);
+          pct0 ev.Core.Pipeline.coverage;
+          pct0 ev.Core.Pipeline.accuracy;
+          pct (speedup ~base ev.Core.Pipeline.result);
+        ])
+    [ 0.05; 0.2; 0.35; 0.5; 0.65; 0.8; 0.95 ];
+  Table.print table;
+  print_newline ()
+
+let fig7_8 which () =
+  List.iter
+    (fun prefetch ->
+      let pf = Core.Pipeline.prefetch_name prefetch in
+      let metric ~base r = match which with
+        | `Speedup -> speedup ~base r
+        | `Mpki -> miss_reduction ~base r
+      in
+      let rows =
+        app_rows (fun model ->
+            let cell = cell_of model prefetch in
+            let base = cell.lru in
+            [
+              metric ~base cell.oracle;
+              metric ~base cell.ripple_lru.ev.Core.Pipeline.result;
+              metric ~base cell.ripple_random.Core.Pipeline.result;
+              metric ~base cell.ghrp;
+              metric ~base cell.hawkeye;
+              metric ~base cell.srrip;
+              metric ~base cell.drrip;
+              metric ~base cell.random;
+            ])
+      in
+      let what, paper =
+        match which with
+        | `Speedup ->
+          ( "Fig. 7: speedup over LRU",
+            "paper means: none 1.25%/3.36%, NLP 2.13%/3.87%, FDIP 1.4%/3.16% (Ripple-LRU/ideal)" )
+        | `Mpki ->
+          ( "Fig. 8: L1I miss reduction vs LRU",
+            "paper means: none 9.57%/28.88%, NLP 28.6%/53.66%, FDIP 18.61%/45% (Ripple-LRU/ideal)"
+          )
+      in
+      print_per_app
+        ~title:(Printf.sprintf "%s — prefetcher: %s\n(%s)" what pf paper)
+        ~columns:
+          [
+            ("ideal repl", Table.Right);
+            ("Ripple-LRU", Table.Right);
+            ("Ripple-Rand", Table.Right);
+            ("GHRP", Table.Right);
+            ("Hawkeye", Table.Right);
+            ("SRRIP", Table.Right);
+            ("DRRIP", Table.Right);
+            ("Random", Table.Right);
+          ]
+        ~fmt:pct rows)
+    prefetches
+
+let fig9_12 () =
+  let rows =
+    app_rows (fun model ->
+        let cell = cell_of model Core.Pipeline.Fdip in
+        let ev = cell.ripple_lru.ev in
+        [
+          ev.Core.Pipeline.coverage;
+          ev.Core.Pipeline.accuracy;
+          ev.Core.Pipeline.static_overhead;
+          ev.Core.Pipeline.dynamic_overhead;
+          cell.ripple_lru.threshold;
+        ])
+  in
+  print_per_app
+    ~title:
+      "Figs. 9-12: Ripple-LRU coverage, accuracy and overheads (FDIP)\n\
+       (paper: coverage >50% mean, <50% for the JIT/HHVM apps; accuracy 92% mean;\n\
+       static <4.4%; dynamic 2.2% mean, ~10% for verilator)"
+    ~columns:
+      [
+        ("coverage", Table.Right);
+        ("accuracy", Table.Right);
+        ("static ovh", Table.Right);
+        ("dynamic ovh", Table.Right);
+        ("threshold", Table.Right);
+      ]
+    ~fmt:(fun v -> pct0 v)
+    rows
+
+let fig13 () =
+  (* Cross-input generality: profile on input #0's profile vs an
+     input-specific profile, evaluated on inputs #1..#3 under FDIP. *)
+  let chosen = [ W.Apps.cassandra; W.Apps.finagle_http; W.Apps.tomcat; W.Apps.verilator ] in
+  let table =
+    Table.create
+      ~title:
+        "Fig. 13: Ripple-LRU speedup with a generic (input #0) profile vs an\n\
+         input-specific profile, FDIP (paper: input-specific profiles give ~17%\n\
+         more IPC gain)"
+      ~columns:
+        [
+          ("application", Table.Left);
+          ("input", Table.Left);
+          ("#0 profile", Table.Right);
+          ("own profile", Table.Right);
+        ]
+  in
+  let gains = Summary.create () and gains_own = Summary.create () in
+  List.iter
+    (fun model ->
+      let { workload; eval = eval0; _ } = workload_of model in
+      let program = workload.W.Cfg_gen.program in
+      let instr profile_trace =
+        fst
+          (Core.Pipeline.instrument ~threshold:0.5 ~program ~profile_trace
+             ~prefetch:Core.Pipeline.Fdip ())
+      in
+      let generic = instr eval0 in
+      Array.iteri
+        (fun i input ->
+          if i >= 1 then begin
+            let trace = W.Executor.run workload ~input ~n_instrs in
+            let warmup = Array.length trace / 2 in
+            let base =
+              Cpu.Simulator.run ~warmup ~program ~trace ~policy:Cache.Lru.make
+                ~prefetcher:(Core.Pipeline.prefetcher_of Core.Pipeline.Fdip) ()
+            in
+            let eval_with instrumented =
+              Core.Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace
+                ~policy:Cache.Lru.make ~prefetch:Core.Pipeline.Fdip ()
+            in
+            let cross = eval_with generic in
+            let own = eval_with (instr trace) in
+            let s_cross = speedup ~base cross.Core.Pipeline.result in
+            let s_own = speedup ~base own.Core.Pipeline.result in
+            Summary.add gains s_cross;
+            Summary.add gains_own s_own;
+            Table.add_row table
+              [ model.W.App_model.name; input.W.Executor.label; pct s_cross; pct s_own ]
+          end)
+        W.Executor.eval_inputs)
+    chosen;
+  Table.add_sep table;
+  Table.add_row table [ "mean"; ""; pct (Summary.mean gains); pct (Summary.mean gains_own) ];
+  Table.print table;
+  print_newline ()
+
+let ablation () =
+  (* §IV "Invalidation vs. reducing LRU priority", injection granularity,
+     and the prefetch-covered-window filter (DESIGN.md abl1/disc1). *)
+  let table =
+    Table.create
+      ~title:
+        "Ablations (FDIP, Ripple-LRU speedup over LRU):\n\
+         invalidate vs demote (paper: demote slightly better on LRU, 1.6%->1.7%),\n\
+         per-block hint cap, NLP window filter"
+      ~columns:
+        [
+          ("application", Table.Left);
+          ("invalidate", Table.Right);
+          ("demote", Table.Right);
+          ("cap=1", Table.Right);
+          ("nlp+filter", Table.Right);
+          ("nlp-filter", Table.Right);
+        ]
+  in
+  let cols = Array.init 5 (fun _ -> Summary.create ()) in
+  List.iter
+    (fun model ->
+      let { workload; train; eval; warmup } = workload_of model in
+      let program = workload.W.Cfg_gen.program in
+      let fdip_base = (cell_of model Core.Pipeline.Fdip).lru in
+      let nlp_base = (cell_of model Core.Pipeline.Nlp).lru in
+      let run ?mode ?max_hints_per_block ?(exclude = false) ~prefetch ~base () =
+        let threshold = (cell_of model prefetch).ripple_lru.threshold in
+        let instrumented, _ =
+          Core.Pipeline.instrument ?mode ?max_hints_per_block ~threshold
+            ~exclude_prefetch_covered:exclude ~program ~profile_trace:train ~prefetch ()
+        in
+        let ev =
+          Core.Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval
+            ~policy:Cache.Lru.make ~prefetch ()
+        in
+        speedup ~base ev.Core.Pipeline.result
+      in
+      let inv = run ~prefetch:Core.Pipeline.Fdip ~base:fdip_base () in
+      let dem = run ~mode:Core.Injector.Demote ~prefetch:Core.Pipeline.Fdip ~base:fdip_base () in
+      let cap1 = run ~max_hints_per_block:1 ~prefetch:Core.Pipeline.Fdip ~base:fdip_base () in
+      let nlp_f = run ~exclude:true ~prefetch:Core.Pipeline.Nlp ~base:nlp_base () in
+      let nlp_nf = run ~exclude:false ~prefetch:Core.Pipeline.Nlp ~base:nlp_base () in
+      let vals = [ inv; dem; cap1; nlp_f; nlp_nf ] in
+      List.iteri (fun i v -> Summary.add cols.(i) v) vals;
+      Table.add_row table (model.W.App_model.name :: List.map pct vals))
+    apps;
+  Table.add_sep table;
+  Table.add_row table
+    ("mean" :: Array.to_list (Array.map (fun s -> pct (Summary.mean s)) cols));
+  Table.print table;
+  print_newline ()
+
+let lbr () =
+  (* §III-A: PT vs LBR-sampled profiling.  Stitched LBR samples see only
+     a fraction of execution; Ripple's coverage and gains degrade
+     accordingly — the quantitative case for PT-based profiling. *)
+  let table =
+    Table.create
+      ~title:
+        "Profiling source ablation (FDIP, Ripple-LRU): full PT trace vs stitched\n\
+         LBR samples (period 120 blocks, depth 16)"
+      ~columns:
+        [
+          ("application", Table.Left);
+          ("LBR sees", Table.Right);
+          ("PT speedup", Table.Right);
+          ("PT coverage", Table.Right);
+          ("LBR speedup", Table.Right);
+          ("LBR coverage", Table.Right);
+        ]
+  in
+  List.iter
+    (fun model ->
+      let { workload; train; eval; warmup } = workload_of model in
+      let program = workload.W.Cfg_gen.program in
+      let base = (cell_of model Core.Pipeline.Fdip).lru in
+      let evaluate instrumented =
+        Core.Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval
+          ~policy:Cache.Lru.make ~prefetch:Core.Pipeline.Fdip ()
+      in
+      let pt_ev =
+        evaluate
+          (fst
+             (Core.Pipeline.instrument ~program ~profile_trace:train
+                ~prefetch:Core.Pipeline.Fdip ()))
+      in
+      let samples = Ripple_trace.Lbr.capture program ~trace:train ~period:120 ~depth:16 in
+      let stitched = Ripple_trace.Lbr.stitched_trace samples in
+      let lbr_ev =
+        evaluate
+          (fst
+             (Core.Pipeline.instrument ~pt_roundtrip:false ~program ~profile_trace:stitched
+                ~prefetch:Core.Pipeline.Fdip ()))
+      in
+      Table.add_row table
+        [
+          model.W.App_model.name;
+          pct0 (Ripple_trace.Lbr.coverage_fraction samples ~trace_length:(Array.length train));
+          pct (speedup ~base pt_ev.Core.Pipeline.result);
+          pct0 pt_ev.Core.Pipeline.coverage;
+          pct (speedup ~base lbr_ev.Core.Pipeline.result);
+          pct0 lbr_ev.Core.Pipeline.coverage;
+        ])
+    [ W.Apps.cassandra; W.Apps.tomcat; W.Apps.verilator ];
+  Table.print table;
+  print_newline ()
+
+let geometry () =
+  (* §V: Ripple emits binaries per target I-cache geometry.  Analyze and
+     evaluate at matched geometries, plus one deliberate mismatch. *)
+  let geometries =
+    [
+      ("16 KiB / 4-way", Cache.Geometry.v ~size_bytes:(16 * 1024) ~ways:4);
+      ("32 KiB / 8-way", Cache.Geometry.l1i);
+      ("64 KiB / 8-way", Cache.Geometry.v ~size_bytes:(64 * 1024) ~ways:8);
+    ]
+  in
+  let model = W.Apps.tomcat in
+  let { workload; train; eval; warmup } = workload_of model in
+  let program = workload.W.Cfg_gen.program in
+  let table =
+    Table.create
+      ~title:
+        "Target-geometry sensitivity (tomcat, FDIP, Ripple-LRU): profiles are\n\
+         analyzed for the geometry they run on, plus one mismatched pair (§V)"
+      ~columns:
+        [
+          ("analyzed for", Table.Left);
+          ("runs on", Table.Left);
+          ("LRU MPKI", Table.Right);
+          ("Ripple speedup", Table.Right);
+        ]
+  in
+  let run ~analysis_geom ~run_geom ~alabel ~rlabel =
+    let config_a = { Cpu.Config.default with Cpu.Config.l1i = analysis_geom } in
+    let config_r = { Cpu.Config.default with Cpu.Config.l1i = run_geom } in
+    let instrumented, _ =
+      Core.Pipeline.instrument ~config:config_a ~program ~profile_trace:train
+        ~prefetch:Core.Pipeline.Fdip ()
+    in
+    let base =
+      Cpu.Simulator.run ~config:config_r ~warmup ~program ~trace:eval ~policy:Cache.Lru.make
+        ~prefetcher:(Core.Pipeline.prefetcher_of ~config:config_r Core.Pipeline.Fdip) ()
+    in
+    let ev =
+      Core.Pipeline.evaluate ~config:config_r ~warmup ~original:program ~instrumented
+        ~trace:eval ~policy:Cache.Lru.make ~prefetch:Core.Pipeline.Fdip ()
+    in
+    Table.add_row table
+      [
+        alabel;
+        rlabel;
+        Printf.sprintf "%.3f" base.Cpu.Simulator.mpki;
+        pct (speedup ~base ev.Core.Pipeline.result);
+      ]
+  in
+  List.iter
+    (fun (label, geom) -> run ~analysis_geom:geom ~run_geom:geom ~alabel:label ~rlabel:label)
+    geometries;
+  Table.add_sep table;
+  run
+    ~analysis_geom:Cache.Geometry.l1i
+    ~run_geom:(Cache.Geometry.v ~size_bytes:(16 * 1024) ~ways:4)
+    ~alabel:"32 KiB / 8-way" ~rlabel:"16 KiB / 4-way (mismatch)";
+  Table.print table;
+  print_newline ()
+
+let extras () =
+  (* Beyond the paper's matrix: the SHiP policy (§VI related work) and
+     the RDIP prefetcher (§I/§VI), for context. *)
+  let table =
+    Table.create
+      ~title:
+        "Extra comparison points: SHiP replacement (vs LRU, FDIP) and the RDIP\n\
+         prefetcher (vs no-prefetch LRU baseline)"
+      ~columns:
+        [
+          ("application", Table.Left);
+          ("SHiP speedup", Table.Right);
+          ("RDIP speedup", Table.Right);
+          ("RDIP MPKI", Table.Right);
+          ("FDIP MPKI", Table.Right);
+        ]
+  in
+  let s1 = Summary.create () and s2 = Summary.create () in
+  List.iter
+    (fun model ->
+      let { workload; eval; warmup; _ } = workload_of model in
+      let program = workload.W.Cfg_gen.program in
+      let fdip_cell = cell_of model Core.Pipeline.Fdip in
+      let none_cell = cell_of model Core.Pipeline.No_prefetch in
+      let ship =
+        Cpu.Simulator.run ~warmup ~program ~trace:eval ~policy:Cache.Ship.make
+          ~prefetcher:(Core.Pipeline.prefetcher_of Core.Pipeline.Fdip) ()
+      in
+      let rdip =
+        Cpu.Simulator.run ~warmup ~program ~trace:eval ~policy:Cache.Lru.make
+          ~prefetcher:(fun program -> Ripple_prefetch.Rdip.create ~program ()) ()
+      in
+      let ship_speedup = speedup ~base:fdip_cell.lru ship in
+      let rdip_speedup = speedup ~base:none_cell.lru rdip in
+      Summary.add s1 ship_speedup;
+      Summary.add s2 rdip_speedup;
+      Table.add_row table
+        [
+          model.W.App_model.name;
+          pct ship_speedup;
+          pct rdip_speedup;
+          Printf.sprintf "%.2f" rdip.Cpu.Simulator.mpki;
+          Printf.sprintf "%.2f" fdip_cell.lru.Cpu.Simulator.mpki;
+        ])
+    apps;
+  Table.add_sep table;
+  Table.add_row table [ "mean"; pct (Summary.mean s1); pct (Summary.mean s2); ""; "" ];
+  Table.print table;
+  print_newline ()
+
+let micro () =
+  (* Bechamel microbenchmarks of the simulator hot paths. *)
+  let open Bechamel in
+  let model = W.Apps.kafka in
+  let { workload; eval; _ } = workload_of model in
+  let program = workload.W.Cfg_gen.program in
+  let short = Array.sub eval 0 (min 20_000 (Array.length eval)) in
+  let stream =
+    Cpu.Simulator.record_stream ~program ~trace:short
+      ~prefetcher:Cpu.Simulator.prefetcher_none ()
+  in
+  let cache_access () =
+    let cache =
+      Cache.Cache.create ~geometry:Cache.Geometry.l1i ~policy:Cache.Lru.make ()
+    in
+    Array.iter (fun acc -> ignore (Cache.Cache.access cache acc)) stream
+  in
+  let belady_replay () =
+    ignore (Cache.Belady.simulate Cache.Geometry.l1i ~mode:Cache.Belady.Min stream)
+  in
+  let pt_roundtrip () =
+    let encoded = Ripple_trace.Pt.encode program short in
+    ignore (Ripple_trace.Pt.decode program encoded)
+  in
+  let tests =
+    Test.make_grouped ~name:"ripple" ~fmt:"%s/%s"
+      [
+        Test.make ~name:"l1i-lru-access-stream" (Staged.stage cache_access);
+        Test.make ~name:"belady-min-replay" (Staged.stage belady_replay);
+        Test.make ~name:"pt-encode-decode" (Staged.stage pt_roundtrip);
+      ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 2.0) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| "run" |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Printf.printf "Microbenchmarks (monotonic clock, ns per run):\n";
+  Hashtbl.iter
+    (fun name (estimate : Analyze.OLS.t) ->
+      match Analyze.OLS.estimates estimate with
+      | Some (v :: _) -> Printf.printf "  %-32s %12.0f ns\n" name v
+      | Some [] | None -> Printf.printf "  %-32s (no estimate)\n" name)
+    results;
+  print_newline ()
+
+let all () =
+  tab2 ();
+  tab1 ();
+  fig1 ();
+  fig2 ();
+  fig3 ();
+  fig6 ();
+  fig7_8 `Speedup ();
+  fig7_8 `Mpki ();
+  fig9_12 ();
+  fig13 ();
+  ablation ();
+  lbr ();
+  geometry ();
+  extras ()
+
+let () =
+  let commands =
+    [
+      ("tab1", tab1);
+      ("tab2", tab2);
+      ("fig1", fig1);
+      ("fig2", fig2);
+      ("fig3", fig3);
+      ("fig6", fig6);
+      ("fig7", fig7_8 `Speedup);
+      ("fig8", fig7_8 `Mpki);
+      ("fig9", fig9_12);
+      ("fig10", fig9_12);
+      ("fig11", fig9_12);
+      ("fig12", fig9_12);
+      ("fig13", fig13);
+      ("ablation", ablation);
+      ("lbr", lbr);
+      ("geometry", geometry);
+      ("extras", extras);
+      ("micro", micro);
+      ("all", all);
+    ]
+  in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = if args = [] then [ "all" ] else args in
+  List.iter
+    (fun arg ->
+      match List.assoc_opt arg commands with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown target %S; available: %s\n" arg
+          (String.concat ", " (List.map fst commands));
+        exit 1)
+    args

@@ -1,0 +1,90 @@
+(* Calibration scratchpad: prints the headline shape numbers for a few
+   app models so workload parameters can be tuned against the paper. *)
+
+module W = Ripple_workloads
+module Cache = Ripple_cache
+module Cpu = Ripple_cpu
+module Core = Ripple_core
+
+let n_instrs =
+  match Sys.getenv_opt "CAL_INSTRS" with Some s -> int_of_string s | None -> 2_000_000
+
+let pct x = 100.0 *. x
+
+let speedup ~base (r : Cpu.Simulator.result) = (r.Cpu.Simulator.ipc /. base.Cpu.Simulator.ipc) -. 1.0
+
+let run_app model =
+  let t0 = Unix.gettimeofday () in
+  let w = W.Cfg_gen.generate model in
+  let program = w.W.Cfg_gen.program in
+  let train = W.Executor.run w ~input:W.Executor.train ~n_instrs in
+  let eval =
+    if Sys.getenv_opt "CAL_SAME_INPUT" <> None then train
+    else W.Executor.run w ~input:W.Executor.eval_inputs.(0) ~n_instrs
+  in
+  let warmup = Array.length eval / 2 in
+  let footprint_kb = Ripple_isa.Program.static_bytes program / 1024 in
+  Printf.printf "%-16s text=%dKB trace=%d blocks (%.1fs gen)\n%!" model.W.App_model.name
+    footprint_kb (Array.length eval)
+    (Unix.gettimeofday () -. t0);
+  let eval_run policy prefetch =
+    Cpu.Simulator.run ~warmup ~program ~trace:eval ~policy
+      ~prefetcher:(Core.Pipeline.prefetcher_of prefetch) ()
+  in
+  List.iter
+    (fun (pf_name, prefetch) ->
+      let lru = eval_run Cache.Lru.make prefetch in
+      let rnd = eval_run (Cache.Random_policy.make ~seed:7) prefetch in
+      let ideal_cache = Cpu.Simulator.ideal_cache ~warmup ~program ~trace:eval () in
+      let oracle =
+        Cpu.Simulator.oracle ~warmup ~mode:(Core.Pipeline.belady_mode_of prefetch) ~program
+          ~trace:eval
+          ~prefetcher:(Core.Pipeline.prefetcher_of prefetch) ()
+      in
+      let srrip = eval_run Cache.Srrip.make prefetch in
+      let ghrp = eval_run (Cache.Ghrp.make ()) prefetch in
+      let hawkeye = eval_run (Cache.Hawkeye.make ()) prefetch in
+      let t1 = Unix.gettimeofday () in
+      let instrumented, analysis =
+        Core.Pipeline.instrument ~program ~profile_trace:train ~prefetch ()
+      in
+      let ripple =
+        Core.Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval
+          ~policy:Cache.Lru.make ~prefetch ()
+      in
+      let cold =
+        1000.0
+        *. Float.of_int lru.Cpu.Simulator.l1i.Cache.Stats.demand_misses_cold
+        /. Float.of_int lru.Cpu.Simulator.instructions
+      in
+      Printf.printf
+        "  [%-4s] lru mpki=%5.2f (cold %4.2f) rnd %+5.2f%% | ideal$ %+6.2f%% | oracle %+5.2f%% \
+         mpki=%5.2f | srrip %+5.2f%% ghrp %+5.2f%% hawk %+5.2f%%\n"
+        pf_name lru.Cpu.Simulator.mpki cold
+        (pct (speedup ~base:lru rnd))
+        (pct (speedup ~base:lru ideal_cache))
+        (pct (speedup ~base:lru oracle))
+        oracle.Cpu.Simulator.mpki
+        (pct (speedup ~base:lru srrip))
+        (pct (speedup ~base:lru ghrp))
+        (pct (speedup ~base:lru hawkeye));
+      Printf.printf
+        "         ripple-lru: %+5.2f%% mpki=%5.2f cov=%4.1f%% acc=%4.1f%% stat=%4.2f%% \
+         dyn=%4.2f%% (%d dec, %d win) %.1fs\n%!"
+        (pct (speedup ~base:lru ripple.Core.Pipeline.result))
+        ripple.Core.Pipeline.result.Cpu.Simulator.mpki
+        (pct ripple.Core.Pipeline.coverage)
+        (pct ripple.Core.Pipeline.accuracy)
+        (pct ripple.Core.Pipeline.static_overhead)
+        (pct ripple.Core.Pipeline.dynamic_overhead)
+        analysis.Core.Pipeline.n_decisions analysis.Core.Pipeline.n_windows
+        (Unix.gettimeofday () -. t1))
+    [ ("none", Core.Pipeline.No_prefetch); ("nlp", Core.Pipeline.Nlp); ("fdip", Core.Pipeline.Fdip) ]
+
+let () =
+  let apps =
+    match Sys.getenv_opt "CAL_APPS" with
+    | Some names -> List.filter_map W.Apps.by_name (String.split_on_char ',' names)
+    | None -> [ W.Apps.cassandra; W.Apps.verilator; W.Apps.drupal ]
+  in
+  List.iter run_app apps

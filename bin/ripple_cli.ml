@@ -1,0 +1,211 @@
+(* ripple-sim: command-line front end to the library.
+
+     ripple-sim apps
+     ripple-sim simulate --app cassandra --prefetch fdip --policy lru
+     ripple-sim ripple   --app verilator --prefetch none --threshold 0.55
+     ripple-sim trace    --app kafka --instrs 200000 --out kafka.pt
+
+   Everything the subcommands do is a thin composition of the public
+   library API; see examples/ for the same flows in code. *)
+
+module W = Ripple_workloads
+module Cache = Ripple_cache
+module Simulator = Ripple_cpu.Simulator
+module Pipeline = Ripple_core.Pipeline
+module Pt = Ripple_trace.Pt
+module Program = Ripple_isa.Program
+
+open Cmdliner
+
+(* ------------------------------ shared ------------------------------ *)
+
+let app_conv =
+  let parse s =
+    match W.Apps.by_name s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown application %S (known: %s)" s
+             (String.concat ", " (List.map (fun m -> m.W.App_model.name) W.Apps.all))))
+  in
+  let print fmt (m : W.App_model.t) = Format.fprintf fmt "%s" m.W.App_model.name in
+  Arg.conv (parse, print)
+
+let prefetch_conv =
+  let parse = function
+    | "none" -> Ok Pipeline.No_prefetch
+    | "nlp" -> Ok Pipeline.Nlp
+    | "fdip" -> Ok Pipeline.Fdip
+    | s -> Error (`Msg (Printf.sprintf "unknown prefetcher %S (none|nlp|fdip)" s))
+  in
+  let print fmt p = Format.fprintf fmt "%s" (Pipeline.prefetch_name p) in
+  Arg.conv (parse, print)
+
+let policy_conv =
+  let parse = function
+    | "lru" -> Ok ("lru", Cache.Lru.make)
+    | "random" -> Ok ("random", Cache.Random_policy.make ~seed:1234)
+    | "srrip" -> Ok ("srrip", Cache.Srrip.make)
+    | "drrip" -> Ok ("drrip", Cache.Drrip.make)
+    | "ghrp" -> Ok ("ghrp", Cache.Ghrp.make ())
+    | "hawkeye" -> Ok ("hawkeye", Cache.Hawkeye.make ())
+    | s -> Error (`Msg (Printf.sprintf "unknown policy %S" s))
+  in
+  let print fmt (name, _) = Format.fprintf fmt "%s" name in
+  Arg.conv (parse, print)
+
+let app_arg =
+  Arg.(
+    required
+    & opt (some app_conv) None
+    & info [ "a"; "app" ] ~docv:"APP" ~doc:"Application model (see $(b,ripple-sim apps)).")
+
+let prefetch_arg =
+  Arg.(
+    value
+    & opt prefetch_conv Pipeline.Fdip
+    & info [ "p"; "prefetch" ] ~docv:"PF" ~doc:"Prefetcher: none, nlp or fdip.")
+
+let instrs_arg =
+  Arg.(
+    value
+    & opt int 2_000_000
+    & info [ "n"; "instrs" ] ~docv:"N" ~doc:"Trace length in instructions.")
+
+let setup app n_instrs =
+  let workload = W.Cfg_gen.generate app in
+  let eval = W.Executor.run workload ~input:W.Executor.eval_inputs.(0) ~n_instrs in
+  (workload, eval, Array.length eval / 2)
+
+let print_result label (r : Simulator.result) =
+  Printf.printf "%-18s ipc=%.4f mpki=%.3f misses=%d (L2 %d / L3 %d / mem %d)\n" label
+    r.Simulator.ipc r.Simulator.mpki r.Simulator.demand_misses r.Simulator.served_l2
+    r.Simulator.served_l3 r.Simulator.served_memory
+
+(* ------------------------------- apps ------------------------------- *)
+
+let apps_cmd =
+  let run () =
+    List.iter
+      (fun m -> Format.printf "%a@." W.App_model.pp m)
+      W.Apps.all
+  in
+  Cmd.v (Cmd.info "apps" ~doc:"List the nine application models.") Term.(const run $ const ())
+
+(* ----------------------------- simulate ----------------------------- *)
+
+let simulate_cmd =
+  let policy_arg =
+    Arg.(
+      value
+      & opt policy_conv ("lru", Cache.Lru.make)
+      & info [ "policy" ] ~docv:"POLICY" ~doc:"lru, random, srrip, drrip, ghrp or hawkeye.")
+  in
+  let oracle_flag =
+    Arg.(value & flag & info [ "oracle" ] ~doc:"Also run the ideal-replacement bound.")
+  in
+  let run app prefetch n_instrs (pname, policy) oracle =
+    let workload, eval, warmup = setup app n_instrs in
+    let program = workload.W.Cfg_gen.program in
+    let prefetcher = Pipeline.prefetcher_of prefetch in
+    let r = Simulator.run ~warmup ~program ~trace:eval ~policy ~prefetcher () in
+    print_result (Printf.sprintf "%s+%s" (Pipeline.prefetch_name prefetch) pname) r;
+    if oracle then begin
+      let o =
+        Simulator.oracle ~warmup ~mode:(Pipeline.belady_mode_of prefetch) ~program ~trace:eval
+          ~prefetcher ()
+      in
+      print_result "ideal replacement" o
+    end
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one cache/prefetcher configuration over an application.")
+    Term.(const run $ app_arg $ prefetch_arg $ instrs_arg $ policy_arg $ oracle_flag)
+
+(* ------------------------------ ripple ------------------------------ *)
+
+let ripple_cmd =
+  let threshold_arg =
+    Arg.(
+      value
+      & opt float 0.55
+      & info [ "t"; "threshold" ] ~docv:"P" ~doc:"Invalidation threshold in [0,1].")
+  in
+  let demote_flag =
+    Arg.(value & flag & info [ "demote" ] ~doc:"Inject demote hints instead of invalidations.")
+  in
+  let random_flag =
+    Arg.(value & flag & info [ "random" ] ~doc:"Underlying hardware policy: Random (Ripple-Random).")
+  in
+  let run app prefetch n_instrs threshold demote random =
+    let workload, eval, warmup = setup app n_instrs in
+    let program = workload.W.Cfg_gen.program in
+    let profile = W.Executor.run workload ~input:W.Executor.train ~n_instrs in
+    let mode = if demote then Ripple_core.Injector.Demote else Ripple_core.Injector.Invalidate in
+    let instrumented, analysis =
+      Pipeline.instrument ~threshold ~mode ~program ~profile_trace:profile ~prefetch ()
+    in
+    Printf.printf "windows=%d decisions=%d injected=%d\n" analysis.Pipeline.n_windows
+      analysis.Pipeline.n_decisions analysis.Pipeline.injection.Ripple_core.Injector.injected;
+    let policy = if random then Cache.Random_policy.make ~seed:1234 else Cache.Lru.make in
+    let baseline =
+      Simulator.run ~warmup ~program ~trace:eval ~policy:Cache.Lru.make
+        ~prefetcher:(Pipeline.prefetcher_of prefetch) ()
+    in
+    let ev =
+      Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval ~policy ~prefetch ()
+    in
+    print_result "lru baseline" baseline;
+    print_result (if random then "ripple-random" else "ripple-lru") ev.Pipeline.result;
+    Printf.printf
+      "speedup=%+.2f%% coverage=%.1f%% accuracy=%.1f%% static=%.2f%% dynamic=%.2f%%\n"
+      (100.0 *. ((ev.Pipeline.result.Simulator.ipc /. baseline.Simulator.ipc) -. 1.0))
+      (100.0 *. ev.Pipeline.coverage)
+      (100.0 *. ev.Pipeline.accuracy)
+      (100.0 *. ev.Pipeline.static_overhead)
+      (100.0 *. ev.Pipeline.dynamic_overhead)
+  in
+  Cmd.v
+    (Cmd.info "ripple" ~doc:"Profile, analyze, inject and evaluate Ripple on an application.")
+    Term.(
+      const run $ app_arg $ prefetch_arg $ instrs_arg $ threshold_arg $ demote_flag
+      $ random_flag)
+
+(* ------------------------------- trace ------------------------------ *)
+
+let trace_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the encoded PT stream to $(docv).")
+  in
+  let run app n_instrs out =
+    let workload = W.Cfg_gen.generate app in
+    let trace = W.Executor.run workload ~input:W.Executor.train ~n_instrs in
+    let program = workload.W.Cfg_gen.program in
+    let encoded = Pt.encode program trace in
+    let decoded = Pt.decode program encoded in
+    assert (decoded = trace);
+    Printf.printf "blocks=%d encoded=%d bytes (%.3f bytes/block), roundtrip ok\n"
+      (Array.length trace) (Bytes.length encoded)
+      (Float.of_int (Bytes.length encoded) /. Float.of_int (Array.length trace));
+    match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out_bin path in
+      output_bytes oc encoded;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Capture a PT-style trace and verify the encode/decode round trip.")
+    Term.(const run $ app_arg $ instrs_arg $ out_arg)
+
+let () =
+  let info =
+    Cmd.info "ripple-sim" ~version:"1.0.0"
+      ~doc:"Profile-guided I-cache replacement (Ripple, ISCA 2021) simulator"
+  in
+  exit (Cmd.eval (Cmd.group info [ apps_cmd; simulate_cmd; ripple_cmd; trace_cmd ]))

@@ -1,0 +1,73 @@
+(* Quickstart: the whole Ripple pipeline on one synthetic application.
+
+     dune exec examples/quickstart.exe
+
+   Steps (Fig. 4 of the paper):
+     1. generate a data-center-style application and capture a PT-style
+        execution profile;
+     2. replay the ideal replacement policy offline, extract eviction
+        windows, pick cue blocks, inject `invalidate` hints at link time;
+     3. run the instrumented binary on a fresh input and compare against
+        the plain LRU baseline and the ideal replacement bound. *)
+
+module W = Ripple_workloads
+module Cache = Ripple_cache
+module Simulator = Ripple_cpu.Simulator
+module Pipeline = Ripple_core.Pipeline
+module Program = Ripple_isa.Program
+
+let () =
+  let n_instrs = 1_500_000 in
+  (* 1. The application: kafka's model, and two load-generator inputs —
+     one to profile, one to evaluate (§IV evaluates on inputs that
+     differ from the training input). *)
+  let workload = W.Cfg_gen.generate W.Apps.kafka in
+  let program = workload.W.Cfg_gen.program in
+  Printf.printf "application      : %s\n" W.Apps.kafka.W.App_model.name;
+  Printf.printf "static footprint : %d KiB over %d basic blocks\n"
+    (Program.static_bytes program / 1024)
+    (Program.n_blocks program);
+  let profile = W.Executor.run workload ~input:W.Executor.train ~n_instrs in
+  let eval = W.Executor.run workload ~input:W.Executor.eval_inputs.(0) ~n_instrs in
+  let warmup = Array.length eval / 2 in
+  Printf.printf "profiled         : %d blocks (%d instructions)\n" (Array.length profile)
+    n_instrs;
+
+  (* 2. Offline analysis + link-time injection. *)
+  let instrumented, analysis =
+    Pipeline.instrument ~threshold:0.55 ~program ~profile_trace:profile
+      ~prefetch:Pipeline.Fdip ()
+  in
+  Printf.printf "eviction windows : %d\n" analysis.Pipeline.n_windows;
+  Printf.printf "cue decisions    : %d (threshold %.0f%%)\n" analysis.Pipeline.n_decisions
+    (100.0 *. analysis.Pipeline.threshold);
+  Printf.printf "hints injected   : %d (skipped: %d jit, %d capped)\n"
+    analysis.Pipeline.injection.Ripple_core.Injector.injected
+    analysis.Pipeline.injection.Ripple_core.Injector.skipped_jit
+    analysis.Pipeline.injection.Ripple_core.Injector.skipped_cap;
+
+  (* 3. Evaluate against the LRU baseline and the oracle bound. *)
+  let baseline =
+    Simulator.run ~warmup ~program ~trace:eval ~policy:Cache.Lru.make
+      ~prefetcher:(Pipeline.prefetcher_of Pipeline.Fdip) ()
+  in
+  let oracle =
+    Simulator.oracle ~warmup ~mode:(Pipeline.belady_mode_of Pipeline.Fdip) ~program ~trace:eval
+      ~prefetcher:(Pipeline.prefetcher_of Pipeline.Fdip) ()
+  in
+  let ripple =
+    Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval
+      ~policy:Cache.Lru.make ~prefetch:Pipeline.Fdip ()
+  in
+  let speedup r = 100.0 *. ((r.Simulator.ipc /. baseline.Simulator.ipc) -. 1.0) in
+  Printf.printf "\n%-24s %10s %10s\n" "" "MPKI" "speedup";
+  Printf.printf "%-24s %10.3f %10s\n" "FDIP + LRU (baseline)" baseline.Simulator.mpki "--";
+  Printf.printf "%-24s %10.3f %+9.2f%%\n" "FDIP + Ripple-LRU"
+    ripple.Pipeline.result.Simulator.mpki
+    (speedup ripple.Pipeline.result);
+  Printf.printf "%-24s %10.3f %+9.2f%%\n" "FDIP + ideal replacement" oracle.Simulator.mpki
+    (speedup oracle);
+  Printf.printf "\nripple coverage  : %.1f%%\n" (100.0 *. ripple.Pipeline.coverage);
+  Printf.printf "ripple accuracy  : %.1f%%\n" (100.0 *. ripple.Pipeline.accuracy);
+  Printf.printf "static overhead  : %.2f%%\n" (100.0 *. ripple.Pipeline.static_overhead);
+  Printf.printf "dynamic overhead : %.2f%%\n" (100.0 *. ripple.Pipeline.dynamic_overhead)

@@ -1,0 +1,61 @@
+(* The Fig. 6 coverage/accuracy trade-off on finagle-http.
+
+     dune exec examples/threshold_sweep.exe -- [n_instrs]
+
+   Sweeps the invalidation threshold and prints coverage, accuracy and
+   speedup: low thresholds cover almost every replacement decision but
+   evict lines the program still needs; high thresholds are near-perfect
+   but cover little.  The sweet spot sits mid-range (the paper finds
+   45-65% across its nine applications). *)
+
+module W = Ripple_workloads
+module Cache = Ripple_cache
+module Simulator = Ripple_cpu.Simulator
+module Pipeline = Ripple_core.Pipeline
+module Table = Ripple_util.Table
+
+let () =
+  let n_instrs =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1_500_000
+  in
+  let workload = W.Cfg_gen.generate W.Apps.finagle_http in
+  let program = workload.W.Cfg_gen.program in
+  let profile = W.Executor.run workload ~input:W.Executor.train ~n_instrs in
+  let eval = W.Executor.run workload ~input:W.Executor.eval_inputs.(0) ~n_instrs in
+  let warmup = Array.length eval / 2 in
+  let baseline =
+    Simulator.run ~warmup ~program ~trace:eval ~policy:Cache.Lru.make
+      ~prefetcher:(Pipeline.prefetcher_of Pipeline.Fdip) ()
+  in
+  let table =
+    Table.create ~title:"finagle-http, FDIP: invalidation-threshold sweep (Fig. 6)"
+      ~columns:
+        [
+          ("threshold", Table.Right);
+          ("decisions", Table.Right);
+          ("coverage", Table.Right);
+          ("accuracy", Table.Right);
+          ("speedup", Table.Right);
+        ]
+  in
+  List.iter
+    (fun threshold ->
+      let instrumented, analysis =
+        Pipeline.instrument ~threshold ~program ~profile_trace:profile ~prefetch:Pipeline.Fdip
+          ()
+      in
+      let ev =
+        Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval
+          ~policy:Cache.Lru.make ~prefetch:Pipeline.Fdip ()
+      in
+      Table.add_row table
+        [
+          Printf.sprintf "%.0f%%" (100.0 *. threshold);
+          string_of_int analysis.Pipeline.n_decisions;
+          Printf.sprintf "%.1f%%" (100.0 *. ev.Pipeline.coverage);
+          Printf.sprintf "%.1f%%" (100.0 *. ev.Pipeline.accuracy);
+          Printf.sprintf "%+.2f%%"
+            (100.0 *. ((ev.Pipeline.result.Simulator.ipc /. baseline.Simulator.ipc) -. 1.0));
+        ])
+    [ 0.05; 0.15; 0.25; 0.35; 0.45; 0.55; 0.65; 0.75; 0.85; 0.95 ];
+  Table.print table

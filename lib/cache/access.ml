@@ -1,0 +1,14 @@
+module Addr = Ripple_isa.Addr
+
+type kind = Demand | Prefetch
+type t = { line : Addr.line; kind : kind; pc : int; block : int }
+
+let demand ~line ~block = { line; kind = Demand; pc = line; block }
+let prefetch ~line ~block = { line; kind = Prefetch; pc = line; block }
+let is_demand t = t.kind = Demand
+let is_prefetch t = t.kind = Prefetch
+
+let pp fmt t =
+  Format.fprintf fmt "%s %a (bb%d)"
+    (match t.kind with Demand -> "D" | Prefetch -> "P")
+    Addr.pp_line t.line t.block

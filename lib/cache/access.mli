@@ -1,0 +1,30 @@
+(** Cache access descriptors.
+
+    Every L1 I-cache reference is either a {e demand} fetch (the core
+    actually executes bytes from the line) or a {e prefetch} issued by the
+    front-end prefetcher.  The distinction is what prefetch-aware
+    replacement (Demand-MIN, Harmony) and the paper's Observations #1/#2
+    hinge on: only demand misses cost cycles, and wastefully prefetched
+    lines should be evicted first. *)
+
+module Addr := Ripple_isa.Addr
+
+type kind = Demand | Prefetch
+
+type t = {
+  line : Addr.line;  (** the referenced I-cache line *)
+  kind : kind;
+  pc : int;
+      (** identity of the access source used by learning policies — for
+          instruction fetch this is the accessed line itself (the paper's
+          §II-D observation that a PC maps to exactly one I-cache line) *)
+  block : int;  (** id of the basic block being fetched, for profiling *)
+}
+
+val demand : line:Addr.line -> block:int -> t
+val prefetch : line:Addr.line -> block:int -> t
+
+val is_demand : t -> bool
+val is_prefetch : t -> bool
+
+val pp : Format.formatter -> t -> unit

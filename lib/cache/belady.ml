@@ -1,0 +1,168 @@
+module Addr = Ripple_isa.Addr
+
+type mode = Min | Demand_min
+
+type next_ref = Next_demand | Next_prefetch | Never
+
+type eviction = { at : int; line : Addr.line; set : int; last_use : int; next : next_ref }
+
+type result = {
+  mode : mode;
+  demand_accesses : int;
+  demand_misses : int;
+  demand_misses_cold : int;
+  prefetch_accesses : int;
+  prefetch_fills : int;
+  evictions : eviction array;
+}
+
+let infinity_idx = max_int
+
+(* next_demand.(i) / next_prefetch.(i): index of the next demand/prefetch
+   access to the same line, strictly after access i. *)
+let next_use_tables (stream : Access.t array) =
+  let n = Array.length stream in
+  let next_demand = Array.make n infinity_idx in
+  let next_prefetch = Array.make n infinity_idx in
+  let last_demand = Hashtbl.create 65536 and last_prefetch = Hashtbl.create 65536 in
+  for i = n - 1 downto 0 do
+    let acc = stream.(i) in
+    let line = acc.Access.line in
+    (match Hashtbl.find_opt last_demand line with
+    | Some j -> next_demand.(i) <- j
+    | None -> ());
+    (match Hashtbl.find_opt last_prefetch line with
+    | Some j -> next_prefetch.(i) <- j
+    | None -> ());
+    match acc.Access.kind with
+    | Access.Demand -> Hashtbl.replace last_demand line i
+    | Access.Prefetch -> Hashtbl.replace last_prefetch line i
+  done;
+  (next_demand, next_prefetch)
+
+let simulate ?(on_fill = fun ~index:_ _ -> ()) ?(count_from = 0) geometry ~mode
+    (stream : Access.t array) =
+  let next_demand, next_prefetch = next_use_tables stream in
+  let sets = Geometry.sets geometry and ways = geometry.Geometry.ways in
+  (* Per-slot resident line and its most recent access index. *)
+  let tags = Array.make (sets * ways) (-1) in
+  let last_idx = Array.make (sets * ways) (-1) in
+  let seen = Hashtbl.create 65536 in
+  let demand_accesses = ref 0 in
+  let demand_misses = ref 0 in
+  let demand_misses_cold = ref 0 in
+  let prefetch_accesses = ref 0 in
+  let prefetch_fills = ref 0 in
+  let evictions = ref [] in
+  let n_evictions = ref 0 in
+  let find_way set line =
+    let rec go way =
+      if way >= ways then None
+      else if tags.((set * ways) + way) = line then Some way
+      else go (way + 1)
+    in
+    go 0
+  in
+  let free_way set =
+    let rec go way =
+      if way >= ways then None
+      else if tags.((set * ways) + way) = -1 then Some way
+      else go (way + 1)
+    in
+    go 0
+  in
+  (* Victim selection; see the .mli for the Demand-MIN rule. *)
+  let choose_victim set =
+    let best_way = ref 0 in
+    (match mode with
+    | Min ->
+      let best_next = ref (-1) in
+      for way = 0 to ways - 1 do
+        let j = last_idx.((set * ways) + way) in
+        let next = min next_demand.(j) next_prefetch.(j) in
+        if next > !best_next then begin
+          best_next := next;
+          best_way := way
+        end
+      done
+    | Demand_min ->
+      (* Class A: next reference is a prefetch (or none at all); evict
+         the one whose prefetch is farthest.  Class B fallback: farthest
+         next demand. *)
+      let best_a = ref (-1) and best_a_key = ref (-1) in
+      let best_b = ref (-1) and best_b_key = ref (-1) in
+      for way = 0 to ways - 1 do
+        let j = last_idx.((set * ways) + way) in
+        let nd = next_demand.(j) and np = next_prefetch.(j) in
+        if np < nd || (nd = infinity_idx && np = infinity_idx) then begin
+          if np > !best_a_key || !best_a < 0 then begin
+            best_a_key := np;
+            best_a := way
+          end
+        end
+        else if nd > !best_b_key then begin
+          best_b_key := nd;
+          best_b := way
+        end
+      done;
+      best_way := (if !best_a >= 0 then !best_a else !best_b));
+    !best_way
+  in
+  let n = Array.length stream in
+  for i = 0 to n - 1 do
+    let acc = stream.(i) in
+    let line = acc.Access.line in
+    let set = Geometry.set_of_line geometry line in
+    let counted = i >= count_from in
+    (match acc.Access.kind with
+    | Access.Demand -> if counted then incr demand_accesses
+    | Access.Prefetch -> if counted then incr prefetch_accesses);
+    match find_way set line with
+    | Some way -> last_idx.((set * ways) + way) <- i
+    | None ->
+      on_fill ~index:i acc;
+      (match acc.Access.kind with
+      | Access.Demand ->
+        if counted then incr demand_misses;
+        if not (Hashtbl.mem seen line) then begin
+          Hashtbl.add seen line ();
+          if counted then incr demand_misses_cold
+        end
+      | Access.Prefetch ->
+        Hashtbl.replace seen line ();
+        if counted then incr prefetch_fills);
+      let way =
+        match free_way set with
+        | Some way -> way
+        | None ->
+          let way = choose_victim set in
+          let slot = (set * ways) + way in
+          let j = last_idx.(slot) in
+          let next =
+            let nd = next_demand.(j) and np = next_prefetch.(j) in
+            if nd = infinity_idx && np = infinity_idx then Never
+            else if np < nd then Next_prefetch
+            else Next_demand
+          in
+          evictions :=
+            { at = i; line = tags.(slot); set; last_use = j; next } :: !evictions;
+          incr n_evictions;
+          way
+      in
+      let slot = (set * ways) + way in
+      tags.(slot) <- line;
+      last_idx.(slot) <- i
+  done;
+  {
+    mode;
+    demand_accesses = !demand_accesses;
+    demand_misses = !demand_misses;
+    demand_misses_cold = !demand_misses_cold;
+    prefetch_accesses = !prefetch_accesses;
+    prefetch_fills = !prefetch_fills;
+    evictions = Array.of_list (List.rev !evictions);
+  }
+
+let mpki result ~instructions =
+  if instructions = 0 then 0.0
+  else 1000.0 *. Float.of_int result.demand_misses /. Float.of_int instructions

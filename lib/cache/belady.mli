@@ -1,0 +1,60 @@
+(** Offline optimal replacement: Belady's MIN and the prefetch-aware
+    Demand-MIN revision (Jain & Lin 2018, as revised by the Ripple paper).
+
+    Given the complete access stream, MIN evicts the resident line whose
+    next reference (of any kind) lies farthest in the future.  Demand-MIN
+    refines this under prefetching: a line whose next reference is a
+    prefetch can be evicted for free — the prefetch will re-fetch it
+    without a demand miss — so Demand-MIN first evicts the line
+    {e prefetched} farthest in the future (counting never-referenced-again
+    lines as prefetched at infinity), and only if no resident line's next
+    reference is a prefetch does it fall back to the line {e demanded}
+    farthest in the future.
+
+    The simulation also records every eviction together with the victim's
+    last-use position: these [(last_use, at)] intervals are exactly the
+    {e eviction windows} of Ripple's §III-B analysis. *)
+
+module Addr := Ripple_isa.Addr
+
+type mode = Min | Demand_min
+
+type next_ref = Next_demand | Next_prefetch | Never
+(** What happens to a victim line after its eviction: re-demanded,
+    re-prefetched first (Demand-MIN's "free" evictions), or never seen
+    again. *)
+
+type eviction = {
+  at : int;  (** index of the access whose fill triggered the eviction *)
+  line : Addr.line;  (** the victim *)
+  set : int;
+  last_use : int;  (** index of the victim's most recent access *)
+  next : next_ref;
+}
+
+type result = {
+  mode : mode;
+  demand_accesses : int;
+  demand_misses : int;
+  demand_misses_cold : int;
+  prefetch_accesses : int;
+  prefetch_fills : int;
+  evictions : eviction array;  (** in increasing [at] order *)
+}
+
+val simulate :
+  ?on_fill:(index:int -> Access.t -> unit) ->
+  ?count_from:int ->
+  Geometry.t ->
+  mode:mode ->
+  Access.t array ->
+  result
+(** Full offline replay.  O(n·ways) time, O(n) space for the next-use
+    tables.  [on_fill] is invoked for every access that misses and fills
+    (demand misses and prefetch fills), in stream order — the timing
+    model uses it to drive the L2/L3 hierarchy under the oracle
+    policies.  [count_from] restricts the counters (not the simulation,
+    and not the recorded evictions) to accesses at or beyond that stream
+    index — steady-state measurement after a cache warm-up. *)
+
+val mpki : result -> instructions:int -> float

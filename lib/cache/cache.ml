@@ -1,0 +1,159 @@
+module Addr = Ripple_isa.Addr
+
+(* Way state encoding in [state]: *)
+let st_cold = 0 (* never held a line *)
+let st_hinted = 1 (* emptied by a Ripple invalidation *)
+let st_valid = 2
+
+type t = {
+  name : string;
+  geom : Geometry.t;
+  sets : int;
+  ways : int;
+  tags : int array; (* line number per slot, dense [set * ways + way] *)
+  state : int array;
+  policy : Policy.t;
+  stats : Stats.t;
+  seen : (int, unit) Hashtbl.t; (* lines ever referenced, for cold misses *)
+}
+
+type result = Hit | Miss
+
+let create ?name ~geometry ~policy () =
+  let sets = Geometry.sets geometry and ways = geometry.Geometry.ways in
+  let policy = policy ~sets ~ways in
+  let name = match name with Some n -> n | None -> policy.Policy.name in
+  {
+    name;
+    geom = geometry;
+    sets;
+    ways;
+    tags = Array.make (sets * ways) (-1);
+    state = Array.make (sets * ways) st_cold;
+    policy;
+    stats = Stats.create ();
+    seen = Hashtbl.create 65536;
+  }
+
+let geometry t = t.geom
+let stats t = t.stats
+let policy_name t = t.name
+
+let slot t set way = (set * t.ways) + way
+
+let find_way t set line =
+  let rec go way =
+    if way >= t.ways then None
+    else begin
+      let s = slot t set way in
+      if t.state.(s) = st_valid && t.tags.(s) = line then Some way else go (way + 1)
+    end
+  in
+  go 0
+
+let find_state t set target =
+  let rec go way =
+    if way >= t.ways then None
+    else if t.state.(slot t set way) = target then Some way
+    else go (way + 1)
+  in
+  go 0
+
+let contains t line =
+  let set = Geometry.set_of_line t.geom line in
+  find_way t set line <> None
+
+(* Install [line] into [set]; chooses the fill way per the documented
+   priority and updates statistics. *)
+let fill t set (acc : Access.t) =
+  let way =
+    match find_state t set st_cold with
+    | Some way -> way
+    | None -> begin
+      match find_state t set st_hinted with
+      | Some way ->
+        t.stats.Stats.replacement_decisions <- t.stats.Stats.replacement_decisions + 1;
+        t.stats.Stats.hinted_fills <- t.stats.Stats.hinted_fills + 1;
+        way
+      | None ->
+        let way = t.policy.Policy.victim ~set in
+        assert (way >= 0 && way < t.ways);
+        let s = slot t set way in
+        assert (t.state.(s) = st_valid);
+        t.stats.Stats.replacement_decisions <- t.stats.Stats.replacement_decisions + 1;
+        t.stats.Stats.evictions <- t.stats.Stats.evictions + 1;
+        t.policy.Policy.on_eviction ~set ~way ~line:t.tags.(s);
+        way
+    end
+  in
+  let s = slot t set way in
+  t.tags.(s) <- acc.Access.line;
+  t.state.(s) <- st_valid;
+  t.policy.Policy.on_fill ~set ~way acc
+
+let access t (acc : Access.t) =
+  let line = acc.Access.line in
+  let set = Geometry.set_of_line t.geom line in
+  match acc.Access.kind with
+  | Access.Demand -> begin
+    t.stats.Stats.demand_accesses <- t.stats.Stats.demand_accesses + 1;
+    match find_way t set line with
+    | Some way ->
+      t.policy.Policy.on_hit ~set ~way acc;
+      Hit
+    | None ->
+      t.stats.Stats.demand_misses <- t.stats.Stats.demand_misses + 1;
+      if not (Hashtbl.mem t.seen line) then begin
+        Hashtbl.add t.seen line ();
+        t.stats.Stats.demand_misses_cold <- t.stats.Stats.demand_misses_cold + 1
+      end;
+      fill t set acc;
+      Miss
+  end
+  | Access.Prefetch -> begin
+    t.stats.Stats.prefetch_accesses <- t.stats.Stats.prefetch_accesses + 1;
+    match find_way t set line with
+    | Some _ -> Hit
+    | None ->
+      Hashtbl.replace t.seen line ();
+      t.stats.Stats.prefetch_fills <- t.stats.Stats.prefetch_fills + 1;
+      fill t set acc;
+      Miss
+  end
+
+let invalidate t line =
+  let set = Geometry.set_of_line t.geom line in
+  match find_way t set line with
+  | Some way ->
+    let s = slot t set way in
+    t.state.(s) <- st_hinted;
+    t.tags.(s) <- -1;
+    t.stats.Stats.invalidate_hits <- t.stats.Stats.invalidate_hits + 1;
+    t.policy.Policy.on_invalidate ~set ~way
+  | None -> t.stats.Stats.invalidate_misses <- t.stats.Stats.invalidate_misses + 1
+
+let demote t line =
+  let set = Geometry.set_of_line t.geom line in
+  match find_way t set line with
+  | Some way ->
+    t.stats.Stats.demotes <- t.stats.Stats.demotes + 1;
+    t.policy.Policy.demote ~set ~way
+  | None -> t.stats.Stats.invalidate_misses <- t.stats.Stats.invalidate_misses + 1
+
+let flush t =
+  Array.fill t.state 0 (Array.length t.state) st_cold;
+  Array.fill t.tags 0 (Array.length t.tags) (-1)
+
+let resident_lines t =
+  let acc = ref [] in
+  for s = Array.length t.tags - 1 downto 0 do
+    if t.state.(s) = st_valid then acc := t.tags.(s) :: !acc
+  done;
+  !acc
+
+let occupancy t ~set =
+  let n = ref 0 in
+  for way = 0 to t.ways - 1 do
+    if t.state.(slot t set way) = st_valid then incr n
+  done;
+  !n

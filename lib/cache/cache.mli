@@ -1,0 +1,47 @@
+(** Set-associative cache core with pluggable replacement and support for
+    Ripple's [invalidate]/[demote] hint instructions.
+
+    Fill priority on a miss: a cold (never-used) way first, then a way
+    freed by a Ripple hint (counted as a software-initiated replacement
+    decision — the coverage numerator of §III-C), and only then the
+    policy's victim (a hardware replacement decision).
+
+    Prefetch semantics follow the usual front-end model: a prefetch that
+    hits is a no-op; a prefetch that misses installs the line tagged as a
+    prefetch fill. *)
+
+module Addr := Ripple_isa.Addr
+
+type t
+
+type result = Hit | Miss
+
+val create : ?name:string -> geometry:Geometry.t -> policy:Policy.factory -> unit -> t
+val geometry : t -> Geometry.t
+val stats : t -> Stats.t
+val policy_name : t -> string
+
+val access : t -> Access.t -> result
+(** Performs a reference, filling on a miss.  [Hit]/[Miss] reflects
+    presence before any fill. *)
+
+val contains : t -> Addr.line -> bool
+(** Presence test with no side effects. *)
+
+val invalidate : t -> Addr.line -> unit
+(** Executes a Ripple [Invalidate] hint: drops the line from this cache
+    only (no coherence action, mirroring the proposed instruction). *)
+
+val demote : t -> Addr.line -> unit
+(** Executes a Ripple [Demote] hint: asks the policy to make the line the
+    preferred next victim. *)
+
+val flush : t -> unit
+(** Empties the cache and replacement state is left to age out naturally;
+    statistics are preserved. *)
+
+val resident_lines : t -> Addr.line list
+(** All currently valid lines (diagnostics and tests). *)
+
+val occupancy : t -> set:int -> int
+(** Number of valid ways in a set. *)

@@ -1,0 +1,51 @@
+let rrpv_max = (1 lsl Srrip.rrpv_bits) - 1
+let rrpv_long = rrpv_max - 1
+let psel_bits = 10
+let psel_max = (1 lsl psel_bits) - 1
+let brrip_throttle = 32 (* 1-in-32 long insertions in bimodal mode *)
+
+type set_role = Leader_srrip | Leader_brrip | Follower
+
+let make ~sets ~ways =
+  let rrpv = Array.make (sets * ways) rrpv_max in
+  let psel = ref (psel_max / 2) in
+  let brrip_counter = ref 0 in
+  (* A handful of leader sets per flavour, spread across the index
+     space. *)
+  let n_leaders = max 1 (sets / 16) in
+  let role set =
+    if set mod 16 = 0 && set / 16 < n_leaders then Leader_srrip
+    else if set mod 16 = 8 && set / 16 < n_leaders then Leader_brrip
+    else Follower
+  in
+  let use_brrip set =
+    match role set with
+    | Leader_srrip -> false
+    | Leader_brrip -> true
+    | Follower -> !psel > psel_max / 2
+  in
+  let on_fill ~set ~way _ =
+    (* A fill means this set just missed: train the duel. *)
+    (match role set with
+    | Leader_srrip -> psel := min psel_max (!psel + 1)
+    | Leader_brrip -> psel := max 0 (!psel - 1)
+    | Follower -> ());
+    let insertion =
+      if use_brrip set then begin
+        incr brrip_counter;
+        if !brrip_counter mod brrip_throttle = 0 then rrpv_long else rrpv_max
+      end
+      else rrpv_long
+    in
+    rrpv.((set * ways) + way) <- insertion
+  in
+  {
+    Policy.name = "drrip";
+    on_hit = (fun ~set ~way _ -> rrpv.((set * ways) + way) <- 0);
+    on_fill;
+    victim = (fun ~set -> Srrip.rrpv_victim rrpv ~ways ~set);
+    on_eviction = Policy.nop_evict;
+    on_invalidate = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
+    demote = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
+    storage_bits = (sets * ways * Srrip.rrpv_bits) + psel_bits;
+  }

@@ -1,0 +1,8 @@
+(** Dynamic re-reference interval prediction (DRRIP, Jaleel et al. 2010).
+
+    Set-dueling between SRRIP insertion and bimodal (thrash-resistant)
+    insertion, with a PSEL counter arbitrating for follower sets.  Like
+    SRRIP it brings nothing for I-cache traffic (§II-D): data-center code
+    neither scans nor thrashes in the cyclic-reuse sense DRRIP detects. *)
+
+val make : Policy.factory

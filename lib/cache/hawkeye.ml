@@ -1,0 +1,179 @@
+let predictor_entries = 2048
+let counter_max = 7
+let friendly_threshold = 4
+let sampler_associativity = 64 (* history depth per sampled set: 8x ways *)
+let rrpv_max = 7
+
+let mix x =
+  let x = x * 0x9E3779B1 in
+  let x = x lxor (x lsr 16) in
+  let x = x * 0xC2B2AE35 in
+  x lxor (x lsr 13)
+
+(* Diagnostic: how often the predictor says "friendly". *)
+let friendly_lookups = ref 0
+let total_lookups = ref 0
+
+let stats_friendly_fraction () =
+  if !total_lookups = 0 then 0.0
+  else Float.of_int !friendly_lookups /. Float.of_int !total_lookups
+
+(* One sampled set's OPTgen state: a bounded access history plus an
+   occupancy vector over the same time window. *)
+type sampler = {
+  lines : int array; (* line per entry, -1 free *)
+  pcs : int array;
+  times : int array;
+  mutable clock : int; (* per-set access count, the OPTgen time quanta *)
+  occupancy : int array; (* ring over the last [sampler_associativity] quanta *)
+}
+
+let make ?(harmony = true) () ~sets ~ways =
+  friendly_lookups := 0;
+  total_lookups := 0;
+  let predictor = Array.make predictor_entries friendly_threshold in
+  let rrpv = Array.make (sets * ways) rrpv_max in
+  let last_pc = Array.make (sets * ways) 0 in
+  let sample_every = 4 in
+  let samplers =
+    Array.init (sets / sample_every) (fun _ ->
+        {
+          lines = Array.make sampler_associativity (-1);
+          pcs = Array.make sampler_associativity 0;
+          times = Array.make sampler_associativity 0;
+          clock = 0;
+          occupancy = Array.make sampler_associativity 0;
+        })
+  in
+  let sampler_of set = if set mod sample_every = 1 then Some samplers.(set / sample_every) else None in
+  let predictor_index pc = mix pc land (predictor_entries - 1) in
+  let predict_friendly pc =
+    incr total_lookups;
+    let friendly = predictor.(predictor_index pc) >= friendly_threshold in
+    if friendly then incr friendly_lookups;
+    friendly
+  in
+  let train pc ~friendly =
+    let i = predictor_index pc in
+    predictor.(i) <-
+      (if friendly then min counter_max (predictor.(i) + 1) else max 0 (predictor.(i) - 1))
+  in
+  (* OPTgen: decide whether Belady (or Demand-MIN under Harmony) would
+     have kept [line] across its last usage interval, and train the PC
+     that opened the interval accordingly. *)
+  let optgen_access sampler (acc : Access.t) =
+    let now = sampler.clock in
+    sampler.clock <- now + 1;
+    sampler.occupancy.(now mod sampler_associativity) <- 0;
+    let found = ref (-1) in
+    for i = 0 to sampler_associativity - 1 do
+      if sampler.lines.(i) = acc.Access.line then found := i
+    done;
+    (if !found >= 0 then begin
+       let i = !found in
+       let t_prev = sampler.times.(i) in
+       if now - t_prev < sampler_associativity then begin
+         if harmony && Access.is_prefetch acc then
+           (* Demand-MIN: an interval closed by a prefetch need not be
+              cached — the prefetch re-fetches the line for free. *)
+           train sampler.pcs.(i) ~friendly:false
+         else begin
+           let fits = ref true in
+           for q = t_prev to now - 1 do
+             if sampler.occupancy.(q mod sampler_associativity) >= ways then fits := false
+           done;
+           if !fits then begin
+             for q = t_prev to now - 1 do
+               let slot = q mod sampler_associativity in
+               sampler.occupancy.(slot) <- sampler.occupancy.(slot) + 1
+             done;
+             train sampler.pcs.(i) ~friendly:true
+           end
+           else train sampler.pcs.(i) ~friendly:false
+         end
+       end
+     end
+     else begin
+       (* Find a free or oldest entry to (re)use. *)
+       let slot = ref 0 and oldest = ref max_int in
+       for i = 0 to sampler_associativity - 1 do
+         if sampler.lines.(i) = -1 then begin
+           if !oldest > -1 then begin
+             oldest := -1;
+             slot := i
+           end
+         end
+         else if !oldest <> -1 && sampler.times.(i) < !oldest then begin
+           oldest := sampler.times.(i);
+           slot := i
+         end
+       done;
+       found := !slot
+     end);
+    let i = !found in
+    sampler.lines.(i) <- acc.Access.line;
+    sampler.pcs.(i) <- acc.Access.pc;
+    sampler.times.(i) <- now
+  in
+  let place ~set ~way (acc : Access.t) =
+    let slot = (set * ways) + way in
+    last_pc.(slot) <- acc.Access.pc;
+    if predict_friendly acc.Access.pc then begin
+      (* Friendly: most recent, and age the other friendly lines. *)
+      for w = 0 to ways - 1 do
+        let s = (set * ways) + w in
+        if w <> way && rrpv.(s) < rrpv_max - 1 then rrpv.(s) <- rrpv.(s) + 1
+      done;
+      rrpv.(slot) <- 0
+    end
+    else rrpv.(slot) <- rrpv_max
+  in
+  let observe ~set (acc : Access.t) =
+    match sampler_of set with Some s -> optgen_access s acc | None -> ()
+  in
+  let on_hit ~set ~way acc =
+    observe ~set acc;
+    place ~set ~way acc
+  in
+  let on_fill ~set ~way acc =
+    observe ~set acc;
+    place ~set ~way acc
+  in
+  let victim ~set =
+    let best = ref 0 and best_rrpv = ref (-1) in
+    for way = 0 to ways - 1 do
+      let r = rrpv.((set * ways) + way) in
+      if r > !best_rrpv then begin
+        best := way;
+        best_rrpv := r
+      end
+    done;
+    !best
+  in
+  let on_eviction ~set ~way ~line:_ =
+    let slot = (set * ways) + way in
+    (* Evicting a still-friendly line means the prediction
+       over-committed: detrain its source.  Only sampled sets train, so
+       positive (OPTgen) and negative (eviction) evidence stay in
+       balance. *)
+    if set mod sample_every = 1 && rrpv.(slot) < rrpv_max then
+      train last_pc.(slot) ~friendly:false
+  in
+  (* Table I accounting: 3 KiB predictor, 1 KiB sampler (~200 entries),
+     1 KiB occupancy vectors, plus 3-bit RRIP counters per line. *)
+  let storage_bits =
+    (3 * 1024 * 8) (* predictor *)
+    + (200 * 40) (* sampler entries *)
+    + (1024 * 8) (* occupancy vectors *)
+    + (sets * ways * 3) (* RRIP counters: 192 B *)
+  in
+  {
+    Policy.name = (if harmony then "harmony" else "hawkeye");
+    on_hit;
+    on_fill;
+    victim;
+    on_eviction;
+    on_invalidate = Policy.nop_way;
+    demote = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
+    storage_bits;
+  }

@@ -1,0 +1,26 @@
+(** Hawkeye / Harmony replacement (Jain & Lin 2016, 2018).
+
+    Hawkeye replays Belady's optimal policy on sampled access history
+    (OPTgen occupancy vectors) and trains a PC-indexed predictor that
+    classifies the source of each access as cache-friendly or
+    cache-averse; averse lines are inserted eviction-first.  Harmony is
+    the prefetch-aware refinement: usage intervals that end in a prefetch
+    need not be cached (Demand-MIN), so their PC trains towards averse.
+
+    [~harmony:true] (default) enables the prefetch-aware training.
+
+    §II-D explains why this family cannot help the I-cache: an
+    instruction PC maps to exactly one line, whose behaviour mixes
+    friendly and averse phases, so the predictor collapses to "almost
+    everything friendly" and the policy degenerates to LRU — which is
+    what this implementation reproduces. *)
+
+val make : ?harmony:bool -> unit -> Policy.factory
+
+val predictor_entries : int
+val sampler_associativity : int
+
+val stats_friendly_fraction : unit -> float
+(** Fraction of predictor lookups since the last [make] that returned
+    cache-friendly — the paper reports > 99 % for I-cache traffic.
+    Diagnostic; reset when a new policy instance is created. *)

@@ -1,0 +1,39 @@
+(** Replacement-policy interface.
+
+    A policy instance owns the per-set replacement metadata of one cache.
+    The cache core ({!Cache}) calls back on hits, fills, evictions,
+    hint-invalidations and demotions; [victim] is consulted only when a
+    fill finds its set full of valid lines, so policies never have to
+    reason about invalid ways.
+
+    [storage_bits] is the on-chip metadata budget of the policy for the
+    instantiated geometry, following the accounting of the paper's
+    Table I; it is what the Table I bench prints. *)
+
+type t = {
+  name : string;
+  on_hit : set:int -> way:int -> Access.t -> unit;
+      (** A resident line was demand-referenced. *)
+  on_fill : set:int -> way:int -> Access.t -> unit;
+      (** A line was installed into [way] (demand or prefetch fill). *)
+  victim : set:int -> int;
+      (** Way to evict from a full set. *)
+  on_eviction : set:int -> way:int -> line:Ripple_isa.Addr.line -> unit;
+      (** The chosen victim is leaving the cache (training hook). *)
+  on_invalidate : set:int -> way:int -> unit;
+      (** A Ripple hint dropped the line in [way]. *)
+  demote : set:int -> way:int -> unit;
+      (** A Ripple [Demote] hint: make [way] the preferred next victim
+          without invalidating it (§IV, "Invalidation vs. reducing LRU
+          priority"). *)
+  storage_bits : int;
+}
+
+type factory = sets:int -> ways:int -> t
+(** Policies are constructed per cache geometry. *)
+
+val nop_access : set:int -> way:int -> Access.t -> unit
+(** Convenience no-op callback. *)
+
+val nop_way : set:int -> way:int -> unit
+val nop_evict : set:int -> way:int -> line:Ripple_isa.Addr.line -> unit

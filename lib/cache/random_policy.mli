@@ -1,0 +1,9 @@
+(** Random replacement.
+
+    The zero-metadata policy: Ripple-Random (§IV) shows that with
+    Ripple's software invalidations even random replacement beats an LRU
+    baseline, eliminating all replacement metadata from hardware.
+    [demote] pins the demoted way as the next victim, giving the demote
+    hint a meaning even without recency state. *)
+
+val make : seed:int -> Policy.factory

@@ -1,0 +1,54 @@
+let table_entries = 4096
+let counter_max = 3
+let rrpv_max = (1 lsl Srrip.rrpv_bits) - 1
+let rrpv_long = rrpv_max - 1
+
+let mix x =
+  let x = x * 0x9E3779B1 in
+  x lxor (x lsr 16)
+
+let make ~sets ~ways =
+  let rrpv = Array.make (sets * ways) rrpv_max in
+  (* SHCT: signature hit counters; per-slot bookkeeping of the filling
+     signature and whether the line was re-referenced. *)
+  let shct = Array.make table_entries 1 in
+  let fill_sig = Array.make (sets * ways) 0 in
+  let reused = Array.make (sets * ways) false in
+  let index signature = mix signature land (table_entries - 1) in
+  let on_hit ~set ~way _ =
+    let slot = (set * ways) + way in
+    if not reused.(slot) then begin
+      reused.(slot) <- true;
+      let i = index fill_sig.(slot) in
+      shct.(i) <- min counter_max (shct.(i) + 1)
+    end;
+    rrpv.(slot) <- 0
+  in
+  let on_fill ~set ~way (acc : Access.t) =
+    let slot = (set * ways) + way in
+    fill_sig.(slot) <- acc.Access.pc;
+    reused.(slot) <- false;
+    (* Never-reused signatures insert eviction-first. *)
+    rrpv.(slot) <- (if shct.(index acc.Access.pc) = 0 then rrpv_max else rrpv_long)
+  in
+  let on_eviction ~set ~way ~line:_ =
+    let slot = (set * ways) + way in
+    if not reused.(slot) then begin
+      let i = index fill_sig.(slot) in
+      shct.(i) <- max 0 (shct.(i) - 1)
+    end
+  in
+  {
+    Policy.name = "ship";
+    on_hit;
+    on_fill;
+    victim = (fun ~set -> Srrip.rrpv_victim rrpv ~ways ~set);
+    on_eviction;
+    on_invalidate = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
+    demote = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
+    storage_bits =
+      (sets * ways * Srrip.rrpv_bits) (* RRPV *)
+      + (table_entries * 2) (* SHCT *)
+      + (sets * ways * 14) (* per-line signature *)
+      + (sets * ways) (* reuse bit *);
+  }

@@ -1,0 +1,19 @@
+(** SHiP: signature-based hit prediction (Wu et al., MICRO 2011) — one of
+    the learned data-cache policies the paper's related work surveys
+    (§VI).
+
+    SHiP associates each fill with a signature (here the hashed line
+    address of the access, the I-cache analogue of its PC signature) and
+    learns, with a table of saturating counters, whether fills from that
+    signature are ever re-referenced.  Fills whose signature predicts
+    "no re-reference" insert at distant RRPV, making them the preferred
+    victims — SRRIP's insertion policy made signature-adaptive.
+
+    Like the other data-cache policies, it cannot beat LRU on I-cache
+    traffic (§II-D): instruction lines are almost all re-referenced, so
+    the predictor saturates towards "re-used" and the policy collapses
+    into SRRIP. *)
+
+val make : Policy.factory
+
+val table_entries : int

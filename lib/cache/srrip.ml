@@ -1,0 +1,38 @@
+let rrpv_bits = 2
+let rrpv_max = (1 lsl rrpv_bits) - 1 (* 3 *)
+let rrpv_long = rrpv_max - 1 (* insertion value: 2 *)
+
+(* Shared victim search over an rrpv array: find a way at rrpv_max, aging
+   the whole set until one appears.  Guaranteed to terminate because each
+   aging round strictly increases the set maximum. *)
+let rrpv_victim rrpv ~ways ~set =
+  let base = set * ways in
+  let rec find () =
+    let found = ref (-1) in
+    (let way = ref 0 in
+     while !found < 0 && !way < ways do
+       if rrpv.(base + !way) = rrpv_max then found := !way;
+       incr way
+     done);
+    if !found >= 0 then !found
+    else begin
+      for way = 0 to ways - 1 do
+        rrpv.(base + way) <- min rrpv_max (rrpv.(base + way) + 1)
+      done;
+      find ()
+    end
+  in
+  find ()
+
+let make ~sets ~ways =
+  let rrpv = Array.make (sets * ways) rrpv_max in
+  {
+    Policy.name = "srrip";
+    on_hit = (fun ~set ~way _ -> rrpv.((set * ways) + way) <- 0);
+    on_fill = (fun ~set ~way _ -> rrpv.((set * ways) + way) <- rrpv_long);
+    victim = (fun ~set -> rrpv_victim rrpv ~ways ~set);
+    on_eviction = Policy.nop_evict;
+    on_invalidate = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
+    demote = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
+    storage_bits = sets * ways * rrpv_bits;
+  }

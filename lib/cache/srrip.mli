@@ -1,0 +1,16 @@
+(** Static re-reference interval prediction (SRRIP, Jaleel et al. 2010).
+
+    Targets scanning access patterns: new lines are inserted with a long
+    predicted re-reference interval and promoted only on re-use.  §II-D
+    explains why this misfires on the I-cache: compulsory/scan traffic is
+    rare there, so fresh code lines pay an unnecessary eviction penalty. *)
+
+val rrpv_bits : int
+(** Width of the re-reference prediction value (2). *)
+
+val rrpv_victim : int array -> ways:int -> set:int -> int
+(** Shared victim search over a dense per-slot RRPV array: returns a way
+    whose RRPV is saturated, aging the set as needed.  Also used by
+    {!Drrip}. *)
+
+val make : Policy.factory

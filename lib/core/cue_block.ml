@@ -1,0 +1,95 @@
+module Access = Ripple_cache.Access
+
+type decision = { cue_block : int; victim : int; probability : float; windows : int }
+
+let default_scan_limit = 48
+let default_step_limit = 4096
+let default_min_support = 3
+
+(* Visit a window's candidate cue blocks: each distinct executed
+   (demand) block, scanning from both ends of the window — the blocks
+   executed right after the victim's last use (its own continuation,
+   typically the strongest predictors) and the blocks leading up to the
+   eviction.  Bounded by the scan/step limits; [seen] is caller-provided
+   scratch (cleared here). *)
+let walk_window ~scan_limit ~step_limit (stream : Access.t array) (w : Eviction_window.t) ~seen f
+    =
+  Hashtbl.reset seen;
+  let visit acc =
+    if Access.is_demand acc && not (Hashtbl.mem seen acc.Access.block) then begin
+      Hashtbl.add seen acc.Access.block ();
+      f acc.Access.block
+    end
+  in
+  let half_scan = max 1 (scan_limit / 2) and half_step = max 1 (step_limit / 2) in
+  let start = w.Eviction_window.start and stop = w.Eviction_window.stop in
+  (* Forward from just after the last use. *)
+  let steps = ref 0 in
+  let i = ref (start + 1) in
+  while !i <= stop && !steps < half_step && Hashtbl.length seen < half_scan do
+    visit stream.(!i);
+    incr steps;
+    incr i
+  done;
+  (* Backward from the eviction trigger, stopping where the forward scan
+     ended. *)
+  let fwd_end = !i in
+  steps := 0;
+  let j = ref stop in
+  while !j >= fwd_end && !steps < half_step && Hashtbl.length seen < scan_limit do
+    visit stream.(!j);
+    incr steps;
+    decr j
+  done
+
+(* (victim line, block) -> number of distinct windows containing the
+   block.  Lines fit well under 2^40 and block ids under 2^22, so the
+   pair packs into one int key. *)
+let pack ~victim ~block = (victim lsl 22) lor block
+
+let analyze ?(scan_limit = default_scan_limit) ?(step_limit = default_step_limit)
+    ?(min_support = default_min_support) ~stream ~windows ~exec_counts ~threshold () =
+  let window_counts = Hashtbl.create (4 * Array.length windows) in
+  let seen = Hashtbl.create 64 in
+  (* Pass 1: per-pair window membership counts. *)
+  Array.iter
+    (fun (w : Eviction_window.t) ->
+      walk_window ~scan_limit ~step_limit stream w ~seen (fun block ->
+          let key = pack ~victim:w.Eviction_window.victim ~block in
+          match Hashtbl.find_opt window_counts key with
+          | Some n -> Hashtbl.replace window_counts key (n + 1)
+          | None -> Hashtbl.add window_counts key 1))
+    windows;
+  (* Pass 2: pick each window's best candidate and keep it when it clears
+     the threshold. *)
+  let chosen = Hashtbl.create 4096 in
+  Array.iter
+    (fun (w : Eviction_window.t) ->
+      let victim = w.Eviction_window.victim in
+      let best_block = ref (-1) and best_p = ref (-1.0) in
+      walk_window ~scan_limit ~step_limit stream w ~seen (fun block ->
+          let execs = exec_counts.(block) in
+          if execs > 0 then begin
+            let count = try Hashtbl.find window_counts (pack ~victim ~block) with Not_found -> 0 in
+            let p = Float.of_int count /. Float.of_int execs in
+            if p > !best_p then begin
+              best_p := p;
+              best_block := block
+            end
+          end);
+      let supported =
+        !best_block >= 0
+        && (try Hashtbl.find window_counts (pack ~victim ~block:!best_block) with Not_found -> 0)
+           >= min_support
+      in
+      if supported && !best_p >= threshold then begin
+        let key = pack ~victim ~block:!best_block in
+        match Hashtbl.find_opt chosen key with
+        | Some (block, victim, p, n) -> Hashtbl.replace chosen key (block, victim, p, n + 1)
+        | None -> Hashtbl.add chosen key (!best_block, victim, !best_p, 1)
+      end)
+    windows;
+  Hashtbl.fold
+    (fun _ (cue_block, victim, probability, windows) acc ->
+      { cue_block; victim; probability; windows } :: acc)
+    chosen []

@@ -1,0 +1,50 @@
+(** Cue-block selection (§III-B, Fig. 5).
+
+    For every eviction window, Ripple scores each basic block executed
+    inside it by the conditional probability that the victim line is
+    (ideally) evicted given that the block executes:
+
+    {v P(evict V | exec B) = windows of V containing B / executions of B v}
+
+    The window's cue block is the candidate with the highest probability
+    (ties broken arbitrarily); an invalidation is injected only when that
+    probability clears the invalidation threshold (§III-C).
+
+    Window walks are bounded by [scan_limit] distinct candidate blocks
+    and [step_limit] stream entries per window: candidates that signal an
+    eviction reliably execute close to the eviction point, and the bound
+    keeps the analysis linear in the trace — the same engineering the
+    paper's "up to 10 minutes" offline analysis implies. *)
+
+module Addr := Ripple_isa.Addr
+module Access := Ripple_cache.Access
+
+type decision = {
+  cue_block : int;  (** block to instrument *)
+  victim : Addr.line;  (** line its hint evicts *)
+  probability : float;  (** the selected conditional probability *)
+  windows : int;  (** eviction windows this decision covers *)
+}
+
+val default_scan_limit : int
+val default_step_limit : int
+
+val default_min_support : int
+(** Minimum eviction windows a (cue, victim) pair must cover to be worth
+    its code bloat: pairs observed once in the profile are statistical
+    noise (an execution count of one makes any probability trivially 1)
+    and would be pure static/dynamic overhead. *)
+
+val analyze :
+  ?scan_limit:int ->
+  ?step_limit:int ->
+  ?min_support:int ->
+  stream:Access.t array ->
+  windows:Eviction_window.t array ->
+  exec_counts:int array ->
+  threshold:float ->
+  unit ->
+  decision list
+(** [windows] must be in stream coordinates over [stream];
+    [exec_counts.(b)] is block [b]'s execution count in the profiled
+    trace.  Decisions are deduplicated per (cue block, victim) pair. *)

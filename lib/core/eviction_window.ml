@@ -1,0 +1,59 @@
+module Addr = Ripple_isa.Addr
+module Belady = Ripple_cache.Belady
+
+type t = { victim : Addr.line; start : int; stop : int }
+
+let of_evictions ?(demand_covered_only = false) evictions =
+  let keep (e : Belady.eviction) =
+    (not demand_covered_only) || e.Belady.next <> Belady.Next_prefetch
+  in
+  let kept = Array.of_list (List.filter keep (Array.to_list evictions)) in
+  Array.map
+    (fun (e : Belady.eviction) ->
+      { victim = e.Belady.line; start = e.Belady.last_use; stop = e.Belady.at })
+    kept
+
+let to_trace_coords windows ~stream_pos =
+  Array.map
+    (fun w -> { w with start = stream_pos.(w.start); stop = stream_pos.(w.stop) })
+    windows
+
+let count_for windows ~line =
+  Array.fold_left (fun acc w -> if w.victim = line then acc + 1 else acc) 0 windows
+
+module Index = struct
+  type entry = { starts : int array; stops : int array; mutable cursor : int }
+  type nonrec t = (Addr.line, entry) Hashtbl.t
+
+  let create windows =
+    let per_line = Hashtbl.create 4096 in
+    Array.iter
+      (fun w ->
+        let existing = try Hashtbl.find per_line w.victim with Not_found -> [] in
+        Hashtbl.replace per_line w.victim ((w.start, w.stop) :: existing))
+      windows;
+    let index = Hashtbl.create (Hashtbl.length per_line) in
+    Hashtbl.iter
+      (fun line intervals ->
+        (* Windows of one line are disjoint; sort by start. *)
+        let sorted = List.sort compare (List.rev intervals) in
+        let starts = Array.of_list (List.map fst sorted) in
+        let stops = Array.of_list (List.map snd sorted) in
+        Hashtbl.replace index line { starts; stops; cursor = 0 })
+      per_line;
+    index
+
+  let mem t ~line ~at =
+    match Hashtbl.find_opt t line with
+    | None -> false
+    | Some e ->
+      let n = Array.length e.starts in
+      while e.cursor < n && e.stops.(e.cursor) < at do
+        e.cursor <- e.cursor + 1
+      done;
+      (* [start] is inclusive here: a hint executes at the end of its
+         block, i.e. after the block's own line accesses, so a firing in
+         the very block that last used the victim is already past the
+         use. *)
+      e.cursor < n && e.starts.(e.cursor) <= at && at <= e.stops.(e.cursor)
+  end

@@ -1,0 +1,63 @@
+module Program = Ripple_isa.Program
+module Basic_block = Ripple_isa.Basic_block
+module Addr = Ripple_isa.Addr
+
+type mode = Invalidate | Demote
+
+type stats = { injected : int; skipped_jit : int; skipped_cap : int; blocks_touched : int }
+
+let default_max_hints_per_block = 3
+
+let inject ?(mode = Invalidate) ?(skip_jit = true) ?(max_hints_per_block = default_max_hints_per_block)
+    ~program ~decisions () =
+  let n = Program.n_blocks program in
+  let per_block = Array.make n [] in
+  let skipped_jit = ref 0 in
+  List.iter
+    (fun (d : Cue_block.decision) ->
+      let b = Program.block program d.Cue_block.cue_block in
+      if skip_jit && b.Basic_block.jit then incr skipped_jit
+      else per_block.(d.Cue_block.cue_block) <- d :: per_block.(d.Cue_block.cue_block))
+    decisions;
+  let skipped_cap = ref 0 in
+  let injected = ref 0 in
+  let blocks_touched = ref 0 in
+  let victims_of ds =
+    let sorted =
+      List.sort
+        (fun (a : Cue_block.decision) b -> compare b.Cue_block.probability a.Cue_block.probability)
+        ds
+    in
+    let kept, dropped =
+      List.filteri (fun i _ -> i < max_hints_per_block) sorted,
+      max 0 (List.length sorted - max_hints_per_block)
+    in
+    skipped_cap := !skipped_cap + dropped;
+    List.map (fun (d : Cue_block.decision) -> d.Cue_block.victim) kept
+  in
+  let victim_lines = Array.map victims_of per_block in
+  Array.iter
+    (fun vs ->
+      if vs <> [] then begin
+        incr blocks_touched;
+        injected := !injected + List.length vs
+      end)
+    victim_lines;
+  let as_hint line = match mode with Invalidate -> Basic_block.Invalidate line | Demote -> Basic_block.Demote line in
+  (* First layout pass with old-layout operands: hint counts fix the new
+     layout, which yields the remap; then re-express operands in the new
+     layout and lay out again (identical geometry). *)
+  let hints_old = Array.map (List.map as_hint) victim_lines in
+  let provisional, remap = Program.with_hints program ~hints:hints_old in
+  let remap_line line = Addr.line_of (remap (Addr.base_of_line line)) in
+  let hints_new = Array.map (List.map (fun line -> as_hint (remap_line line))) victim_lines in
+  let instrumented, _ = Program.with_hints program ~hints:hints_new in
+  assert (Program.static_bytes provisional = Program.static_bytes instrumented);
+  ( instrumented,
+    remap,
+    {
+      injected = !injected;
+      skipped_jit = !skipped_jit;
+      skipped_cap = !skipped_cap;
+      blocks_touched = !blocks_touched;
+    } )

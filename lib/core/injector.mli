@@ -1,0 +1,37 @@
+(** Link-time hint injection (§III-C).
+
+    Materialises cue-block decisions as [invalidate] (or [demote])
+    instructions appended to their cue blocks.  Injection grows the
+    binary, so the program is relaid out — exactly what happens at link
+    time — and every victim-line operand is re-expressed in the final
+    layout using the old→new address remap.  Blocks flagged as JIT code
+    are skipped by default: their instruction addresses are not stable
+    across executions, the reason the HHVM applications cap below 50 %
+    coverage in Fig. 9. *)
+
+module Program := Ripple_isa.Program
+module Addr := Ripple_isa.Addr
+
+type mode = Invalidate | Demote
+
+type stats = {
+  injected : int;  (** hints actually placed *)
+  skipped_jit : int;  (** decisions dropped because the cue block is JIT *)
+  skipped_cap : int;  (** decisions dropped by the per-block cap *)
+  blocks_touched : int;
+}
+
+val default_max_hints_per_block : int
+
+val inject :
+  ?mode:mode ->
+  ?skip_jit:bool ->
+  ?max_hints_per_block:int ->
+  program:Program.t ->
+  decisions:Cue_block.decision list ->
+  unit ->
+  Program.t * (Addr.t -> Addr.t) * stats
+(** Returns the instrumented program, the old→new address remap, and
+    injection statistics.  When a block attracts more decisions than the
+    cap, the highest-probability ones win (each extra hint is straight
+    static and dynamic overhead, §IV Figs. 11–12). *)

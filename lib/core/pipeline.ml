@@ -1,0 +1,146 @@
+module Program = Ripple_isa.Program
+module Basic_block = Ripple_isa.Basic_block
+module Belady = Ripple_cache.Belady
+module Pt = Ripple_trace.Pt
+module Bb_trace = Ripple_trace.Bb_trace
+module Config = Ripple_cpu.Config
+module Simulator = Ripple_cpu.Simulator
+
+type prefetch = No_prefetch | Nlp | Fdip
+
+let prefetch_name = function No_prefetch -> "none" | Nlp -> "nlp" | Fdip -> "fdip"
+
+let prefetcher_of ?config prefetch program =
+  match prefetch with
+  | No_prefetch -> Simulator.prefetcher_none program
+  | Nlp -> Simulator.prefetcher_nlp ?config program
+  | Fdip -> Simulator.prefetcher_fdip ?config program
+
+let belady_mode_of = function No_prefetch -> Belady.Min | Nlp | Fdip -> Belady.Demand_min
+
+type analysis = {
+  threshold : float;
+  n_windows : int;
+  n_decisions : int;
+  injection : Injector.stats;
+}
+
+let instrument ?(config = Config.default) ?(threshold = 0.5) ?mode ?skip_jit
+    ?max_hints_per_block ?scan_limit ?min_support ?(exclude_prefetch_covered = false)
+    ?(pt_roundtrip = true) ~program ~profile_trace ~prefetch () =
+  (* Step 1 (Fig. 4): runtime profiling.  The analysis consumes the
+     PT round trip, not the raw trace.  LBR-sampled profiles are stitched
+     from disjoint path fragments and bypass the codec
+     ([pt_roundtrip:false]). *)
+  let trace =
+    if pt_roundtrip then Pt.decode program (Pt.encode program profile_trace)
+    else profile_trace
+  in
+  (* Step 2: ideal-policy replay over the stream the prefetcher
+     produces, yielding eviction windows. *)
+  let stream =
+    Simulator.record_stream ~config ~program ~trace
+      ~prefetcher:(prefetcher_of ~config prefetch)
+      ()
+  in
+  let replay = Belady.simulate config.Config.l1i ~mode:(belady_mode_of prefetch) stream in
+  let windows =
+    Eviction_window.of_evictions ~demand_covered_only:exclude_prefetch_covered
+      replay.Belady.evictions
+  in
+  let exec_counts = Bb_trace.exec_counts program trace in
+  let decisions =
+    Cue_block.analyze ?scan_limit ?min_support ~stream ~windows ~exec_counts ~threshold ()
+  in
+  (* Step 3: link-time injection. *)
+  let instrumented, _remap, injection =
+    Injector.inject ?mode ?skip_jit ?max_hints_per_block ~program ~decisions ()
+  in
+  ( instrumented,
+    {
+      threshold;
+      n_windows = Array.length windows;
+      n_decisions = List.length decisions;
+      injection;
+    } )
+
+type evaluation = {
+  result : Simulator.result;
+  coverage : float;
+  accuracy : float;
+  hint_execs : int;
+  static_overhead : float;
+  dynamic_overhead : float;
+}
+
+let overhead ~extra ~base = if base = 0 then 0.0 else Float.of_int extra /. Float.of_int base
+
+let evaluate ?(config = Config.default) ?(warmup = 0) ~original ~instrumented ~trace ~policy
+    ~prefetch () =
+  (* Ideal eviction windows on the evaluation stream of the instrumented
+     binary, in trace coordinates: the accuracy yardstick. *)
+  let stream, stream_pos =
+    Simulator.record_stream_indexed ~config ~program:instrumented ~trace
+      ~prefetcher:(prefetcher_of ~config prefetch)
+      ()
+  in
+  let replay = Belady.simulate config.Config.l1i ~mode:(belady_mode_of prefetch) stream in
+  let windows =
+    Eviction_window.to_trace_coords (Eviction_window.of_evictions replay.Belady.evictions)
+      ~stream_pos
+  in
+  let index = Eviction_window.Index.create windows in
+  let hint_execs = ref 0 in
+  let accurate = ref 0 in
+  let on_hint ~at hint ~resident =
+    if at >= warmup then begin
+    incr hint_execs;
+    (* A hint that fires inside one of its victim's ideal windows evicts a
+       line the ideal policy would evict too; one that finds the line
+       absent cannot introduce a miss either. *)
+    let line = Basic_block.hint_line hint in
+    if (not resident) || Eviction_window.Index.mem index ~line ~at then incr accurate
+    end
+  in
+  let result =
+    Simulator.run ~config ~warmup ~on_hint ~program:instrumented ~trace ~policy
+      ~prefetcher:(prefetcher_of ~config prefetch)
+      ()
+  in
+  let accuracy =
+    if !hint_execs = 0 then 1.0 else Float.of_int !accurate /. Float.of_int !hint_execs
+  in
+  {
+    result;
+    coverage = Ripple_cache.Stats.coverage result.Simulator.l1i;
+    accuracy;
+    hint_execs = !hint_execs;
+    static_overhead =
+      overhead
+        ~extra:(Program.static_instrs instrumented - Program.static_instrs original)
+        ~base:(Program.static_instrs original);
+    dynamic_overhead =
+      overhead ~extra:result.Simulator.hint_instructions
+        ~base:(result.Simulator.instructions - result.Simulator.hint_instructions);
+  }
+
+let search_threshold ?(config = Config.default) ?(warmup = 0)
+    ?(candidates = [ 0.45; 0.55; 0.65 ]) ?mode ?exclude_prefetch_covered ~program ~profile_trace
+    ~eval_trace ~policy ~prefetch () =
+  assert (candidates <> []);
+  let best = ref None in
+  List.iter
+    (fun threshold ->
+      let instrumented, _ =
+        instrument ~config ~threshold ?mode ?exclude_prefetch_covered ~program ~profile_trace
+          ~prefetch ()
+      in
+      let ev =
+        evaluate ~config ~warmup ~original:program ~instrumented ~trace:eval_trace ~policy
+          ~prefetch ()
+      in
+      match !best with
+      | Some (_, b) when b.result.Simulator.ipc >= ev.result.Simulator.ipc -> ()
+      | _ -> best := Some (threshold, ev))
+    candidates;
+  match !best with Some r -> r | None -> assert false

@@ -1,0 +1,96 @@
+(** End-to-end Ripple (Fig. 4): profile → eviction analysis → injection →
+    instrumented binary, plus the instrumented-run evaluation that yields
+    the paper's metrics.
+
+    Profiling goes through the PT-style encoder/decoder round trip — the
+    analysis only ever sees what hardware tracing can reconstruct.  The
+    ideal-policy replay uses MIN when no prefetcher is configured and
+    prefetch-aware Demand-MIN otherwise, over the access stream the
+    configured prefetcher actually produces. *)
+
+module Program := Ripple_isa.Program
+module Policy := Ripple_cache.Policy
+module Belady := Ripple_cache.Belady
+module Prefetcher := Ripple_prefetch.Prefetcher
+module Config := Ripple_cpu.Config
+module Simulator := Ripple_cpu.Simulator
+
+type prefetch = No_prefetch | Nlp | Fdip
+
+val prefetch_name : prefetch -> string
+val prefetcher_of : ?config:Config.t -> prefetch -> Program.t -> Prefetcher.t
+val belady_mode_of : prefetch -> Belady.mode
+
+type analysis = {
+  threshold : float;
+  n_windows : int;  (** ideal-policy eviction windows in the profile *)
+  n_decisions : int;  (** deduplicated (cue, victim) injections *)
+  injection : Injector.stats;
+}
+
+val instrument :
+  ?config:Config.t ->
+  ?threshold:float ->
+  ?mode:Injector.mode ->
+  ?skip_jit:bool ->
+  ?max_hints_per_block:int ->
+  ?scan_limit:int ->
+  ?min_support:int ->
+  ?exclude_prefetch_covered:bool ->
+  ?pt_roundtrip:bool ->
+  program:Program.t ->
+  profile_trace:int array ->
+  prefetch:prefetch ->
+  unit ->
+  Program.t * analysis
+(** [threshold] defaults to 0.5, the centre of the paper's best 45–65 %
+    band.  [exclude_prefetch_covered] (default false) skips windows whose
+    victim's next reference is a prefetch — a conservative variant for
+    miss-triggered prefetchers whose re-fetches an invalidation could
+    itself prevent (evaluated by the ablation bench).  [pt_roundtrip]
+    (default true) passes the profile through the PT codec; disable it
+    for stitched LBR samples ({!Ripple_trace.Lbr}), which are not a
+    single legal control-flow path. *)
+
+type evaluation = {
+  result : Simulator.result;  (** performance of the instrumented run *)
+  coverage : float;  (** §III-C replacement-coverage *)
+  accuracy : float;  (** §III-C replacement-accuracy *)
+  hint_execs : int;  (** dynamic hint executions *)
+  static_overhead : float;  (** extra static instructions, fraction *)
+  dynamic_overhead : float;  (** extra dynamic instructions, fraction *)
+}
+
+val evaluate :
+  ?config:Config.t ->
+  ?warmup:int ->
+  original:Program.t ->
+  instrumented:Program.t ->
+  trace:int array ->
+  policy:Policy.factory ->
+  prefetch:prefetch ->
+  unit ->
+  evaluation
+(** Runs the instrumented program on [trace] under [policy], counting
+    only past the [warmup] trace index (steady state); accuracy is
+    judged against the ideal policy's eviction windows recomputed on the
+    evaluation stream: a hint execution is accurate when it fires inside
+    one of its victim's ideal eviction windows (so the ideal policy would
+    have evicted the line too). *)
+
+val search_threshold :
+  ?config:Config.t ->
+  ?warmup:int ->
+  ?candidates:float list ->
+  ?mode:Injector.mode ->
+  ?exclude_prefetch_covered:bool ->
+  program:Program.t ->
+  profile_trace:int array ->
+  eval_trace:int array ->
+  policy:Policy.factory ->
+  prefetch:prefetch ->
+  unit ->
+  float * evaluation
+(** Per-application threshold selection (§III-C): evaluates each
+    candidate (default [0.45; 0.55; 0.65]) and returns the best-IPC one
+    with its evaluation. *)

@@ -1,0 +1,67 @@
+module Geometry = Ripple_cache.Geometry
+
+type t = {
+  l1i : Geometry.t;
+  l2 : Geometry.t;
+  l3 : Geometry.t;
+  l1_latency : int;
+  l2_latency : int;
+  l3_latency : int;
+  memory_latency : int;
+  frequency_ghz : float;
+  cores_per_socket : int;
+  cpi_base : float;
+  hint_cpi : float;
+  frontend_bubble : int;
+  miss_exposure : float;
+  ftq_depth : int;
+  nlp_degree : int;
+  prefetch_latency_blocks : int;
+}
+
+let default =
+  {
+    l1i = Geometry.l1i;
+    l2 = Geometry.l2;
+    l3 = Geometry.l3;
+    l1_latency = 3;
+    l2_latency = 12;
+    l3_latency = 36;
+    memory_latency = 260;
+    frequency_ghz = 2.5;
+    cores_per_socket = 20;
+    cpi_base = 0.80;
+    hint_cpi = 0.10;
+    frontend_bubble = 3;
+    miss_exposure = 0.35;
+    ftq_depth = 24;
+    nlp_degree = 2;
+    prefetch_latency_blocks = 4;
+  }
+
+let miss_penalty t ~hit_level =
+  t.frontend_bubble
+  +
+  match hit_level with
+  | `L2 -> t.l2_latency - t.l1_latency
+  | `L3 -> t.l3_latency - t.l1_latency
+  | `Memory -> t.memory_latency - t.l1_latency
+
+let pp_table fmt t =
+  let row name value = Format.fprintf fmt "| %-28s | %-32s |@," name value in
+  Format.fprintf fmt "@[<v>Table II: Simulator Parameters@,";
+  row "CPU" "Haswell-class trace-driven model";
+  row "Cores per socket" (string_of_int t.cores_per_socket);
+  row "L1 instruction cache" (Format.asprintf "%a" Geometry.pp t.l1i);
+  row "L2 unified cache" (Format.asprintf "%a" Geometry.pp t.l2);
+  row "L3 unified cache" (Format.asprintf "%a" Geometry.pp t.l3);
+  row "All-core turbo frequency" (Printf.sprintf "%.1f GHz" t.frequency_ghz);
+  row "L1 I-cache latency" (Printf.sprintf "%d cycles" t.l1_latency);
+  row "L2 cache latency" (Printf.sprintf "%d cycles" t.l2_latency);
+  row "L3 cache latency" (Printf.sprintf "%d cycles" t.l3_latency);
+  row "Memory latency" (Printf.sprintf "%d cycles" t.memory_latency);
+  row "Base CPI (model)" (Printf.sprintf "%.2f" t.cpi_base);
+  row "Miss exposure (model)" (Printf.sprintf "%.2f" t.miss_exposure);
+  row "FDIP FTQ depth" (string_of_int t.ftq_depth);
+  row "NLP degree" (string_of_int t.nlp_degree);
+  Format.fprintf fmt "@]"

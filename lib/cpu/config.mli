@@ -1,0 +1,50 @@
+(** Simulator configuration — the paper's Table II, plus the two
+    first-order timing knobs of the trace-driven model.
+
+    The timing model is deliberately simple (DESIGN.md): execution costs
+    [cpi_base] cycles per instruction for everything the out-of-order
+    back end absorbs, and each L1I demand miss adds its hierarchy
+    latency, scaled by [miss_exposure] to credit the front end for the
+    fraction of a miss an OoO window can hide.  Relative results — every
+    number the paper reports — depend on miss counts and where in the
+    hierarchy they land, not on these two constants. *)
+
+module Geometry := Ripple_cache.Geometry
+
+type t = {
+  l1i : Geometry.t;
+  l2 : Geometry.t;
+  l3 : Geometry.t;
+  l1_latency : int;  (** cycles, Table II: 3 *)
+  l2_latency : int;  (** 12 *)
+  l3_latency : int;  (** 36 *)
+  memory_latency : int;  (** 260 *)
+  frequency_ghz : float;  (** 2.5 *)
+  cores_per_socket : int;  (** 20 *)
+  cpi_base : float;  (** back-end CPI with a perfect I-cache *)
+  hint_cpi : float;
+      (** cost of one injected hint instruction: an independent,
+          freely-reorderable uop (§III-C) consumes an issue slot of the
+          4-wide front end, not a full instruction's latency *)
+  frontend_bubble : int;
+      (** fixed re-steer/decode bubble added to every L1I miss on top of
+          the hierarchy latency *)
+  miss_exposure : float;  (** fraction of a miss latency left exposed *)
+  ftq_depth : int;  (** FDIP fetch-target queue entries *)
+  nlp_degree : int;
+  prefetch_latency_blocks : int;
+      (** blocks between a prefetch's issue and its fill becoming
+          visible — the L2 round trip expressed in fetch-block
+          granularity (applies to runahead and reactive prefetchers
+          alike) *)
+}
+
+val default : t
+
+val miss_penalty : t -> hit_level:[ `L2 | `L3 | `Memory ] -> int
+(** Exposed latency of an L1I miss served at the given level (hierarchy
+    latency difference plus the front-end bubble), before the
+    [miss_exposure] scaling. *)
+
+val pp_table : Format.formatter -> t -> unit
+(** Renders Table II. *)

@@ -1,0 +1,28 @@
+module Cache = Ripple_cache.Cache
+module Access = Ripple_cache.Access
+module Lru = Ripple_cache.Lru
+
+type t = { l2 : Cache.t; l3 : Cache.t }
+type served = L2 | L3 | Memory
+
+let create (config : Config.t) =
+  {
+    l2 = Cache.create ~name:"l2" ~geometry:config.Config.l2 ~policy:Lru.make ();
+    l3 = Cache.create ~name:"l3" ~geometry:config.Config.l3 ~policy:Lru.make ();
+  }
+
+let fetch t line =
+  let acc = Access.demand ~line ~block:(-1) in
+  match Cache.access t.l2 acc with
+  | Cache.Hit -> L2
+  | Cache.Miss -> begin
+    match Cache.access t.l3 acc with Cache.Hit -> L3 | Cache.Miss -> Memory
+  end
+
+let penalty config = function
+  | L2 -> Config.miss_penalty config ~hit_level:`L2
+  | L3 -> Config.miss_penalty config ~hit_level:`L3
+  | Memory -> Config.miss_penalty config ~hit_level:`Memory
+
+let l2_stats t = Cache.stats t.l2
+let l3_stats t = Cache.stats t.l3

@@ -1,0 +1,239 @@
+module Program = Ripple_isa.Program
+module Basic_block = Ripple_isa.Basic_block
+module Cache = Ripple_cache.Cache
+module Stats = Ripple_cache.Stats
+module Access = Ripple_cache.Access
+module Belady = Ripple_cache.Belady
+module Lru = Ripple_cache.Lru
+module Prefetcher = Ripple_prefetch.Prefetcher
+module Nlp = Ripple_prefetch.Nlp
+module Fdip = Ripple_prefetch.Fdip
+
+type result = {
+  instructions : int;
+  hint_instructions : int;
+  cycles : float;
+  ipc : float;
+  demand_misses : int;
+  mpki : float;
+  l1i : Stats.t;
+  served_l2 : int;
+  served_l3 : int;
+  served_memory : int;
+}
+
+let prefetcher_none _program = Prefetcher.none
+
+let prefetcher_nlp ?(config = Config.default) _program =
+  Nlp.create ~degree:config.Config.nlp_degree ()
+
+let prefetcher_fdip ?(config = Config.default) program =
+  Fdip.create ~ftq_depth:config.Config.ftq_depth ~program ()
+
+(* Precomputed per-block expansion so the hot loop allocates nothing. *)
+let block_lines program =
+  Array.map
+    (fun b -> Array.of_list (Basic_block.lines b))
+    (Program.blocks program)
+
+let finish ~(config : Config.t) ~instructions ~hint_instructions ~miss_cycles ~l1i ~l2_served
+    ~l3_served ~mem_served =
+  let original = instructions - hint_instructions in
+  let cycles =
+    (config.Config.cpi_base *. Float.of_int original)
+    +. (config.Config.hint_cpi *. Float.of_int hint_instructions)
+    +. (config.Config.miss_exposure *. miss_cycles)
+  in
+  let ipc = if cycles > 0.0 then Float.of_int original /. cycles else 0.0 in
+  {
+    instructions;
+    hint_instructions;
+    cycles;
+    ipc;
+    demand_misses = l1i.Stats.demand_misses;
+    mpki = Stats.mpki l1i ~instructions:original;
+    l1i;
+    served_l2 = l2_served;
+    served_l3 = l3_served;
+    served_memory = mem_served;
+  }
+
+let run ?(config = Config.default) ?(warmup = 0) ?(on_hint = fun ~at:_ _ ~resident:_ -> ())
+    ~program ~trace ~policy ~prefetcher () =
+  let l1 = Cache.create ~geometry:config.Config.l1i ~policy () in
+  let hierarchy = Hierarchy.create config in
+  let pf = prefetcher program in
+  let lines = block_lines program in
+  let blocks = Program.blocks program in
+  let instructions = ref 0 in
+  let hint_instructions = ref 0 in
+  let miss_cycles = ref 0.0 in
+  let l2_served = ref 0 and l3_served = ref 0 and mem_served = ref 0 in
+  let complete_prefetch (acc : Access.t) =
+    match Cache.access l1 acc with
+    | Cache.Hit -> ()
+    | Cache.Miss -> ignore (Hierarchy.fetch hierarchy acc.Access.line)
+  in
+  (* Prefetches land [prefetch_latency_blocks] blocks after issue (the
+     L2 round trip); slot [at mod slots] holds what completes as block
+     [at] is fetched. *)
+  let delay = max 0 config.Config.prefetch_latency_blocks in
+  let slots = delay + 1 in
+  let in_flight = Array.make slots [] in
+  let flush_due ~at =
+    let slot = at mod slots in
+    List.iter complete_prefetch (List.rev in_flight.(slot));
+    in_flight.(slot) <- []
+  in
+  let issue_delayed ~at (acc : Access.t) =
+    let slot = (at + delay) mod slots in
+    in_flight.(slot) <- acc :: in_flight.(slot)
+  in
+  let demand ~block line =
+    match Cache.access l1 (Access.demand ~line ~block) with
+    | Cache.Hit -> false
+    | Cache.Miss ->
+      let served = Hierarchy.fetch hierarchy line in
+      (match served with
+      | Hierarchy.L2 -> incr l2_served
+      | Hierarchy.L3 -> incr l3_served
+      | Hierarchy.Memory -> incr mem_served);
+      miss_cycles := !miss_cycles +. Float.of_int (Hierarchy.penalty config served);
+      true
+  in
+  Array.iteri
+    (fun at id ->
+      (* Steady state: warm the caches and predictors, then zero the
+         counters at the warm-up boundary. *)
+      if at = warmup && warmup > 0 then begin
+        Stats.reset (Cache.stats l1);
+        miss_cycles := 0.0;
+        instructions := 0;
+        hint_instructions := 0;
+        l2_served := 0;
+        l3_served := 0;
+        mem_served := 0
+      end;
+      let b = blocks.(id) in
+      flush_due ~at;
+      List.iter (issue_delayed ~at) (pf.Prefetcher.on_block b);
+      let bl = lines.(id) in
+      for i = 0 to Array.length bl - 1 do
+        let missed = demand ~block:id bl.(i) in
+        List.iter (issue_delayed ~at) (pf.Prefetcher.on_demand ~line:bl.(i) ~missed)
+      done;
+      let hints = b.Basic_block.hints in
+      for i = 0 to Array.length hints - 1 do
+        let hint = hints.(i) in
+        let line = Basic_block.hint_line hint in
+        on_hint ~at hint ~resident:(Cache.contains l1 line);
+        (match hint with
+        | Basic_block.Invalidate line -> Cache.invalidate l1 line
+        | Basic_block.Demote line -> Cache.demote l1 line);
+        incr hint_instructions
+      done;
+      instructions := !instructions + Basic_block.total_instrs b)
+    trace;
+  finish ~config ~instructions:!instructions ~hint_instructions:!hint_instructions
+    ~miss_cycles:!miss_cycles ~l1i:(Cache.stats l1) ~l2_served:!l2_served ~l3_served:!l3_served
+    ~mem_served:!mem_served
+
+let instructions_from ~program ~trace ~warmup =
+  let per_block = Array.map Basic_block.total_instrs (Program.blocks program) in
+  let total = ref 0 in
+  for i = warmup to Array.length trace - 1 do
+    total := !total + per_block.(trace.(i))
+  done;
+  !total
+
+let ideal_cache ?(config = Config.default) ?(warmup = 0) ~program ~trace () =
+  let instructions = instructions_from ~program ~trace ~warmup in
+  finish ~config ~instructions ~hint_instructions:0 ~miss_cycles:0.0 ~l1i:(Stats.create ())
+    ~l2_served:0 ~l3_served:0 ~mem_served:0
+
+let record_stream_indexed ?(config = Config.default) ~program ~trace ~prefetcher () =
+  let l1 = Cache.create ~geometry:config.Config.l1i ~policy:Lru.make () in
+  let pf = prefetcher program in
+  let lines = block_lines program in
+  let blocks = Program.blocks program in
+  let out = ref (Array.make 65536 (Access.demand ~line:0 ~block:0)) in
+  let pos = ref (Array.make 65536 0) in
+  let len = ref 0 in
+  let emit acc ~at =
+    if !len = Array.length !out then begin
+      let bigger = Array.make (2 * !len) acc in
+      Array.blit !out 0 bigger 0 !len;
+      out := bigger;
+      let bigger_pos = Array.make (2 * !len) 0 in
+      Array.blit !pos 0 bigger_pos 0 !len;
+      pos := bigger_pos
+    end;
+    !out.(!len) <- acc;
+    !pos.(!len) <- at;
+    incr len
+  in
+  let delay = max 0 config.Config.prefetch_latency_blocks in
+  let slots = delay + 1 in
+  let in_flight = Array.make slots [] in
+  Array.iteri
+    (fun at id ->
+      let complete_prefetch (acc : Access.t) =
+        emit acc ~at;
+        ignore (Cache.access l1 acc)
+      in
+      let slot = at mod slots in
+      List.iter complete_prefetch (List.rev in_flight.(slot));
+      in_flight.(slot) <- [];
+      let b = blocks.(id) in
+      List.iter
+        (fun acc -> in_flight.((at + delay) mod slots) <- acc :: in_flight.((at + delay) mod slots))
+        (pf.Prefetcher.on_block b);
+      let bl = lines.(id) in
+      for i = 0 to Array.length bl - 1 do
+        let acc = Access.demand ~line:bl.(i) ~block:id in
+        emit acc ~at;
+        let missed = Cache.access l1 acc = Cache.Miss in
+        List.iter
+          (fun acc ->
+            in_flight.((at + delay) mod slots) <- acc :: in_flight.((at + delay) mod slots))
+          (pf.Prefetcher.on_demand ~line:bl.(i) ~missed)
+      done)
+    trace;
+  (Array.sub !out 0 !len, Array.sub !pos 0 !len)
+
+let record_stream ?config ~program ~trace ~prefetcher () =
+  fst (record_stream_indexed ?config ~program ~trace ~prefetcher ())
+
+let oracle ?(config = Config.default) ?(warmup = 0) ~mode ~program ~trace ~prefetcher () =
+  let stream, stream_pos = record_stream_indexed ~config ~program ~trace ~prefetcher () in
+  (* First stream index belonging to the measured region. *)
+  let count_from =
+    let n = Array.length stream_pos in
+    let rec find i = if i >= n then n else if stream_pos.(i) >= warmup then i else find (i + 1) in
+    if warmup = 0 then 0 else find 0
+  in
+  let hierarchy = Hierarchy.create config in
+  let miss_cycles = ref 0.0 in
+  let l2_served = ref 0 and l3_served = ref 0 and mem_served = ref 0 in
+  let on_fill ~index (acc : Access.t) =
+    let served = Hierarchy.fetch hierarchy acc.Access.line in
+    if Access.is_demand acc && index >= count_from then begin
+      (match served with
+      | Hierarchy.L2 -> incr l2_served
+      | Hierarchy.L3 -> incr l3_served
+      | Hierarchy.Memory -> incr mem_served);
+      miss_cycles := !miss_cycles +. Float.of_int (Hierarchy.penalty config served)
+    end
+  in
+  let res = Belady.simulate ~on_fill ~count_from config.Config.l1i ~mode stream in
+  let instructions = instructions_from ~program ~trace ~warmup in
+  let stats = Stats.create () in
+  stats.Stats.demand_accesses <- res.Belady.demand_accesses;
+  stats.Stats.demand_misses <- res.Belady.demand_misses;
+  stats.Stats.demand_misses_cold <- res.Belady.demand_misses_cold;
+  stats.Stats.prefetch_accesses <- res.Belady.prefetch_accesses;
+  stats.Stats.prefetch_fills <- res.Belady.prefetch_fills;
+  stats.Stats.evictions <- Array.length res.Belady.evictions;
+  stats.Stats.replacement_decisions <- Array.length res.Belady.evictions;
+  finish ~config ~instructions ~hint_instructions:0 ~miss_cycles:!miss_cycles ~l1i:stats
+    ~l2_served:!l2_served ~l3_served:!l3_served ~mem_served:!mem_served

@@ -1,0 +1,96 @@
+(** Trace-driven performance simulation.
+
+    Replays a decoded basic-block trace through a prefetcher, the L1
+    I-cache under a chosen replacement policy, and the L2/L3 hierarchy,
+    charging [cpi_base] per retired instruction plus the exposed latency
+    of every L1I demand miss.  Injected Ripple hints execute at the end
+    of their block (invalidating or demoting their target line in the
+    L1I only).
+
+    IPC is computed over {e original} instructions (hint instructions
+    excluded from the numerator, though they cost cycles), so runs of the
+    same trace with and without instrumentation are directly comparable:
+    speedup = IPC ratio = cycle ratio for equal work, the paper's metric. *)
+
+module Program := Ripple_isa.Program
+module Stats := Ripple_cache.Stats
+module Access := Ripple_cache.Access
+module Belady := Ripple_cache.Belady
+module Policy := Ripple_cache.Policy
+module Prefetcher := Ripple_prefetch.Prefetcher
+
+type result = {
+  instructions : int;  (** retired, including hint instructions *)
+  hint_instructions : int;
+  cycles : float;
+  ipc : float;  (** original instructions per cycle *)
+  demand_misses : int;
+  mpki : float;  (** demand misses per kilo original instructions *)
+  l1i : Stats.t;
+  served_l2 : int;
+  served_l3 : int;
+  served_memory : int;
+}
+
+val run :
+  ?config:Config.t ->
+  ?warmup:int ->
+  ?on_hint:(at:int -> Ripple_isa.Basic_block.hint -> resident:bool -> unit) ->
+  program:Program.t ->
+  trace:int array ->
+  policy:Policy.factory ->
+  prefetcher:(Program.t -> Prefetcher.t) ->
+  unit ->
+  result
+(** Full simulation of [trace] over [program].  [on_hint] fires for every
+    executed hint instruction with the trace index and whether its target
+    line was resident in the L1I at that moment — the observation point
+    for Ripple's replacement-accuracy metric.  [warmup] names a trace
+    index before which the caches are exercised but nothing is counted:
+    all measurements are steady-state, as in the paper's 100 M-instruction
+    steady-state captures. *)
+
+val ideal_cache :
+  ?config:Config.t -> ?warmup:int -> program:Program.t -> trace:int array -> unit -> result
+(** The Fig. 1 limit: an I-cache that never misses. *)
+
+val oracle :
+  ?config:Config.t ->
+  ?warmup:int ->
+  mode:Belady.mode ->
+  program:Program.t ->
+  trace:int array ->
+  prefetcher:(Program.t -> Prefetcher.t) ->
+  unit ->
+  result
+(** Ideal replacement (MIN or Demand-MIN) over the access stream the
+    prefetcher produces.  The stream is recorded under an LRU reference
+    run (prefetcher reactions depend on hit/miss outcomes); the oracle
+    then replays it offline — the standard construction for
+    prefetch-aware replacement limit studies. *)
+
+val record_stream :
+  ?config:Config.t ->
+  program:Program.t ->
+  trace:int array ->
+  prefetcher:(Program.t -> Prefetcher.t) ->
+  unit ->
+  Access.t array
+(** The demand+prefetch access stream of an LRU reference run — the
+    input to both {!oracle} and Ripple's offline analysis. *)
+
+val record_stream_indexed :
+  ?config:Config.t ->
+  program:Program.t ->
+  trace:int array ->
+  prefetcher:(Program.t -> Prefetcher.t) ->
+  unit ->
+  Access.t array * int array
+(** Like {!record_stream}, additionally returning, per stream entry, the
+    index into [trace] of the block being executed when the access was
+    issued — the coordinate change Ripple's analysis uses to express
+    eviction windows over the basic-block trace. *)
+
+val prefetcher_none : Program.t -> Prefetcher.t
+val prefetcher_nlp : ?config:Config.t -> Program.t -> Prefetcher.t
+val prefetcher_fdip : ?config:Config.t -> Program.t -> Prefetcher.t

@@ -1,0 +1,67 @@
+type privilege = User | Kernel
+
+type terminator =
+  | Fallthrough of int
+  | Jump of int
+  | Cond of { taken : int; fallthrough : int }
+  | Indirect of int array
+  | Call of { callee : int; return_to : int }
+  | Indirect_call of { callees : int array; return_to : int }
+  | Return
+  | Halt
+
+type hint = Invalidate of Addr.line | Demote of Addr.line
+
+let hint_line = function Invalidate l | Demote l -> l
+
+(* lea reg, [line] + cldemote [reg]: 8 bytes, counted as one macro
+   instruction for overhead purposes. *)
+let hint_bytes = 8
+
+type t = {
+  id : int;
+  addr : Addr.t;
+  bytes : int;
+  n_instrs : int;
+  privilege : privilege;
+  jit : bool;
+  term : terminator;
+  hints : hint array;
+}
+
+let total_bytes b = b.bytes + (Array.length b.hints * hint_bytes)
+let total_instrs b = b.n_instrs + Array.length b.hints
+let lines b = Addr.lines_of_range b.addr ~bytes:b.bytes
+
+let successors b =
+  match b.term with
+  | Fallthrough next | Jump next -> [ next ]
+  | Cond { taken; fallthrough } -> [ taken; fallthrough ]
+  | Indirect targets -> Array.to_list targets
+  | Call { callee; return_to = _ } -> [ callee ]
+  | Indirect_call { callees; return_to = _ } -> Array.to_list callees
+  | Return | Halt -> []
+
+let is_conditional b = match b.term with Cond _ -> true | _ -> false
+
+let is_indirect b =
+  match b.term with Indirect _ | Indirect_call _ | Return -> true | _ -> false
+
+let pp_term fmt = function
+  | Fallthrough next -> Format.fprintf fmt "fallthrough->%d" next
+  | Jump target -> Format.fprintf fmt "jmp->%d" target
+  | Cond { taken; fallthrough } -> Format.fprintf fmt "cond(%d|%d)" taken fallthrough
+  | Indirect targets -> Format.fprintf fmt "ijmp(%d targets)" (Array.length targets)
+  | Call { callee; return_to } -> Format.fprintf fmt "call %d ret %d" callee return_to
+  | Indirect_call { callees; return_to } ->
+    Format.fprintf fmt "icall(%d callees) ret %d" (Array.length callees) return_to
+  | Return -> Format.fprintf fmt "ret"
+  | Halt -> Format.fprintf fmt "halt"
+
+let pp fmt b =
+  Format.fprintf fmt "@[bb%d@%a %dB %di%s%s %a%s@]" b.id Addr.pp b.addr b.bytes b.n_instrs
+    (match b.privilege with User -> "" | Kernel -> " kernel")
+    (if b.jit then " jit" else "")
+    pp_term b.term
+    (if Array.length b.hints = 0 then ""
+     else Printf.sprintf " +%d hints" (Array.length b.hints))

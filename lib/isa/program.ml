@@ -1,0 +1,97 @@
+type t = {
+  entry : int;
+  blocks : Basic_block.t array;
+  aligned : bool array;
+  sorted_by_addr : Basic_block.t array; (* for block_at lookups *)
+}
+
+let user_base = 0x400000
+let kernel_base = 0x4000_0000
+let block_alignment = 16
+
+let align_up addr alignment =
+  let m = addr mod alignment in
+  if m = 0 then addr else addr + alignment - m
+
+(* Lay out blocks in id order: user text from user_base, kernel text from
+   kernel_base.  Returns fresh block records with addr set. *)
+let layout blocks aligned =
+  let user_cursor = ref user_base and kernel_cursor = ref kernel_base in
+  Array.mapi
+    (fun i (b : Basic_block.t) ->
+      let cursor =
+        match b.Basic_block.privilege with
+        | Basic_block.User -> user_cursor
+        | Basic_block.Kernel -> kernel_cursor
+      in
+      if aligned.(i) then cursor := align_up !cursor block_alignment;
+      let addr = !cursor in
+      cursor := !cursor + b.Basic_block.bytes;
+      { b with Basic_block.addr })
+    blocks
+
+let sort_by_addr blocks =
+  let copy = Array.copy blocks in
+  Array.sort (fun (a : Basic_block.t) b -> compare a.Basic_block.addr b.Basic_block.addr) copy;
+  copy
+
+let v ~entry blocks ~aligned =
+  assert (Array.length blocks = Array.length aligned);
+  Array.iteri (fun i (b : Basic_block.t) -> assert (b.Basic_block.id = i)) blocks;
+  assert (entry >= 0 && entry < Array.length blocks);
+  let blocks = layout blocks aligned in
+  { entry; blocks; aligned; sorted_by_addr = sort_by_addr blocks }
+
+let entry t = t.entry
+let n_blocks t = Array.length t.blocks
+let block t i = t.blocks.(i)
+let blocks t = t.blocks
+let iter f t = Array.iter f t.blocks
+
+let block_at t addr =
+  let a = t.sorted_by_addr in
+  let n = Array.length a in
+  (* Greatest block with start <= addr, then check containment. *)
+  let rec search lo hi =
+    if lo >= hi then lo - 1
+    else begin
+      let mid = (lo + hi) / 2 in
+      if a.(mid).Basic_block.addr <= addr then search (mid + 1) hi else search lo mid
+    end
+  in
+  let i = search 0 n in
+  if i < 0 then None
+  else begin
+    let b = a.(i) in
+    if addr < b.Basic_block.addr + b.Basic_block.bytes then Some b else None
+  end
+
+let static_bytes t = Array.fold_left (fun acc b -> acc + Basic_block.total_bytes b) 0 t.blocks
+
+let static_instrs t =
+  Array.fold_left (fun acc b -> acc + Basic_block.total_instrs b) 0 t.blocks
+
+let static_hints t =
+  Array.fold_left (fun acc (b : Basic_block.t) -> acc + Array.length b.Basic_block.hints) 0 t.blocks
+
+let footprint_lines t =
+  let lines = Hashtbl.create 4096 in
+  iter (fun b -> List.iter (fun l -> Hashtbl.replace lines l ()) (Basic_block.lines b)) t;
+  Hashtbl.length lines
+
+let with_hints t ~hints =
+  assert (Array.length hints = n_blocks t);
+  let rewritten =
+    Array.mapi
+      (fun i (b : Basic_block.t) -> { b with Basic_block.hints = Array.of_list hints.(i) })
+      t.blocks
+  in
+  (* Injection is layout-preserving: hints are modelled as occupying the
+     padding that follows their block (Basic_block.lines), so addresses
+     are unchanged and the remap is the identity. *)
+  let p = { t with blocks = rewritten; sorted_by_addr = sort_by_addr rewritten } in
+  (p, fun addr -> addr)
+
+let pp_summary fmt t =
+  Format.fprintf fmt "@[program: %d blocks, %d bytes, %d instrs, %d hint(s), %d lines@]"
+    (n_blocks t) (static_bytes t) (static_instrs t) (static_hints t) (footprint_lines t)

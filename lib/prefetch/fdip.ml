@@ -1,0 +1,145 @@
+module Program = Ripple_isa.Program
+module Basic_block = Ripple_isa.Basic_block
+module Access = Ripple_cache.Access
+module Ring_queue = Ripple_util.Ring_queue
+
+type internals = {
+  gshare : Branch_pred.Gshare.t;
+  btb : Branch_pred.Btb.t;
+  mispredicts : unit -> int;
+  issued : unit -> int;
+}
+
+let default_ftq_depth = 24
+let default_issue_width = 2
+let recent_filter_size = 8
+
+let create_instrumented ?(ftq_depth = default_ftq_depth) ?(issue_width = default_issue_width)
+    ~program () =
+  let gshare = Branch_pred.Gshare.create () in
+  let btb = Branch_pred.Btb.create () in
+  let arch_ras = Branch_pred.Ras.create () in
+  let runahead_ras = Branch_pred.Ras.create () in
+  let ftq = Ring_queue.create ~capacity:ftq_depth ~dummy:(-1) in
+  (* Predicted-but-not-yet-issued prefetch lines: drained [issue_width]
+     per fetched block, modelling finite prefetch bandwidth. *)
+  let pending = Ring_queue.create ~capacity:(ftq_depth * 4) ~dummy:(-1) in
+  let frontier = ref (-1) in
+  let prev = ref None in
+  let mispredicts = ref 0 in
+  let issued = ref 0 in
+  let recent = Array.make recent_filter_size (-1) in
+  let recent_head = ref 0 in
+  let remember_line line =
+    recent.(!recent_head) <- line;
+    recent_head := (!recent_head + 1) mod recent_filter_size
+  in
+  let recently_issued line = Array.exists (fun l -> l = line) recent in
+  (* Train predictors with the architecturally observed transition. *)
+  let train (p : Basic_block.t) (now : Basic_block.t) =
+    match p.Basic_block.term with
+    | Basic_block.Cond { taken; fallthrough = _ } ->
+      Branch_pred.Gshare.train gshare ~pc:p.Basic_block.id ~taken:(now.Basic_block.id = taken)
+    | Basic_block.Indirect _ ->
+      Branch_pred.Btb.train btb ~pc:p.Basic_block.id ~target:now.Basic_block.id
+    | Basic_block.Indirect_call { callees = _; return_to } ->
+      Branch_pred.Btb.train btb ~pc:p.Basic_block.id ~target:now.Basic_block.id;
+      Branch_pred.Ras.push arch_ras return_to
+    | Basic_block.Call { callee = _; return_to } -> Branch_pred.Ras.push arch_ras return_to
+    | Basic_block.Return -> ignore (Branch_pred.Ras.pop arch_ras)
+    | Basic_block.Fallthrough _ | Basic_block.Jump _ | Basic_block.Halt -> ()
+  in
+  (* One runahead step: predicted successor of [block], updating the
+     speculative RAS.  [None] = stall. *)
+  let predict_successor (b : Basic_block.t) =
+    match b.Basic_block.term with
+    | Basic_block.Fallthrough next | Basic_block.Jump next -> Some next
+    | Basic_block.Cond { taken; fallthrough } ->
+      if Branch_pred.Gshare.predict gshare ~pc:b.Basic_block.id then Some taken
+      else Some fallthrough
+    | Basic_block.Call { callee; return_to } ->
+      Branch_pred.Ras.push runahead_ras return_to;
+      Some callee
+    | Basic_block.Indirect _ -> Branch_pred.Btb.predict btb ~pc:b.Basic_block.id
+    | Basic_block.Indirect_call { callees = _; return_to } -> begin
+      match Branch_pred.Btb.predict btb ~pc:b.Basic_block.id with
+      | Some target ->
+        Branch_pred.Ras.push runahead_ras return_to;
+        Some target
+      | None -> None
+    end
+    | Basic_block.Return -> Branch_pred.Ras.pop runahead_ras
+    | Basic_block.Halt -> None
+  in
+  let queue_block_lines id =
+    let b = Program.block program id in
+    List.iter
+      (fun line ->
+        if not (recently_issued line) then begin
+          remember_line line;
+          ignore (Ring_queue.push pending line)
+        end)
+      (Basic_block.lines b)
+  in
+  (* Extend the runahead path until the FTQ fills, prediction stalls, or
+     prefetch-queue backpressure pauses it. *)
+  let refill () =
+    let room () = Ring_queue.length pending < Ring_queue.capacity pending - 8 in
+    let rec go () =
+      if (not (Ring_queue.is_full ftq)) && !frontier >= 0 && room () then begin
+        match predict_successor (Program.block program !frontier) with
+        | None -> ()
+        | Some next ->
+          ignore (Ring_queue.push ftq next);
+          frontier := next;
+          queue_block_lines next;
+          go ()
+      end
+    in
+    go ()
+  in
+  let drain () =
+    let rec go n acc =
+      if n = 0 then acc
+      else begin
+        match Ring_queue.pop pending with
+        | None -> acc
+        | Some line ->
+          incr issued;
+          go (n - 1) (Access.prefetch ~line ~block:(-1) :: acc)
+      end
+    in
+    List.rev (go issue_width [])
+  in
+  let on_block (b : Basic_block.t) =
+    (match !prev with Some p -> train p b | None -> ());
+    prev := Some b;
+    (match Ring_queue.peek ftq with
+    | Some head when head = b.Basic_block.id -> ignore (Ring_queue.pop ftq)
+    | Some _ ->
+      (* Wrong path: flush and resynchronise the speculative state. *)
+      incr mispredicts;
+      Ring_queue.clear ftq;
+      Ring_queue.clear pending;
+      Branch_pred.Ras.copy_into ~src:arch_ras ~dst:runahead_ras;
+      frontier := b.Basic_block.id
+    | None ->
+      Branch_pred.Ras.copy_into ~src:arch_ras ~dst:runahead_ras;
+      frontier := b.Basic_block.id);
+    refill ();
+    drain ()
+  in
+  let prefetcher =
+    {
+      Prefetcher.name = "fdip";
+      on_block;
+      on_demand = (fun ~line:_ ~missed:_ -> []);
+    }
+  in
+  let internals =
+    { gshare; btb; mispredicts = (fun () -> !mispredicts); issued = (fun () -> !issued) }
+  in
+  (prefetcher, internals)
+
+let create ?ftq_depth ?issue_width ~program () =
+  fst (create_instrumented ?ftq_depth ?issue_width ~program ())

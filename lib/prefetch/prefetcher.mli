@@ -1,0 +1,26 @@
+(** Front-end prefetcher interface.
+
+    The trace-driven simulator calls [on_block] once per executed basic
+    block — the prefetcher trains on the observed control flow and
+    returns the prefetch accesses it issues ahead of the block's demand
+    fetch — and [on_demand] after each demand reference, letting reactive
+    schemes (next-line) chase misses.  Prefetches are modelled as
+    instantaneous fills: a correct prefetch fully hides the miss, an
+    incorrect one pollutes the cache, which is precisely the eviction
+    problem Ripple targets (§II-C). *)
+
+module Basic_block := Ripple_isa.Basic_block
+module Addr := Ripple_isa.Addr
+module Access := Ripple_cache.Access
+
+type t = {
+  name : string;
+  on_block : Basic_block.t -> Access.t list;
+      (** Called in execution order; result is issued to the I-cache
+          (as prefetches) before the block's own demand accesses. *)
+  on_demand : line:Addr.line -> missed:bool -> Access.t list;
+      (** Called after each demand access with its hit/miss outcome. *)
+}
+
+val none : t
+(** The no-prefetching baseline. *)

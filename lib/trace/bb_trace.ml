@@ -1,0 +1,50 @@
+module Program = Ripple_isa.Program
+module Basic_block = Ripple_isa.Basic_block
+module Access = Ripple_cache.Access
+
+type t = int array
+
+let n_instrs program trace =
+  let per_block =
+    Array.map Basic_block.total_instrs (Program.blocks program)
+  in
+  Array.fold_left (fun acc id -> acc + per_block.(id)) 0 trace
+
+let n_hint_instrs program trace =
+  let per_block =
+    Array.map (fun (b : Basic_block.t) -> Array.length b.Basic_block.hints) (Program.blocks program)
+  in
+  Array.fold_left (fun acc id -> acc + per_block.(id)) 0 trace
+
+let exec_counts program trace =
+  let counts = Array.make (Program.n_blocks program) 0 in
+  Array.iter (fun id -> counts.(id) <- counts.(id) + 1) trace;
+  counts
+
+let demand_stream program trace =
+  let lines_per_block =
+    Array.map (fun b -> Array.of_list (Basic_block.lines b)) (Program.blocks program)
+  in
+  let total = Array.fold_left (fun acc id -> acc + Array.length lines_per_block.(id)) 0 trace in
+  let stream = Array.make total (Access.demand ~line:0 ~block:0) in
+  let pos = ref 0 in
+  Array.iter
+    (fun id ->
+      let lines = lines_per_block.(id) in
+      for i = 0 to Array.length lines - 1 do
+        stream.(!pos) <- Access.demand ~line:lines.(i) ~block:id;
+        incr pos
+      done)
+    trace;
+  stream
+
+let kernel_fraction program trace =
+  if Array.length trace = 0 then 0.0
+  else begin
+    let kernel = ref 0 in
+    Array.iter
+      (fun id ->
+        if (Program.block program id).Basic_block.privilege = Basic_block.Kernel then incr kernel)
+      trace;
+    Float.of_int !kernel /. Float.of_int (Array.length trace)
+  end

@@ -1,0 +1,30 @@
+(** Decoded basic-block traces and their expansion into I-cache accesses.
+
+    A trace is the dynamic block-id sequence; expanding each block into
+    the cache lines its bytes occupy yields the demand access stream that
+    both the offline oracles ({!Ripple_cache.Belady}) and the timing
+    simulator replay.  Injected hint instructions live at the end of
+    their block, so an instrumented program's blocks naturally expand to
+    more lines — the code-bloat effect §IV charges against Ripple. *)
+
+module Program := Ripple_isa.Program
+module Access := Ripple_cache.Access
+
+type t = int array
+(** Executed block ids, in order. *)
+
+val n_instrs : Program.t -> t -> int
+(** Dynamic instruction count, including injected hint instructions. *)
+
+val n_hint_instrs : Program.t -> t -> int
+(** Dynamic count of injected hint instructions only. *)
+
+val exec_counts : Program.t -> t -> int array
+(** Per-block execution counts, indexed by block id. *)
+
+val demand_stream : Program.t -> t -> Access.t array
+(** Demand-only I-cache access stream: for each executed block, one
+    access per line its bytes (plus hints) touch, in address order. *)
+
+val kernel_fraction : Program.t -> t -> float
+(** Fraction of executed blocks that are kernel code. *)

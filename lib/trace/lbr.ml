@@ -1,0 +1,53 @@
+module Program = Ripple_isa.Program
+module Basic_block = Ripple_isa.Basic_block
+
+type sample = { at : int; path : int array }
+
+(* Is the observed transition prev -> next a taken branch (an LBR
+   record), or statically-implied fall-through?  Calls and returns are
+   taken transfers; a conditional records only on its taken edge. *)
+let is_taken_transfer program ~prev ~next =
+  match (Program.block program prev).Basic_block.term with
+  | Basic_block.Fallthrough _ -> false
+  | Basic_block.Cond { taken; fallthrough = _ } -> next = taken
+  | Basic_block.Jump _ | Basic_block.Call _ | Basic_block.Indirect _
+  | Basic_block.Indirect_call _ | Basic_block.Return | Basic_block.Halt ->
+    true
+
+let capture program ~trace ~period ~depth =
+  assert (period > 0 && depth > 0);
+  let n = Array.length trace in
+  let samples = ref [] in
+  let i = ref (period - 1) in
+  while !i < n do
+    let at = !i in
+    (* Walk backwards until [depth] taken transfers have been crossed. *)
+    let start = ref at in
+    let branches = ref 0 in
+    while !start > 0 && !branches < depth do
+      if is_taken_transfer program ~prev:trace.(!start - 1) ~next:trace.(!start) then
+        incr branches;
+      decr start
+    done;
+    samples := { at; path = Array.sub trace !start (at - !start + 1) } :: !samples;
+    i := !i + period
+  done;
+  Array.of_list (List.rev !samples)
+
+let stitched_trace samples =
+  let total = Array.fold_left (fun acc s -> acc + Array.length s.path) 0 samples in
+  let out = Array.make total 0 in
+  let pos = ref 0 in
+  Array.iter
+    (fun s ->
+      Array.blit s.path 0 out !pos (Array.length s.path);
+      pos := !pos + Array.length s.path)
+    samples;
+  out
+
+let coverage_fraction samples ~trace_length =
+  if trace_length = 0 then 0.0
+  else begin
+    let covered = Array.fold_left (fun acc s -> acc + Array.length s.path) 0 samples in
+    Float.min 1.0 (Float.of_int covered /. Float.of_int trace_length)
+  end

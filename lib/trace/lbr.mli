@@ -1,0 +1,30 @@
+(** LBR-style sampled profiling (§III-A names Last Branch Record as the
+    alternative capture mechanism to Intel PT).
+
+    LBR hardware keeps a ring of the last [depth] taken branches; a
+    sampling interrupt every [period] retired blocks snapshots the ring,
+    and the profiler reconstructs the short basic-block path covered by
+    those branch records (fall-through execution between records is
+    recovered from the static program).  The result is a {e sampled,
+    partial} view of execution — much cheaper than PT but far less
+    complete, which is why the paper profiles with PT.  The ablation
+    bench quantifies what Ripple loses when fed LBR samples instead. *)
+
+module Program := Ripple_isa.Program
+
+type sample = {
+  at : int;  (** trace index of the sampling interrupt *)
+  path : int array;  (** reconstructed block ids, oldest first *)
+}
+
+val capture : Program.t -> trace:int array -> period:int -> depth:int -> sample array
+(** Samples the execution every [period] blocks; each sample's path
+    extends backwards until it has crossed [depth] taken (non-fall-
+    through) control transfers.  Deterministic. *)
+
+val stitched_trace : sample array -> int array
+(** Concatenation of all sample paths: the degraded stand-in for a full
+    trace that a sampling profiler would hand to Ripple's analysis. *)
+
+val coverage_fraction : sample array -> trace_length:int -> float
+(** Fraction of dynamic blocks the samples actually observed. *)

@@ -1,0 +1,153 @@
+module Program = Ripple_isa.Program
+module Basic_block = Ripple_isa.Basic_block
+
+(* Classification of a transition for the encoder: what must be recorded
+   so the decoder can follow it? *)
+type record = Nothing | Tnt_bit of bool | Tip_target
+
+let classify (b : Basic_block.t) ~next =
+  match b.Basic_block.term with
+  | Basic_block.Fallthrough expected | Basic_block.Jump expected
+  | Basic_block.Call { callee = expected; return_to = _ } ->
+    if next <> expected then invalid_arg "Pt.encode: broken direct edge";
+    Nothing
+  | Basic_block.Cond { taken; fallthrough } ->
+    if next = taken then Tnt_bit true
+    else if next = fallthrough then Tnt_bit false
+    else invalid_arg "Pt.encode: broken conditional edge"
+  | Basic_block.Indirect _ | Basic_block.Indirect_call _ | Basic_block.Return -> Tip_target
+  | Basic_block.Halt -> invalid_arg "Pt.encode: execution continues past halt"
+
+(* The stream opens with an LEB128 block count — the moral equivalent of
+   PT's PSB metadata — so the decoder knows where the capture stops even
+   when it stops in the middle of statically determined control flow. *)
+let write_header buf n =
+  let rec emit v =
+    let byte = v land 0x7F and rest = v lsr 7 in
+    if rest = 0 then Buffer.add_char buf (Char.chr byte)
+    else begin
+      Buffer.add_char buf (Char.chr (byte lor 0x80));
+      emit rest
+    end
+  in
+  emit n
+
+let read_header data =
+  let rec take pos shift acc =
+    let byte = Char.code (Bytes.get data pos) in
+    let acc = acc lor ((byte land 0x7F) lsl shift) in
+    if byte land 0x80 <> 0 then take (pos + 1) (shift + 7) acc else (acc, pos + 1)
+  in
+  take 0 0 0
+
+let encode program blocks =
+  let buf = Buffer.create (Array.length blocks) in
+  write_header buf (Array.length blocks);
+  let pending = ref [] in
+  let pending_n = ref 0 in
+  let flush_tnt () =
+    if !pending_n > 0 then begin
+      Packet.write buf (Packet.Tnt (Array.of_list (List.rev !pending)));
+      pending := [];
+      pending_n := 0
+    end
+  in
+  let push_tnt bit =
+    pending := bit :: !pending;
+    incr pending_n;
+    if !pending_n = Packet.max_tnt_bits then flush_tnt ()
+  in
+  let n = Array.length blocks in
+  if n > 0 then begin
+    Packet.write buf (Packet.Tip (Program.block program blocks.(0)).Basic_block.addr);
+    for i = 0 to n - 2 do
+      let b = Program.block program blocks.(i) in
+      match classify b ~next:blocks.(i + 1) with
+      | Nothing -> ()
+      | Tnt_bit bit -> push_tnt bit
+      | Tip_target ->
+        flush_tnt ();
+        Packet.write buf (Packet.Tip (Program.block program blocks.(i + 1)).Basic_block.addr)
+    done
+  end;
+  flush_tnt ();
+  Packet.write buf Packet.End_of_trace;
+  Buffer.to_bytes buf
+
+(* Decoder state: a packet cursor plus a TNT bit cursor within the
+   current TNT packet. *)
+type cursor = {
+  data : bytes;
+  mutable pos : int;
+  mutable tnt : bool array;
+  mutable tnt_pos : int;
+}
+
+let next_packet c =
+  let packet, pos = Packet.read c.data ~pos:c.pos in
+  c.pos <- pos;
+  packet
+
+let next_tnt c =
+  if c.tnt_pos < Array.length c.tnt then begin
+    let bit = c.tnt.(c.tnt_pos) in
+    c.tnt_pos <- c.tnt_pos + 1;
+    bit
+  end
+  else begin
+    match next_packet c with
+    | Packet.Tnt bits ->
+      c.tnt <- bits;
+      c.tnt_pos <- 1;
+      bits.(0)
+    | Packet.End_of_trace -> invalid_arg "Pt.decode: truncated trace (TNT)"
+    | Packet.Tip _ -> invalid_arg "Pt.decode: expected TNT, got TIP"
+  end
+
+let next_tip c =
+  if c.tnt_pos < Array.length c.tnt then invalid_arg "Pt.decode: unconsumed TNT bits";
+  match next_packet c with
+  | Packet.Tip addr -> addr
+  | Packet.End_of_trace -> invalid_arg "Pt.decode: truncated trace (TIP)"
+  | Packet.Tnt _ -> invalid_arg "Pt.decode: expected TIP, got TNT"
+
+let block_of_addr program addr =
+  match Program.block_at program addr with
+  | Some b when b.Basic_block.addr = addr -> b.Basic_block.id
+  | Some _ | None -> invalid_arg "Pt.decode: TIP does not land on a block"
+
+let decode program data =
+  let n, pos = read_header data in
+  let c = { data; pos; tnt = [||]; tnt_pos = 0 } in
+  let ids = Array.make n 0 in
+  if n > 0 then begin
+    let first =
+      match next_packet c with
+      | Packet.Tip addr -> block_of_addr program addr
+      | Packet.Tnt _ | Packet.End_of_trace ->
+        invalid_arg "Pt.decode: trace must start with TIP"
+    in
+    let rec follow i id =
+      ids.(i) <- id;
+      if i + 1 < n then begin
+        let b = Program.block program id in
+        match b.Basic_block.term with
+        | Basic_block.Fallthrough next | Basic_block.Jump next -> follow (i + 1) next
+        | Basic_block.Call { callee; return_to = _ } -> follow (i + 1) callee
+        | Basic_block.Cond { taken; fallthrough } ->
+          if next_tnt c then follow (i + 1) taken else follow (i + 1) fallthrough
+        | Basic_block.Indirect _ | Basic_block.Indirect_call _ | Basic_block.Return ->
+          follow (i + 1) (block_of_addr program (next_tip c))
+        | Basic_block.Halt -> invalid_arg "Pt.decode: execution continues past halt"
+      end
+    in
+    follow 0 first
+  end;
+  ids
+
+let compression_ratio program blocks =
+  if Array.length blocks = 0 then 0.0
+  else begin
+    let encoded = encode program blocks in
+    Float.of_int (Bytes.length encoded) /. Float.of_int (Array.length blocks)
+  end

@@ -1,0 +1,25 @@
+(** Trace encoder/decoder: execution ⇄ packet stream.
+
+    [encode] compresses an executed basic-block sequence into the packet
+    byte stream the hardware would emit; [decode] reconstructs the exact
+    block sequence from the packets plus the static program.  Together
+    they realise step 1 of Ripple's pipeline (Fig. 4): the profile that
+    reaches the offline analysis is exactly what PT-style tracing can
+    reconstruct, no more. *)
+
+module Program := Ripple_isa.Program
+
+val encode : Program.t -> int array -> bytes
+(** [encode program blocks] serialises the block-id execution sequence.
+    The first packet is a TIP locating the initial block; conditional
+    outcomes become TNT bits; indirect jumps, indirect calls and returns
+    become TIPs; direct flow is omitted.  Raises [Invalid_argument] if
+    consecutive blocks are not connected in [program]. *)
+
+val decode : Program.t -> bytes -> int array
+(** Inverse of {!encode}: [decode program (encode program t) = t].
+    Raises [Invalid_argument] on a malformed or truncated stream. *)
+
+val compression_ratio : Program.t -> int array -> float
+(** Encoded bytes per executed basic block — the paper's "<1 % overhead"
+    claim rests on this being well below one byte per block. *)

@@ -1,0 +1,43 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0; mn = Float.nan; mx = Float.nan }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. Float.of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if t.n = 1 then begin
+    t.mn <- x;
+    t.mx <- x
+  end
+  else begin
+    if x < t.mn then t.mn <- x;
+    if x > t.mx then t.mx <- x
+  end
+
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.mean
+let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. Float.of_int (t.n - 1))
+let min t = t.mn
+let max t = t.mx
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let mean_of xs = mean (of_list xs)
+
+let geomean_of xs =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+    let logs = List.map (fun x -> if x > 0.0 then log x else 0.0) xs in
+    exp (mean_of logs)

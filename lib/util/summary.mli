@@ -1,0 +1,30 @@
+(** Streaming summary statistics.
+
+    A tiny Welford accumulator plus aggregate helpers used throughout the
+    benchmark harness when averaging per-application results. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** Arithmetic mean; 0 when empty. *)
+
+val stddev : t -> float
+(** Sample standard deviation; 0 when fewer than two observations. *)
+
+val min : t -> float
+(** Minimum observation; [nan] when empty. *)
+
+val max : t -> float
+(** Maximum observation; [nan] when empty. *)
+
+val of_list : float list -> t
+
+val mean_of : float list -> float
+(** Arithmetic mean of a list; 0 when empty. *)
+
+val geomean_of : float list -> float
+(** Geometric mean of positive values; 0 when empty.  Used for speedup
+    ratios where the paper reports multiplicative averages. *)

@@ -1,0 +1,65 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  title : string;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~title ~columns =
+  { title; headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  assert (List.length cells = List.length t.headers);
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all_cells = t.headers :: List.filter_map (function Cells c -> Some c | Sep -> None) rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let note_row cells =
+    List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) cells
+  in
+  List.iter note_row all_cells;
+  let buf = Buffer.create 1024 in
+  let pad align width s =
+    let fill = String.make (width - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let emit_cells ?(aligns = t.aligns) cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i (a, c) ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad a widths.(i) c))
+      (List.combine aligns cells);
+    Buffer.add_string buf " |\n"
+  in
+  let emit_sep () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  emit_sep ();
+  emit_cells ~aligns:(List.map (fun _ -> Left) t.headers) t.headers;
+  emit_sep ();
+  List.iter (function Cells c -> emit_cells c | Sep -> emit_sep ()) rows;
+  emit_sep ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fpct x = Printf.sprintf "%+.2f%%" (100.0 *. x)
+let fnum x = Printf.sprintf "%.3f" x

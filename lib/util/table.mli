@@ -1,0 +1,32 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The paper's figures are bar charts over the nine applications; the
+    harness reproduces each one as an aligned text table with an average
+    row, which is the form the repository's EXPERIMENTS.md records. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+(** [create ~title ~columns] starts an empty table.  Each column is a
+    header plus an alignment for its cells. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row.  The row length must equal the number of columns. *)
+
+val add_sep : t -> unit
+(** Appends a horizontal separator (e.g. before an average row). *)
+
+val render : t -> string
+(** The fully formatted table, ending in a newline. *)
+
+val print : t -> unit
+(** [print t] writes {!render} to [stdout]. *)
+
+val fpct : float -> string
+(** Formats a ratio as a signed percentage with two decimals,
+    e.g. [fpct 0.0213 = "+2.13%"]. *)
+
+val fnum : float -> string
+(** Formats a float with three significant decimals. *)

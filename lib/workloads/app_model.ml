@@ -1,0 +1,66 @@
+type t = {
+  name : string;
+  seed : int;
+  n_functions : int;
+  hot_functions : int;
+  blocks_per_function : int;
+  handler_blocks : int;
+  block_bytes_mean : int;
+  cond_fraction : float;
+  call_fraction : float;
+  lib_call_fraction : float;
+  indirect_call_fraction : float;
+  indirect_jump_fraction : float;
+  loop_fraction : float;
+  loop_iters_mean : int;
+  branch_entropy : float;
+  polymorphic_fraction : float;
+  zipf_s : float;
+  callee_zipf_s : float;
+  sequential_dispatch : bool;
+  kernel_fraction : float;
+  kernel_call_fraction : float;
+  jit_fraction : float;
+  phase_len_instrs : int;
+  call_levels : int;
+}
+
+let default =
+  {
+    name = "default";
+    seed = 1;
+    n_functions = 550;
+    hot_functions = 110;
+    blocks_per_function = 18;
+    handler_blocks = 220;
+    block_bytes_mean = 36;
+    cond_fraction = 0.40;
+    call_fraction = 0.08;
+    lib_call_fraction = 0.02;
+    indirect_call_fraction = 0.03;
+    indirect_jump_fraction = 0.02;
+    loop_fraction = 0.15;
+    loop_iters_mean = 6;
+    branch_entropy = 0.40;
+    polymorphic_fraction = 0.25;
+    zipf_s = 1.30;
+    callee_zipf_s = 1.10;
+    sequential_dispatch = false;
+    kernel_fraction = 0.05;
+    kernel_call_fraction = 0.01;
+    jit_fraction = 0.0;
+    phase_len_instrs = 1_200_000;
+    call_levels = 6;
+  }
+
+let approx_footprint_bytes t =
+  (t.hot_functions * t.handler_blocks * t.block_bytes_mean)
+  + ((t.n_functions - t.hot_functions) * t.blocks_per_function * t.block_bytes_mean)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[%s: %d fns (%d hot), ~%d KiB text, entropy %.2f, zipf %.2f, kernel %.2f, jit %.2f%s@]"
+    t.name t.n_functions t.hot_functions
+    (approx_footprint_bytes t / 1024)
+    t.branch_entropy t.zipf_s t.kernel_fraction t.jit_fraction
+    (if t.sequential_dispatch then ", sequential" else "")

@@ -1,0 +1,109 @@
+module Basic_block = Ripple_isa.Basic_block
+module Program = Ripple_isa.Program
+module Prng = Ripple_util.Prng
+
+type input = {
+  label : string;
+  exec_seed : int;
+  handler_rotation : int;
+  zipf_delta : float;
+  phase_shift : int;
+}
+
+let input ?(rotation = 0) ?(zipf_delta = 0.0) ?(phase_shift = 0) ~label ~seed () =
+  { label; exec_seed = seed; handler_rotation = rotation; zipf_delta; phase_shift }
+
+let train = input ~label:"#p" ~seed:4242 ()
+
+let eval_inputs =
+  [|
+    input ~label:"#0" ~seed:1001 ();
+    input ~label:"#1" ~seed:2002 ~rotation:5 ~zipf_delta:0.08 ~phase_shift:120_000 ();
+    input ~label:"#2" ~seed:3003 ~rotation:11 ~zipf_delta:(-0.06) ~phase_shift:250_000 ();
+    input ~label:"#3" ~seed:4004 ~rotation:17 ~zipf_delta:0.15 ~phase_shift:60_000 ();
+  |]
+
+let phase_stride = 3
+let max_stack = 512
+
+let run (w : Cfg_gen.t) ~input ~n_instrs =
+  let model = w.Cfg_gen.model in
+  let program = w.Cfg_gen.program in
+  let rng = Prng.create ~seed:(model.App_model.seed lxor (input.exec_seed * 0x1F3F)) in
+  let n_handlers = Array.length w.Cfg_gen.handlers in
+  (* The popularity permutation is a program property; inputs and phases
+     rotate through it so hot sets overlap but differ. *)
+  let perm = Array.init n_handlers (fun i -> i) in
+  let perm_rng = Prng.create ~seed:model.App_model.seed in
+  Prng.shuffle perm_rng perm;
+  let phase_len = max 10_000 model.App_model.phase_len_instrs in
+  let zipf_s = Float.max 0.05 (model.App_model.zipf_s +. input.zipf_delta) in
+  let round_robin = ref 0 in
+  let pick_handler ~instrs =
+    let rank =
+      if model.App_model.sequential_dispatch then begin
+        let r = !round_robin in
+        round_robin := (r + 1) mod n_handlers;
+        r
+      end
+      else Prng.zipf rng ~n:n_handlers ~s:zipf_s
+    in
+    let phase = (instrs + input.phase_shift) / phase_len in
+    let slot = (rank + input.handler_rotation + (phase * phase_stride)) mod n_handlers in
+    w.Cfg_gen.handlers.(perm.(slot))
+  in
+  let pick_weighted targets weights =
+    let u = Prng.float rng 1.0 in
+    let n = Array.length targets in
+    let rec go i acc =
+      if i = n - 1 then targets.(i)
+      else begin
+        let acc = acc +. weights.(i) in
+        if u < acc then targets.(i) else go (i + 1) acc
+      end
+    in
+    go 0 0.0
+  in
+  let stack = Array.make max_stack 0 in
+  let sp = ref 0 in
+  let push x = if !sp < max_stack then begin stack.(!sp) <- x; incr sp end in
+  let pop () = if !sp = 0 then None else begin decr sp; Some stack.(!sp) end in
+  let trace = ref (Array.make 65536 0) in
+  let len = ref 0 in
+  let emit id =
+    if !len = Array.length !trace then begin
+      let bigger = Array.make (2 * !len) 0 in
+      Array.blit !trace 0 bigger 0 !len;
+      trace := bigger
+    end;
+    !trace.(!len) <- id;
+    incr len
+  in
+  let instrs = ref 0 in
+  let current = ref (Program.entry program) in
+  while !instrs < n_instrs do
+    let id = !current in
+    let b = Program.block program id in
+    emit id;
+    instrs := !instrs + b.Basic_block.n_instrs;
+    let next =
+      match b.Basic_block.term with
+      | Basic_block.Fallthrough next | Basic_block.Jump next -> next
+      | Basic_block.Cond { taken; fallthrough } ->
+        if Prng.chance rng w.Cfg_gen.bias.(id) then taken else fallthrough
+      | Basic_block.Call { callee; return_to } ->
+        push return_to;
+        callee
+      | Basic_block.Indirect_call { callees; return_to } ->
+        push return_to;
+        if id = w.Cfg_gen.dispatcher then pick_handler ~instrs:!instrs
+        else pick_weighted callees w.Cfg_gen.weights.(id)
+      | Basic_block.Indirect targets -> pick_weighted targets w.Cfg_gen.weights.(id)
+      | Basic_block.Return -> begin
+        match pop () with Some target -> target | None -> w.Cfg_gen.dispatcher
+      end
+      | Basic_block.Halt -> w.Cfg_gen.dispatcher
+    in
+    current := next
+  done;
+  Array.sub !trace 0 !len

@@ -1,0 +1,182 @@
+(* Tests for the offline oracles: Belady's MIN and Demand-MIN.
+
+   The crucial properties: MIN never misses more than any online policy
+   (checked against LRU on random streams), and the recorded evictions
+   form valid eviction windows (the victim is untouched strictly inside
+   its window). *)
+
+module Geometry = Ripple_cache.Geometry
+module Cache = Ripple_cache.Cache
+module Access = Ripple_cache.Access
+module Belady = Ripple_cache.Belady
+module Lru = Ripple_cache.Lru
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+let tiny = Geometry.v ~size_bytes:(2 * 2 * 64) ~ways:2
+let one_set = Geometry.v ~size_bytes:(1 * 2 * 64) ~ways:2
+let demand line = Access.demand ~line ~block:line
+let prefetch line = Access.prefetch ~line ~block:line
+let demands lines = Array.of_list (List.map demand lines)
+
+let lru_misses geometry stream =
+  let c = Cache.create ~geometry ~policy:Lru.make () in
+  Array.iter (fun acc -> ignore (Cache.access c acc)) stream;
+  (Cache.stats c).Ripple_cache.Stats.demand_misses
+
+let test_min_classic () =
+  (* 2-way single set; the classic case where LRU loses: cyclic over
+     three lines.  MIN keeps one line pinned. *)
+  let stream = demands [ 0; 1; 2; 0; 1; 2; 0; 1; 2 ] in
+  let lru = lru_misses one_set stream in
+  let min = (Belady.simulate one_set ~mode:Belady.Min stream).Belady.demand_misses in
+  checki "lru thrashes" 9 lru;
+  (* MIN: misses 0,1,2 cold; then keeps e.g. 0 resident: 0 hits. *)
+  checkb "min beats lru" true (min < lru);
+  (* Cyclic over N=3 lines with C=2 ways: OPT hits (C-1)/(N-1) = 1/2 of
+     the steady-state accesses — 3 cold + 3 steady misses. *)
+  checki "min optimal" 6 min
+
+let test_min_hits_within_capacity () =
+  let stream = demands [ 0; 2; 0; 2; 0; 2 ] in
+  let result = Belady.simulate tiny ~mode:Belady.Min stream in
+  checki "only cold misses" 2 result.Belady.demand_misses;
+  checki "cold" 2 result.Belady.demand_misses_cold;
+  checki "no evictions" 0 (Array.length result.Belady.evictions)
+
+let test_min_eviction_record () =
+  (* Single set, 2 ways: 0,2 fill; 4 arrives; next uses: 0 soon, 2 never
+     -> evict 2. *)
+  let stream = demands [ 0; 2; 4; 0 ] in
+  let result = Belady.simulate one_set ~mode:Belady.Min stream in
+  checki "one eviction" 1 (Array.length result.Belady.evictions);
+  let e = result.Belady.evictions.(0) in
+  checki "victim" 2 e.Belady.line;
+  checki "triggered at" 2 e.Belady.at;
+  checki "last use" 1 e.Belady.last_use;
+  checkb "never used again" true (e.Belady.next = Belady.Never)
+
+let test_min_next_demand_marker () =
+  let stream = demands [ 0; 2; 0; 4; 2 ] in
+  (* At fill of 4: next(0) = infinity (0 used at idx 2, no later use);
+     next(2) = idx 4 -> evict 0. *)
+  let result = Belady.simulate one_set ~mode:Belady.Min stream in
+  let e = result.Belady.evictions.(0) in
+  checki "victim 0" 0 e.Belady.line;
+  checkb "victim never reused" true (e.Belady.next = Belady.Never);
+  checki "total misses" 3 result.Belady.demand_misses
+
+let test_demand_min_prefers_prefetched () =
+  (* Lines 0 and 2 resident; 0 will be demanded, 2 will be prefetched
+     before its demand: Demand-MIN evicts 2 (free re-fetch), MIN would
+     evict based on raw distance and keep 2 (its prefetch comes first). *)
+  let stream =
+    [| demand 0; demand 2; demand 4; demand 0; prefetch 2; demand 2 |]
+  in
+  let dm = Belady.simulate one_set ~mode:Belady.Demand_min stream in
+  let e = dm.Belady.evictions.(0) in
+  checki "demand-min evicts the prefetch-covered line" 2 e.Belady.line;
+  checkb "marked prefetch-covered" true (e.Belady.next = Belady.Next_prefetch);
+  (* The evicted line's later demand still hits because the prefetch
+     restored it: only cold misses plus the fill of 4. *)
+  checki "demand misses" 3 dm.Belady.demand_misses
+
+let test_demand_min_fallback_demand () =
+  (* No prefetches at all: Demand-MIN degenerates to MIN. *)
+  let stream = demands [ 0; 1; 2; 0; 1; 2; 0; 1; 2 ] in
+  let min = (Belady.simulate one_set ~mode:Belady.Min stream).Belady.demand_misses in
+  let dm = (Belady.simulate one_set ~mode:Belady.Demand_min stream).Belady.demand_misses in
+  checki "equal without prefetches" min dm
+
+let test_count_from () =
+  let stream = demands [ 0; 2; 0; 2; 0; 2 ] in
+  let result = Belady.simulate ~count_from:2 one_set ~mode:Belady.Min stream in
+  checki "accesses counted from 2" 4 result.Belady.demand_accesses;
+  checki "no misses in counted region" 0 result.Belady.demand_misses
+
+let test_on_fill_callback () =
+  (* MIN evicts line 2 (never reused) at the fill of 4, so the final
+     access to 0 hits: exactly three fills. *)
+  let stream = demands [ 0; 2; 4; 0 ] in
+  let fills = ref [] in
+  let on_fill ~index (acc : Access.t) = fills := (index, acc.Access.line) :: !fills in
+  ignore (Belady.simulate ~on_fill one_set ~mode:Belady.Min stream);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "fills in order"
+    [ (0, 0); (1, 2); (2, 4) ]
+    (List.rev !fills)
+
+let test_windows_are_valid () =
+  (* On a pseudo-random stream, every eviction window must satisfy:
+     last_use < at, victim accessed at last_use, and victim untouched
+     strictly inside (last_use, at). *)
+  let rng = Ripple_util.Prng.create ~seed:99 in
+  let stream =
+    Array.init 3_000 (fun _ -> demand (Ripple_util.Prng.int rng 40))
+  in
+  let result = Belady.simulate tiny ~mode:Belady.Min stream in
+  checkb "has evictions" true (Array.length result.Belady.evictions > 0);
+  Array.iter
+    (fun (e : Belady.eviction) ->
+      checkb "last_use < at" true (e.Belady.last_use < e.Belady.at);
+      checki "victim at last_use" e.Belady.line stream.(e.Belady.last_use).Access.line;
+      for i = e.Belady.last_use + 1 to e.Belady.at - 1 do
+        checkb "victim untouched inside window" false (stream.(i).Access.line = e.Belady.line)
+      done)
+    result.Belady.evictions
+
+let prop_min_optimal_vs_lru =
+  QCheck.Test.make ~count:150 ~name:"MIN never misses more than LRU"
+    QCheck.(list_of_size (QCheck.Gen.int_range 10 400) (int_range 0 30))
+    (fun lines ->
+      let stream = demands lines in
+      let lru = lru_misses tiny stream in
+      let min = (Belady.simulate tiny ~mode:Belady.Min stream).Belady.demand_misses in
+      min <= lru)
+
+let prop_min_misses_lower_bound =
+  QCheck.Test.make ~count:150 ~name:"MIN misses at least the cold misses"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (int_range 0 50))
+    (fun lines ->
+      let stream = demands lines in
+      let r = Belady.simulate tiny ~mode:Belady.Min stream in
+      r.Belady.demand_misses >= r.Belady.demand_misses_cold
+      && r.Belady.demand_misses <= Array.length stream)
+
+let prop_demand_min_not_worse_with_prefetches =
+  (* Demand misses under Demand-MIN with a prefetch-annotated stream
+     never exceed plain MIN on the same stream. *)
+  QCheck.Test.make ~count:100 ~name:"Demand-MIN demand misses <= MIN's"
+    QCheck.(list_of_size (QCheck.Gen.int_range 10 300) (pair bool (int_range 0 30)))
+    (fun ops ->
+      let stream =
+        Array.of_list
+          (List.map (fun (is_pf, line) -> if is_pf then prefetch line else demand line) ops)
+      in
+      let dm = (Belady.simulate tiny ~mode:Belady.Demand_min stream).Belady.demand_misses in
+      let mn = (Belady.simulate tiny ~mode:Belady.Min stream).Belady.demand_misses in
+      dm <= mn)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "belady",
+      [
+        Alcotest.test_case "classic MIN case" `Quick test_min_classic;
+        Alcotest.test_case "hits within capacity" `Quick test_min_hits_within_capacity;
+        Alcotest.test_case "eviction record" `Quick test_min_eviction_record;
+        Alcotest.test_case "next-demand marker" `Quick test_min_next_demand_marker;
+        Alcotest.test_case "demand-min prefers prefetched" `Quick test_demand_min_prefers_prefetched;
+        Alcotest.test_case "demand-min fallback" `Quick test_demand_min_fallback_demand;
+        Alcotest.test_case "count_from" `Quick test_count_from;
+        Alcotest.test_case "on_fill callback" `Quick test_on_fill_callback;
+        Alcotest.test_case "windows valid" `Quick test_windows_are_valid;
+        qcheck prop_min_optimal_vs_lru;
+        qcheck prop_min_misses_lower_bound;
+        qcheck prop_demand_min_not_worse_with_prefetches;
+      ] );
+  ]

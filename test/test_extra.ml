@@ -1,0 +1,239 @@
+(* Additional edge-case, failure-injection and end-to-end determinism
+   tests across the libraries. *)
+
+module Addr = Ripple_isa.Addr
+module Basic_block = Ripple_isa.Basic_block
+module Builder = Ripple_isa.Builder
+module Program = Ripple_isa.Program
+module Packet = Ripple_trace.Packet
+module Pt = Ripple_trace.Pt
+module Access = Ripple_cache.Access
+module Geometry = Ripple_cache.Geometry
+module Cache = Ripple_cache.Cache
+module Stats = Ripple_cache.Stats
+module Belady = Ripple_cache.Belady
+module Lru = Ripple_cache.Lru
+module Fdip = Ripple_prefetch.Fdip
+module Prefetcher = Ripple_prefetch.Prefetcher
+module Simulator = Ripple_cpu.Simulator
+module Pipeline = Ripple_core.Pipeline
+module W = Ripple_workloads
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+(* ----------------------- malformed trace input ---------------------- *)
+
+let test_packet_rejects_bad_tag () =
+  (* Tag 0b11 is unassigned. *)
+  let data = Bytes.make 1 (Char.chr 0b1100_0000) in
+  Alcotest.check_raises "bad tag" (Invalid_argument "Packet.read: bad tag") (fun () ->
+      ignore (Packet.read data ~pos:0))
+
+let test_packet_rejects_empty_tnt () =
+  let data = Bytes.make 1 (Char.chr 0) in
+  Alcotest.check_raises "empty tnt" (Invalid_argument "Packet.read: empty TNT") (fun () ->
+      ignore (Packet.read data ~pos:0))
+
+let test_pt_decode_rejects_truncation () =
+  let b = Builder.create () in
+  let entry = Builder.block b ~bytes:16 ~term:Basic_block.Halt () in
+  let other = Builder.block b ~bytes:16 ~term:Basic_block.Halt () in
+  Builder.set_term b entry (Basic_block.Cond { taken = entry; fallthrough = other });
+  Builder.set_term b other (Basic_block.Jump entry);
+  let program = Builder.finish b ~entry in
+  let trace = [| entry; other; entry; entry |] in
+  let encoded = Pt.encode program trace in
+  (* Chop the stream after the header + first packet. *)
+  let truncated = Bytes.sub encoded 0 (Bytes.length encoded - 2) in
+  checkb "truncated decode raises" true
+    (try
+       ignore (Pt.decode program truncated);
+       false
+     with Invalid_argument _ -> true)
+
+let test_pt_decode_rejects_bad_tip () =
+  let b = Builder.create () in
+  let entry = Builder.block b ~bytes:16 ~term:Basic_block.Halt () in
+  let program = Builder.finish b ~entry in
+  let buf = Buffer.create 8 in
+  (* Header says one block, but the TIP points into the void. *)
+  Buffer.add_char buf (Char.chr 1);
+  Packet.write buf (Packet.Tip 0x1234);
+  checkb "bad tip raises" true
+    (try
+       ignore (Pt.decode program (Buffer.to_bytes buf));
+       false
+     with Invalid_argument _ -> true)
+
+(* --------------------- simulator determinism ------------------------ *)
+
+let test_end_to_end_determinism () =
+  let model = { W.Apps.finagle_http with W.App_model.seed = 3 } in
+  let run () =
+    let w = W.Cfg_gen.generate model in
+    let program = w.W.Cfg_gen.program in
+    let profile = W.Executor.run w ~input:W.Executor.train ~n_instrs:200_000 in
+    let eval = W.Executor.run w ~input:W.Executor.eval_inputs.(0) ~n_instrs:200_000 in
+    let instrumented, _ =
+      Pipeline.instrument ~program ~profile_trace:profile ~prefetch:Pipeline.Fdip ()
+    in
+    let ev =
+      Pipeline.evaluate ~original:program ~instrumented ~trace:eval
+        ~policy:Lru.make ~prefetch:Pipeline.Fdip ()
+    in
+    ( ev.Pipeline.result.Simulator.demand_misses,
+      ev.Pipeline.hint_execs,
+      ev.Pipeline.coverage,
+      ev.Pipeline.accuracy )
+  in
+  let a = run () and b = run () in
+  checkb "bit-identical evaluation" true (a = b)
+
+(* -------------------------- timing algebra -------------------------- *)
+
+let test_more_misses_never_faster () =
+  (* With identical instruction counts, a run with strictly more misses
+     must not have higher IPC. *)
+  let b = Builder.create () in
+  let first, last = Builder.straight_line b ~bytes_per_block:64 ~n:600 () in
+  Builder.set_term b last (Basic_block.Jump first);
+  let program = Builder.finish b ~entry:first in
+  let trace = Array.init 5_000 (fun i -> first + (i mod 600)) in
+  (* 600 lines cycling through a 512-line cache: LRU thrashes, MIN
+     (oracle) keeps most of it. *)
+  let lru =
+    Simulator.run ~program ~trace ~policy:Lru.make ~prefetcher:Simulator.prefetcher_none ()
+  in
+  let oracle =
+    Simulator.oracle ~mode:Belady.Min ~program ~trace ~prefetcher:Simulator.prefetcher_none ()
+  in
+  checkb "oracle fewer misses" true (oracle.Simulator.demand_misses < lru.Simulator.demand_misses);
+  checkb "oracle faster" true (oracle.Simulator.ipc > lru.Simulator.ipc)
+
+let test_prefetch_latency_zero_vs_default () =
+  (* Instant prefetches can only help. *)
+  let w = W.Cfg_gen.generate W.Apps.verilator in
+  let trace = W.Executor.run w ~input:W.Executor.train ~n_instrs:200_000 in
+  let program = w.W.Cfg_gen.program in
+  let run config =
+    Simulator.run ~config ~program ~trace ~policy:Lru.make
+      ~prefetcher:(Simulator.prefetcher_fdip ~config) ()
+  in
+  let default = run Ripple_cpu.Config.default in
+  let instant =
+    run { Ripple_cpu.Config.default with Ripple_cpu.Config.prefetch_latency_blocks = 0 }
+  in
+  checkb "instant prefetch not slower" true
+    (instant.Simulator.demand_misses <= default.Simulator.demand_misses)
+
+(* --------------------------- hint algebra --------------------------- *)
+
+let test_invalidating_everything_is_terrible () =
+  (* Failure injection: a hint on every block invalidating its own line
+     must drive misses towards one per block execution. *)
+  let b = Builder.create () in
+  let first, last = Builder.straight_line b ~bytes_per_block:64 ~n:8 () in
+  Builder.set_term b last (Basic_block.Jump first);
+  let program = Builder.finish b ~entry:first in
+  let hints =
+    Array.init (Program.n_blocks program) (fun i ->
+        [ Basic_block.Invalidate (List.hd (Basic_block.lines (Program.block program i))) ])
+  in
+  let sabotaged, _ = Program.with_hints program ~hints in
+  let trace = Array.init 400 (fun i -> first + (i mod 8)) in
+  let clean =
+    Simulator.run ~program ~trace ~policy:Lru.make ~prefetcher:Simulator.prefetcher_none ()
+  in
+  let bad =
+    Simulator.run ~program:sabotaged ~trace ~policy:Lru.make
+      ~prefetcher:Simulator.prefetcher_none ()
+  in
+  checki "clean run only cold misses" 8 clean.Simulator.demand_misses;
+  checki "sabotaged run misses every block" 400 bad.Simulator.demand_misses;
+  checkb "sabotage costs cycles" true (bad.Simulator.cycles > clean.Simulator.cycles)
+
+let test_demote_weaker_than_invalidate_on_absent_lines () =
+  (* Both hint flavours are no-ops when the line is absent. *)
+  let c = Cache.create ~geometry:(Geometry.v ~size_bytes:128 ~ways:2) ~policy:Lru.make () in
+  Cache.demote c 7;
+  Cache.invalidate c 7;
+  checki "both count as hint misses" 2 (Cache.stats c).Stats.invalidate_misses
+
+(* --------------------------- fdip stalls ---------------------------- *)
+
+let test_fdip_stalls_on_unknown_indirect () =
+  (* An indirect branch with no BTB entry stalls runahead: the very
+     first on_block can prefetch nothing past the indirect. *)
+  let b = Builder.create () in
+  let entry = Builder.block b ~bytes:64 ~term:Basic_block.Halt () in
+  let t1 = Builder.block b ~bytes:64 ~term:Basic_block.Halt () in
+  let t2 = Builder.block b ~bytes:64 ~term:Basic_block.Halt () in
+  Builder.set_term b entry (Basic_block.Indirect [| t1; t2 |]);
+  Builder.set_term b t1 (Basic_block.Jump entry);
+  Builder.set_term b t2 (Basic_block.Jump entry);
+  let program = Builder.finish b ~entry in
+  let pf, internals = Fdip.create_instrumented ~program () in
+  let issued_first = List.length (pf.Prefetcher.on_block (Program.block program entry)) in
+  checki "nothing to prefetch before BTB training" 0 issued_first;
+  (* After observing entry -> t1 the BTB knows a target. *)
+  ignore (pf.Prefetcher.on_block (Program.block program t1));
+  ignore (pf.Prefetcher.on_block (Program.block program entry));
+  checkb "prefetching resumes after training" true (internals.Fdip.issued () > 0)
+
+(* ------------------------ workload edge cases ----------------------- *)
+
+let test_executor_minimal_trace () =
+  let model =
+    { W.Apps.kafka with W.App_model.seed = 9; n_functions = 60; hot_functions = 8 }
+  in
+  let w = W.Cfg_gen.generate model in
+  let trace = W.Executor.run w ~input:W.Executor.train ~n_instrs:100 in
+  checkb "nonempty" true (Array.length trace > 0);
+  checkb "starts at dispatcher" true (trace.(0) = w.W.Cfg_gen.dispatcher)
+
+let test_instrument_on_tiny_profile () =
+  (* A profile too small to produce supported decisions must still yield
+     a valid (possibly unmodified) binary. *)
+  let model =
+    { W.Apps.kafka with W.App_model.seed = 10; n_functions = 60; hot_functions = 8 }
+  in
+  let w = W.Cfg_gen.generate model in
+  let profile = W.Executor.run w ~input:W.Executor.train ~n_instrs:2_000 in
+  let instrumented, analysis =
+    Pipeline.instrument ~program:w.W.Cfg_gen.program ~profile_trace:profile
+      ~prefetch:Pipeline.No_prefetch ()
+  in
+  checkb "decisions >= 0" true (analysis.Pipeline.n_decisions >= 0);
+  checki "hints match decisions minus skips" analysis.Pipeline.injection.Ripple_core.Injector.injected
+    (Program.static_hints instrumented)
+
+let suites =
+  [
+    ( "extra.malformed-input",
+      [
+        Alcotest.test_case "bad tag" `Quick test_packet_rejects_bad_tag;
+        Alcotest.test_case "empty tnt" `Quick test_packet_rejects_empty_tnt;
+        Alcotest.test_case "truncated stream" `Quick test_pt_decode_rejects_truncation;
+        Alcotest.test_case "bad tip" `Quick test_pt_decode_rejects_bad_tip;
+      ] );
+    ( "extra.determinism-and-timing",
+      [
+        Alcotest.test_case "end-to-end determinism" `Quick test_end_to_end_determinism;
+        Alcotest.test_case "more misses never faster" `Quick test_more_misses_never_faster;
+        Alcotest.test_case "prefetch latency" `Quick test_prefetch_latency_zero_vs_default;
+      ] );
+    ( "extra.failure-injection",
+      [
+        Alcotest.test_case "self-sabotage" `Quick test_invalidating_everything_is_terrible;
+        Alcotest.test_case "hints on absent lines" `Quick
+          test_demote_weaker_than_invalidate_on_absent_lines;
+        Alcotest.test_case "fdip indirect stall" `Quick test_fdip_stalls_on_unknown_indirect;
+      ] );
+    ( "extra.edge-cases",
+      [
+        Alcotest.test_case "minimal trace" `Quick test_executor_minimal_trace;
+        Alcotest.test_case "tiny profile" `Quick test_instrument_on_tiny_profile;
+      ] );
+  ]

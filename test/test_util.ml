@@ -1,0 +1,259 @@
+(* Unit and property tests for ripple.util: PRNG, ring queue, summary
+   statistics and table rendering. *)
+
+module Prng = Ripple_util.Prng
+module Ring_queue = Ripple_util.Ring_queue
+module Summary = Ripple_util.Summary
+module Table = Ripple_util.Table
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let checkf = check (Alcotest.float 1e-9)
+
+(* ------------------------------- Prng ------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.bits64 a <> Prng.bits64 b then differs := true
+  done;
+  checkb "different seeds differ" true !differs
+
+let test_prng_int_range () =
+  let rng = Prng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 17 in
+    checkb "0 <= v < 17" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_covers () =
+  let rng = Prng.create ~seed:8 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 5_000 do
+    seen.(Prng.int rng 8) <- true
+  done;
+  Array.iteri (fun i s -> checkb (Printf.sprintf "value %d seen" i) true s) seen
+
+let test_prng_float_range () =
+  let rng = Prng.create ~seed:9 in
+  for _ = 1 to 1_000 do
+    let v = Prng.float rng 3.5 in
+    checkb "0 <= v < 3.5" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_prng_chance_extremes () =
+  let rng = Prng.create ~seed:10 in
+  checkb "p=0 never" false (Prng.chance rng 0.0);
+  checkb "p=1 always" true (Prng.chance rng 1.0)
+
+let test_prng_chance_frequency () =
+  let rng = Prng.create ~seed:11 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.chance rng 0.3 then incr hits
+  done;
+  let f = Float.of_int !hits /. Float.of_int n in
+  checkb "within 3 sigma of 0.3" true (Float.abs (f -. 0.3) < 0.02)
+
+let test_prng_geometric_mean () =
+  let rng = Prng.create ~seed:12 in
+  let total = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    total := !total + Prng.geometric rng ~p:0.5
+  done;
+  let mean = Float.of_int !total /. Float.of_int n in
+  (* Mean of failures-before-success at p = 0.5 is 1. *)
+  checkb "mean close to 1" true (Float.abs (mean -. 1.0) < 0.1)
+
+let test_prng_zipf_bounds () =
+  let rng = Prng.create ~seed:13 in
+  for _ = 1 to 5_000 do
+    let v = Prng.zipf rng ~n:50 ~s:1.1 in
+    checkb "in range" true (v >= 0 && v < 50)
+  done
+
+let test_prng_zipf_skew () =
+  let rng = Prng.create ~seed:14 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 50_000 do
+    let v = Prng.zipf rng ~n:100 ~s:1.2 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  checkb "rank 0 more popular than rank 50" true (counts.(0) > counts.(50));
+  checkb "rank 0 dominates" true (counts.(0) > 5_000)
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create ~seed:15 in
+  let a = Array.init 100 (fun i -> i) in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "still a permutation" (Array.init 100 (fun i -> i)) sorted
+
+let test_prng_split_independent () =
+  let a = Prng.create ~seed:16 in
+  let b = Prng.split a in
+  checkb "split streams differ" true (Prng.bits64 a <> Prng.bits64 b)
+
+(* ---------------------------- Ring_queue ---------------------------- *)
+
+let test_rq_fifo_order () =
+  let q = Ring_queue.create ~capacity:4 ~dummy:0 in
+  List.iter (fun x -> checkb "push ok" true (Ring_queue.push q x)) [ 1; 2; 3 ];
+  check (Alcotest.option Alcotest.int) "pop 1" (Some 1) (Ring_queue.pop q);
+  check (Alcotest.option Alcotest.int) "pop 2" (Some 2) (Ring_queue.pop q);
+  checkb "push 4" true (Ring_queue.push q 4);
+  check (Alcotest.list Alcotest.int) "rest" [ 3; 4 ] (Ring_queue.to_list q)
+
+let test_rq_capacity () =
+  let q = Ring_queue.create ~capacity:2 ~dummy:0 in
+  checkb "1" true (Ring_queue.push q 1);
+  checkb "2" true (Ring_queue.push q 2);
+  checkb "full rejects" false (Ring_queue.push q 3);
+  checki "len" 2 (Ring_queue.length q);
+  checkb "is_full" true (Ring_queue.is_full q)
+
+let test_rq_overwrite () =
+  let q = Ring_queue.create ~capacity:2 ~dummy:0 in
+  Ring_queue.push_overwrite q 1;
+  Ring_queue.push_overwrite q 2;
+  Ring_queue.push_overwrite q 3;
+  check (Alcotest.list Alcotest.int) "oldest evicted" [ 2; 3 ] (Ring_queue.to_list q)
+
+let test_rq_clear_and_peek () =
+  let q = Ring_queue.create ~capacity:3 ~dummy:0 in
+  ignore (Ring_queue.push q 5);
+  check (Alcotest.option Alcotest.int) "peek" (Some 5) (Ring_queue.peek q);
+  checki "peek does not pop" 1 (Ring_queue.length q);
+  Ring_queue.clear q;
+  checkb "empty" true (Ring_queue.is_empty q);
+  check (Alcotest.option Alcotest.int) "pop empty" None (Ring_queue.pop q)
+
+let test_rq_wraparound () =
+  let q = Ring_queue.create ~capacity:3 ~dummy:0 in
+  for i = 1 to 50 do
+    ignore (Ring_queue.push q i);
+    if i mod 2 = 0 then ignore (Ring_queue.pop q)
+  done;
+  (* Whatever the content, invariants hold. *)
+  checkb "len <= capacity" true (Ring_queue.length q <= 3);
+  let l = Ring_queue.to_list q in
+  checki "to_list matches length" (Ring_queue.length q) (List.length l)
+
+(* Model-based property: the ring queue behaves like a bounded list. *)
+let prop_rq_model =
+  QCheck.Test.make ~count:300 ~name:"ring queue vs list model"
+    QCheck.(pair (int_range 1 8) (small_list (pair bool small_int)))
+    (fun (capacity, ops) ->
+      let q = Ring_queue.create ~capacity ~dummy:0 in
+      let model = ref [] in
+      List.iter
+        (fun (is_push, x) ->
+          if is_push then begin
+            if List.length !model < capacity then
+              if Ring_queue.push q x then model := !model @ [ x ] else failwith "push refused"
+            else if Ring_queue.push q x then failwith "push beyond capacity"
+          end
+          else begin
+            match (Ring_queue.pop q, !model) with
+            | None, [] -> ()
+            | Some v, x :: rest when v = x -> model := rest
+            | _ -> failwith "pop mismatch"
+          end)
+        ops;
+      Ring_queue.to_list q = !model)
+
+(* ----------------------------- Summary ------------------------------ *)
+
+let test_summary_empty () =
+  let s = Summary.create () in
+  checki "count" 0 (Summary.count s);
+  checkf "mean" 0.0 (Summary.mean s)
+
+let test_summary_moments () =
+  let s = Summary.of_list [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  checki "count" 8 (Summary.count s);
+  checkf "mean" 5.0 (Summary.mean s);
+  check (Alcotest.float 1e-6) "stddev" 2.138089935 (Summary.stddev s);
+  checkf "min" 2.0 (Summary.min s);
+  checkf "max" 9.0 (Summary.max s)
+
+let test_summary_geomean () =
+  check (Alcotest.float 1e-9) "geomean" 4.0 (Summary.geomean_of [ 2.0; 8.0 ]);
+  checkf "geomean empty" 0.0 (Summary.geomean_of [])
+
+let test_summary_mean_of () = checkf "mean_of" 2.0 (Summary.mean_of [ 1.0; 2.0; 3.0 ])
+
+(* ------------------------------ Table ------------------------------- *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_table_renders () =
+  let t = Table.create ~title:"T" ~columns:[ ("a", Table.Left); ("b", Table.Right) ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_sep t;
+  Table.add_row t [ "longer"; "22" ];
+  let s = Table.render t in
+  checkb "has title" true (String.length s > 0 && String.sub s 0 1 = "T");
+  checkb "mentions longer" true (contains ~needle:"longer" s);
+  checkb "right-aligned cell padded" true (contains ~needle:" 1 |" s)
+
+let test_table_formats () =
+  check Alcotest.string "fpct" "+2.13%" (Table.fpct 0.0213);
+  check Alcotest.string "fpct negative" "-1.00%" (Table.fpct (-0.01));
+  check Alcotest.string "fnum" "3.142" (Table.fnum 3.14159)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "util.prng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+        Alcotest.test_case "int range" `Quick test_prng_int_range;
+        Alcotest.test_case "int covers" `Quick test_prng_int_covers;
+        Alcotest.test_case "float range" `Quick test_prng_float_range;
+        Alcotest.test_case "chance extremes" `Quick test_prng_chance_extremes;
+        Alcotest.test_case "chance frequency" `Quick test_prng_chance_frequency;
+        Alcotest.test_case "geometric mean" `Quick test_prng_geometric_mean;
+        Alcotest.test_case "zipf bounds" `Quick test_prng_zipf_bounds;
+        Alcotest.test_case "zipf skew" `Quick test_prng_zipf_skew;
+        Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+        Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+      ] );
+    ( "util.ring_queue",
+      [
+        Alcotest.test_case "fifo order" `Quick test_rq_fifo_order;
+        Alcotest.test_case "capacity" `Quick test_rq_capacity;
+        Alcotest.test_case "overwrite" `Quick test_rq_overwrite;
+        Alcotest.test_case "clear and peek" `Quick test_rq_clear_and_peek;
+        Alcotest.test_case "wraparound" `Quick test_rq_wraparound;
+        qcheck prop_rq_model;
+      ] );
+    ( "util.summary",
+      [
+        Alcotest.test_case "empty" `Quick test_summary_empty;
+        Alcotest.test_case "moments" `Quick test_summary_moments;
+        Alcotest.test_case "geomean" `Quick test_summary_geomean;
+        Alcotest.test_case "mean_of" `Quick test_summary_mean_of;
+      ] );
+    ( "util.table",
+      [
+        Alcotest.test_case "renders" `Quick test_table_renders;
+        Alcotest.test_case "formats" `Quick test_table_formats;
+      ] );
+  ]
