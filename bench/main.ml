@@ -1,27 +1,41 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (see DESIGN.md for the experiment index).
 
-     dune exec bench/main.exe -- [all|fig1|fig2|fig3|fig6|fig7|fig8|fig9|
-                                  fig10|fig11|fig12|fig13|tab1|tab2|
+     dune exec bench/main.exe -- [--jobs N] [--out cells.jsonl]
+                                 [all|smoke|fig1|fig2|fig3|fig6|fig7|fig8|
+                                  fig9|fig10|fig11|fig12|fig13|tab1|tab2|
                                   ablation|micro] ...
 
-   The per-(application, prefetcher) simulation matrix is computed once
-   and memoized; figures are views over it.  Trace length is controlled
-   with RIPPLE_BENCH_INSTRS (default 4,000,000 original instructions; the
-   paper used 100 M on real hardware — scaled down for a laptop-class
-   reproduction, see EXPERIMENTS.md). *)
+   The per-(application, prefetcher) simulation matrix is expressed as
+   experiment specs and fanned out over the Ripple_exp domain pool
+   (--jobs, default: the runtime's recommended domain count; results are
+   identical at any pool size), then memoized; figures are views over
+   it.  --out appends every computed cell as JSON lines, keyed and
+   sorted by spec, so bench trajectories can be diffed across PRs.
+   Trace length is controlled with RIPPLE_BENCH_INSTRS (default
+   4,000,000 original instructions; the paper used 100 M on real
+   hardware — scaled down for a laptop-class reproduction, see
+   EXPERIMENTS.md). *)
 
 module W = Ripple_workloads
 module Cache = Ripple_cache
 module Cpu = Ripple_cpu
 module Core = Ripple_core
+module Exp = Ripple_exp
+module Registry = Ripple_cache.Registry
 module Table = Ripple_util.Table
 module Summary = Ripple_util.Summary
 
 let n_instrs =
-  match Sys.getenv_opt "RIPPLE_BENCH_INSTRS" with
-  | Some s -> int_of_string s
-  | None -> 4_000_000
+  ref
+    (match Sys.getenv_opt "RIPPLE_BENCH_INSTRS" with
+    | Some s -> int_of_string s
+    | None -> 4_000_000)
+
+let jobs =
+  ref (Option.map int_of_string (Sys.getenv_opt "RIPPLE_BENCH_JOBS"))
+
+let out_path = ref None
 
 let threshold_candidates = [ 0.5; 0.65 ]
 let apps = W.Apps.all
@@ -58,6 +72,7 @@ let workload_of (model : W.App_model.t) =
   match Hashtbl.find_opt workload_cache name with
   | Some data -> data
   | None ->
+    let n_instrs = !n_instrs in
     let workload = W.Cfg_gen.generate model in
     let train = W.Executor.run workload ~input:W.Executor.train ~n_instrs in
     let eval = W.Executor.run workload ~input:W.Executor.eval_inputs.(0) ~n_instrs in
@@ -88,62 +103,121 @@ let log fmt =
       if Sys.getenv_opt "RIPPLE_BENCH_QUIET" = None then Printf.eprintf "[bench] %s\n%!" s)
     fmt
 
-let cell_of model prefetch =
-  let key = (model.W.App_model.name, Core.Pipeline.prefetch_name prefetch) in
-  match Hashtbl.find_opt cell_cache key with
-  | Some cell -> cell
-  | None ->
-    let t0 = Unix.gettimeofday () in
-    let { workload; train; eval; warmup } = workload_of model in
-    let program = workload.W.Cfg_gen.program in
-    let prefetcher = Core.Pipeline.prefetcher_of prefetch in
-    let run policy =
-      Cpu.Simulator.run ~warmup ~program ~trace:eval ~policy ~prefetcher ()
+(* The matrix is computed by submitting experiment specs to the
+   Ripple_exp domain pool rather than looping inline: every hardware
+   policy, both ideal bounds and every Ripple threshold candidate of a
+   bench cell is one independent spec, so a single `ensure_cells` call
+   over several (app, prefetcher) pairs saturates the pool.  Aggregation
+   is keyed by spec — completion order never matters — and the Ripple
+   random-policy evaluation is a second wave, because it reuses the
+   invalidation threshold the LRU search selects (§III-C). *)
+
+let all_cells : Exp.Runner.cell list ref = ref []
+
+let run_specs specs =
+  let quiet = Sys.getenv_opt "RIPPLE_BENCH_QUIET" <> None in
+  let cells = Exp.Runner.run ?jobs:!jobs ~quiet specs in
+  all_cells := !all_cells @ cells;
+  cells
+
+let write_cells () =
+  match !out_path with
+  | None -> ()
+  | Some path ->
+    let sorted =
+      List.sort_uniq
+        (fun (a : Exp.Runner.cell) b -> Exp.Spec.compare a.Exp.Runner.spec b.Exp.Runner.spec)
+        !all_cells
     in
-    let lru = run Cache.Lru.make in
-    let random = run (Cache.Random_policy.make ~seed:1234) in
-    let srrip = run Cache.Srrip.make in
-    let drrip = run Cache.Drrip.make in
-    let ghrp = run (Cache.Ghrp.make ()) in
-    let hawkeye = run (Cache.Hawkeye.make ()) in
-    let ideal_cache = Cpu.Simulator.ideal_cache ~warmup ~program ~trace:eval () in
-    let oracle =
-      Cpu.Simulator.oracle ~warmup ~mode:(Core.Pipeline.belady_mode_of prefetch) ~program
-        ~trace:eval ~prefetcher ()
+    Exp.Report.write_jsonl path sorted;
+    log "wrote %s (%d cells)" path (List.length sorted)
+
+let cell_policies = [ "lru"; "random"; "srrip"; "drrip"; "ghrp"; "hawkeye" ]
+
+let ensure_cells pairs =
+  let key (model, prefetch) =
+    (model.W.App_model.name, Core.Pipeline.prefetch_name prefetch)
+  in
+  let missing =
+    List.filter (fun pair -> not (Hashtbl.mem cell_cache (key pair))) pairs
+    |> List.sort_uniq (fun a b -> compare (key a) (key b))
+  in
+  if missing <> [] then begin
+    let t0 = Unix.gettimeofday () in
+    let spec_of (model, prefetch) kind =
+      Exp.Spec.v ~n_instrs:!n_instrs ~seed:1234 ~prefetch ~app:model.W.App_model.name kind
+    in
+    let phase1 =
+      List.concat_map
+        (fun pair ->
+          List.map (fun p -> spec_of pair (Exp.Spec.Policy p)) cell_policies
+          @ [ spec_of pair Exp.Spec.Ideal_cache; spec_of pair Exp.Spec.Oracle ]
+          @ List.map
+              (fun threshold ->
+                spec_of pair (Exp.Spec.Ripple { policy = "lru"; threshold }))
+              threshold_candidates)
+        missing
+    in
+    let cells1 = run_specs phase1 in
+    let outcome_of cells pair kind =
+      match Exp.Runner.find cells (spec_of pair kind) with
+      | Some cell -> Exp.Runner.ok_exn cell
+      | None ->
+        failwith (Printf.sprintf "bench: missing cell %s" (Exp.Spec.to_string (spec_of pair kind)))
     in
     (* Per-application invalidation threshold (§III-C): best-performing
-       candidate. *)
-    let exclude_prefetch_covered = false in
-    let threshold, ev =
-      Core.Pipeline.search_threshold ~warmup ~candidates:threshold_candidates
-        ~exclude_prefetch_covered ~program ~profile_trace:train ~eval_trace:eval
-        ~policy:Cache.Lru.make ~prefetch ()
+       candidate under LRU, first candidate winning ties. *)
+    let best_ripple pair =
+      List.fold_left
+        (fun acc threshold ->
+          let o = outcome_of cells1 pair (Exp.Spec.Ripple { policy = "lru"; threshold }) in
+          match acc with
+          | Some (_, best) when best.Core.Pipeline.result.Cpu.Simulator.ipc
+                                >= o.Exp.Runner.result.Cpu.Simulator.ipc -> acc
+          | _ -> Some (threshold, Option.get o.Exp.Runner.evaluation))
+        None threshold_candidates
+      |> Option.get
     in
-    let instrumented, _ =
-      Core.Pipeline.instrument ~threshold ~exclude_prefetch_covered ~program
-        ~profile_trace:train ~prefetch ()
+    let chosen = List.map (fun pair -> (pair, best_ripple pair)) missing in
+    let phase2 =
+      List.map
+        (fun (pair, (threshold, _)) ->
+          spec_of pair (Exp.Spec.Ripple { policy = "random"; threshold }))
+        chosen
     in
-    let ripple_random =
-      Core.Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval
-        ~policy:(Cache.Random_policy.make ~seed:1234) ~prefetch ()
-    in
-    let cell =
-      {
-        lru;
-        random;
-        srrip;
-        drrip;
-        ghrp;
-        hawkeye;
-        ideal_cache;
-        oracle;
-        ripple_lru = { threshold; ev };
-        ripple_random;
-      }
-    in
-    Hashtbl.add cell_cache key cell;
-    log "%s/%s done in %.1fs" (fst key) (snd key) (Unix.gettimeofday () -. t0);
-    cell
+    let cells2 = run_specs phase2 in
+    List.iter
+      (fun (pair, (threshold, ev)) ->
+        let result kind = (outcome_of cells1 pair kind).Exp.Runner.result in
+        let ripple_random =
+          Option.get
+            (outcome_of cells2 pair (Exp.Spec.Ripple { policy = "random"; threshold }))
+              .Exp.Runner.evaluation
+        in
+        let cell =
+          {
+            lru = result (Exp.Spec.Policy "lru");
+            random = result (Exp.Spec.Policy "random");
+            srrip = result (Exp.Spec.Policy "srrip");
+            drrip = result (Exp.Spec.Policy "drrip");
+            ghrp = result (Exp.Spec.Policy "ghrp");
+            hawkeye = result (Exp.Spec.Policy "hawkeye");
+            ideal_cache = result Exp.Spec.Ideal_cache;
+            oracle = result Exp.Spec.Oracle;
+            ripple_lru = { threshold; ev };
+            ripple_random;
+          }
+        in
+        Hashtbl.add cell_cache (key pair) cell)
+      chosen;
+    log "%d cell(s) done in %.1fs" (List.length missing) (Unix.gettimeofday () -. t0)
+  end
+
+let cell_of model prefetch =
+  ensure_cells [ (model, prefetch) ];
+  Hashtbl.find cell_cache (model.W.App_model.name, Core.Pipeline.prefetch_name prefetch)
+
+let prewarm prefetches = ensure_cells (List.concat_map (fun pf -> List.map (fun m -> (m, pf)) apps) prefetches)
 
 (* ------------------------------------------------------------------ *)
 (* Tables and figures                                                  *)
@@ -173,22 +247,18 @@ let tab2 () =
   Format.printf "%a@.@." Cpu.Config.pp_table Cpu.Config.default
 
 let tab1 () =
+  (* Every row but the software one comes from the policy registry, so a
+     newly registered policy appears here automatically. *)
   let geometry = Cpu.Config.default.Cpu.Config.l1i in
   let sets = Cache.Geometry.sets geometry and ways = geometry.Cache.Geometry.ways in
   let policies =
-    [
-      ("LRU", (Cache.Lru.make ~sets ~ways).Cache.Policy.storage_bits, "1 bit per line");
-      ( "GHRP",
-        (Cache.Ghrp.make () ~sets ~ways).Cache.Policy.storage_bits,
-        "3 KiB tables, dead bits, signatures, history" );
-      ("SRRIP", (Cache.Srrip.make ~sets ~ways).Cache.Policy.storage_bits, "2 bits per line");
-      ("DRRIP", (Cache.Drrip.make ~sets ~ways).Cache.Policy.storage_bits, "2 bits per line + PSEL");
-      ( "Hawkeye/Harmony",
-        (Cache.Hawkeye.make () ~sets ~ways).Cache.Policy.storage_bits,
-        "sampler, occupancy vectors, predictor, RRIP counters" );
-      ("Random", (Cache.Random_policy.make ~seed:0 ~sets ~ways).Cache.Policy.storage_bits, "none");
-      ("Ripple (software)", 0, "no hardware metadata beyond the base policy");
-    ]
+    List.map
+      (fun (e : Registry.entry) ->
+        ( e.Registry.display,
+          (e.Registry.factory ~seed:0 ~sets ~ways).Cache.Policy.storage_bits,
+          e.Registry.storage_note ))
+      Registry.all
+    @ [ ("Ripple (software)", 0, "no hardware metadata beyond the base policy") ]
   in
   let table =
     Table.create ~title:"Table I: replacement metadata for a 32 KiB, 8-way, 64 B-line I-cache"
@@ -207,6 +277,7 @@ let tab1 () =
   print_newline ()
 
 let fig1 () =
+  prewarm [ Core.Pipeline.No_prefetch ];
   let rows =
     app_rows (fun model ->
         let cell = cell_of model Core.Pipeline.No_prefetch in
@@ -220,6 +291,7 @@ let fig1 () =
     ~fmt:pct rows
 
 let fig2 () =
+  prewarm [ Core.Pipeline.No_prefetch; Core.Pipeline.Fdip ];
   let rows =
     app_rows (fun model ->
         let none = cell_of model Core.Pipeline.No_prefetch in
@@ -240,6 +312,7 @@ let fig2 () =
     ~fmt:pct rows
 
 let fig3 () =
+  prewarm [ Core.Pipeline.Fdip ];
   let rows =
     app_rows (fun model ->
         let cell = cell_of model Core.Pipeline.Fdip in
@@ -267,10 +340,9 @@ let fig3 () =
     ~fmt:pct rows
 
 let fig6 () =
-  (* Coverage/accuracy trade-off for finagle-http under FDIP. *)
+  (* Coverage/accuracy trade-off for finagle-http under FDIP.  Each
+     threshold is one Ripple spec, so the whole sweep fans out at once. *)
   let model = W.Apps.finagle_http in
-  let { workload; train; eval; warmup } = workload_of model in
-  let program = workload.W.Cfg_gen.program in
   let table =
     Table.create
       ~title:
@@ -286,16 +358,19 @@ let fig6 () =
         ]
   in
   let base = (cell_of model Core.Pipeline.Fdip).lru in
-  List.iter
-    (fun threshold ->
-      let instrumented, _ =
-        Core.Pipeline.instrument ~threshold ~program ~profile_trace:train
-          ~prefetch:Core.Pipeline.Fdip ()
-      in
-      let ev =
-        Core.Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval
-          ~policy:Cache.Lru.make ~prefetch:Core.Pipeline.Fdip ()
-      in
+  let thresholds = [ 0.05; 0.2; 0.35; 0.5; 0.65; 0.8; 0.95 ] in
+  let specs =
+    List.map
+      (fun threshold ->
+        Exp.Spec.v ~n_instrs:!n_instrs ~seed:1234 ~prefetch:Core.Pipeline.Fdip
+          ~app:model.W.App_model.name
+          (Exp.Spec.Ripple { policy = "lru"; threshold }))
+      thresholds
+  in
+  let cells = run_specs specs in
+  List.iter2
+    (fun threshold cell ->
+      let ev = Option.get (Exp.Runner.ok_exn cell).Exp.Runner.evaluation in
       Table.add_row table
         [
           Printf.sprintf "%.0f%%" (100.0 *. threshold);
@@ -303,11 +378,12 @@ let fig6 () =
           pct0 ev.Core.Pipeline.accuracy;
           pct (speedup ~base ev.Core.Pipeline.result);
         ])
-    [ 0.05; 0.2; 0.35; 0.5; 0.65; 0.8; 0.95 ];
+    thresholds cells;
   Table.print table;
   print_newline ()
 
 let fig7_8 which () =
+  prewarm prefetches;
   List.iter
     (fun prefetch ->
       let pf = Core.Pipeline.prefetch_name prefetch in
@@ -357,6 +433,7 @@ let fig7_8 which () =
     prefetches
 
 let fig9_12 () =
+  prewarm [ Core.Pipeline.Fdip ];
   let rows =
     app_rows (fun model ->
         let cell = cell_of model Core.Pipeline.Fdip in
@@ -410,14 +487,15 @@ let fig13 () =
       let program = workload.W.Cfg_gen.program in
       let instr profile_trace =
         fst
-          (Core.Pipeline.instrument ~threshold:0.5 ~program ~profile_trace
-             ~prefetch:Core.Pipeline.Fdip ())
+          (Core.Pipeline.instrument_with
+             { Core.Pipeline.Options.default with threshold = 0.5 }
+             ~program ~profile_trace ~prefetch:Core.Pipeline.Fdip)
       in
       let generic = instr eval0 in
       Array.iteri
         (fun i input ->
           if i >= 1 then begin
-            let trace = W.Executor.run workload ~input ~n_instrs in
+            let trace = W.Executor.run workload ~input ~n_instrs:!n_instrs in
             let warmup = Array.length trace / 2 in
             let base =
               Cpu.Simulator.run ~warmup ~program ~trace ~policy:Cache.Lru.make
@@ -463,17 +541,27 @@ let ablation () =
         ]
   in
   let cols = Array.init 5 (fun _ -> Summary.create ()) in
+  prewarm [ Core.Pipeline.Fdip; Core.Pipeline.Nlp ];
   List.iter
     (fun model ->
       let { workload; train; eval; warmup } = workload_of model in
       let program = workload.W.Cfg_gen.program in
       let fdip_base = (cell_of model Core.Pipeline.Fdip).lru in
       let nlp_base = (cell_of model Core.Pipeline.Nlp).lru in
-      let run ?mode ?max_hints_per_block ?(exclude = false) ~prefetch ~base () =
+      let run ?(mode = Core.Injector.Invalidate)
+          ?(max_hints_per_block = Core.Injector.default_max_hints_per_block)
+          ?(exclude = false) ~prefetch ~base () =
         let threshold = (cell_of model prefetch).ripple_lru.threshold in
         let instrumented, _ =
-          Core.Pipeline.instrument ?mode ?max_hints_per_block ~threshold
-            ~exclude_prefetch_covered:exclude ~program ~profile_trace:train ~prefetch ()
+          Core.Pipeline.instrument_with
+            {
+              Core.Pipeline.Options.default with
+              threshold;
+              mode;
+              max_hints_per_block;
+              exclude_prefetch_covered = exclude;
+            }
+            ~program ~profile_trace:train ~prefetch
         in
         let ev =
           Core.Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval
@@ -515,6 +603,8 @@ let lbr () =
           ("LBR coverage", Table.Right);
         ]
   in
+  let lbr_apps = [ W.Apps.cassandra; W.Apps.tomcat; W.Apps.verilator ] in
+  ensure_cells (List.map (fun m -> (m, Core.Pipeline.Fdip)) lbr_apps);
   List.iter
     (fun model ->
       let { workload; train; eval; warmup } = workload_of model in
@@ -527,16 +617,17 @@ let lbr () =
       let pt_ev =
         evaluate
           (fst
-             (Core.Pipeline.instrument ~program ~profile_trace:train
-                ~prefetch:Core.Pipeline.Fdip ()))
+             (Core.Pipeline.instrument_with Core.Pipeline.Options.default ~program
+                ~profile_trace:train ~prefetch:Core.Pipeline.Fdip))
       in
       let samples = Ripple_trace.Lbr.capture program ~trace:train ~period:120 ~depth:16 in
       let stitched = Ripple_trace.Lbr.stitched_trace samples in
       let lbr_ev =
         evaluate
           (fst
-             (Core.Pipeline.instrument ~pt_roundtrip:false ~program ~profile_trace:stitched
-                ~prefetch:Core.Pipeline.Fdip ()))
+             (Core.Pipeline.instrument_with
+                { Core.Pipeline.Options.default with pt_roundtrip = false }
+                ~program ~profile_trace:stitched ~prefetch:Core.Pipeline.Fdip))
       in
       Table.add_row table
         [
@@ -547,7 +638,7 @@ let lbr () =
           pct (speedup ~base lbr_ev.Core.Pipeline.result);
           pct0 lbr_ev.Core.Pipeline.coverage;
         ])
-    [ W.Apps.cassandra; W.Apps.tomcat; W.Apps.verilator ];
+    lbr_apps;
   Table.print table;
   print_newline ()
 
@@ -581,8 +672,9 @@ let geometry () =
     let config_a = { Cpu.Config.default with Cpu.Config.l1i = analysis_geom } in
     let config_r = { Cpu.Config.default with Cpu.Config.l1i = run_geom } in
     let instrumented, _ =
-      Core.Pipeline.instrument ~config:config_a ~program ~profile_trace:train
-        ~prefetch:Core.Pipeline.Fdip ()
+      Core.Pipeline.instrument_with
+        { Core.Pipeline.Options.default with config = config_a }
+        ~program ~profile_trace:train ~prefetch:Core.Pipeline.Fdip
     in
     let base =
       Cpu.Simulator.run ~config:config_r ~warmup ~program ~trace:eval ~policy:Cache.Lru.make
@@ -629,6 +721,15 @@ let extras () =
         ]
   in
   let s1 = Summary.create () and s2 = Summary.create () in
+  prewarm [ Core.Pipeline.Fdip; Core.Pipeline.No_prefetch ];
+  (* SHiP is a registry policy, so it runs as one spec per app through
+     the pool; RDIP has no prefetch variant in the spec vocabulary and
+     stays inline. *)
+  let ship_spec model =
+    Exp.Spec.v ~n_instrs:!n_instrs ~seed:1234 ~prefetch:Core.Pipeline.Fdip
+      ~app:model.W.App_model.name (Exp.Spec.Policy "ship")
+  in
+  let ship_cells = run_specs (List.map ship_spec apps) in
   List.iter
     (fun model ->
       let { workload; eval; warmup; _ } = workload_of model in
@@ -636,8 +737,8 @@ let extras () =
       let fdip_cell = cell_of model Core.Pipeline.Fdip in
       let none_cell = cell_of model Core.Pipeline.No_prefetch in
       let ship =
-        Cpu.Simulator.run ~warmup ~program ~trace:eval ~policy:Cache.Ship.make
-          ~prefetcher:(Core.Pipeline.prefetcher_of Core.Pipeline.Fdip) ()
+        (Exp.Runner.ok_exn (Option.get (Exp.Runner.find ship_cells (ship_spec model))))
+          .Exp.Runner.result
       in
       let rdip =
         Cpu.Simulator.run ~warmup ~program ~trace:eval ~policy:Cache.Lru.make
@@ -707,7 +808,48 @@ let micro () =
     results;
   print_newline ()
 
+let smoke () =
+  (* End-to-end exercise of the experiment runner at tiny instruction
+     budgets — the full cell pipeline (policy fan-out, ideal bounds,
+     Ripple threshold search, random-policy second wave, aggregation)
+     over three apps and FDIP, sized to finish in seconds.  `--jobs`
+     scales it across domains; results are identical at any pool size. *)
+  n_instrs := min !n_instrs 150_000;
+  let smoke_apps = [ W.Apps.cassandra; W.Apps.finagle_http; W.Apps.verilator ] in
+  ensure_cells (List.map (fun m -> (m, Core.Pipeline.Fdip)) smoke_apps);
+  let table =
+    Table.create ~title:"smoke sweep (FDIP, tiny budgets — shape check only)"
+      ~columns:
+        [
+          ("application", Table.Left);
+          ("lru mpki", Table.Right);
+          ("ideal $", Table.Right);
+          ("ideal repl", Table.Right);
+          ("Ripple-LRU", Table.Right);
+          ("Ripple-Rand", Table.Right);
+          ("coverage", Table.Right);
+        ]
+  in
+  List.iter
+    (fun model ->
+      let cell = cell_of model Core.Pipeline.Fdip in
+      let base = cell.lru in
+      Table.add_row table
+        [
+          model.W.App_model.name;
+          Printf.sprintf "%.2f" base.Cpu.Simulator.mpki;
+          pct (speedup ~base cell.ideal_cache);
+          pct (speedup ~base cell.oracle);
+          pct (speedup ~base cell.ripple_lru.ev.Core.Pipeline.result);
+          pct (speedup ~base cell.ripple_random.Core.Pipeline.result);
+          pct0 cell.ripple_lru.ev.Core.Pipeline.coverage;
+        ])
+    smoke_apps;
+  Table.print table;
+  print_newline ()
+
 let all () =
+  prewarm prefetches;
   tab2 ();
   tab1 ();
   fig1 ();
@@ -744,10 +886,21 @@ let () =
       ("geometry", geometry);
       ("extras", extras);
       ("micro", micro);
+      ("smoke", smoke);
       ("all", all);
     ]
   in
-  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split_flags targets = function
+    | "--jobs" :: n :: rest ->
+      jobs := Some (int_of_string n);
+      split_flags targets rest
+    | "--out" :: path :: rest ->
+      out_path := Some path;
+      split_flags targets rest
+    | arg :: rest -> split_flags (arg :: targets) rest
+    | [] -> List.rev targets
+  in
+  let args = split_flags [] (List.tl (Array.to_list Sys.argv)) in
   let args = if args = [] then [ "all" ] else args in
   List.iter
     (fun arg ->
@@ -757,4 +910,5 @@ let () =
         Printf.eprintf "unknown target %S; available: %s\n" arg
           (String.concat ", " (List.map fst commands));
         exit 1)
-    args
+    args;
+  write_cells ()

@@ -1,85 +1,105 @@
 (* Calibration scratchpad: prints the headline shape numbers for a few
-   app models so workload parameters can be tuned against the paper. *)
+   app models so workload parameters can be tuned against the paper.
+
+   The whole app x prefetcher x run matrix is submitted to the
+   experiment runner in one batch (CAL_JOBS overrides the pool size), so
+   calibration saturates the machine instead of replaying serially. *)
 
 module W = Ripple_workloads
 module Cache = Ripple_cache
 module Cpu = Ripple_cpu
 module Core = Ripple_core
+module Exp = Ripple_exp
 
 let n_instrs =
   match Sys.getenv_opt "CAL_INSTRS" with Some s -> int_of_string s | None -> 2_000_000
+
+let jobs = Option.map int_of_string (Sys.getenv_opt "CAL_JOBS")
+
+(* CAL_SAME_INPUT evaluates on the profiling input's own trace. *)
+let input =
+  if Sys.getenv_opt "CAL_SAME_INPUT" <> None then Exp.Spec.Train else Exp.Spec.Eval 0
 
 let pct x = 100.0 *. x
 
 let speedup ~base (r : Cpu.Simulator.result) = (r.Cpu.Simulator.ipc /. base.Cpu.Simulator.ipc) -. 1.0
 
-let run_app model =
-  let t0 = Unix.gettimeofday () in
-  let w = W.Cfg_gen.generate model in
-  let program = w.W.Cfg_gen.program in
-  let train = W.Executor.run w ~input:W.Executor.train ~n_instrs in
-  let eval =
-    if Sys.getenv_opt "CAL_SAME_INPUT" <> None then train
-    else W.Executor.run w ~input:W.Executor.eval_inputs.(0) ~n_instrs
+let prefetches =
+  [ ("none", Core.Pipeline.No_prefetch); ("nlp", Core.Pipeline.Nlp); ("fdip", Core.Pipeline.Fdip) ]
+
+let spec_of (model : W.App_model.t) prefetch kind =
+  Exp.Spec.v ~n_instrs ~input ~prefetch ~app:model.W.App_model.name kind
+
+let kinds =
+  [
+    Exp.Spec.Policy "lru";
+    Exp.Spec.Policy "random";
+    Exp.Spec.Ideal_cache;
+    Exp.Spec.Oracle;
+    Exp.Spec.Policy "srrip";
+    Exp.Spec.Policy "ghrp";
+    Exp.Spec.Policy "hawkeye";
+    Exp.Spec.Ripple { policy = "lru"; threshold = 0.5 };
+  ]
+
+let run_apps apps =
+  let specs =
+    List.concat_map
+      (fun model ->
+        List.concat_map (fun (_, pf) -> List.map (spec_of model pf) kinds) prefetches)
+      apps
   in
-  let warmup = Array.length eval / 2 in
-  let footprint_kb = Ripple_isa.Program.static_bytes program / 1024 in
-  Printf.printf "%-16s text=%dKB trace=%d blocks (%.1fs gen)\n%!" model.W.App_model.name
-    footprint_kb (Array.length eval)
-    (Unix.gettimeofday () -. t0);
-  let eval_run policy prefetch =
-    Cpu.Simulator.run ~warmup ~program ~trace:eval ~policy
-      ~prefetcher:(Core.Pipeline.prefetcher_of prefetch) ()
+  let cells = Exp.Runner.run ?jobs specs in
+  let outcome model pf kind =
+    Exp.Runner.ok_exn (Option.get (Exp.Runner.find cells (spec_of model pf kind)))
   in
   List.iter
-    (fun (pf_name, prefetch) ->
-      let lru = eval_run Cache.Lru.make prefetch in
-      let rnd = eval_run (Cache.Random_policy.make ~seed:7) prefetch in
-      let ideal_cache = Cpu.Simulator.ideal_cache ~warmup ~program ~trace:eval () in
-      let oracle =
-        Cpu.Simulator.oracle ~warmup ~mode:(Core.Pipeline.belady_mode_of prefetch) ~program
-          ~trace:eval
-          ~prefetcher:(Core.Pipeline.prefetcher_of prefetch) ()
-      in
-      let srrip = eval_run Cache.Srrip.make prefetch in
-      let ghrp = eval_run (Cache.Ghrp.make ()) prefetch in
-      let hawkeye = eval_run (Cache.Hawkeye.make ()) prefetch in
-      let t1 = Unix.gettimeofday () in
-      let instrumented, analysis =
-        Core.Pipeline.instrument ~program ~profile_trace:train ~prefetch ()
-      in
-      let ripple =
-        Core.Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval
-          ~policy:Cache.Lru.make ~prefetch ()
-      in
-      let cold =
-        1000.0
-        *. Float.of_int lru.Cpu.Simulator.l1i.Cache.Stats.demand_misses_cold
-        /. Float.of_int lru.Cpu.Simulator.instructions
-      in
-      Printf.printf
-        "  [%-4s] lru mpki=%5.2f (cold %4.2f) rnd %+5.2f%% | ideal$ %+6.2f%% | oracle %+5.2f%% \
-         mpki=%5.2f | srrip %+5.2f%% ghrp %+5.2f%% hawk %+5.2f%%\n"
-        pf_name lru.Cpu.Simulator.mpki cold
-        (pct (speedup ~base:lru rnd))
-        (pct (speedup ~base:lru ideal_cache))
-        (pct (speedup ~base:lru oracle))
-        oracle.Cpu.Simulator.mpki
-        (pct (speedup ~base:lru srrip))
-        (pct (speedup ~base:lru ghrp))
-        (pct (speedup ~base:lru hawkeye));
-      Printf.printf
-        "         ripple-lru: %+5.2f%% mpki=%5.2f cov=%4.1f%% acc=%4.1f%% stat=%4.2f%% \
-         dyn=%4.2f%% (%d dec, %d win) %.1fs\n%!"
-        (pct (speedup ~base:lru ripple.Core.Pipeline.result))
-        ripple.Core.Pipeline.result.Cpu.Simulator.mpki
-        (pct ripple.Core.Pipeline.coverage)
-        (pct ripple.Core.Pipeline.accuracy)
-        (pct ripple.Core.Pipeline.static_overhead)
-        (pct ripple.Core.Pipeline.dynamic_overhead)
-        analysis.Core.Pipeline.n_decisions analysis.Core.Pipeline.n_windows
-        (Unix.gettimeofday () -. t1))
-    [ ("none", Core.Pipeline.No_prefetch); ("nlp", Core.Pipeline.Nlp); ("fdip", Core.Pipeline.Fdip) ]
+    (fun (model : W.App_model.t) ->
+      let w = W.Cfg_gen.generate model in
+      let program = w.W.Cfg_gen.program in
+      let footprint_kb = Ripple_isa.Program.static_bytes program / 1024 in
+      Printf.printf "%-16s text=%dKB\n%!" model.W.App_model.name footprint_kb;
+      List.iter
+        (fun (pf_name, prefetch) ->
+          let result kind = (outcome model prefetch kind).Exp.Runner.result in
+          let lru = result (Exp.Spec.Policy "lru") in
+          let rnd = result (Exp.Spec.Policy "random") in
+          let ideal_cache = result Exp.Spec.Ideal_cache in
+          let oracle = result Exp.Spec.Oracle in
+          let srrip = result (Exp.Spec.Policy "srrip") in
+          let ghrp = result (Exp.Spec.Policy "ghrp") in
+          let hawkeye = result (Exp.Spec.Policy "hawkeye") in
+          let ripple_o = outcome model prefetch (Exp.Spec.Ripple { policy = "lru"; threshold = 0.5 }) in
+          let ripple = Option.get ripple_o.Exp.Runner.evaluation in
+          let analysis = Option.get ripple_o.Exp.Runner.analysis in
+          let cold =
+            1000.0
+            *. Float.of_int lru.Cpu.Simulator.l1i.Cache.Stats.demand_misses_cold
+            /. Float.of_int lru.Cpu.Simulator.instructions
+          in
+          Printf.printf
+            "  [%-4s] lru mpki=%5.2f (cold %4.2f) rnd %+5.2f%% | ideal$ %+6.2f%% | oracle %+5.2f%% \
+             mpki=%5.2f | srrip %+5.2f%% ghrp %+5.2f%% hawk %+5.2f%%\n"
+            pf_name lru.Cpu.Simulator.mpki cold
+            (pct (speedup ~base:lru rnd))
+            (pct (speedup ~base:lru ideal_cache))
+            (pct (speedup ~base:lru oracle))
+            oracle.Cpu.Simulator.mpki
+            (pct (speedup ~base:lru srrip))
+            (pct (speedup ~base:lru ghrp))
+            (pct (speedup ~base:lru hawkeye));
+          Printf.printf
+            "         ripple-lru: %+5.2f%% mpki=%5.2f cov=%4.1f%% acc=%4.1f%% stat=%4.2f%% \
+             dyn=%4.2f%% (%d dec, %d win)\n%!"
+            (pct (speedup ~base:lru ripple.Core.Pipeline.result))
+            ripple.Core.Pipeline.result.Cpu.Simulator.mpki
+            (pct ripple.Core.Pipeline.coverage)
+            (pct ripple.Core.Pipeline.accuracy)
+            (pct ripple.Core.Pipeline.static_overhead)
+            (pct ripple.Core.Pipeline.dynamic_overhead)
+            analysis.Core.Pipeline.n_decisions analysis.Core.Pipeline.n_windows)
+        prefetches)
+    apps
 
 let () =
   let apps =
@@ -87,4 +107,4 @@ let () =
     | Some names -> List.filter_map W.Apps.by_name (String.split_on_char ',' names)
     | None -> [ W.Apps.cassandra; W.Apps.verilator; W.Apps.drupal ]
   in
-  List.iter run_app apps
+  run_apps apps

@@ -3,6 +3,7 @@
      ripple-sim apps
      ripple-sim simulate --app cassandra --prefetch fdip --policy lru
      ripple-sim ripple   --app verilator --prefetch none --threshold 0.55
+     ripple-sim sweep    --apps cassandra,kafka --prefetch none,fdip --jobs 4
      ripple-sim trace    --app kafka --instrs 200000 --out kafka.pt
 
    Everything the subcommands do is a thin composition of the public
@@ -10,10 +11,12 @@
 
 module W = Ripple_workloads
 module Cache = Ripple_cache
+module Registry = Ripple_cache.Registry
 module Simulator = Ripple_cpu.Simulator
 module Pipeline = Ripple_core.Pipeline
 module Pt = Ripple_trace.Pt
 module Program = Ripple_isa.Program
+module Exp = Ripple_exp
 
 open Cmdliner
 
@@ -42,18 +45,28 @@ let prefetch_conv =
   let print fmt p = Format.fprintf fmt "%s" (Pipeline.prefetch_name p) in
   Arg.conv (parse, print)
 
+(* The policy vocabulary (parser and help text) comes from the one
+   registry, so a policy added there is immediately accepted here. *)
 let policy_conv =
-  let parse = function
-    | "lru" -> Ok ("lru", Cache.Lru.make)
-    | "random" -> Ok ("random", Cache.Random_policy.make ~seed:1234)
-    | "srrip" -> Ok ("srrip", Cache.Srrip.make)
-    | "drrip" -> Ok ("drrip", Cache.Drrip.make)
-    | "ghrp" -> Ok ("ghrp", Cache.Ghrp.make ())
-    | "hawkeye" -> Ok ("hawkeye", Cache.Hawkeye.make ())
-    | s -> Error (`Msg (Printf.sprintf "unknown policy %S" s))
+  let parse s =
+    match Registry.find s with
+    | Some e -> Ok e.Registry.name
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown policy %S (known: %s)" s
+             (String.concat ", " Registry.names)))
   in
-  let print fmt (name, _) = Format.fprintf fmt "%s" name in
+  let print fmt name = Format.fprintf fmt "%s" name in
   Arg.conv (parse, print)
+
+let policy_doc =
+  "Replacement policy: "
+  ^ String.concat ", "
+      (List.map
+         (fun e -> Printf.sprintf "$(b,%s) (%s)" e.Registry.name e.Registry.description)
+         Registry.all)
+  ^ "."
 
 let app_arg =
   Arg.(
@@ -97,18 +110,16 @@ let apps_cmd =
 
 let simulate_cmd =
   let policy_arg =
-    Arg.(
-      value
-      & opt policy_conv ("lru", Cache.Lru.make)
-      & info [ "policy" ] ~docv:"POLICY" ~doc:"lru, random, srrip, drrip, ghrp or hawkeye.")
+    Arg.(value & opt policy_conv "lru" & info [ "policy" ] ~docv:"POLICY" ~doc:policy_doc)
   in
   let oracle_flag =
     Arg.(value & flag & info [ "oracle" ] ~doc:"Also run the ideal-replacement bound.")
   in
-  let run app prefetch n_instrs (pname, policy) oracle =
+  let run app prefetch n_instrs pname oracle =
     let workload, eval, warmup = setup app n_instrs in
     let program = workload.W.Cfg_gen.program in
     let prefetcher = Pipeline.prefetcher_of prefetch in
+    let policy = Registry.factory pname in
     let r = Simulator.run ~warmup ~program ~trace:eval ~policy ~prefetcher () in
     print_result (Printf.sprintf "%s+%s" (Pipeline.prefetch_name prefetch) pname) r;
     if oracle then begin
@@ -144,7 +155,9 @@ let ripple_cmd =
     let profile = W.Executor.run workload ~input:W.Executor.train ~n_instrs in
     let mode = if demote then Ripple_core.Injector.Demote else Ripple_core.Injector.Invalidate in
     let instrumented, analysis =
-      Pipeline.instrument ~threshold ~mode ~program ~profile_trace:profile ~prefetch ()
+      Pipeline.instrument_with
+        { Pipeline.Options.default with threshold; mode }
+        ~program ~profile_trace:profile ~prefetch
     in
     Printf.printf "windows=%d decisions=%d injected=%d\n" analysis.Pipeline.n_windows
       analysis.Pipeline.n_decisions analysis.Pipeline.injection.Ripple_core.Injector.injected;
@@ -171,6 +184,111 @@ let ripple_cmd =
     Term.(
       const run $ app_arg $ prefetch_arg $ instrs_arg $ threshold_arg $ demote_flag
       $ random_flag)
+
+(* ------------------------------- sweep ------------------------------ *)
+
+let sweep_cmd =
+  let apps_arg =
+    Arg.(
+      value
+      & opt (list app_conv) W.Apps.all
+      & info [ "apps" ] ~docv:"APP,.."
+          ~doc:"Applications to sweep (comma-separated; default: all nine).")
+  in
+  let prefetches_arg =
+    Arg.(
+      value
+      & opt (list prefetch_conv) [ Pipeline.Fdip ]
+      & info [ "p"; "prefetch" ] ~docv:"PF,.." ~doc:"Prefetchers to sweep: none, nlp, fdip.")
+  in
+  let policies_arg =
+    Arg.(
+      value
+      & opt (list policy_conv) [ "lru" ]
+      & info [ "policies" ] ~docv:"POLICY,.." ~doc:policy_doc)
+  in
+  let oracle_flag =
+    Arg.(value & flag & info [ "oracle" ] ~doc:"Include the ideal-replacement bound per cell.")
+  in
+  let ideal_flag =
+    Arg.(value & flag & info [ "ideal-cache" ] ~doc:"Include the never-miss I-cache bound.")
+  in
+  let thresholds_arg =
+    Arg.(
+      value
+      & opt (list float) []
+      & info [ "ripple" ] ~docv:"T,.."
+          ~doc:
+            "Invalidation thresholds: adds one Ripple cell per threshold (instrumented with \
+             the $(b,--ripple-policy) hardware policy).")
+  in
+  let ripple_policy_arg =
+    Arg.(
+      value
+      & opt policy_conv "lru"
+      & info [ "ripple-policy" ] ~docv:"POLICY"
+          ~doc:"Hardware policy under Ripple instrumentation (default lru).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains (default: the runtime's recommended domain count).  Results are \
+             identical for every $(docv).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write one JSON object per cell to $(docv) (JSON lines, submission order).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1234 & info [ "seed" ] ~docv:"S" ~doc:"Base seed recorded in each spec.")
+  in
+  let quiet_flag =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-cell progress on stderr.")
+  in
+  let run apps prefetches policies oracle ideal thresholds ripple_policy n_instrs jobs out
+      seed quiet =
+    let specs =
+      List.concat_map
+        (fun (m : W.App_model.t) ->
+          let app = m.W.App_model.name in
+          List.concat_map
+            (fun prefetch ->
+              let v kind = Exp.Spec.v ~n_instrs ~seed ~prefetch ~app kind in
+              List.map (fun p -> v (Exp.Spec.Policy p)) policies
+              @ (if ideal then [ v Exp.Spec.Ideal_cache ] else [])
+              @ (if oracle then [ v Exp.Spec.Oracle ] else [])
+              @ List.map
+                  (fun threshold ->
+                    v (Exp.Spec.Ripple { policy = ripple_policy; threshold }))
+                  thresholds)
+            prefetches)
+        apps
+    in
+    let cells = Exp.Runner.run ?jobs ~quiet specs in
+    Exp.Report.print_summary cells;
+    (match out with
+    | None -> ()
+    | Some path ->
+      Exp.Report.write_jsonl path cells;
+      Printf.printf "wrote %s (%d cells)\n" path (List.length cells));
+    if List.exists (fun c -> Result.is_error c.Exp.Runner.outcome) cells then exit 3
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run an experiment matrix (apps x prefetchers x policies/bounds/Ripple cells) over \
+          a parallel domain pool.")
+    Term.(
+      const run $ apps_arg $ prefetches_arg $ policies_arg $ oracle_flag $ ideal_flag
+      $ thresholds_arg $ ripple_policy_arg $ instrs_arg $ jobs_arg $ out_arg $ seed_arg
+      $ quiet_flag)
 
 (* ------------------------------- trace ------------------------------ *)
 
@@ -208,4 +326,4 @@ let () =
     Cmd.info "ripple-sim" ~version:"1.0.0"
       ~doc:"Profile-guided I-cache replacement (Ripple, ISCA 2021) simulator"
   in
-  exit (Cmd.eval (Cmd.group info [ apps_cmd; simulate_cmd; ripple_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ apps_cmd; simulate_cmd; ripple_cmd; sweep_cmd; trace_cmd ]))

@@ -27,7 +27,9 @@ let () =
     Array.map (fun input -> W.Executor.run workload ~input ~n_instrs) W.Executor.eval_inputs
   in
   let instrument profile_trace =
-    fst (Pipeline.instrument ~program ~profile_trace ~prefetch:Pipeline.Fdip ())
+    fst
+      (Pipeline.instrument_with Pipeline.Options.default ~program ~profile_trace
+         ~prefetch:Pipeline.Fdip)
   in
   let generic = instrument traces.(0) in
   let table =

@@ -50,7 +50,8 @@ let () =
         ]
       in
       let instrumented, _ =
-        Pipeline.instrument ~program ~profile_trace:profile ~prefetch ()
+        Pipeline.instrument_with Pipeline.Options.default ~program ~profile_trace:profile
+          ~prefetch
       in
       let ripple =
         Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval

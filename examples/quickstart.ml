@@ -35,8 +35,9 @@ let () =
 
   (* 2. Offline analysis + link-time injection. *)
   let instrumented, analysis =
-    Pipeline.instrument ~threshold:0.55 ~program ~profile_trace:profile
-      ~prefetch:Pipeline.Fdip ()
+    Pipeline.instrument_with
+      { Pipeline.Options.default with threshold = 0.55 }
+      ~program ~profile_trace:profile ~prefetch:Pipeline.Fdip
   in
   Printf.printf "eviction windows : %d\n" analysis.Pipeline.n_windows;
   Printf.printf "cue decisions    : %d (threshold %.0f%%)\n" analysis.Pipeline.n_decisions

@@ -41,8 +41,9 @@ let () =
   List.iter
     (fun threshold ->
       let instrumented, analysis =
-        Pipeline.instrument ~threshold ~program ~profile_trace:profile ~prefetch:Pipeline.Fdip
-          ()
+        Pipeline.instrument_with
+          { Pipeline.Options.default with threshold }
+          ~program ~profile_trace:profile ~prefetch:Pipeline.Fdip
       in
       let ev =
         Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval

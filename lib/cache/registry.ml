@@ -1,0 +1,75 @@
+type entry = {
+  name : string;
+  display : string;
+  description : string;
+  storage_note : string;
+  factory : seed:int -> Policy.factory;
+}
+
+let all =
+  [
+    {
+      name = "lru";
+      display = "LRU";
+      description = "least-recently-used, the baseline of every experiment";
+      storage_note = "1 bit per line";
+      factory = (fun ~seed:_ -> Lru.make);
+    };
+    {
+      name = "ghrp";
+      display = "GHRP";
+      description = "global history reuse predictor (Ajorpaz et al. 2018)";
+      storage_note = "3 KiB tables, dead bits, signatures, history";
+      factory = (fun ~seed:_ -> Ghrp.make ());
+    };
+    {
+      name = "srrip";
+      display = "SRRIP";
+      description = "static re-reference interval prediction (Jaleel et al. 2010)";
+      storage_note = "2 bits per line";
+      factory = (fun ~seed:_ -> Srrip.make);
+    };
+    {
+      name = "drrip";
+      display = "DRRIP";
+      description = "set-dueling SRRIP/bimodal insertion (Jaleel et al. 2010)";
+      storage_note = "2 bits per line + PSEL";
+      factory = (fun ~seed:_ -> Drrip.make);
+    };
+    {
+      name = "ship";
+      display = "SHiP";
+      description = "signature-based hit prediction (Wu et al. 2011)";
+      storage_note = "SHCT counters + 2 bits per line";
+      factory = (fun ~seed:_ -> Ship.make);
+    };
+    {
+      name = "hawkeye";
+      display = "Hawkeye/Harmony";
+      description = "Hawkeye/Harmony: OPTgen sampling + PC predictor (Jain & Lin 2016)";
+      storage_note = "sampler, occupancy vectors, predictor, RRIP counters";
+      factory = (fun ~seed:_ -> Hawkeye.make ());
+    };
+    {
+      name = "random";
+      display = "Random";
+      description = "uniform random victim, zero replacement metadata";
+      storage_note = "none";
+      factory = (fun ~seed -> Random_policy.make ~seed);
+    };
+  ]
+
+let names = List.map (fun e -> e.name) all
+let find name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun e -> e.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some e -> e
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Registry.find_exn: unknown policy %S (known: %s)" name
+         (String.concat ", " names))
+
+let factory ?(seed = 1234) name = (find_exn name).factory ~seed

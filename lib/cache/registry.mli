@@ -1,0 +1,37 @@
+(** The single name → replacement-policy catalogue.
+
+    Every hardware policy the system can simulate is registered here
+    once, with the description and Table-I storage note that user-facing
+    surfaces print.  The CLI's [--policy] parser and help text, the
+    bench's Table I, and the experiment runner's spec resolution all
+    read this table, so adding a policy in one place makes it available
+    everywhere — the name → constructor match can no longer drift
+    between front ends.
+
+    Factories take a [seed] so stochastic policies (Random) are
+    reproducible from an experiment spec; deterministic policies ignore
+    it. *)
+
+type entry = {
+  name : string;  (** CLI-facing identifier, lowercase *)
+  display : string;  (** print form, e.g. ["SHiP"], ["Hawkeye/Harmony"] *)
+  description : string;  (** one-line summary for help text *)
+  storage_note : string;  (** Table I replacement-metadata note *)
+  factory : seed:int -> Policy.factory;
+}
+
+val all : entry list
+(** Every registered policy, in Table I order (LRU first). *)
+
+val names : string list
+
+val find : string -> entry option
+(** Case-insensitive lookup by [name]. *)
+
+val find_exn : string -> entry
+(** @raise Invalid_argument on unknown names, listing the known ones. *)
+
+val factory : ?seed:int -> string -> Policy.factory
+(** [factory name] resolves and applies in one step ([seed] defaults
+    to 1234, the historical fixed seed of the bench).
+    @raise Invalid_argument on unknown names. *)

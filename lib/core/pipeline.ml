@@ -25,15 +25,41 @@ type analysis = {
   injection : Injector.stats;
 }
 
-let instrument ?(config = Config.default) ?(threshold = 0.5) ?mode ?skip_jit
-    ?max_hints_per_block ?scan_limit ?min_support ?(exclude_prefetch_covered = false)
-    ?(pt_roundtrip = true) ~program ~profile_trace ~prefetch () =
+module Options = struct
+  type t = {
+    config : Config.t;
+    threshold : float;
+    mode : Injector.mode;
+    skip_jit : bool;
+    max_hints_per_block : int;
+    scan_limit : int;
+    min_support : int;
+    exclude_prefetch_covered : bool;
+    pt_roundtrip : bool;
+  }
+
+  let default =
+    {
+      config = Config.default;
+      threshold = 0.5;
+      mode = Injector.Invalidate;
+      skip_jit = true;
+      max_hints_per_block = Injector.default_max_hints_per_block;
+      scan_limit = Cue_block.default_scan_limit;
+      min_support = Cue_block.default_min_support;
+      exclude_prefetch_covered = false;
+      pt_roundtrip = true;
+    }
+end
+
+let instrument_with (o : Options.t) ~program ~profile_trace ~prefetch =
+  let config = o.Options.config in
   (* Step 1 (Fig. 4): runtime profiling.  The analysis consumes the
      PT round trip, not the raw trace.  LBR-sampled profiles are stitched
      from disjoint path fragments and bypass the codec
-     ([pt_roundtrip:false]). *)
+     ([pt_roundtrip = false]). *)
   let trace =
-    if pt_roundtrip then Pt.decode program (Pt.encode program profile_trace)
+    if o.Options.pt_roundtrip then Pt.decode program (Pt.encode program profile_trace)
     else profile_trace
   in
   (* Step 2: ideal-policy replay over the stream the prefetcher
@@ -45,24 +71,46 @@ let instrument ?(config = Config.default) ?(threshold = 0.5) ?mode ?skip_jit
   in
   let replay = Belady.simulate config.Config.l1i ~mode:(belady_mode_of prefetch) stream in
   let windows =
-    Eviction_window.of_evictions ~demand_covered_only:exclude_prefetch_covered
+    Eviction_window.of_evictions ~demand_covered_only:o.Options.exclude_prefetch_covered
       replay.Belady.evictions
   in
   let exec_counts = Bb_trace.exec_counts program trace in
   let decisions =
-    Cue_block.analyze ?scan_limit ?min_support ~stream ~windows ~exec_counts ~threshold ()
+    Cue_block.analyze ~scan_limit:o.Options.scan_limit ~min_support:o.Options.min_support
+      ~stream ~windows ~exec_counts ~threshold:o.Options.threshold ()
   in
   (* Step 3: link-time injection. *)
   let instrumented, _remap, injection =
-    Injector.inject ?mode ?skip_jit ?max_hints_per_block ~program ~decisions ()
+    Injector.inject ~mode:o.Options.mode ~skip_jit:o.Options.skip_jit
+      ~max_hints_per_block:o.Options.max_hints_per_block ~program ~decisions ()
   in
   ( instrumented,
     {
-      threshold;
+      threshold = o.Options.threshold;
       n_windows = Array.length windows;
       n_decisions = List.length decisions;
       injection;
     } )
+
+let instrument ?config ?threshold ?mode ?skip_jit ?max_hints_per_block ?scan_limit
+    ?min_support ?exclude_prefetch_covered ?pt_roundtrip ~program ~profile_trace ~prefetch () =
+  let d = Options.default in
+  let value v = function Some x -> x | None -> v in
+  let options =
+    {
+      Options.config = value d.Options.config config;
+      threshold = value d.Options.threshold threshold;
+      mode = value d.Options.mode mode;
+      skip_jit = value d.Options.skip_jit skip_jit;
+      max_hints_per_block = value d.Options.max_hints_per_block max_hints_per_block;
+      scan_limit = value d.Options.scan_limit scan_limit;
+      min_support = value d.Options.min_support min_support;
+      exclude_prefetch_covered =
+        value d.Options.exclude_prefetch_covered exclude_prefetch_covered;
+      pt_roundtrip = value d.Options.pt_roundtrip pt_roundtrip;
+    }
+  in
+  instrument_with options ~program ~profile_trace ~prefetch
 
 type evaluation = {
   result : Simulator.result;
@@ -72,6 +120,19 @@ type evaluation = {
   static_overhead : float;
   dynamic_overhead : float;
 }
+
+module Json = Ripple_util.Json
+
+let evaluation_to_json (ev : evaluation) =
+  Json.Obj
+    [
+      ("result", Simulator.result_to_json ev.result);
+      ("coverage", Json.Float ev.coverage);
+      ("accuracy", Json.Float ev.accuracy);
+      ("hint_execs", Json.Int ev.hint_execs);
+      ("static_overhead", Json.Float ev.static_overhead);
+      ("dynamic_overhead", Json.Float ev.dynamic_overhead);
+    ]
 
 let overhead ~extra ~base = if base = 0 then 0.0 else Float.of_int extra /. Float.of_int base
 
@@ -125,15 +186,17 @@ let evaluate ?(config = Config.default) ?(warmup = 0) ~original ~instrumented ~t
   }
 
 let search_threshold ?(config = Config.default) ?(warmup = 0)
-    ?(candidates = [ 0.45; 0.55; 0.65 ]) ?mode ?exclude_prefetch_covered ~program ~profile_trace
-    ~eval_trace ~policy ~prefetch () =
+    ?(candidates = [ 0.45; 0.55; 0.65 ]) ?(mode = Options.default.Options.mode)
+    ?(exclude_prefetch_covered = Options.default.Options.exclude_prefetch_covered) ~program
+    ~profile_trace ~eval_trace ~policy ~prefetch () =
   assert (candidates <> []);
   let best = ref None in
   List.iter
     (fun threshold ->
       let instrumented, _ =
-        instrument ~config ~threshold ?mode ?exclude_prefetch_covered ~program ~profile_trace
-          ~prefetch ()
+        instrument_with
+          { Options.default with config; threshold; mode; exclude_prefetch_covered }
+          ~program ~profile_trace ~prefetch
       in
       let ev =
         evaluate ~config ~warmup ~original:program ~instrumented ~trace:eval_trace ~policy

@@ -28,6 +28,49 @@ type analysis = {
   injection : Injector.stats;
 }
 
+(** Instrumentation knobs, gathered into one plain record.  Build a
+    variant with a record update over {!Options.default}:
+
+    {[ Pipeline.instrument_with
+         { Pipeline.Options.default with threshold = 0.65; pt_roundtrip = false }
+         ~program ~profile_trace ~prefetch ]}
+
+    There are deliberately no [with_*] combinators — OCaml's [{ r with
+    field = v }] is the update idiom, and a flat record keeps every
+    option greppable and exhaustively matchable. *)
+module Options : sig
+  type t = {
+    config : Config.t;
+    threshold : float;
+        (** invalidation threshold (§III-C); 0.5 is the centre of the
+            paper's best 45–65 % band *)
+    mode : Injector.mode;  (** invalidate (paper default) or demote *)
+    skip_jit : bool;  (** drop decisions whose cue block is JIT code *)
+    max_hints_per_block : int;
+    scan_limit : int;  (** cue-candidate bound per eviction window *)
+    min_support : int;  (** min windows a (cue, victim) pair must cover *)
+    exclude_prefetch_covered : bool;
+        (** skip windows whose victim's next reference is a prefetch — a
+            conservative variant for miss-triggered prefetchers
+            (evaluated by the ablation bench) *)
+    pt_roundtrip : bool;
+        (** pass the profile through the PT codec; disable for stitched
+            LBR samples ({!Ripple_trace.Lbr}), which are not a single
+            legal control-flow path *)
+  }
+
+  val default : t
+end
+
+val instrument_with :
+  Options.t ->
+  program:Program.t ->
+  profile_trace:int array ->
+  prefetch:prefetch ->
+  Program.t * analysis
+(** Profile → eviction analysis → cue-block selection → link-time
+    injection, under [Options]. *)
+
 val instrument :
   ?config:Config.t ->
   ?threshold:float ->
@@ -43,14 +86,10 @@ val instrument :
   prefetch:prefetch ->
   unit ->
   Program.t * analysis
-(** [threshold] defaults to 0.5, the centre of the paper's best 45–65 %
-    band.  [exclude_prefetch_covered] (default false) skips windows whose
-    victim's next reference is a prefetch — a conservative variant for
-    miss-triggered prefetchers whose re-fetches an invalidation could
-    itself prevent (evaluated by the ablation bench).  [pt_roundtrip]
-    (default true) passes the profile through the PT codec; disable it
-    for stitched LBR samples ({!Ripple_trace.Lbr}), which are not a
-    single legal control-flow path. *)
+(** @deprecated Thin wrapper over {!instrument_with}, kept for one
+    release so existing callers compile; each optional argument
+    overrides the matching {!Options.default} field.  New code should
+    build an {!Options.t} record instead. *)
 
 type evaluation = {
   result : Simulator.result;  (** performance of the instrumented run *)
@@ -60,6 +99,11 @@ type evaluation = {
   static_overhead : float;  (** extra static instructions, fraction *)
   dynamic_overhead : float;  (** extra dynamic instructions, fraction *)
 }
+
+val evaluation_to_json : evaluation -> Ripple_util.Json.t
+(** Machine-readable form of an evaluation: the simulator result
+    ({!Ripple_cpu.Simulator.result_to_json}) plus the Ripple metrics.
+    Deterministic; the JSONL payload of Ripple cells in sweeps. *)
 
 val evaluate :
   ?config:Config.t ->

@@ -22,6 +22,38 @@ type result = {
   served_memory : int;
 }
 
+module Json = Ripple_util.Json
+
+let result_to_json (r : result) =
+  let l1i = r.l1i in
+  Json.Obj
+    [
+      ("instructions", Json.Int r.instructions);
+      ("hint_instructions", Json.Int r.hint_instructions);
+      ("cycles", Json.Float r.cycles);
+      ("ipc", Json.Float r.ipc);
+      ("demand_misses", Json.Int r.demand_misses);
+      ("mpki", Json.Float r.mpki);
+      ("served_l2", Json.Int r.served_l2);
+      ("served_l3", Json.Int r.served_l3);
+      ("served_memory", Json.Int r.served_memory);
+      ( "l1i",
+        Json.Obj
+          [
+            ("demand_accesses", Json.Int l1i.Stats.demand_accesses);
+            ("demand_misses", Json.Int l1i.Stats.demand_misses);
+            ("demand_misses_cold", Json.Int l1i.Stats.demand_misses_cold);
+            ("prefetch_accesses", Json.Int l1i.Stats.prefetch_accesses);
+            ("prefetch_fills", Json.Int l1i.Stats.prefetch_fills);
+            ("evictions", Json.Int l1i.Stats.evictions);
+            ("replacement_decisions", Json.Int l1i.Stats.replacement_decisions);
+            ("hinted_fills", Json.Int l1i.Stats.hinted_fills);
+            ("invalidate_hits", Json.Int l1i.Stats.invalidate_hits);
+            ("invalidate_misses", Json.Int l1i.Stats.invalidate_misses);
+            ("demotes", Json.Int l1i.Stats.demotes);
+          ] );
+    ]
+
 let prefetcher_none _program = Prefetcher.none
 
 let prefetcher_nlp ?(config = Config.default) _program =

@@ -32,6 +32,11 @@ type result = {
   served_memory : int;
 }
 
+val result_to_json : result -> Ripple_util.Json.t
+(** Machine-readable form of a result (all counters plus the L1I stats
+    as a nested object) — the payload of the experiment runner's JSONL
+    output.  Deterministic: equal results render byte-identically. *)
+
 val run :
   ?config:Config.t ->
   ?warmup:int ->

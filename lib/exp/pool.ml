@@ -1,0 +1,35 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let guarded f x =
+  match f x with
+  | v -> Ok v
+  | exception e ->
+    let bt = Printexc.get_backtrace () in
+    Error
+      (Printexc.to_string e ^ if String.trim bt = "" then "" else "\n" ^ String.trim bt)
+
+let run ?jobs ~f items =
+  let n = Array.length items in
+  let jobs = max 1 (min (match jobs with Some j -> j | None -> default_jobs ()) (max 1 n)) in
+  if n = 0 then [||]
+  else if jobs = 1 then Array.map (guarded f) items
+  else begin
+    (* Slots are written at most once, each by the single domain that
+       claimed the index, then read only after every worker has been
+       joined — no two domains ever race on a slot. *)
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          results.(i) <- Some (guarded f items.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains;
+    Array.map (function Some r -> r | None -> assert false) results
+  end

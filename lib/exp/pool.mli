@@ -1,0 +1,25 @@
+(** A fixed-size work pool over OCaml 5 domains.
+
+    [run] applies [f] to every item of an array, fanning the
+    applications out over worker domains.  Items are claimed from a
+    shared atomic cursor (dynamic load balancing: a slow cell does not
+    stall the queue behind it), and each result lands in the slot of the
+    item that produced it — so the output order is the input order, no
+    matter which domain finished first.
+
+    Each application is crash-isolated: an exception in [f] becomes
+    [Error] for that slot (message plus backtrace) and the rest of the
+    sweep proceeds.  Worker domains never share mutable state through
+    [f]'s closure unless the caller arranges it; per-domain scratch
+    belongs in [Domain.DLS] (see {!Runner}). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the pool size when [?jobs]
+    is not given. *)
+
+val run : ?jobs:int -> f:('a -> 'b) -> 'a array -> ('b, string) result array
+(** [run ~jobs ~f items] evaluates [f] on every item and returns the
+    results in item order.  [jobs] is clamped to [1 .. length items];
+    with [jobs = 1] the pool degenerates to a plain serial loop in the
+    calling domain — the reference against which parallel runs are
+    checked for determinism. *)

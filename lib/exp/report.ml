@@ -1,0 +1,91 @@
+module Json = Ripple_util.Json
+module Table = Ripple_util.Table
+module Simulator = Ripple_cpu.Simulator
+module Pipeline = Ripple_core.Pipeline
+module Injector = Ripple_core.Injector
+
+let analysis_to_json (a : Pipeline.analysis) =
+  Json.Obj
+    [
+      ("threshold", Json.Float a.Pipeline.threshold);
+      ("n_windows", Json.Int a.Pipeline.n_windows);
+      ("n_decisions", Json.Int a.Pipeline.n_decisions);
+      ("injected", Json.Int a.Pipeline.injection.Injector.injected);
+      ("skipped_jit", Json.Int a.Pipeline.injection.Injector.skipped_jit);
+      ("skipped_cap", Json.Int a.Pipeline.injection.Injector.skipped_cap);
+      ("blocks_touched", Json.Int a.Pipeline.injection.Injector.blocks_touched);
+    ]
+
+let cell_to_json (cell : Runner.cell) =
+  let spec_fields =
+    match Spec.to_json cell.Runner.spec with Json.Obj fields -> fields | _ -> assert false
+  in
+  let payload =
+    match cell.Runner.outcome with
+    | Error e -> [ ("status", Json.String "error"); ("error", Json.String e) ]
+    | Ok o ->
+      [ ("status", Json.String "ok"); ("result", Simulator.result_to_json o.Runner.result) ]
+      @ (match o.Runner.evaluation with
+        | Some ev -> [ ("evaluation", Pipeline.evaluation_to_json ev) ]
+        | None -> [])
+      @
+      (match o.Runner.analysis with
+      | Some a -> [ ("analysis", analysis_to_json a) ]
+      | None -> [])
+  in
+  Json.Obj (spec_fields @ payload)
+
+let to_jsonl cells =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun cell ->
+      Json.to_buffer buf (cell_to_json cell);
+      Buffer.add_char buf '\n')
+    cells;
+  Buffer.contents buf
+
+let write_jsonl path cells =
+  let oc = open_out path in
+  output_string oc (to_jsonl cells);
+  close_out oc
+
+let print_summary cells =
+  let table =
+    Table.create ~title:"sweep results"
+      ~columns:
+        [
+          ("cell", Table.Left);
+          ("ipc", Table.Right);
+          ("mpki", Table.Right);
+          ("misses", Table.Right);
+          ("coverage", Table.Right);
+          ("accuracy", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (cell : Runner.cell) ->
+      let key = Spec.to_string cell.Runner.spec in
+      match cell.Runner.outcome with
+      | Error e ->
+        Table.add_row table
+          [ key; "-"; "-"; "-"; "-"; Printf.sprintf "ERROR: %s" (List.hd (String.split_on_char '\n' e)) ]
+      | Ok o ->
+        let r = o.Runner.result in
+        let cov, acc =
+          match o.Runner.evaluation with
+          | Some ev ->
+            ( Printf.sprintf "%.1f%%" (100.0 *. ev.Pipeline.coverage),
+              Printf.sprintf "%.1f%%" (100.0 *. ev.Pipeline.accuracy) )
+          | None -> ("-", "-")
+        in
+        Table.add_row table
+          [
+            key;
+            Printf.sprintf "%.4f" r.Simulator.ipc;
+            Printf.sprintf "%.3f" r.Simulator.mpki;
+            string_of_int r.Simulator.demand_misses;
+            cov;
+            acc;
+          ])
+    cells;
+  Table.print table

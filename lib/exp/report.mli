@@ -1,0 +1,20 @@
+(** Deterministic rendering of sweep results.
+
+    JSONL: one object per cell, in submission order, with the spec
+    fields inlined — diffable across PRs and across [--jobs] settings.
+    A line carries ["status": "ok"] with the result payload, or
+    ["status": "error"] with the message; wall-clock timing is
+    deliberately excluded (it is the one nondeterministic observable),
+    so the same spec list renders byte-identically at any pool size. *)
+
+val cell_to_json : Runner.cell -> Ripple_util.Json.t
+
+val to_jsonl : Runner.cell list -> string
+(** One [cell_to_json] per line, ["\n"]-terminated. *)
+
+val write_jsonl : string -> Runner.cell list -> unit
+(** [write_jsonl path cells] writes {!to_jsonl} to [path]. *)
+
+val print_summary : Runner.cell list -> unit
+(** Human-readable per-cell table (IPC, MPKI, misses, Ripple coverage /
+    accuracy when present) on stdout, errors flagged inline. *)

@@ -1,0 +1,139 @@
+module W = Ripple_workloads
+module Registry = Ripple_cache.Registry
+module Config = Ripple_cpu.Config
+module Simulator = Ripple_cpu.Simulator
+module Pipeline = Ripple_core.Pipeline
+
+type outcome = {
+  result : Simulator.result;
+  evaluation : Pipeline.evaluation option;
+  analysis : Pipeline.analysis option;
+}
+
+type cell = { spec : Spec.t; outcome : (outcome, string) result; elapsed : float }
+
+(* ---------------------- per-domain workload memo --------------------- *)
+
+(* Workload generation and trace execution are deterministic, so caching
+   them is purely an optimisation; each domain owns a private memo (DLS),
+   which keeps the cross-domain state immutable without a lock.  A
+   domain running several cells of the same app regenerates nothing. *)
+
+type memo = {
+  workloads : (string, W.Cfg_gen.t) Hashtbl.t;
+  traces : (string * int * string, int array) Hashtbl.t;
+}
+
+let memo_key : memo Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { workloads = Hashtbl.create 8; traces = Hashtbl.create 16 })
+
+let workload_of app =
+  let memo = Domain.DLS.get memo_key in
+  match Hashtbl.find_opt memo.workloads app with
+  | Some w -> w
+  | None ->
+    let model =
+      match W.Apps.by_name app with
+      | Some m -> m
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Runner: unknown application %S (known: %s)" app
+             (String.concat ", " (List.map (fun m -> m.W.App_model.name) W.Apps.all)))
+    in
+    let w = W.Cfg_gen.generate model in
+    Hashtbl.add memo.workloads app w;
+    w
+
+let executor_input = function
+  | Spec.Train -> W.Executor.train
+  | Spec.Eval i ->
+    if i < 0 || i >= Array.length W.Executor.eval_inputs then
+      invalid_arg (Printf.sprintf "Runner: no evaluation input #%d" i);
+    W.Executor.eval_inputs.(i)
+
+let trace_of app ~n_instrs (input : Spec.input) =
+  let memo = Domain.DLS.get memo_key in
+  let input = executor_input input in
+  let key = (app, n_instrs, input.W.Executor.label) in
+  match Hashtbl.find_opt memo.traces key with
+  | Some t -> t
+  | None ->
+    let t = W.Executor.run (workload_of app) ~input ~n_instrs in
+    Hashtbl.add memo.traces key t;
+    t
+
+(* ----------------------------- one cell ------------------------------ *)
+
+let run_spec ?(config = Config.default) (spec : Spec.t) =
+  let workload = workload_of spec.Spec.app in
+  let program = workload.W.Cfg_gen.program in
+  let eval = trace_of spec.Spec.app ~n_instrs:spec.Spec.n_instrs spec.Spec.input in
+  let warmup = Array.length eval / 2 in
+  let prefetch = spec.Spec.prefetch in
+  let prefetcher = Pipeline.prefetcher_of ~config prefetch in
+  let policy_of name = (Registry.find_exn name).Registry.factory ~seed:(Spec.prng_seed spec) in
+  match spec.Spec.kind with
+  | Spec.Policy name ->
+    let result =
+      Simulator.run ~config ~warmup ~program ~trace:eval ~policy:(policy_of name) ~prefetcher
+        ()
+    in
+    { result; evaluation = None; analysis = None }
+  | Spec.Ideal_cache ->
+    let result = Simulator.ideal_cache ~config ~warmup ~program ~trace:eval () in
+    { result; evaluation = None; analysis = None }
+  | Spec.Oracle ->
+    let result =
+      Simulator.oracle ~config ~warmup ~mode:(Pipeline.belady_mode_of prefetch) ~program
+        ~trace:eval ~prefetcher ()
+    in
+    { result; evaluation = None; analysis = None }
+  | Spec.Ripple { policy; threshold } ->
+    let train = trace_of spec.Spec.app ~n_instrs:spec.Spec.n_instrs Spec.Train in
+    let instrumented, analysis =
+      Pipeline.instrument_with
+        { Pipeline.Options.default with config; threshold }
+        ~program ~profile_trace:train ~prefetch
+    in
+    let ev =
+      Pipeline.evaluate ~config ~warmup ~original:program ~instrumented ~trace:eval
+        ~policy:(policy_of policy) ~prefetch ()
+    in
+    { result = ev.Pipeline.result; evaluation = Some ev; analysis = Some analysis }
+
+(* ------------------------------ the pool ----------------------------- *)
+
+let progress_lock = Mutex.create ()
+
+let run ?config ?jobs ?(quiet = false) specs =
+  let specs = Array.of_list specs in
+  let total = Array.length specs in
+  let done_count = Atomic.make 0 in
+  let f spec =
+    let t0 = Unix.gettimeofday () in
+    let outcome = run_spec ?config spec in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let k = Atomic.fetch_and_add done_count 1 + 1 in
+    if not quiet then begin
+      Mutex.lock progress_lock;
+      Printf.eprintf "[exp] %d/%d %s %.1fs\n%!" k total (Spec.to_string spec) elapsed;
+      Mutex.unlock progress_lock
+    end;
+    (outcome, elapsed)
+  in
+  let results = Pool.run ?jobs ~f specs in
+  Array.to_list
+    (Array.map2
+       (fun spec r ->
+         match r with
+         | Ok (outcome, elapsed) -> { spec; outcome = Ok outcome; elapsed }
+         | Error e -> { spec; outcome = Error e; elapsed = 0.0 })
+       specs results)
+
+let find cells spec = List.find_opt (fun c -> Spec.equal c.spec spec) cells
+
+let ok_exn cell =
+  match cell.outcome with
+  | Ok outcome -> outcome
+  | Error e -> failwith (Printf.sprintf "cell %s failed: %s" (Spec.to_string cell.spec) e)

@@ -1,0 +1,51 @@
+(** Executes experiment specs over the domain pool.
+
+    [run] is the system's one entry point for sweeps: the bench, the
+    CLI's [sweep] subcommand and the calibration tool all submit
+    {!Spec.t} lists here instead of looping inline.
+
+    Determinism: a cell's outcome is a pure function of its spec —
+    workload generation and trace execution are deterministic in
+    [(app, input, n_instrs)], stochastic policies are seeded from
+    {!Spec.prng_seed}, and domains share no mutable state (each worker
+    keeps its own workload/trace memo in [Domain.DLS]).  Results are
+    returned in submission order regardless of completion order, so
+    [run ~jobs:1] and [run ~jobs:n] produce identical cell lists,
+    byte-for-byte once rendered by {!Report}.
+
+    Isolation: a cell that raises is recorded as [Error] (message and
+    backtrace) in its slot; the rest of the sweep completes.  Per-cell
+    wall-clock timing and progress go to [stderr] (suppress with
+    [~quiet:true]); timing never appears in machine-readable output. *)
+
+module Config := Ripple_cpu.Config
+module Simulator := Ripple_cpu.Simulator
+module Pipeline := Ripple_core.Pipeline
+
+type outcome = {
+  result : Simulator.result;
+  evaluation : Pipeline.evaluation option;  (** Ripple cells only *)
+  analysis : Pipeline.analysis option;  (** Ripple cells only *)
+}
+
+type cell = {
+  spec : Spec.t;
+  outcome : (outcome, string) result;
+  elapsed : float;  (** seconds, wall clock — diagnostic, not reported *)
+}
+
+val run_spec : ?config:Config.t -> Spec.t -> outcome
+(** Executes one cell in the calling domain.
+    @raise Invalid_argument on an unknown app or policy name. *)
+
+val run : ?config:Config.t -> ?jobs:int -> ?quiet:bool -> Spec.t list -> cell list
+(** Fans the specs out over {!Pool.run}.  [jobs] defaults to
+    {!Pool.default_jobs}; [quiet] (default false) silences the
+    per-cell progress lines on [stderr]. *)
+
+val find : cell list -> Spec.t -> cell option
+(** Lookup by spec ({!Spec.equal}). *)
+
+val ok_exn : cell -> outcome
+(** The outcome of a cell that must have succeeded.
+    @raise Failure with the cell key and error otherwise. *)

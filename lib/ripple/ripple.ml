@@ -8,6 +8,7 @@ module Prng = Ripple_util.Prng
 module Ring_queue = Ripple_util.Ring_queue
 module Summary = Ripple_util.Summary
 module Table = Ripple_util.Table
+module Json = Ripple_util.Json
 
 (* Program representation *)
 module Addr = Ripple_isa.Addr
@@ -41,6 +42,7 @@ module Ghrp = Ripple_cache.Ghrp
 module Hawkeye = Ripple_cache.Hawkeye
 module Ship = Ripple_cache.Ship
 module Belady = Ripple_cache.Belady
+module Registry = Ripple_cache.Registry
 
 (* Prefetchers *)
 module Prefetcher = Ripple_prefetch.Prefetcher
@@ -59,3 +61,7 @@ module Eviction_window = Ripple_core.Eviction_window
 module Cue_block = Ripple_core.Cue_block
 module Injector = Ripple_core.Injector
 module Pipeline = Ripple_core.Pipeline
+
+(* Experiment orchestration: parallel, resumable sweeps over the
+   evaluation matrix *)
+module Exp = Ripple_exp

@@ -1,0 +1,40 @@
+(** Minimal JSON values, hand-rolled (no external dependency).
+
+    The printer is deterministic — object fields are emitted in the
+    order given, floats in a shortest round-tripping decimal form — so
+    two runs that compute the same values produce byte-identical output.
+    That property is what lets the experiment runner promise identical
+    JSONL for [--jobs 1] and [--jobs N] ({!Ripple_exp}), and what makes
+    result files diffable across PRs.
+
+    The parser accepts standard JSON (sufficient for everything the
+    printer emits); it exists so results can be read back and checked
+    in round-trip tests, not as a general-purpose validator. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (no insignificant whitespace), deterministic rendering.
+    Non-finite floats render as [null] — JSON has no spelling for
+    them. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parses one JSON value (surrounding whitespace allowed).  Numbers
+    with a ['.'], ['e'] or ['E'] become [Float], others [Int].  Returns
+    [Error msg] with a position on malformed input. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks up [key]; [None] on other constructors. *)
+
+val equal : t -> t -> bool
+(** Structural equality, with object fields compared order-sensitively
+    and floats bitwise (so [nan] = [nan], matching round-trip use). *)

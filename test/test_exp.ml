@@ -1,0 +1,134 @@
+(* The experiment runner: parallel determinism, crash isolation, the
+   policy registry, and JSON round-trips. *)
+
+module Cache = Ripple_cache
+module Cpu = Ripple_cpu
+module Core = Ripple_core
+module Exp = Ripple_exp
+module Json = Ripple_util.Json
+
+let n_instrs = 60_000
+
+let small_specs () =
+  let open Exp.Spec in
+  List.concat_map
+    (fun app ->
+      [
+        v ~n_instrs ~app (Policy "lru");
+        v ~n_instrs ~app (Policy "random");
+        v ~n_instrs ~app ~prefetch:Core.Pipeline.No_prefetch Ideal_cache;
+        v ~n_instrs ~app (Ripple { policy = "lru"; threshold = 0.5 });
+      ])
+    [ "finagle-http"; "verilator" ]
+
+(* The acceptance criterion: a sweep renders byte-identically no matter
+   how many domains executed it. *)
+let test_parallel_determinism () =
+  let specs = small_specs () in
+  let serial = Exp.Runner.run ~jobs:1 ~quiet:true specs in
+  let parallel = Exp.Runner.run ~jobs:4 ~quiet:true specs in
+  Alcotest.(check string)
+    "jobs=1 and jobs=4 JSONL byte-identical" (Exp.Report.to_jsonl serial)
+    (Exp.Report.to_jsonl parallel);
+  List.iter
+    (fun (c : Exp.Runner.cell) ->
+      Alcotest.(check bool) "cell ok" true (Result.is_ok c.outcome))
+    serial
+
+(* Repeating the same spec twice in one sweep must give identical cells:
+   per-cell PRNGs, not a shared stream. *)
+let test_repeat_spec_identical () =
+  let spec = Exp.Spec.v ~n_instrs ~app:"finagle-http" (Exp.Spec.Policy "random") in
+  match Exp.Runner.run ~jobs:2 ~quiet:true [ spec; spec ] with
+  | [ a; b ] ->
+    Alcotest.(check string)
+      "identical cells" (Json.to_string (Exp.Report.cell_to_json a))
+      (Json.to_string (Exp.Report.cell_to_json b))
+  | _ -> Alcotest.fail "expected two cells"
+
+let test_failed_cell_isolation () =
+  let good = Exp.Spec.v ~n_instrs ~app:"finagle-http" (Exp.Spec.Policy "lru") in
+  let bad_app = Exp.Spec.v ~n_instrs ~app:"no-such-app" (Exp.Spec.Policy "lru") in
+  let bad_policy = Exp.Spec.v ~n_instrs ~app:"finagle-http" (Exp.Spec.Policy "no-such-policy") in
+  match Exp.Runner.run ~jobs:2 ~quiet:true [ bad_app; good; bad_policy ] with
+  | [ a; g; p ] ->
+    Alcotest.(check bool) "bad app errors" true (Result.is_error a.Exp.Runner.outcome);
+    Alcotest.(check bool) "good cell survives" true (Result.is_ok g.Exp.Runner.outcome);
+    Alcotest.(check bool) "bad policy errors" true (Result.is_error p.Exp.Runner.outcome);
+    let json = Exp.Report.cell_to_json a in
+    Alcotest.(check (option string))
+      "error status rendered" (Some "error")
+      (match Json.member "status" json with Some (Json.String s) -> Some s | _ -> None)
+  | _ -> Alcotest.fail "expected three cells"
+
+let test_prng_seed_distinct () =
+  let s1 = Exp.Spec.v ~n_instrs ~app:"finagle-http" (Exp.Spec.Policy "random") in
+  let s2 = { s1 with Exp.Spec.seed = 4321 } in
+  let s3 = { s1 with Exp.Spec.app = "verilator" } in
+  Alcotest.(check bool)
+    "seed field changes stream" true
+    (Exp.Spec.prng_seed s1 <> Exp.Spec.prng_seed s2);
+  Alcotest.(check bool)
+    "app changes stream" true
+    (Exp.Spec.prng_seed s1 <> Exp.Spec.prng_seed s3);
+  Alcotest.(check int) "prng_seed stable" (Exp.Spec.prng_seed s1) (Exp.Spec.prng_seed s1)
+
+(* Every registry entry must construct a live policy at the paper's
+   Table II L1I geometry and report a sane storage budget. *)
+let test_registry_complete () =
+  let geo = Cache.Geometry.l1i in
+  let sets = Cache.Geometry.sets geo and ways = geo.Cache.Geometry.ways in
+  Alcotest.(check bool) "registry non-empty" true (List.length Cache.Registry.all >= 7);
+  List.iter
+    (fun (e : Cache.Registry.entry) ->
+      let p = e.Cache.Registry.factory ~seed:1 ~sets ~ways in
+      Alcotest.(check bool)
+        (e.Cache.Registry.name ^ " storage_bits sane")
+        true
+        (p.Cache.Policy.storage_bits >= 0);
+      Alcotest.(check bool)
+        (e.Cache.Registry.name ^ " victim in range")
+        true
+        (let v = p.Cache.Policy.victim ~set:0 in
+         v >= 0 && v < ways))
+    Cache.Registry.all;
+  Alcotest.(check bool) "find is case-insensitive" true (Cache.Registry.find "LRU" <> None);
+  Alcotest.(check bool) "unknown name rejected" true (Cache.Registry.find "plru" = None);
+  match Cache.Registry.find_exn "nope" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "find_exn should raise on unknown names"
+
+let roundtrip name json =
+  match Json.parse (Json.to_string json) with
+  | Ok parsed -> Alcotest.(check bool) (name ^ " round-trips") true (Json.equal json parsed)
+  | Error e -> Alcotest.fail (name ^ ": " ^ e)
+
+let test_json_roundtrip () =
+  let spec = Exp.Spec.v ~n_instrs ~app:"finagle-http" (Exp.Spec.Policy "lru") in
+  let outcome = Exp.Runner.run_spec spec in
+  roundtrip "simulator result" (Cpu.Simulator.result_to_json outcome.Exp.Runner.result);
+  let rspec =
+    Exp.Spec.v ~n_instrs ~app:"finagle-http"
+      (Exp.Spec.Ripple { policy = "lru"; threshold = 0.5 })
+  in
+  let cells = Exp.Runner.run ~jobs:1 ~quiet:true [ rspec ] in
+  let cell = List.hd cells in
+  (match (Exp.Runner.ok_exn cell).Exp.Runner.evaluation with
+  | Some ev -> roundtrip "evaluation" (Core.Pipeline.evaluation_to_json ev)
+  | None -> Alcotest.fail "ripple cell should carry an evaluation");
+  roundtrip "cell" (Exp.Report.cell_to_json cell);
+  roundtrip "spec" (Exp.Spec.to_json rspec)
+
+let suites =
+  [
+    ( "exp",
+      [
+        Alcotest.test_case "parallel determinism" `Slow test_parallel_determinism;
+        Alcotest.test_case "repeated spec identical" `Slow test_repeat_spec_identical;
+        Alcotest.test_case "failed-cell isolation" `Slow test_failed_cell_isolation;
+        Alcotest.test_case "prng seeds distinct" `Quick test_prng_seed_distinct;
+        Alcotest.test_case "registry complete at Table II geometry" `Quick
+          test_registry_complete;
+        Alcotest.test_case "json round-trip" `Slow test_json_roundtrip;
+      ] );
+  ]
