@@ -114,6 +114,11 @@ let log fmt =
 
 let all_cells : Exp.Runner.cell list ref = ref []
 
+(* Include per-cell GC allocation stats in the --out JSONL.  Off by
+   default so figure/table sweeps stay byte-identical across runs and
+   pool sizes; `smoke` turns it on as the quick memory health check. *)
+let gc_in_jsonl = ref false
+
 let run_specs specs =
   let quiet = Sys.getenv_opt "RIPPLE_BENCH_QUIET" <> None in
   let cells = Exp.Runner.run ?jobs:!jobs ~quiet specs in
@@ -129,7 +134,7 @@ let write_cells () =
         (fun (a : Exp.Runner.cell) b -> Exp.Spec.compare a.Exp.Runner.spec b.Exp.Runner.spec)
         !all_cells
     in
-    Exp.Report.write_jsonl path sorted;
+    Exp.Report.write_jsonl ~gc:!gc_in_jsonl path sorted;
     log "wrote %s (%d cells)" path (List.length sorted)
 
 let cell_policies = [ "lru"; "random"; "srrip"; "drrip"; "ghrp"; "hawkeye" ]
@@ -777,7 +782,9 @@ let micro () =
     let cache =
       Cache.Cache.create ~geometry:Cache.Geometry.l1i ~policy:Cache.Lru.make ()
     in
-    Array.iter (fun acc -> ignore (Cache.Cache.access cache acc)) stream
+    Cache.Access_stream.iter
+      (fun acc -> ignore (Cache.Cache.access_packed cache acc))
+      stream
   in
   let belady_replay () =
     ignore (Cache.Belady.simulate Cache.Geometry.l1i ~mode:Cache.Belady.Min stream)
@@ -815,6 +822,7 @@ let smoke () =
      over three apps and FDIP, sized to finish in seconds.  `--jobs`
      scales it across domains; results are identical at any pool size. *)
   n_instrs := min !n_instrs 150_000;
+  gc_in_jsonl := true;
   let smoke_apps = [ W.Apps.cassandra; W.Apps.finagle_http; W.Apps.verilator ] in
   ensure_cells (List.map (fun m -> (m, Core.Pipeline.Fdip)) smoke_apps);
   let table =

@@ -1,0 +1,53 @@
+(* Peak-memory / allocation probe for the access-stream pipeline.
+
+     dune exec bench/memstat.exe -- [n_instrs]
+
+   Measures, for one (application, prefetcher) configuration at the
+   given trace length: words allocated and top-heap words reached by
+   (1) recording the LRU reference access stream, (2) the Belady
+   Demand-MIN replay over it, and (3) a full Simulator.run — the three
+   hot paths of the pipeline.  Numbers feed EXPERIMENTS.md's
+   peak-memory table; the streaming-representation acceptance criteria
+   are judged against them. *)
+
+module W = Ripple_workloads
+module Cache = Ripple_cache
+module Cpu = Ripple_cpu
+
+let words stat = stat.Gc.minor_words +. stat.Gc.major_words -. stat.Gc.promoted_words
+
+let measure name f =
+  Gc.compact ();
+  let before = Gc.quick_stat () in
+  let x = f () in
+  let after = Gc.quick_stat () in
+  Printf.printf "%-24s allocated_words=%14.0f top_heap_words=%10d live_words=%10d\n%!" name
+    (words after -. words before)
+    after.Gc.top_heap_words
+    (let s = Gc.quick_stat () in s.Gc.heap_words);
+  x
+
+let () =
+  let n_instrs =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 2_000_000
+  in
+  let model = W.Apps.kafka in
+  let workload = W.Cfg_gen.generate model in
+  let program = workload.W.Cfg_gen.program in
+  let trace =
+    measure "trace (block ids)" (fun () ->
+        W.Executor.run workload ~input:W.Executor.eval_inputs.(0) ~n_instrs)
+  in
+  Printf.printf "trace blocks: %d\n%!" (Array.length trace);
+  let stream =
+    measure "record_stream" (fun () ->
+        Cpu.Simulator.record_stream ~program ~trace ~prefetcher:Cpu.Simulator.prefetcher_fdip ())
+  in
+  Printf.printf "stream accesses: %d\n%!" (Cache.Access_stream.length stream);
+  ignore
+    (measure "belady demand-min" (fun () ->
+         Cache.Belady.simulate Cache.Geometry.l1i ~mode:Cache.Belady.Demand_min stream));
+  ignore
+    (measure "simulator lru+fdip" (fun () ->
+         Cpu.Simulator.run ~program ~trace ~policy:Cache.Lru.make
+           ~prefetcher:Cpu.Simulator.prefetcher_fdip ()))

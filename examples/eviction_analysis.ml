@@ -13,6 +13,7 @@ module Basic_block = Ripple_isa.Basic_block
 module Program = Ripple_isa.Program
 module Addr = Ripple_isa.Addr
 module Access = Ripple_cache.Access
+module Access_stream = Ripple_cache.Access_stream
 module Geometry = Ripple_cache.Geometry
 module Belady = Ripple_cache.Belady
 module Eviction_window = Ripple_core.Eviction_window
@@ -43,7 +44,7 @@ let () =
      no consequence for A. *)
   let seq = [ 0; 1; 2; 0; 1; 1; 4; 0; 2; 0; 1; 2; 0; 1; 1; 4; 0; 1; 2 ] in
   let stream =
-    Array.of_list
+    Access_stream.of_list
       (List.map (fun i -> Access.demand ~line:(line_of i) ~block:ids.(i)) seq)
   in
   Printf.printf "executed blocks : %s\n\n"
@@ -68,7 +69,9 @@ let () =
 
   (* Conditional probabilities and the decision. *)
   let exec_counts = Array.make (Program.n_blocks program) 0 in
-  Array.iter (fun (a : Access.t) -> exec_counts.(a.Access.block) <- exec_counts.(a.Access.block) + 1) stream;
+  Access_stream.iter
+    (fun a -> exec_counts.(Access.packed_block a) <- exec_counts.(Access.packed_block a) + 1)
+    stream;
   Printf.printf "\nexecution counts: %s\n"
     (String.concat ", "
        (List.mapi (fun i id -> Printf.sprintf "%s=%d" name_of.(i) exec_counts.(id))

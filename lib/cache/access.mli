@@ -28,3 +28,44 @@ val is_demand : t -> bool
 val is_prefetch : t -> bool
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Packed form}
+
+    The same information squeezed into one immediate [int], so access
+    streams can live in flat [int array] chunks ({!Access_stream}) and
+    the simulator's hot loops allocate nothing per access.  Layout (63
+    usable bits on 64-bit OCaml):
+
+    {v bit 0        kind (0 = demand, 1 = prefetch)
+       bits 1-22    block id biased by +1 (so the prefetchers' "no
+                    block" id of -1 packs as 0)
+       bits 23-62   cache-line number v}
+
+    [pc] is not stored: both constructors above pin [pc = line] (the
+    paper's one-PC-one-line observation, §II-D), so it is recomputed on
+    unpacking.  Packing is exact for every value the constructors can
+    build; [pack]/[unpack] round-trip. *)
+
+type packed = int
+
+val max_packed_line : int
+(** Largest packable line number, [2^40 - 1] — ample for the simulated
+    address space ({!Ripple_isa.Addr}). *)
+
+val max_packed_block : int
+(** Largest packable block id, [2^22 - 2] (the same bound
+    {!Ripple_core.Cue_block} assumes); [-1] is also packable. *)
+
+val pack_demand : line:Addr.line -> block:int -> packed
+val pack_prefetch : line:Addr.line -> block:int -> packed
+val pack : t -> packed
+val unpack : packed -> t
+
+val packed_line : packed -> Addr.line
+val packed_pc : packed -> int
+val packed_block : packed -> int
+val packed_kind : packed -> kind
+val packed_is_demand : packed -> bool
+val packed_is_prefetch : packed -> bool
+
+val pp_packed : Format.formatter -> packed -> unit

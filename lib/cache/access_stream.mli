@@ -1,0 +1,91 @@
+(** Chunked, re-iterable access streams of packed immediate ints.
+
+    The paper's evaluation replays 100 M-instruction steady-state
+    captures; at that scale a stream of boxed {!Access.t} records (one
+    5-word block per access, plus the spine) dominates peak memory and
+    GC time.  This module stores each access as one {!Access.packed}
+    immediate int in flat [int array] chunks of {!chunk_entries}
+    entries: one word per access, zero per-access allocation while
+    producing, consuming or re-consuming the stream.
+
+    Streams are immutable once built, O(1) randomly addressable
+    ({!get}), and re-iterable: offline consumers that need several
+    passes ({!Belady.simulate}'s backward next-use pass then forward
+    replay, the cue-block analysis' two window walks) iterate the same
+    stream repeatedly, or hold a {!Cursor} and {!Cursor.rewind} it.
+    Iteration order is always stream order, so every pass over the same
+    stream observes the identical access sequence — the determinism
+    contract of DESIGN.md is carried by construction. *)
+
+type t
+
+val chunk_entries : int
+(** Entries per storage chunk (a power of two).  Building an [n]-access
+    stream allocates [ceil (n / chunk_entries)] chunks and never copies
+    more than one chunk, so peak transient memory stays within one
+    chunk of the final footprint. *)
+
+val empty : t
+
+val length : t -> int
+
+val get : t -> int -> Access.packed
+(** O(1).  Raises [Invalid_argument] out of bounds. *)
+
+val get_access : t -> int -> Access.t
+(** Boxed view of one entry (allocates; diagnostics and tests). *)
+
+val iter : (Access.packed -> unit) -> t -> unit
+val iteri : (int -> Access.packed -> unit) -> t -> unit
+
+val iteri_rev : (int -> Access.packed -> unit) -> t -> unit
+(** Highest index first — the backward pass oracle consumers build
+    next-use tables with. *)
+
+val fold_left : ('a -> Access.packed -> 'a) -> 'a -> t -> 'a
+
+val of_array : Access.t array -> t
+val of_list : Access.t list -> t
+
+val to_array : t -> Access.t array
+(** Materializes boxed records — intended for tests and small streams
+    only; it reintroduces exactly the footprint this module removes. *)
+
+(** Incremental producer.  [add] never inspects earlier entries, so
+    producers stream straight from their source (block trace, simulator
+    replay) without materializing anything else. *)
+module Builder : sig
+  type stream := t
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+  val add : t -> Access.packed -> unit
+  val add_access : t -> Access.t -> unit
+  val add_demand : t -> line:Ripple_isa.Addr.line -> block:int -> unit
+  val add_prefetch : t -> line:Ripple_isa.Addr.line -> block:int -> unit
+
+  val finish : t -> stream
+  (** Freezes the accumulated entries.  The builder is reset to empty
+      (never aliasing the frozen stream), so it may be reused. *)
+end
+
+(** A mutable read position over an immutable stream.  Rewindable, so a
+    two-pass consumer can hand the same cursor through both passes. *)
+module Cursor : sig
+  type stream := t
+  type t
+
+  val create : stream -> t
+  val pos : t -> int
+  val length : t -> int
+  val has_next : t -> bool
+
+  val next : t -> Access.packed
+  (** Returns the entry at [pos] and advances.  Raises
+      [Invalid_argument] past the end ({!has_next} guards). *)
+
+  val peek : t -> Access.packed
+  val rewind : t -> unit
+  val seek : t -> int -> unit
+end

@@ -19,29 +19,29 @@ type result = {
 let infinity_idx = max_int
 
 (* next_demand.(i) / next_prefetch.(i): index of the next demand/prefetch
-   access to the same line, strictly after access i. *)
-let next_use_tables (stream : Access.t array) =
-  let n = Array.length stream in
-  let next_demand = Array.make n infinity_idx in
-  let next_prefetch = Array.make n infinity_idx in
+   access to the same line, strictly after access i.  One backward pass
+   over the packed stream; no access is ever boxed. *)
+let next_use_tables (stream : Access_stream.t) =
+  let n = Access_stream.length stream in
+  let next_demand = Array.make (max n 1) infinity_idx in
+  let next_prefetch = Array.make (max n 1) infinity_idx in
   let last_demand = Hashtbl.create 65536 and last_prefetch = Hashtbl.create 65536 in
-  for i = n - 1 downto 0 do
-    let acc = stream.(i) in
-    let line = acc.Access.line in
-    (match Hashtbl.find_opt last_demand line with
-    | Some j -> next_demand.(i) <- j
-    | None -> ());
-    (match Hashtbl.find_opt last_prefetch line with
-    | Some j -> next_prefetch.(i) <- j
-    | None -> ());
-    match acc.Access.kind with
-    | Access.Demand -> Hashtbl.replace last_demand line i
-    | Access.Prefetch -> Hashtbl.replace last_prefetch line i
-  done;
+  Access_stream.iteri_rev
+    (fun i acc ->
+      let line = Access.packed_line acc in
+      (match Hashtbl.find_opt last_demand line with
+      | Some j -> next_demand.(i) <- j
+      | None -> ());
+      (match Hashtbl.find_opt last_prefetch line with
+      | Some j -> next_prefetch.(i) <- j
+      | None -> ());
+      if Access.packed_is_demand acc then Hashtbl.replace last_demand line i
+      else Hashtbl.replace last_prefetch line i)
+    stream;
   (next_demand, next_prefetch)
 
 let simulate ?(on_fill = fun ~index:_ _ -> ()) ?(count_from = 0) geometry ~mode
-    (stream : Access.t array) =
+    (stream : Access_stream.t) =
   let next_demand, next_prefetch = next_use_tables stream in
   let sets = Geometry.sets geometry and ways = geometry.Geometry.ways in
   (* Per-slot resident line and its most recent access index. *)
@@ -55,18 +55,20 @@ let simulate ?(on_fill = fun ~index:_ _ -> ()) ?(count_from = 0) geometry ~mode
   let prefetch_fills = ref 0 in
   let evictions = ref [] in
   let n_evictions = ref 0 in
+  (* Way index or [-1]: option results would be the loop's only
+     per-access allocation. *)
   let find_way set line =
     let rec go way =
-      if way >= ways then None
-      else if tags.((set * ways) + way) = line then Some way
+      if way >= ways then -1
+      else if tags.((set * ways) + way) = line then way
       else go (way + 1)
     in
     go 0
   in
   let free_way set =
     let rec go way =
-      if way >= ways then None
-      else if tags.((set * ways) + way) = -1 then Some way
+      if way >= ways then -1
+      else if tags.((set * ways) + way) = -1 then way
       else go (way + 1)
     in
     go 0
@@ -108,51 +110,53 @@ let simulate ?(on_fill = fun ~index:_ _ -> ()) ?(count_from = 0) geometry ~mode
       best_way := (if !best_a >= 0 then !best_a else !best_b));
     !best_way
   in
-  let n = Array.length stream in
-  for i = 0 to n - 1 do
-    let acc = stream.(i) in
-    let line = acc.Access.line in
-    let set = Geometry.set_of_line geometry line in
-    let counted = i >= count_from in
-    (match acc.Access.kind with
-    | Access.Demand -> if counted then incr demand_accesses
-    | Access.Prefetch -> if counted then incr prefetch_accesses);
-    match find_way set line with
-    | Some way -> last_idx.((set * ways) + way) <- i
-    | None ->
-      on_fill ~index:i acc;
-      (match acc.Access.kind with
-      | Access.Demand ->
-        if counted then incr demand_misses;
-        if not (Hashtbl.mem seen line) then begin
-          Hashtbl.add seen line ();
-          if counted then incr demand_misses_cold
-        end
-      | Access.Prefetch ->
-        Hashtbl.replace seen line ();
-        if counted then incr prefetch_fills);
-      let way =
-        match free_way set with
-        | Some way -> way
-        | None ->
-          let way = choose_victim set in
-          let slot = (set * ways) + way in
-          let j = last_idx.(slot) in
-          let next =
-            let nd = next_demand.(j) and np = next_prefetch.(j) in
-            if nd = infinity_idx && np = infinity_idx then Never
-            else if np < nd then Next_prefetch
-            else Next_demand
-          in
-          evictions :=
-            { at = i; line = tags.(slot); set; last_use = j; next } :: !evictions;
-          incr n_evictions;
-          way
-      in
-      let slot = (set * ways) + way in
-      tags.(slot) <- line;
-      last_idx.(slot) <- i
-  done;
+  Access_stream.iteri
+    (fun i acc ->
+      let line = Access.packed_line acc in
+      let set = Geometry.set_of_line geometry line in
+      let counted = i >= count_from in
+      let is_demand = Access.packed_is_demand acc in
+      (if is_demand then (if counted then incr demand_accesses)
+       else if counted then incr prefetch_accesses);
+      let hit_way = find_way set line in
+      if hit_way >= 0 then last_idx.((set * ways) + hit_way) <- i
+      else begin
+        on_fill ~index:i acc;
+        (if is_demand then begin
+           if counted then incr demand_misses;
+           if not (Hashtbl.mem seen line) then begin
+             Hashtbl.add seen line ();
+             if counted then incr demand_misses_cold
+           end
+         end
+         else begin
+           Hashtbl.replace seen line ();
+           if counted then incr prefetch_fills
+         end);
+        let way =
+          let free = free_way set in
+          if free >= 0 then free
+          else begin
+            let way = choose_victim set in
+            let slot = (set * ways) + way in
+            let j = last_idx.(slot) in
+            let next =
+              let nd = next_demand.(j) and np = next_prefetch.(j) in
+              if nd = infinity_idx && np = infinity_idx then Never
+              else if np < nd then Next_prefetch
+              else Next_demand
+            in
+            evictions :=
+              { at = i; line = tags.(slot); set; last_use = j; next } :: !evictions;
+            incr n_evictions;
+            way
+          end
+        in
+        let slot = (set * ways) + way in
+        tags.(slot) <- line;
+        last_idx.(slot) <- i
+      end)
+    stream;
   {
     mode;
     demand_accesses = !demand_accesses;

@@ -43,14 +43,16 @@ type result = {
 }
 
 val simulate :
-  ?on_fill:(index:int -> Access.t -> unit) ->
+  ?on_fill:(index:int -> Access.packed -> unit) ->
   ?count_from:int ->
   Geometry.t ->
   mode:mode ->
-  Access.t array ->
+  Access_stream.t ->
   result
-(** Full offline replay.  O(n·ways) time, O(n) space for the next-use
-    tables.  [on_fill] is invoked for every access that misses and fills
+(** Full offline replay over a packed {!Access_stream}.  O(n·ways) time,
+    O(n) space for the next-use tables; the backward next-use pass and
+    the forward replay both iterate the stream without boxing a single
+    access.  [on_fill] is invoked for every access that misses and fills
     (demand misses and prefetch fills), in stream order — the timing
     model uses it to drive the L2/L3 hierarchy under the oracle
     policies.  [count_from] restricts the counters (not the simulation,

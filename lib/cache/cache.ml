@@ -41,41 +41,45 @@ let policy_name t = t.name
 
 let slot t set way = (set * t.ways) + way
 
-let find_way t set line =
-  let rec go way =
-    if way >= t.ways then None
-    else begin
-      let s = slot t set way in
-      if t.state.(s) = st_valid && t.tags.(s) = line then Some way else go (way + 1)
-    end
-  in
-  go 0
+(* The lookup helpers return the way index or [-1] rather than an
+   option, and recurse at top level rather than through an inner [go]:
+   both the option result and the capturing closure would otherwise be
+   a heap allocation on every cache access. *)
+let rec find_way_from t set line way =
+  if way >= t.ways then -1
+  else begin
+    let s = slot t set way in
+    if t.state.(s) = st_valid && t.tags.(s) = line then way
+    else find_way_from t set line (way + 1)
+  end
 
-let find_state t set target =
-  let rec go way =
-    if way >= t.ways then None
-    else if t.state.(slot t set way) = target then Some way
-    else go (way + 1)
-  in
-  go 0
+let find_way t set line = find_way_from t set line 0
+
+let rec find_state_from t set target way =
+  if way >= t.ways then -1
+  else if t.state.(slot t set way) = target then way
+  else find_state_from t set target (way + 1)
+
+let find_state t set target = find_state_from t set target 0
 
 let contains t line =
   let set = Geometry.set_of_line t.geom line in
-  find_way t set line <> None
+  find_way t set line >= 0
 
 (* Install [line] into [set]; chooses the fill way per the documented
    priority and updates statistics. *)
-let fill t set (acc : Access.t) =
+let fill t set (acc : Access.packed) =
   let way =
-    match find_state t set st_cold with
-    | Some way -> way
-    | None -> begin
-      match find_state t set st_hinted with
-      | Some way ->
+    let cold = find_state t set st_cold in
+    if cold >= 0 then cold
+    else begin
+      let hinted = find_state t set st_hinted in
+      if hinted >= 0 then begin
         t.stats.Stats.replacement_decisions <- t.stats.Stats.replacement_decisions + 1;
         t.stats.Stats.hinted_fills <- t.stats.Stats.hinted_fills + 1;
-        way
-      | None ->
+        hinted
+      end
+      else begin
         let way = t.policy.Policy.victim ~set in
         assert (way >= 0 && way < t.ways);
         let s = slot t set way in
@@ -84,24 +88,25 @@ let fill t set (acc : Access.t) =
         t.stats.Stats.evictions <- t.stats.Stats.evictions + 1;
         t.policy.Policy.on_eviction ~set ~way ~line:t.tags.(s);
         way
+      end
     end
   in
   let s = slot t set way in
-  t.tags.(s) <- acc.Access.line;
+  t.tags.(s) <- Access.packed_line acc;
   t.state.(s) <- st_valid;
   t.policy.Policy.on_fill ~set ~way acc
 
-let access t (acc : Access.t) =
-  let line = acc.Access.line in
+let access_packed t (acc : Access.packed) =
+  let line = Access.packed_line acc in
   let set = Geometry.set_of_line t.geom line in
-  match acc.Access.kind with
-  | Access.Demand -> begin
+  if Access.packed_is_demand acc then begin
     t.stats.Stats.demand_accesses <- t.stats.Stats.demand_accesses + 1;
-    match find_way t set line with
-    | Some way ->
+    let way = find_way t set line in
+    if way >= 0 then begin
       t.policy.Policy.on_hit ~set ~way acc;
       Hit
-    | None ->
+    end
+    else begin
       t.stats.Stats.demand_misses <- t.stats.Stats.demand_misses + 1;
       if not (Hashtbl.mem t.seen line) then begin
         Hashtbl.add t.seen line ();
@@ -109,36 +114,41 @@ let access t (acc : Access.t) =
       end;
       fill t set acc;
       Miss
+    end
   end
-  | Access.Prefetch -> begin
+  else begin
     t.stats.Stats.prefetch_accesses <- t.stats.Stats.prefetch_accesses + 1;
-    match find_way t set line with
-    | Some _ -> Hit
-    | None ->
+    if find_way t set line >= 0 then Hit
+    else begin
       Hashtbl.replace t.seen line ();
       t.stats.Stats.prefetch_fills <- t.stats.Stats.prefetch_fills + 1;
       fill t set acc;
       Miss
+    end
   end
+
+let access t (acc : Access.t) = access_packed t (Access.pack acc)
 
 let invalidate t line =
   let set = Geometry.set_of_line t.geom line in
-  match find_way t set line with
-  | Some way ->
+  let way = find_way t set line in
+  if way >= 0 then begin
     let s = slot t set way in
     t.state.(s) <- st_hinted;
     t.tags.(s) <- -1;
     t.stats.Stats.invalidate_hits <- t.stats.Stats.invalidate_hits + 1;
     t.policy.Policy.on_invalidate ~set ~way
-  | None -> t.stats.Stats.invalidate_misses <- t.stats.Stats.invalidate_misses + 1
+  end
+  else t.stats.Stats.invalidate_misses <- t.stats.Stats.invalidate_misses + 1
 
 let demote t line =
   let set = Geometry.set_of_line t.geom line in
-  match find_way t set line with
-  | Some way ->
+  let way = find_way t set line in
+  if way >= 0 then begin
     t.stats.Stats.demotes <- t.stats.Stats.demotes + 1;
     t.policy.Policy.demote ~set ~way
-  | None -> t.stats.Stats.invalidate_misses <- t.stats.Stats.invalidate_misses + 1
+  end
+  else t.stats.Stats.invalidate_misses <- t.stats.Stats.invalidate_misses + 1
 
 let flush t =
   Array.fill t.state 0 (Array.length t.state) st_cold;

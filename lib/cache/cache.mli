@@ -21,9 +21,14 @@ val geometry : t -> Geometry.t
 val stats : t -> Stats.t
 val policy_name : t -> string
 
-val access : t -> Access.t -> result
+val access_packed : t -> Access.packed -> result
 (** Performs a reference, filling on a miss.  [Hit]/[Miss] reflects
-    presence before any fill. *)
+    presence before any fill.  Allocation-free: packed accesses flow to
+    the policy callbacks without ever being boxed. *)
+
+val access : t -> Access.t -> result
+(** [access t acc = access_packed t (Access.pack acc)] — boxed
+    convenience wrapper for tests and small drivers. *)
 
 val contains : t -> Addr.line -> bool
 (** Presence test with no side effects. *)

@@ -43,24 +43,25 @@ let make ?(fixed = true) () ~sets ~ways =
     done
   in
   let update_history line = history := (mix (!history lxor line)) land ((1 lsl history_bits) - 1) in
-  let touch ~set ~way (acc : Access.t) =
+  let touch ~set ~way (acc : Access.packed) =
     let slot = (set * ways) + way in
-    let s = current_signature acc.Access.line in
+    let line = Access.packed_line acc in
+    let s = current_signature line in
     signature.(slot) <- s;
     dead.(slot) <- predict_dead s;
     incr clock;
     stamp.(slot) <- !clock;
-    if Access.is_demand acc then update_history acc.Access.line
+    if Access.packed_is_demand acc then update_history line
   in
-  let on_hit ~set ~way (acc : Access.t) =
+  let on_hit ~set ~way (acc : Access.packed) =
     (* A hit proves the previous signature of this slot was alive. *)
     train signature.((set * ways) + way) ~towards_dead:false ~amount:1;
     touch ~set ~way acc
   in
-  let on_fill ~set ~way (acc : Access.t) =
-    if fixed && Access.is_demand acc then begin
+  let on_fill ~set ~way (acc : Access.packed) =
+    if fixed && Access.packed_is_demand acc then begin
       (* Premature-eviction check: was this line evicted recently? *)
-      let line = acc.Access.line in
+      let line = Access.packed_line acc in
       for i = 0 to victim_buffer_size - 1 do
         if victims_line.(i) = line then begin
           train victims_sig.(i) ~towards_dead:false ~amount:4;

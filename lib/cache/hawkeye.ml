@@ -61,19 +61,20 @@ let make ?(harmony = true) () ~sets ~ways =
   (* OPTgen: decide whether Belady (or Demand-MIN under Harmony) would
      have kept [line] across its last usage interval, and train the PC
      that opened the interval accordingly. *)
-  let optgen_access sampler (acc : Access.t) =
+  let optgen_access sampler (acc : Access.packed) =
     let now = sampler.clock in
     sampler.clock <- now + 1;
     sampler.occupancy.(now mod sampler_associativity) <- 0;
+    let line = Access.packed_line acc in
     let found = ref (-1) in
     for i = 0 to sampler_associativity - 1 do
-      if sampler.lines.(i) = acc.Access.line then found := i
+      if sampler.lines.(i) = line then found := i
     done;
     (if !found >= 0 then begin
        let i = !found in
        let t_prev = sampler.times.(i) in
        if now - t_prev < sampler_associativity then begin
-         if harmony && Access.is_prefetch acc then
+         if harmony && Access.packed_is_prefetch acc then
            (* Demand-MIN: an interval closed by a prefetch need not be
               cached — the prefetch re-fetches the line for free. *)
            train sampler.pcs.(i) ~friendly:false
@@ -111,14 +112,15 @@ let make ?(harmony = true) () ~sets ~ways =
        found := !slot
      end);
     let i = !found in
-    sampler.lines.(i) <- acc.Access.line;
-    sampler.pcs.(i) <- acc.Access.pc;
+    sampler.lines.(i) <- line;
+    sampler.pcs.(i) <- Access.packed_pc acc;
     sampler.times.(i) <- now
   in
-  let place ~set ~way (acc : Access.t) =
+  let place ~set ~way (acc : Access.packed) =
     let slot = (set * ways) + way in
-    last_pc.(slot) <- acc.Access.pc;
-    if predict_friendly acc.Access.pc then begin
+    let pc = Access.packed_pc acc in
+    last_pc.(slot) <- pc;
+    if predict_friendly pc then begin
       (* Friendly: most recent, and age the other friendly lines. *)
       for w = 0 to ways - 1 do
         let s = (set * ways) + w in
@@ -128,7 +130,7 @@ let make ?(harmony = true) () ~sets ~ways =
     end
     else rrpv.(slot) <- rrpv_max
   in
-  let observe ~set (acc : Access.t) =
+  let observe ~set (acc : Access.packed) =
     match sampler_of set with Some s -> optgen_access s acc | None -> ()
   in
   let on_hit ~set ~way acc =

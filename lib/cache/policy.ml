@@ -1,7 +1,7 @@
 type t = {
   name : string;
-  on_hit : set:int -> way:int -> Access.t -> unit;
-  on_fill : set:int -> way:int -> Access.t -> unit;
+  on_hit : set:int -> way:int -> Access.packed -> unit;
+  on_fill : set:int -> way:int -> Access.packed -> unit;
   victim : set:int -> int;
   on_eviction : set:int -> way:int -> line:Ripple_isa.Addr.line -> unit;
   on_invalidate : set:int -> way:int -> unit;

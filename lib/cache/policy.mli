@@ -12,9 +12,9 @@
 
 type t = {
   name : string;
-  on_hit : set:int -> way:int -> Access.t -> unit;
+  on_hit : set:int -> way:int -> Access.packed -> unit;
       (** A resident line was demand-referenced. *)
-  on_fill : set:int -> way:int -> Access.t -> unit;
+  on_fill : set:int -> way:int -> Access.packed -> unit;
       (** A line was installed into [way] (demand or prefetch fill). *)
   victim : set:int -> int;
       (** Way to evict from a full set. *)
@@ -32,7 +32,7 @@ type t = {
 type factory = sets:int -> ways:int -> t
 (** Policies are constructed per cache geometry. *)
 
-val nop_access : set:int -> way:int -> Access.t -> unit
+val nop_access : set:int -> way:int -> Access.packed -> unit
 (** Convenience no-op callback. *)
 
 val nop_way : set:int -> way:int -> unit

@@ -24,12 +24,13 @@ let make ~sets ~ways =
     end;
     rrpv.(slot) <- 0
   in
-  let on_fill ~set ~way (acc : Access.t) =
+  let on_fill ~set ~way (acc : Access.packed) =
     let slot = (set * ways) + way in
-    fill_sig.(slot) <- acc.Access.pc;
+    let pc = Access.packed_pc acc in
+    fill_sig.(slot) <- pc;
     reused.(slot) <- false;
     (* Never-reused signatures insert eviction-first. *)
-    rrpv.(slot) <- (if shct.(index acc.Access.pc) = 0 then rrpv_max else rrpv_long)
+    rrpv.(slot) <- (if shct.(index pc) = 0 then rrpv_max else rrpv_long)
   in
   let on_eviction ~set ~way ~line:_ =
     let slot = (set * ways) + way in

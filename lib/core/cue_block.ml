@@ -1,4 +1,5 @@
 module Access = Ripple_cache.Access
+module Access_stream = Ripple_cache.Access_stream
 
 type decision = { cue_block : int; victim : int; probability : float; windows : int }
 
@@ -12,13 +13,16 @@ let default_min_support = 3
    typically the strongest predictors) and the blocks leading up to the
    eviction.  Bounded by the scan/step limits; [seen] is caller-provided
    scratch (cleared here). *)
-let walk_window ~scan_limit ~step_limit (stream : Access.t array) (w : Eviction_window.t) ~seen f
-    =
+let walk_window ~scan_limit ~step_limit (stream : Access_stream.t) (w : Eviction_window.t)
+    ~seen f =
   Hashtbl.reset seen;
-  let visit acc =
-    if Access.is_demand acc && not (Hashtbl.mem seen acc.Access.block) then begin
-      Hashtbl.add seen acc.Access.block ();
-      f acc.Access.block
+  let visit (acc : Access.packed) =
+    if Access.packed_is_demand acc then begin
+      let block = Access.packed_block acc in
+      if not (Hashtbl.mem seen block) then begin
+        Hashtbl.add seen block ();
+        f block
+      end
     end
   in
   let half_scan = max 1 (scan_limit / 2) and half_step = max 1 (step_limit / 2) in
@@ -27,7 +31,7 @@ let walk_window ~scan_limit ~step_limit (stream : Access.t array) (w : Eviction_
   let steps = ref 0 in
   let i = ref (start + 1) in
   while !i <= stop && !steps < half_step && Hashtbl.length seen < half_scan do
-    visit stream.(!i);
+    visit (Access_stream.get stream !i);
     incr steps;
     incr i
   done;
@@ -37,7 +41,7 @@ let walk_window ~scan_limit ~step_limit (stream : Access.t array) (w : Eviction_
   steps := 0;
   let j = ref stop in
   while !j >= fwd_end && !steps < half_step && Hashtbl.length seen < scan_limit do
-    visit stream.(!j);
+    visit (Access_stream.get stream !j);
     incr steps;
     decr j
   done

@@ -17,7 +17,7 @@
     paper's "up to 10 minutes" offline analysis implies. *)
 
 module Addr := Ripple_isa.Addr
-module Access := Ripple_cache.Access
+module Access_stream := Ripple_cache.Access_stream
 
 type decision = {
   cue_block : int;  (** block to instrument *)
@@ -39,7 +39,7 @@ val analyze :
   ?scan_limit:int ->
   ?step_limit:int ->
   ?min_support:int ->
-  stream:Access.t array ->
+  stream:Access_stream.t ->
   windows:Eviction_window.t array ->
   exec_counts:int array ->
   threshold:float ->

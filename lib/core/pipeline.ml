@@ -92,26 +92,6 @@ let instrument_with (o : Options.t) ~program ~profile_trace ~prefetch =
       injection;
     } )
 
-let instrument ?config ?threshold ?mode ?skip_jit ?max_hints_per_block ?scan_limit
-    ?min_support ?exclude_prefetch_covered ?pt_roundtrip ~program ~profile_trace ~prefetch () =
-  let d = Options.default in
-  let value v = function Some x -> x | None -> v in
-  let options =
-    {
-      Options.config = value d.Options.config config;
-      threshold = value d.Options.threshold threshold;
-      mode = value d.Options.mode mode;
-      skip_jit = value d.Options.skip_jit skip_jit;
-      max_hints_per_block = value d.Options.max_hints_per_block max_hints_per_block;
-      scan_limit = value d.Options.scan_limit scan_limit;
-      min_support = value d.Options.min_support min_support;
-      exclude_prefetch_covered =
-        value d.Options.exclude_prefetch_covered exclude_prefetch_covered;
-      pt_roundtrip = value d.Options.pt_roundtrip pt_roundtrip;
-    }
-  in
-  instrument_with options ~program ~profile_trace ~prefetch
-
 type evaluation = {
   result : Simulator.result;
   coverage : float;

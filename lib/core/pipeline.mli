@@ -71,26 +71,6 @@ val instrument_with :
 (** Profile → eviction analysis → cue-block selection → link-time
     injection, under [Options]. *)
 
-val instrument :
-  ?config:Config.t ->
-  ?threshold:float ->
-  ?mode:Injector.mode ->
-  ?skip_jit:bool ->
-  ?max_hints_per_block:int ->
-  ?scan_limit:int ->
-  ?min_support:int ->
-  ?exclude_prefetch_covered:bool ->
-  ?pt_roundtrip:bool ->
-  program:Program.t ->
-  profile_trace:int array ->
-  prefetch:prefetch ->
-  unit ->
-  Program.t * analysis
-(** @deprecated Thin wrapper over {!instrument_with}, kept for one
-    release so existing callers compile; each optional argument
-    overrides the matching {!Options.default} field.  New code should
-    build an {!Options.t} record instead. *)
-
 type evaluation = {
   result : Simulator.result;  (** performance of the instrumented run *)
   coverage : float;  (** §III-C replacement-coverage *)

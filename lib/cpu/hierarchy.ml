@@ -12,11 +12,11 @@ let create (config : Config.t) =
   }
 
 let fetch t line =
-  let acc = Access.demand ~line ~block:(-1) in
-  match Cache.access t.l2 acc with
+  let acc = Access.pack_demand ~line ~block:(-1) in
+  match Cache.access_packed t.l2 acc with
   | Cache.Hit -> L2
   | Cache.Miss -> begin
-    match Cache.access t.l3 acc with Cache.Hit -> L3 | Cache.Miss -> Memory
+    match Cache.access_packed t.l3 acc with Cache.Hit -> L3 | Cache.Miss -> Memory
   end
 
 let penalty config = function

@@ -3,6 +3,7 @@ module Basic_block = Ripple_isa.Basic_block
 module Cache = Ripple_cache.Cache
 module Stats = Ripple_cache.Stats
 module Access = Ripple_cache.Access
+module Access_stream = Ripple_cache.Access_stream
 module Belady = Ripple_cache.Belady
 module Lru = Ripple_cache.Lru
 module Prefetcher = Ripple_prefetch.Prefetcher
@@ -99,12 +100,25 @@ let run ?(config = Config.default) ?(warmup = 0) ?(on_hint = fun ~at:_ _ ~reside
   let blocks = Program.blocks program in
   let instructions = ref 0 in
   let hint_instructions = ref 0 in
-  let miss_cycles = ref 0.0 in
+  (* Penalties are integers; accumulating in an int avoids a boxed-float
+     store per miss and converts once at the end.  (Bit-identical to
+     float accumulation: every partial sum is far below 2^53.) *)
+  let miss_cycles = ref 0 in
   let l2_served = ref 0 and l3_served = ref 0 and mem_served = ref 0 in
-  let complete_prefetch (acc : Access.t) =
-    match Cache.access l1 acc with
+  let complete_prefetch (acc : Access.packed) =
+    match Cache.access_packed l1 acc with
     | Cache.Hit -> ()
-    | Cache.Miss -> ignore (Hierarchy.fetch hierarchy acc.Access.line)
+    | Cache.Miss -> ignore (Hierarchy.fetch hierarchy (Access.packed_line acc))
+  in
+  (* Issued accesses arrive consed (newest first); completing them in
+     issue order without the [List.rev] copy means recursing to the tail
+     first.  In-flight lists are bounded by the FTQ/issue width, so the
+     recursion depth is small. *)
+  let rec complete_all = function
+    | [] -> ()
+    | acc :: rest ->
+      complete_all rest;
+      complete_prefetch acc
   in
   (* Prefetches land [prefetch_latency_blocks] blocks after issue (the
      L2 round trip); slot [at mod slots] holds what completes as block
@@ -114,15 +128,18 @@ let run ?(config = Config.default) ?(warmup = 0) ?(on_hint = fun ~at:_ _ ~reside
   let in_flight = Array.make slots [] in
   let flush_due ~at =
     let slot = at mod slots in
-    List.iter complete_prefetch (List.rev in_flight.(slot));
+    complete_all in_flight.(slot);
     in_flight.(slot) <- []
   in
-  let issue_delayed ~at (acc : Access.t) =
-    let slot = (at + delay) mod slots in
-    in_flight.(slot) <- acc :: in_flight.(slot)
+  let rec issue_all ~at = function
+    | [] -> ()
+    | (acc : Access.packed) :: rest ->
+      let slot = (at + delay) mod slots in
+      in_flight.(slot) <- acc :: in_flight.(slot);
+      issue_all ~at rest
   in
   let demand ~block line =
-    match Cache.access l1 (Access.demand ~line ~block) with
+    match Cache.access_packed l1 (Access.pack_demand ~line ~block) with
     | Cache.Hit -> false
     | Cache.Miss ->
       let served = Hierarchy.fetch hierarchy line in
@@ -130,7 +147,7 @@ let run ?(config = Config.default) ?(warmup = 0) ?(on_hint = fun ~at:_ _ ~reside
       | Hierarchy.L2 -> incr l2_served
       | Hierarchy.L3 -> incr l3_served
       | Hierarchy.Memory -> incr mem_served);
-      miss_cycles := !miss_cycles +. Float.of_int (Hierarchy.penalty config served);
+      miss_cycles := !miss_cycles + Hierarchy.penalty config served;
       true
   in
   Array.iteri
@@ -139,7 +156,7 @@ let run ?(config = Config.default) ?(warmup = 0) ?(on_hint = fun ~at:_ _ ~reside
          counters at the warm-up boundary. *)
       if at = warmup && warmup > 0 then begin
         Stats.reset (Cache.stats l1);
-        miss_cycles := 0.0;
+        miss_cycles := 0;
         instructions := 0;
         hint_instructions := 0;
         l2_served := 0;
@@ -148,11 +165,11 @@ let run ?(config = Config.default) ?(warmup = 0) ?(on_hint = fun ~at:_ _ ~reside
       end;
       let b = blocks.(id) in
       flush_due ~at;
-      List.iter (issue_delayed ~at) (pf.Prefetcher.on_block b);
+      issue_all ~at (pf.Prefetcher.on_block b);
       let bl = lines.(id) in
       for i = 0 to Array.length bl - 1 do
         let missed = demand ~block:id bl.(i) in
-        List.iter (issue_delayed ~at) (pf.Prefetcher.on_demand ~line:bl.(i) ~missed)
+        issue_all ~at (pf.Prefetcher.on_demand ~line:bl.(i) ~missed)
       done;
       let hints = b.Basic_block.hints in
       for i = 0 to Array.length hints - 1 do
@@ -167,8 +184,8 @@ let run ?(config = Config.default) ?(warmup = 0) ?(on_hint = fun ~at:_ _ ~reside
       instructions := !instructions + Basic_block.total_instrs b)
     trace;
   finish ~config ~instructions:!instructions ~hint_instructions:!hint_instructions
-    ~miss_cycles:!miss_cycles ~l1i:(Cache.stats l1) ~l2_served:!l2_served ~l3_served:!l3_served
-    ~mem_served:!mem_served
+    ~miss_cycles:(Float.of_int !miss_cycles) ~l1i:(Cache.stats l1) ~l2_served:!l2_served
+    ~l3_served:!l3_served ~mem_served:!mem_served
 
 let instructions_from ~program ~trace ~warmup =
   let per_block = Array.map Basic_block.total_instrs (Program.blocks program) in
@@ -188,56 +205,63 @@ let record_stream_indexed ?(config = Config.default) ~program ~trace ~prefetcher
   let pf = prefetcher program in
   let lines = block_lines program in
   let blocks = Program.blocks program in
-  let out = ref (Array.make 65536 (Access.demand ~line:0 ~block:0)) in
+  let builder = Access_stream.Builder.create () in
   let pos = ref (Array.make 65536 0) in
   let len = ref 0 in
-  let emit acc ~at =
-    if !len = Array.length !out then begin
-      let bigger = Array.make (2 * !len) acc in
-      Array.blit !out 0 bigger 0 !len;
-      out := bigger;
+  let emit (acc : Access.packed) ~at =
+    if !len = Array.length !pos then begin
       let bigger_pos = Array.make (2 * !len) 0 in
       Array.blit !pos 0 bigger_pos 0 !len;
       pos := bigger_pos
     end;
-    !out.(!len) <- acc;
+    Access_stream.Builder.add builder acc;
     !pos.(!len) <- at;
     incr len
   in
   let delay = max 0 config.Config.prefetch_latency_blocks in
   let slots = delay + 1 in
   let in_flight = Array.make slots [] in
+  let rec complete_all ~at = function
+    | [] -> ()
+    | (acc : Access.packed) :: rest ->
+      complete_all ~at rest;
+      emit acc ~at;
+      ignore (Cache.access_packed l1 acc)
+  in
+  let rec issue_all ~at = function
+    | [] -> ()
+    | (acc : Access.packed) :: rest ->
+      let slot = (at + delay) mod slots in
+      in_flight.(slot) <- acc :: in_flight.(slot);
+      issue_all ~at rest
+  in
   Array.iteri
     (fun at id ->
-      let complete_prefetch (acc : Access.t) =
-        emit acc ~at;
-        ignore (Cache.access l1 acc)
-      in
       let slot = at mod slots in
-      List.iter complete_prefetch (List.rev in_flight.(slot));
+      complete_all ~at in_flight.(slot);
       in_flight.(slot) <- [];
       let b = blocks.(id) in
-      List.iter
-        (fun acc -> in_flight.((at + delay) mod slots) <- acc :: in_flight.((at + delay) mod slots))
-        (pf.Prefetcher.on_block b);
+      issue_all ~at (pf.Prefetcher.on_block b);
       let bl = lines.(id) in
       for i = 0 to Array.length bl - 1 do
-        let acc = Access.demand ~line:bl.(i) ~block:id in
+        let acc = Access.pack_demand ~line:bl.(i) ~block:id in
         emit acc ~at;
-        let missed = Cache.access l1 acc = Cache.Miss in
-        List.iter
-          (fun acc ->
-            in_flight.((at + delay) mod slots) <- acc :: in_flight.((at + delay) mod slots))
-          (pf.Prefetcher.on_demand ~line:bl.(i) ~missed)
+        let missed = Cache.access_packed l1 acc = Cache.Miss in
+        issue_all ~at (pf.Prefetcher.on_demand ~line:bl.(i) ~missed)
       done)
     trace;
-  (Array.sub !out 0 !len, Array.sub !pos 0 !len)
+  (Access_stream.Builder.finish builder, Array.sub !pos 0 !len)
 
 let record_stream ?config ~program ~trace ~prefetcher () =
   fst (record_stream_indexed ?config ~program ~trace ~prefetcher ())
 
-let oracle ?(config = Config.default) ?(warmup = 0) ~mode ~program ~trace ~prefetcher () =
-  let stream, stream_pos = record_stream_indexed ~config ~program ~trace ~prefetcher () in
+let oracle ?(config = Config.default) ?(warmup = 0) ?stream ~mode ~program ~trace ~prefetcher
+    () =
+  let stream, stream_pos =
+    match stream with
+    | Some s -> s
+    | None -> record_stream_indexed ~config ~program ~trace ~prefetcher ()
+  in
   (* First stream index belonging to the measured region. *)
   let count_from =
     let n = Array.length stream_pos in
@@ -245,16 +269,16 @@ let oracle ?(config = Config.default) ?(warmup = 0) ~mode ~program ~trace ~prefe
     if warmup = 0 then 0 else find 0
   in
   let hierarchy = Hierarchy.create config in
-  let miss_cycles = ref 0.0 in
+  let miss_cycles = ref 0 in
   let l2_served = ref 0 and l3_served = ref 0 and mem_served = ref 0 in
-  let on_fill ~index (acc : Access.t) =
-    let served = Hierarchy.fetch hierarchy acc.Access.line in
-    if Access.is_demand acc && index >= count_from then begin
+  let on_fill ~index (acc : Access.packed) =
+    let served = Hierarchy.fetch hierarchy (Access.packed_line acc) in
+    if Access.packed_is_demand acc && index >= count_from then begin
       (match served with
       | Hierarchy.L2 -> incr l2_served
       | Hierarchy.L3 -> incr l3_served
       | Hierarchy.Memory -> incr mem_served);
-      miss_cycles := !miss_cycles +. Float.of_int (Hierarchy.penalty config served)
+      miss_cycles := !miss_cycles + Hierarchy.penalty config served
     end
   in
   let res = Belady.simulate ~on_fill ~count_from config.Config.l1i ~mode stream in
@@ -267,5 +291,5 @@ let oracle ?(config = Config.default) ?(warmup = 0) ~mode ~program ~trace ~prefe
   stats.Stats.prefetch_fills <- res.Belady.prefetch_fills;
   stats.Stats.evictions <- Array.length res.Belady.evictions;
   stats.Stats.replacement_decisions <- Array.length res.Belady.evictions;
-  finish ~config ~instructions ~hint_instructions:0 ~miss_cycles:!miss_cycles ~l1i:stats
-    ~l2_served:!l2_served ~l3_served:!l3_served ~mem_served:!mem_served
+  finish ~config ~instructions ~hint_instructions:0 ~miss_cycles:(Float.of_int !miss_cycles)
+    ~l1i:stats ~l2_served:!l2_served ~l3_served:!l3_served ~mem_served:!mem_served

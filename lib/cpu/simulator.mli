@@ -14,7 +14,7 @@
 
 module Program := Ripple_isa.Program
 module Stats := Ripple_cache.Stats
-module Access := Ripple_cache.Access
+module Access_stream := Ripple_cache.Access_stream
 module Belady := Ripple_cache.Belady
 module Policy := Ripple_cache.Policy
 module Prefetcher := Ripple_prefetch.Prefetcher
@@ -62,6 +62,7 @@ val ideal_cache :
 val oracle :
   ?config:Config.t ->
   ?warmup:int ->
+  ?stream:Access_stream.t * int array ->
   mode:Belady.mode ->
   program:Program.t ->
   trace:int array ->
@@ -72,7 +73,12 @@ val oracle :
     prefetcher produces.  The stream is recorded under an LRU reference
     run (prefetcher reactions depend on hit/miss outcomes); the oracle
     then replays it offline — the standard construction for
-    prefetch-aware replacement limit studies. *)
+    prefetch-aware replacement limit studies.  [stream] supplies a
+    pre-recorded indexed stream (as returned by
+    {!record_stream_indexed} for the same config/trace/prefetcher),
+    letting callers that run several oracles over one stream — or memo
+    it across cells — skip the re-recording; recording is
+    deterministic, so the result is identical either way. *)
 
 val record_stream :
   ?config:Config.t ->
@@ -80,9 +86,11 @@ val record_stream :
   trace:int array ->
   prefetcher:(Program.t -> Prefetcher.t) ->
   unit ->
-  Access.t array
+  Access_stream.t
 (** The demand+prefetch access stream of an LRU reference run — the
-    input to both {!oracle} and Ripple's offline analysis. *)
+    input to both {!oracle} and Ripple's offline analysis.  Recorded
+    straight into packed chunks: one word per access, no boxed records,
+    so a 10x longer trace costs 10x one-word entries and nothing else. *)
 
 val record_stream_indexed :
   ?config:Config.t ->
@@ -90,7 +98,7 @@ val record_stream_indexed :
   trace:int array ->
   prefetcher:(Program.t -> Prefetcher.t) ->
   unit ->
-  Access.t array * int array
+  Access_stream.t * int array
 (** Like {!record_stream}, additionally returning, per stream entry, the
     index into [trace] of the block being executed when the access was
     issued — the coordinate change Ripple's analysis uses to express

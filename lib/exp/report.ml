@@ -16,10 +16,20 @@ let analysis_to_json (a : Pipeline.analysis) =
       ("blocks_touched", Json.Int a.Pipeline.injection.Injector.blocks_touched);
     ]
 
-let cell_to_json (cell : Runner.cell) =
+let gc_to_json (g : Runner.gc_stats) =
+  Json.Obj
+    [
+      ("allocated_words", Json.Float g.Runner.allocated_words);
+      ("minor_words", Json.Float g.Runner.minor_words);
+      ("major_words", Json.Float g.Runner.major_words);
+      ("top_heap_words", Json.Int g.Runner.top_heap_words);
+    ]
+
+let cell_to_json ?(gc = false) (cell : Runner.cell) =
   let spec_fields =
     match Spec.to_json cell.Runner.spec with Json.Obj fields -> fields | _ -> assert false
   in
+  let gc_fields = if gc then [ ("gc", gc_to_json cell.Runner.gc) ] else [] in
   let payload =
     match cell.Runner.outcome with
     | Error e -> [ ("status", Json.String "error"); ("error", Json.String e) ]
@@ -33,21 +43,38 @@ let cell_to_json (cell : Runner.cell) =
       | Some a -> [ ("analysis", analysis_to_json a) ]
       | None -> [])
   in
-  Json.Obj (spec_fields @ payload)
+  Json.Obj (spec_fields @ payload @ gc_fields)
 
-let to_jsonl cells =
+let to_jsonl ?gc cells =
   let buf = Buffer.create 4096 in
   List.iter
     (fun cell ->
-      Json.to_buffer buf (cell_to_json cell);
+      Json.to_buffer buf (cell_to_json ?gc cell);
       Buffer.add_char buf '\n')
     cells;
   Buffer.contents buf
 
-let write_jsonl path cells =
-  let oc = open_out path in
-  output_string oc (to_jsonl cells);
-  close_out oc
+(* Create every missing directory on the way to [path]. *)
+let rec mkdir_parents dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_parents (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let write_jsonl ?gc path cells =
+  mkdir_parents (Filename.dirname path);
+  (* Write-then-rename so a crash mid-write never leaves a truncated
+     file where a previous complete run's output used to be. *)
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".") ".tmp" in
+  (try
+     let oc = open_out tmp in
+     output_string oc (to_jsonl ?gc cells);
+     close_out oc;
+     Sys.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e)
 
 let print_summary cells =
   let table =

@@ -7,13 +7,22 @@
     deliberately excluded (it is the one nondeterministic observable),
     so the same spec list renders byte-identically at any pool size. *)
 
-val cell_to_json : Runner.cell -> Ripple_util.Json.t
+val cell_to_json : ?gc:bool -> Runner.cell -> Ripple_util.Json.t
+(** [gc] (default [false]) appends the cell's {!Runner.gc_stats} as a
+    ["gc"] object.  Off by default because allocation totals depend on
+    memo warm-up and domain scheduling — with it off, the same spec
+    list renders byte-identically at any pool size; turn it on for
+    memory diagnostics (the bench's smoke target does). *)
 
-val to_jsonl : Runner.cell list -> string
+val to_jsonl : ?gc:bool -> Runner.cell list -> string
 (** One [cell_to_json] per line, ["\n"]-terminated. *)
 
-val write_jsonl : string -> Runner.cell list -> unit
-(** [write_jsonl path cells] writes {!to_jsonl} to [path]. *)
+val write_jsonl : ?gc:bool -> string -> Runner.cell list -> unit
+(** [write_jsonl path cells] writes {!to_jsonl} to [path], creating
+    missing parent directories and writing atomically (temp file in the
+    destination directory, then rename), so readers never observe a
+    partial file and an interrupted run never clobbers a previous
+    complete one. *)
 
 val print_summary : Runner.cell list -> unit
 (** Human-readable per-cell table (IPC, MPKI, misses, Ripple coverage /

@@ -10,7 +10,22 @@ type outcome = {
   analysis : Pipeline.analysis option;
 }
 
-type cell = { spec : Spec.t; outcome : (outcome, string) result; elapsed : float }
+type gc_stats = {
+  allocated_words : float;
+  minor_words : float;
+  major_words : float;
+  top_heap_words : int;
+}
+
+type cell = {
+  spec : Spec.t;
+  outcome : (outcome, string) result;
+  elapsed : float;
+  gc : gc_stats;
+}
+
+let no_gc_stats =
+  { allocated_words = 0.0; minor_words = 0.0; major_words = 0.0; top_heap_words = 0 }
 
 (* ---------------------- per-domain workload memo --------------------- *)
 
@@ -22,11 +37,18 @@ type cell = { spec : Spec.t; outcome : (outcome, string) result; elapsed : float
 type memo = {
   workloads : (string, W.Cfg_gen.t) Hashtbl.t;
   traces : (string * int * string, int array) Hashtbl.t;
+  streams :
+    ( string * int * string * string * Config.t,
+      Ripple_cache.Access_stream.t * int array )
+    Hashtbl.t;
+      (* Recorded access streams in their compact packed form — one word
+         per access — so memoizing them costs a small fraction of what
+         boxed streams would. *)
 }
 
 let memo_key : memo Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      { workloads = Hashtbl.create 8; traces = Hashtbl.create 16 })
+      { workloads = Hashtbl.create 8; traces = Hashtbl.create 16; streams = Hashtbl.create 16 })
 
 let workload_of app =
   let memo = Domain.DLS.get memo_key in
@@ -63,6 +85,31 @@ let trace_of app ~n_instrs (input : Spec.input) =
     Hashtbl.add memo.traces key t;
     t
 
+(* The prefetcher-shaped access stream of the eval trace, in packed form.
+   Deterministic in its key (recording replays an LRU reference run), so
+   several oracle cells over the same (app, input, length, prefetcher,
+   config) share one recording. *)
+let stream_of ~config (spec : Spec.t) ~trace ~program =
+  let memo = Domain.DLS.get memo_key in
+  let input = executor_input spec.Spec.input in
+  let key =
+    ( spec.Spec.app,
+      spec.Spec.n_instrs,
+      input.W.Executor.label,
+      Pipeline.prefetch_name spec.Spec.prefetch,
+      config )
+  in
+  match Hashtbl.find_opt memo.streams key with
+  | Some s -> s
+  | None ->
+    let s =
+      Simulator.record_stream_indexed ~config ~program ~trace
+        ~prefetcher:(Pipeline.prefetcher_of ~config spec.Spec.prefetch)
+        ()
+    in
+    Hashtbl.add memo.streams key s;
+    s
+
 (* ----------------------------- one cell ------------------------------ *)
 
 let run_spec ?(config = Config.default) (spec : Spec.t) =
@@ -84,9 +131,10 @@ let run_spec ?(config = Config.default) (spec : Spec.t) =
     let result = Simulator.ideal_cache ~config ~warmup ~program ~trace:eval () in
     { result; evaluation = None; analysis = None }
   | Spec.Oracle ->
+    let stream = stream_of ~config spec ~trace:eval ~program in
     let result =
-      Simulator.oracle ~config ~warmup ~mode:(Pipeline.belady_mode_of prefetch) ~program
-        ~trace:eval ~prefetcher ()
+      Simulator.oracle ~config ~warmup ~stream ~mode:(Pipeline.belady_mode_of prefetch)
+        ~program ~trace:eval ~prefetcher ()
     in
     { result; evaluation = None; analysis = None }
   | Spec.Ripple { policy; threshold } ->
@@ -112,23 +160,39 @@ let run ?config ?jobs ?(quiet = false) specs =
   let done_count = Atomic.make 0 in
   let f spec =
     let t0 = Unix.gettimeofday () in
+    let g0 = Gc.quick_stat () in
     let outcome = run_spec ?config spec in
+    let g1 = Gc.quick_stat () in
     let elapsed = Unix.gettimeofday () -. t0 in
+    (* Words this domain allocated while the cell ran; promoted words
+       would be double-counted (they appear in both minor and major
+       totals), so they are subtracted. *)
+    let minor_words = g1.Gc.minor_words -. g0.Gc.minor_words in
+    let major_words = g1.Gc.major_words -. g0.Gc.major_words in
+    let gc =
+      {
+        allocated_words =
+          minor_words +. major_words -. (g1.Gc.promoted_words -. g0.Gc.promoted_words);
+        minor_words;
+        major_words;
+        top_heap_words = g1.Gc.top_heap_words;
+      }
+    in
     let k = Atomic.fetch_and_add done_count 1 + 1 in
     if not quiet then begin
       Mutex.lock progress_lock;
       Printf.eprintf "[exp] %d/%d %s %.1fs\n%!" k total (Spec.to_string spec) elapsed;
       Mutex.unlock progress_lock
     end;
-    (outcome, elapsed)
+    (outcome, elapsed, gc)
   in
   let results = Pool.run ?jobs ~f specs in
   Array.to_list
     (Array.map2
        (fun spec r ->
          match r with
-         | Ok (outcome, elapsed) -> { spec; outcome = Ok outcome; elapsed }
-         | Error e -> { spec; outcome = Error e; elapsed = 0.0 })
+         | Ok (outcome, elapsed, gc) -> { spec; outcome = Ok outcome; elapsed; gc }
+         | Error e -> { spec; outcome = Error e; elapsed = 0.0; gc = no_gc_stats })
        specs results)
 
 let find cells spec = List.find_opt (fun c -> Spec.equal c.spec spec) cells

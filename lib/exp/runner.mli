@@ -28,10 +28,23 @@ type outcome = {
   analysis : Pipeline.analysis option;  (** Ripple cells only *)
 }
 
+type gc_stats = {
+  allocated_words : float;
+      (** words allocated by the worker domain while the cell ran
+          (minor + major - promoted, so nothing is double-counted) *)
+  minor_words : float;
+  major_words : float;
+  top_heap_words : int;  (** process top-heap watermark after the cell *)
+}
+
 type cell = {
   spec : Spec.t;
   outcome : (outcome, string) result;
   elapsed : float;  (** seconds, wall clock — diagnostic, not reported *)
+  gc : gc_stats;
+      (** allocation profile of the run — diagnostic; only rendered when
+          {!Report} is asked for it, since the numbers depend on memo
+          warm-up and domain scheduling, not on the spec alone *)
 }
 
 val run_spec : ?config:Config.t -> Spec.t -> outcome

@@ -41,6 +41,11 @@ module Btb = struct
     let i = index t ~pc in
     if t.tags.(i) = pc then Some t.targets.(i) else None
 
+  (* Allocation-free variant for the runahead loop: [-1] = no entry. *)
+  let predict_id t ~pc =
+    let i = index t ~pc in
+    if t.tags.(i) = pc then t.targets.(i) else -1
+
   let train t ~pc ~target =
     let i = index t ~pc in
     t.tags.(i) <- pc;
@@ -63,6 +68,15 @@ module Ras = struct
       t.top <- (t.top + Array.length t.stack - 1) mod Array.length t.stack;
       t.depth <- t.depth - 1;
       Some t.stack.(t.top)
+    end
+
+  (* Allocation-free variant: [-1] when empty (pushed ids are >= 0). *)
+  let pop_id t =
+    if t.depth = 0 then -1
+    else begin
+      t.top <- (t.top + Array.length t.stack - 1) mod Array.length t.stack;
+      t.depth <- t.depth - 1;
+      t.stack.(t.top)
     end
 
   let copy_into ~src ~dst =

@@ -32,6 +32,10 @@ module Btb : sig
   val predict : t -> pc:int -> int option
   (** Last observed target for this branch, if the entry matches. *)
 
+  val predict_id : t -> pc:int -> int
+  (** Like {!predict} but returns [-1] when the entry does not match —
+      the runahead-loop variant; it never allocates. *)
+
   val train : t -> pc:int -> target:int -> unit
 end
 
@@ -44,6 +48,11 @@ module Ras : sig
 
   val push : t -> int -> unit
   val pop : t -> int option
+
+  val pop_id : t -> int
+  (** Like {!pop} but returns [-1] when empty (block ids are [>= 0]);
+      never allocates. *)
+
   val copy_into : src:t -> dst:t -> unit
   (** Overwrites [dst] with [src]'s state (runahead resynchronisation on
       a pipeline flush). *)

@@ -14,6 +14,11 @@ let default_ftq_depth = 24
 let default_issue_width = 2
 let recent_filter_size = 8
 
+(* Top-level recursion (not [Array.exists] with a capturing predicate,
+   which would allocate a closure per queued line). *)
+let rec array_mem_from arr x i =
+  i < Array.length arr && (arr.(i) = x || array_mem_from arr x (i + 1))
+
 let create_instrumented ?(ftq_depth = default_ftq_depth) ?(issue_width = default_issue_width)
     ~program () =
   let gshare = Branch_pred.Gshare.create () in
@@ -25,7 +30,7 @@ let create_instrumented ?(ftq_depth = default_ftq_depth) ?(issue_width = default
      per fetched block, modelling finite prefetch bandwidth. *)
   let pending = Ring_queue.create ~capacity:(ftq_depth * 4) ~dummy:(-1) in
   let frontier = ref (-1) in
-  let prev = ref None in
+  let prev = ref (-1) in
   let mispredicts = ref 0 in
   let issued = ref 0 in
   let recent = Array.make recent_filter_size (-1) in
@@ -34,7 +39,7 @@ let create_instrumented ?(ftq_depth = default_ftq_depth) ?(issue_width = default
     recent.(!recent_head) <- line;
     recent_head := (!recent_head + 1) mod recent_filter_size
   in
-  let recently_issued line = Array.exists (fun l -> l = line) recent in
+  let recently_issued line = array_mem_from recent line 0 in
   (* Train predictors with the architecturally observed transition. *)
   let train (p : Basic_block.t) (now : Basic_block.t) =
     match p.Basic_block.term with
@@ -50,84 +55,89 @@ let create_instrumented ?(ftq_depth = default_ftq_depth) ?(issue_width = default
     | Basic_block.Fallthrough _ | Basic_block.Jump _ | Basic_block.Halt -> ()
   in
   (* One runahead step: predicted successor of [block], updating the
-     speculative RAS.  [None] = stall. *)
+     speculative RAS.  [-1] = stall; an int sentinel rather than an
+     option so the runahead loop allocates nothing per step. *)
   let predict_successor (b : Basic_block.t) =
     match b.Basic_block.term with
-    | Basic_block.Fallthrough next | Basic_block.Jump next -> Some next
+    | Basic_block.Fallthrough next | Basic_block.Jump next -> next
     | Basic_block.Cond { taken; fallthrough } ->
-      if Branch_pred.Gshare.predict gshare ~pc:b.Basic_block.id then Some taken
-      else Some fallthrough
+      if Branch_pred.Gshare.predict gshare ~pc:b.Basic_block.id then taken else fallthrough
     | Basic_block.Call { callee; return_to } ->
       Branch_pred.Ras.push runahead_ras return_to;
-      Some callee
-    | Basic_block.Indirect _ -> Branch_pred.Btb.predict btb ~pc:b.Basic_block.id
-    | Basic_block.Indirect_call { callees = _; return_to } -> begin
-      match Branch_pred.Btb.predict btb ~pc:b.Basic_block.id with
-      | Some target ->
-        Branch_pred.Ras.push runahead_ras return_to;
-        Some target
-      | None -> None
-    end
-    | Basic_block.Return -> Branch_pred.Ras.pop runahead_ras
-    | Basic_block.Halt -> None
+      callee
+    | Basic_block.Indirect _ -> Branch_pred.Btb.predict_id btb ~pc:b.Basic_block.id
+    | Basic_block.Indirect_call { callees = _; return_to } ->
+      let target = Branch_pred.Btb.predict_id btb ~pc:b.Basic_block.id in
+      if target >= 0 then Branch_pred.Ras.push runahead_ras return_to;
+      target
+    | Basic_block.Return -> Branch_pred.Ras.pop_id runahead_ras
+    | Basic_block.Halt -> -1
+  in
+  (* Lines per block, computed once: [Basic_block.lines] allocates a
+     fresh list per call, which the runahead path would otherwise do for
+     every FTQ entry. *)
+  let lines_per_block =
+    Array.map (fun b -> Array.of_list (Basic_block.lines b)) (Program.blocks program)
   in
   let queue_block_lines id =
-    let b = Program.block program id in
-    List.iter
-      (fun line ->
-        if not (recently_issued line) then begin
-          remember_line line;
-          ignore (Ring_queue.push pending line)
-        end)
-      (Basic_block.lines b)
+    let lines = lines_per_block.(id) in
+    for i = 0 to Array.length lines - 1 do
+      let line = Array.unsafe_get lines i in
+      if not (recently_issued line) then begin
+        remember_line line;
+        ignore (Ring_queue.push pending line)
+      end
+    done
   in
   (* Extend the runahead path until the FTQ fills, prediction stalls, or
-     prefetch-queue backpressure pauses it. *)
-  let refill () =
-    let room () = Ring_queue.length pending < Ring_queue.capacity pending - 8 in
-    let rec go () =
-      if (not (Ring_queue.is_full ftq)) && !frontier >= 0 && room () then begin
-        match predict_successor (Program.block program !frontier) with
-        | None -> ()
-        | Some next ->
-          ignore (Ring_queue.push ftq next);
-          frontier := next;
-          queue_block_lines next;
-          go ()
+     prefetch-queue backpressure pauses it.  Defined with [let rec] at
+     this level (not as an inner closure) so calling it per block
+     allocates nothing. *)
+  let rec refill () =
+    if
+      (not (Ring_queue.is_full ftq))
+      && !frontier >= 0
+      && Ring_queue.length pending < Ring_queue.capacity pending - 8
+    then begin
+      let next = predict_successor (Program.block program !frontier) in
+      if next >= 0 then begin
+        ignore (Ring_queue.push ftq next);
+        frontier := next;
+        queue_block_lines next;
+        refill ()
       end
-    in
-    go ()
+    end
   in
-  let drain () =
-    let rec go n acc =
-      if n = 0 then acc
+  (* Pops in FIFO order and conses in recursion order, so the issued
+     list is already oldest-first — no [List.rev] copy. *)
+  let rec drain n =
+    if n = 0 then []
+    else begin
+      let line = Ring_queue.pop_or pending ~default:(-1) in
+      if line < 0 then []
       else begin
-        match Ring_queue.pop pending with
-        | None -> acc
-        | Some line ->
-          incr issued;
-          go (n - 1) (Access.prefetch ~line ~block:(-1) :: acc)
+        incr issued;
+        Access.pack_prefetch ~line ~block:(-1) :: drain (n - 1)
       end
-    in
-    List.rev (go issue_width [])
+    end
   in
   let on_block (b : Basic_block.t) =
-    (match !prev with Some p -> train p b | None -> ());
-    prev := Some b;
-    (match Ring_queue.peek ftq with
-    | Some head when head = b.Basic_block.id -> ignore (Ring_queue.pop ftq)
-    | Some _ ->
-      (* Wrong path: flush and resynchronise the speculative state. *)
-      incr mispredicts;
-      Ring_queue.clear ftq;
-      Ring_queue.clear pending;
+    if !prev >= 0 then train (Program.block program !prev) b;
+    prev := b.Basic_block.id;
+    let head = Ring_queue.peek_or ftq ~default:(-1) in
+    if head = b.Basic_block.id then ignore (Ring_queue.pop_or ftq ~default:(-1))
+    else begin
+      if head >= 0 then begin
+        (* Wrong path: flush and resynchronise the speculative state. *)
+        incr mispredicts;
+        Ring_queue.clear ftq;
+        Ring_queue.clear pending
+      end;
       Branch_pred.Ras.copy_into ~src:arch_ras ~dst:runahead_ras;
       frontier := b.Basic_block.id
-    | None ->
-      Branch_pred.Ras.copy_into ~src:arch_ras ~dst:runahead_ras;
-      frontier := b.Basic_block.id);
+    end;
     refill ();
-    drain ()
+    drain issue_width
   in
   let prefetcher =
     {

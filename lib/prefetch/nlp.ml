@@ -16,7 +16,7 @@ let create ?(degree = 1) ?(on_miss_only = false) () =
   let on_demand ~line ~missed =
     if (on_miss_only && missed) || ((not on_miss_only) && not (seen line)) then begin
       remember line;
-      List.init degree (fun i -> Access.prefetch ~line:(line + i + 1) ~block:(-1))
+      List.init degree (fun i -> Access.pack_prefetch ~line:(line + i + 1) ~block:(-1))
     end
     else []
   in

@@ -1,7 +1,7 @@
 type t = {
   name : string;
-  on_block : Ripple_isa.Basic_block.t -> Ripple_cache.Access.t list;
-  on_demand : line:Ripple_isa.Addr.line -> missed:bool -> Ripple_cache.Access.t list;
+  on_block : Ripple_isa.Basic_block.t -> Ripple_cache.Access.packed list;
+  on_demand : line:Ripple_isa.Addr.line -> missed:bool -> Ripple_cache.Access.packed list;
 }
 
 let none = { name = "none"; on_block = (fun _ -> []); on_demand = (fun ~line:_ ~missed:_ -> []) }

@@ -15,10 +15,12 @@ module Access := Ripple_cache.Access
 
 type t = {
   name : string;
-  on_block : Basic_block.t -> Access.t list;
+  on_block : Basic_block.t -> Access.packed list;
       (** Called in execution order; result is issued to the I-cache
-          (as prefetches) before the block's own demand accesses. *)
-  on_demand : line:Addr.line -> missed:bool -> Access.t list;
+          (as prefetches) before the block's own demand accesses.
+          Packed ({!Access.packed}) so issuing costs one list cell per
+          prefetch and nothing more. *)
+  on_demand : line:Addr.line -> missed:bool -> Access.packed list;
       (** Called after each demand access with its hit/miss outcome. *)
 }
 

@@ -62,7 +62,7 @@ let create ?(table_entries = default_table_entries)
     if e.tag <> !signature then []
     else
       Array.fold_left
-        (fun acc line -> if line >= 0 then Access.prefetch ~line ~block:(-1) :: acc else acc)
+        (fun acc line -> if line >= 0 then Access.pack_prefetch ~line ~block:(-1) :: acc else acc)
         [] e.lines
   in
   let on_block (b : Basic_block.t) =

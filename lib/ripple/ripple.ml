@@ -31,6 +31,7 @@ module Apps = Ripple_workloads.Apps
 (* Caches and replacement *)
 module Geometry = Ripple_cache.Geometry
 module Access = Ripple_cache.Access
+module Access_stream = Ripple_cache.Access_stream
 module Cache = Ripple_cache.Cache
 module Cache_stats = Ripple_cache.Stats
 module Policy = Ripple_cache.Policy

@@ -1,0 +1,5 @@
+(* The chunked packed access stream lives in [Ripple_cache] (the cache
+   layer consumes it and the trace layer depends on the cache layer, not
+   the reverse).  Re-exported here so trace producers and their callers
+   can say [Ripple_trace.Access_stream]. *)
+include Ripple_cache.Access_stream

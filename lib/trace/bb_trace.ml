@@ -22,21 +22,26 @@ let exec_counts program trace =
   counts
 
 let demand_stream program trace =
-  let lines_per_block =
-    Array.map (fun b -> Array.of_list (Basic_block.lines b)) (Program.blocks program)
+  (* Pre-pack each block's line accesses once; expanding the trace is
+     then a flat copy of ints into the stream builder — no per-access
+     allocation, and peak memory is one word per access. *)
+  let packed_per_block =
+    Array.map
+      (fun (b : Basic_block.t) ->
+        Array.of_list
+          (List.map (fun line -> Access.pack_demand ~line ~block:b.Basic_block.id)
+             (Basic_block.lines b)))
+      (Program.blocks program)
   in
-  let total = Array.fold_left (fun acc id -> acc + Array.length lines_per_block.(id)) 0 trace in
-  let stream = Array.make total (Access.demand ~line:0 ~block:0) in
-  let pos = ref 0 in
+  let builder = Access_stream.Builder.create () in
   Array.iter
     (fun id ->
-      let lines = lines_per_block.(id) in
-      for i = 0 to Array.length lines - 1 do
-        stream.(!pos) <- Access.demand ~line:lines.(i) ~block:id;
-        incr pos
+      let packed = packed_per_block.(id) in
+      for i = 0 to Array.length packed - 1 do
+        Access_stream.Builder.add builder (Array.unsafe_get packed i)
       done)
     trace;
-  stream
+  Access_stream.Builder.finish builder
 
 let kernel_fraction program trace =
   if Array.length trace = 0 then 0.0

@@ -8,7 +8,6 @@
     more lines — the code-bloat effect §IV charges against Ripple. *)
 
 module Program := Ripple_isa.Program
-module Access := Ripple_cache.Access
 
 type t = int array
 (** Executed block ids, in order. *)
@@ -22,9 +21,11 @@ val n_hint_instrs : Program.t -> t -> int
 val exec_counts : Program.t -> t -> int array
 (** Per-block execution counts, indexed by block id. *)
 
-val demand_stream : Program.t -> t -> Access.t array
+val demand_stream : Program.t -> t -> Access_stream.t
 (** Demand-only I-cache access stream: for each executed block, one
-    access per line its bytes (plus hints) touch, in address order. *)
+    access per line its bytes (plus hints) touch, in address order.
+    Built incrementally into packed chunks ({!Access_stream}), so
+    expansion allocates one word per access and nothing else. *)
 
 val kernel_fraction : Program.t -> t -> float
 (** Fraction of executed blocks that are kernel code. *)

@@ -39,6 +39,17 @@ let pop t =
   end
 
 let peek t = if t.len = 0 then None else Some t.buf.(t.head)
+
+let pop_or t ~default =
+  if t.len = 0 then default
+  else begin
+    let x = t.buf.(t.head) in
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.len <- t.len - 1;
+    x
+  end
+
+let peek_or t ~default = if t.len = 0 then default else t.buf.(t.head)
 let clear t = t.len <- 0
 
 let iter f t =

@@ -30,6 +30,13 @@ val pop : 'a t -> 'a option
 val peek : 'a t -> 'a option
 (** Front element without removing it. *)
 
+val pop_or : 'a t -> default:'a -> 'a
+(** Like {!pop} but returns [default] when empty instead of wrapping in
+    an option — the hot-loop variant; it never allocates. *)
+
+val peek_or : 'a t -> default:'a -> 'a
+(** Like {!peek} but returns [default] when empty; never allocates. *)
+
 val clear : 'a t -> unit
 (** Empties the queue (used on pipeline flush / branch mispredict). *)
 

@@ -9,6 +9,7 @@ module Geometry = Ripple_cache.Geometry
 module Cache = Ripple_cache.Cache
 module Access = Ripple_cache.Access
 module Belady = Ripple_cache.Belady
+module Access_stream = Ripple_cache.Access_stream
 module Lru = Ripple_cache.Lru
 
 let check = Alcotest.check
@@ -20,6 +21,7 @@ let one_set = Geometry.v ~size_bytes:(1 * 2 * 64) ~ways:2
 let demand line = Access.demand ~line ~block:line
 let prefetch line = Access.prefetch ~line ~block:line
 let demands lines = Array.of_list (List.map demand lines)
+let stream_of = Access_stream.of_array
 
 let lru_misses geometry stream =
   let c = Cache.create ~geometry ~policy:Lru.make () in
@@ -31,7 +33,7 @@ let test_min_classic () =
      three lines.  MIN keeps one line pinned. *)
   let stream = demands [ 0; 1; 2; 0; 1; 2; 0; 1; 2 ] in
   let lru = lru_misses one_set stream in
-  let min = (Belady.simulate one_set ~mode:Belady.Min stream).Belady.demand_misses in
+  let min = (Belady.simulate one_set ~mode:Belady.Min (stream_of stream)).Belady.demand_misses in
   checki "lru thrashes" 9 lru;
   (* MIN: misses 0,1,2 cold; then keeps e.g. 0 resident: 0 hits. *)
   checkb "min beats lru" true (min < lru);
@@ -41,7 +43,7 @@ let test_min_classic () =
 
 let test_min_hits_within_capacity () =
   let stream = demands [ 0; 2; 0; 2; 0; 2 ] in
-  let result = Belady.simulate tiny ~mode:Belady.Min stream in
+  let result = Belady.simulate tiny ~mode:Belady.Min (stream_of stream) in
   checki "only cold misses" 2 result.Belady.demand_misses;
   checki "cold" 2 result.Belady.demand_misses_cold;
   checki "no evictions" 0 (Array.length result.Belady.evictions)
@@ -50,7 +52,7 @@ let test_min_eviction_record () =
   (* Single set, 2 ways: 0,2 fill; 4 arrives; next uses: 0 soon, 2 never
      -> evict 2. *)
   let stream = demands [ 0; 2; 4; 0 ] in
-  let result = Belady.simulate one_set ~mode:Belady.Min stream in
+  let result = Belady.simulate one_set ~mode:Belady.Min (stream_of stream) in
   checki "one eviction" 1 (Array.length result.Belady.evictions);
   let e = result.Belady.evictions.(0) in
   checki "victim" 2 e.Belady.line;
@@ -62,7 +64,7 @@ let test_min_next_demand_marker () =
   let stream = demands [ 0; 2; 0; 4; 2 ] in
   (* At fill of 4: next(0) = infinity (0 used at idx 2, no later use);
      next(2) = idx 4 -> evict 0. *)
-  let result = Belady.simulate one_set ~mode:Belady.Min stream in
+  let result = Belady.simulate one_set ~mode:Belady.Min (stream_of stream) in
   let e = result.Belady.evictions.(0) in
   checki "victim 0" 0 e.Belady.line;
   checkb "victim never reused" true (e.Belady.next = Belady.Never);
@@ -75,7 +77,7 @@ let test_demand_min_prefers_prefetched () =
   let stream =
     [| demand 0; demand 2; demand 4; demand 0; prefetch 2; demand 2 |]
   in
-  let dm = Belady.simulate one_set ~mode:Belady.Demand_min stream in
+  let dm = Belady.simulate one_set ~mode:Belady.Demand_min (stream_of stream) in
   let e = dm.Belady.evictions.(0) in
   checki "demand-min evicts the prefetch-covered line" 2 e.Belady.line;
   checkb "marked prefetch-covered" true (e.Belady.next = Belady.Next_prefetch);
@@ -86,13 +88,13 @@ let test_demand_min_prefers_prefetched () =
 let test_demand_min_fallback_demand () =
   (* No prefetches at all: Demand-MIN degenerates to MIN. *)
   let stream = demands [ 0; 1; 2; 0; 1; 2; 0; 1; 2 ] in
-  let min = (Belady.simulate one_set ~mode:Belady.Min stream).Belady.demand_misses in
-  let dm = (Belady.simulate one_set ~mode:Belady.Demand_min stream).Belady.demand_misses in
+  let min = (Belady.simulate one_set ~mode:Belady.Min (stream_of stream)).Belady.demand_misses in
+  let dm = (Belady.simulate one_set ~mode:Belady.Demand_min (stream_of stream)).Belady.demand_misses in
   checki "equal without prefetches" min dm
 
 let test_count_from () =
   let stream = demands [ 0; 2; 0; 2; 0; 2 ] in
-  let result = Belady.simulate ~count_from:2 one_set ~mode:Belady.Min stream in
+  let result = Belady.simulate ~count_from:2 one_set ~mode:Belady.Min (stream_of stream) in
   checki "accesses counted from 2" 4 result.Belady.demand_accesses;
   checki "no misses in counted region" 0 result.Belady.demand_misses
 
@@ -101,8 +103,8 @@ let test_on_fill_callback () =
      access to 0 hits: exactly three fills. *)
   let stream = demands [ 0; 2; 4; 0 ] in
   let fills = ref [] in
-  let on_fill ~index (acc : Access.t) = fills := (index, acc.Access.line) :: !fills in
-  ignore (Belady.simulate ~on_fill one_set ~mode:Belady.Min stream);
+  let on_fill ~index (acc : Access.packed) = fills := (index, Access.packed_line acc) :: !fills in
+  ignore (Belady.simulate ~on_fill one_set ~mode:Belady.Min (stream_of stream));
   check
     (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
     "fills in order"
@@ -117,7 +119,7 @@ let test_windows_are_valid () =
   let stream =
     Array.init 3_000 (fun _ -> demand (Ripple_util.Prng.int rng 40))
   in
-  let result = Belady.simulate tiny ~mode:Belady.Min stream in
+  let result = Belady.simulate tiny ~mode:Belady.Min (stream_of stream) in
   checkb "has evictions" true (Array.length result.Belady.evictions > 0);
   Array.iter
     (fun (e : Belady.eviction) ->
@@ -134,7 +136,7 @@ let prop_min_optimal_vs_lru =
     (fun lines ->
       let stream = demands lines in
       let lru = lru_misses tiny stream in
-      let min = (Belady.simulate tiny ~mode:Belady.Min stream).Belady.demand_misses in
+      let min = (Belady.simulate tiny ~mode:Belady.Min (stream_of stream)).Belady.demand_misses in
       min <= lru)
 
 let prop_min_misses_lower_bound =
@@ -142,7 +144,7 @@ let prop_min_misses_lower_bound =
     QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (int_range 0 50))
     (fun lines ->
       let stream = demands lines in
-      let r = Belady.simulate tiny ~mode:Belady.Min stream in
+      let r = Belady.simulate tiny ~mode:Belady.Min (stream_of stream) in
       r.Belady.demand_misses >= r.Belady.demand_misses_cold
       && r.Belady.demand_misses <= Array.length stream)
 
@@ -156,8 +158,8 @@ let prop_demand_min_not_worse_with_prefetches =
         Array.of_list
           (List.map (fun (is_pf, line) -> if is_pf then prefetch line else demand line) ops)
       in
-      let dm = (Belady.simulate tiny ~mode:Belady.Demand_min stream).Belady.demand_misses in
-      let mn = (Belady.simulate tiny ~mode:Belady.Min stream).Belady.demand_misses in
+      let dm = (Belady.simulate tiny ~mode:Belady.Demand_min (stream_of stream)).Belady.demand_misses in
+      let mn = (Belady.simulate tiny ~mode:Belady.Min (stream_of stream)).Belady.demand_misses in
       dm <= mn)
 
 let qcheck = QCheck_alcotest.to_alcotest

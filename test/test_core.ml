@@ -112,7 +112,7 @@ let fig5_scenario () =
   in
   let exec_counts = Array.make 10 0 in
   Array.iter (fun (a : Access.t) -> exec_counts.(a.Access.block) <- exec_counts.(a.Access.block) + 1) stream;
-  (stream, windows, exec_counts)
+  (Ripple_cache.Access_stream.of_array stream, windows, exec_counts)
 
 let test_cue_selects_best_probability () =
   let stream, windows, exec_counts = fig5_scenario () in
@@ -145,7 +145,7 @@ let test_cue_conditional_probability_values () =
 let test_cue_empty_inputs () =
   checki "no windows, no decisions" 0
     (List.length
-       (Cue_block.analyze ~stream:[||] ~windows:[||] ~exec_counts:[| 0 |] ~threshold:0.5 ()))
+       (Cue_block.analyze ~stream:Ripple_cache.Access_stream.empty ~windows:[||] ~exec_counts:[| 0 |] ~threshold:0.5 ()))
 
 (* ------------------------------ Injector ---------------------------- *)
 
@@ -228,7 +228,8 @@ let mini_setup () =
 let test_pipeline_instrument_produces_hints () =
   let program, train, _ = mini_setup () in
   let instrumented, analysis =
-    Pipeline.instrument ~program ~profile_trace:train ~prefetch:Pipeline.No_prefetch ()
+    Pipeline.instrument_with Pipeline.Options.default ~program ~profile_trace:train
+      ~prefetch:Pipeline.No_prefetch
   in
   checkb "windows found" true (analysis.Pipeline.n_windows > 0);
   checkb "decisions made" true (analysis.Pipeline.n_decisions > 0);
@@ -240,7 +241,8 @@ let test_pipeline_ripple_reduces_misses () =
   let program, train, eval = mini_setup () in
   let warmup = Array.length eval / 2 in
   let instrumented, _ =
-    Pipeline.instrument ~program ~profile_trace:train ~prefetch:Pipeline.No_prefetch ()
+    Pipeline.instrument_with Pipeline.Options.default ~program ~profile_trace:train
+      ~prefetch:Pipeline.No_prefetch
   in
   let lru =
     Simulator.run ~warmup ~program ~trace:eval ~policy:Cache.Lru.make
@@ -264,7 +266,8 @@ let test_pipeline_ripple_random_works () =
   let program, train, eval = mini_setup () in
   let warmup = Array.length eval / 2 in
   let instrumented, _ =
-    Pipeline.instrument ~program ~profile_trace:train ~prefetch:Pipeline.No_prefetch ()
+    Pipeline.instrument_with Pipeline.Options.default ~program ~profile_trace:train
+      ~prefetch:Pipeline.No_prefetch
   in
   let random_base =
     Simulator.run ~warmup ~program ~trace:eval ~policy:(Cache.Random_policy.make ~seed:8)
@@ -281,8 +284,9 @@ let test_pipeline_demote_mode_runs () =
   let program, train, eval = mini_setup () in
   let warmup = Array.length eval / 2 in
   let instrumented, _ =
-    Pipeline.instrument ~mode:Injector.Demote ~program ~profile_trace:train
-      ~prefetch:Pipeline.No_prefetch ()
+    Pipeline.instrument_with
+      { Pipeline.Options.default with mode = Injector.Demote }
+      ~program ~profile_trace:train ~prefetch:Pipeline.No_prefetch
   in
   let lru =
     Simulator.run ~warmup ~program ~trace:eval ~policy:Cache.Lru.make
@@ -299,8 +303,9 @@ let test_pipeline_threshold_monotone_decisions () =
   let program, train, _ = mini_setup () in
   let count threshold =
     let _, analysis =
-      Pipeline.instrument ~threshold ~program ~profile_trace:train
-        ~prefetch:Pipeline.No_prefetch ()
+      Pipeline.instrument_with
+        { Pipeline.Options.default with threshold }
+        ~program ~profile_trace:train ~prefetch:Pipeline.No_prefetch
     in
     analysis.Pipeline.n_decisions
   in

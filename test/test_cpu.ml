@@ -129,9 +129,10 @@ let test_record_stream_demand_content () =
   let stream, pos =
     Simulator.record_stream_indexed ~program ~trace ~prefetcher:Simulator.prefetcher_none ()
   in
-  checki "three accesses" 3 (Array.length stream);
+  checki "three accesses" 3 (Cache.Access_stream.length stream);
   check (Alcotest.array Alcotest.int) "trace positions" [| 0; 1; 2 |] pos;
-  checkb "all demand" true (Array.for_all Cache.Access.is_demand stream)
+  checkb "all demand" true
+    (Array.for_all Cache.Access.is_demand (Cache.Access_stream.to_array stream))
 
 let test_record_stream_includes_prefetches () =
   let program = tiny_program () in
@@ -140,7 +141,8 @@ let test_record_stream_includes_prefetches () =
     Simulator.record_stream ~program ~trace
       ~prefetcher:(Simulator.prefetcher_nlp ?config:None) ()
   in
-  checkb "has prefetch entries" true (Array.exists Cache.Access.is_prefetch stream)
+  checkb "has prefetch entries" true
+    (Array.exists Cache.Access.is_prefetch (Cache.Access_stream.to_array stream))
 
 let test_oracle_not_worse_than_lru () =
   let w = W.Cfg_gen.generate W.Apps.kafka in

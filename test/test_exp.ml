@@ -35,6 +35,58 @@ let test_parallel_determinism () =
       Alcotest.(check bool) "cell ok" true (Result.is_ok c.outcome))
     serial
 
+(* Same property through the packed-stream memo: Oracle cells share a
+   per-domain recorded stream, so a sweep that mixes Oracle specs (which
+   hit and miss the memo in a scheduling-dependent order) must still
+   render byte-identically across job counts. *)
+let test_parallel_determinism_with_memoized_streams () =
+  let open Exp.Spec in
+  let specs =
+    List.concat_map
+      (fun app ->
+        [
+          v ~n_instrs ~app ~prefetch:Core.Pipeline.Fdip Oracle;
+          v ~n_instrs ~app (Policy "lru");
+          v ~n_instrs ~app ~prefetch:Core.Pipeline.Fdip Oracle;
+          v ~n_instrs ~app ~prefetch:Core.Pipeline.Nlp Oracle;
+        ])
+      [ "finagle-http"; "verilator" ]
+  in
+  let serial = Exp.Runner.run ~jobs:1 ~quiet:true specs in
+  let parallel = Exp.Runner.run ~jobs:4 ~quiet:true specs in
+  Alcotest.(check string)
+    "oracle sweep byte-identical across jobs" (Exp.Report.to_jsonl serial)
+    (Exp.Report.to_jsonl parallel);
+  List.iter
+    (fun (c : Exp.Runner.cell) ->
+      Alcotest.(check bool) "cell ok" true (Result.is_ok c.outcome))
+    parallel
+
+(* write_jsonl creates missing parent directories and leaves no temp
+   file behind; the rename makes the write atomic. *)
+let test_write_jsonl_creates_parents () =
+  let root = Filename.temp_file "ripple_exp_test" "" in
+  Sys.remove root;
+  let path = Filename.concat (Filename.concat root "a/b") "out.jsonl" in
+  let cells =
+    Exp.Runner.run ~jobs:1 ~quiet:true
+      [ Exp.Spec.v ~n_instrs ~app:"finagle-http" (Exp.Spec.Policy "lru") ]
+  in
+  Exp.Report.write_jsonl path cells;
+  Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "contents match to_jsonl" (Exp.Report.to_jsonl cells) contents;
+  let dir = Filename.dirname path in
+  Alcotest.(check (list string))
+    "no temp residue" [ "out.jsonl" ]
+    (Array.to_list (Sys.readdir dir));
+  Sys.remove path;
+  Unix.rmdir dir;
+  Unix.rmdir (Filename.concat root "a");
+  Unix.rmdir root
+
 (* Repeating the same spec twice in one sweep must give identical cells:
    per-cell PRNGs, not a shared stream. *)
 let test_repeat_spec_identical () =
@@ -124,6 +176,10 @@ let suites =
     ( "exp",
       [
         Alcotest.test_case "parallel determinism" `Slow test_parallel_determinism;
+        Alcotest.test_case "parallel determinism (memoized oracle streams)" `Slow
+          test_parallel_determinism_with_memoized_streams;
+        Alcotest.test_case "write_jsonl creates parent dirs" `Slow
+          test_write_jsonl_creates_parents;
         Alcotest.test_case "repeated spec identical" `Slow test_repeat_spec_identical;
         Alcotest.test_case "failed-cell isolation" `Slow test_failed_cell_isolation;
         Alcotest.test_case "prng seeds distinct" `Quick test_prng_seed_distinct;

@@ -79,7 +79,7 @@ let test_rdip_learns_callsite_misses () =
   ignore (pf.Prefetcher.on_block (Program.block program (Program.n_blocks program - 1)));
   let issued2 = pf.Prefetcher.on_block (Program.block program main) in
   checkb "prefetches the recorded miss" true
-    (List.exists (fun (a : Access.t) -> a.Access.line = f0_line) issued2)
+    (List.exists (fun a -> Access.packed_line a = f0_line) issued2)
 
 let test_rdip_end_to_end_helps () =
   (* On a call-heavy workload RDIP must remove some misses vs no
@@ -164,8 +164,9 @@ let test_lbr_profile_feeds_pipeline () =
   let samples = Lbr.capture program ~trace ~period:150 ~depth:16 in
   let stitched = Lbr.stitched_trace samples in
   let instrumented, analysis =
-    Pipeline.instrument ~pt_roundtrip:false ~program ~profile_trace:stitched
-      ~prefetch:Pipeline.No_prefetch ()
+    Pipeline.instrument_with
+      { Pipeline.Options.default with pt_roundtrip = false }
+      ~program ~profile_trace:stitched ~prefetch:Pipeline.No_prefetch
   in
   checkb "analysis runs on stitched samples" true (analysis.Pipeline.n_windows > 0);
   checkb "program valid" true (Program.static_hints instrumented >= 0)
@@ -218,9 +219,9 @@ let prop_pipeline_invariants =
       let profile = W.Executor.run w ~input:W.Executor.train ~n_instrs:60_000 in
       let eval = W.Executor.run w ~input:W.Executor.eval_inputs.(1) ~n_instrs:60_000 in
       let instrumented, analysis =
-        Pipeline.instrument
-          ~threshold:(Float.of_int threshold_pct /. 100.0)
-          ~program ~profile_trace:profile ~prefetch:Pipeline.Nlp ()
+        Pipeline.instrument_with
+          { Pipeline.Options.default with threshold = Float.of_int threshold_pct /. 100.0 }
+          ~program ~profile_trace:profile ~prefetch:Pipeline.Nlp
       in
       let ev =
         Pipeline.evaluate ~original:program ~instrumented ~trace:eval ~policy:Lru.make

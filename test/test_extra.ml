@@ -77,7 +77,8 @@ let test_end_to_end_determinism () =
     let profile = W.Executor.run w ~input:W.Executor.train ~n_instrs:200_000 in
     let eval = W.Executor.run w ~input:W.Executor.eval_inputs.(0) ~n_instrs:200_000 in
     let instrumented, _ =
-      Pipeline.instrument ~program ~profile_trace:profile ~prefetch:Pipeline.Fdip ()
+      Pipeline.instrument_with Pipeline.Options.default ~program ~profile_trace:profile
+        ~prefetch:Pipeline.Fdip
     in
     let ev =
       Pipeline.evaluate ~original:program ~instrumented ~trace:eval
@@ -202,8 +203,8 @@ let test_instrument_on_tiny_profile () =
   let w = W.Cfg_gen.generate model in
   let profile = W.Executor.run w ~input:W.Executor.train ~n_instrs:2_000 in
   let instrumented, analysis =
-    Pipeline.instrument ~program:w.W.Cfg_gen.program ~profile_trace:profile
-      ~prefetch:Pipeline.No_prefetch ()
+    Pipeline.instrument_with Pipeline.Options.default ~program:w.W.Cfg_gen.program
+      ~profile_trace:profile ~prefetch:Pipeline.No_prefetch
   in
   checkb "decisions >= 0" true (analysis.Pipeline.n_decisions >= 0);
   checki "hints match decisions minus skips" analysis.Pipeline.injection.Ripple_core.Injector.injected

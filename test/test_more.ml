@@ -56,7 +56,9 @@ let prefetch line = Access.prefetch ~line ~block:line
 let test_demand_min_dead_line_priority () =
   (* A line never referenced again is the preferred victim even when the
      other resident line's next reference is a prefetch. *)
-  let stream = [| demand 0; demand 2; demand 4; prefetch 0; demand 0 |] in
+  let stream =
+    Ripple_cache.Access_stream.of_array [| demand 0; demand 2; demand 4; prefetch 0; demand 0 |]
+  in
   let r = Belady.simulate one_set ~mode:Belady.Demand_min stream in
   let e = r.Belady.evictions.(0) in
   (* Line 0's next ref is the prefetch at 3 (class A, np = 3); line 2 is
@@ -65,7 +67,7 @@ let test_demand_min_dead_line_priority () =
   checkb "marked never" true (e.Belady.next = Belady.Never)
 
 let test_belady_mpki_helper () =
-  let stream = Array.init 10 (fun i -> demand (i * 2)) in
+  let stream = Ripple_cache.Access_stream.of_array (Array.init 10 (fun i -> demand (i * 2))) in
   let r = Belady.simulate one_set ~mode:Belady.Min stream in
   checkf "mpki arithmetic" (1000.0 *. Float.of_int r.Belady.demand_misses /. 5000.0)
     (Belady.mpki r ~instructions:5000);

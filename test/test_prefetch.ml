@@ -86,8 +86,8 @@ let test_nlp_prefetches_on_miss () =
   let nlp = Nlp.create ~degree:2 () in
   let on_miss = nlp.Prefetcher.on_demand ~line:10 ~missed:true in
   check (Alcotest.list Alcotest.int) "next two lines" [ 11; 12 ]
-    (List.map (fun a -> a.Access.line) on_miss);
-  checkb "all prefetch kind" true (List.for_all Access.is_prefetch on_miss);
+    (List.map Access.packed_line on_miss);
+  checkb "all prefetch kind" true (List.for_all Access.packed_is_prefetch on_miss);
   checki "nothing on hit" 0 (List.length (nlp.Prefetcher.on_demand ~line:10 ~missed:false))
 
 (* ------------------------------- Fdip ------------------------------- *)
@@ -107,7 +107,7 @@ let test_fdip_runs_ahead () =
   let prefetched = Hashtbl.create 64 in
   for id = 0 to 39 do
     List.iter
-      (fun a -> Hashtbl.replace prefetched a.Access.line ())
+      (fun a -> Hashtbl.replace prefetched (Access.packed_line a) ())
       (pf.Prefetcher.on_block (Program.block program id))
   done;
   checkb "issued prefetches" true (internals.Fdip.issued () > 0);

@@ -45,7 +45,7 @@ let test_oracle () =
 let test_stream_length () =
   let program, trace = Lazy.force setup in
   let stream = Simulator.record_stream ~program ~trace ~prefetcher:Simulator.prefetcher_none () in
-  checki "stream length" 49_115 (Array.length stream)
+  checki "stream length" 49_115 (Cache.Access_stream.length stream)
 
 let suites =
   [

@@ -1,0 +1,156 @@
+(* Property tests for the packed access-stream representation: the
+   packing round-trips, the chunked stream is observationally equal to a
+   materialized array, cursors replay identically after a rewind, and —
+   the load-bearing property — oracle results computed over the
+   streaming path match the materialized path exactly. *)
+
+module Access = Ripple_cache.Access
+module Access_stream = Ripple_cache.Access_stream
+module Belady = Ripple_cache.Belady
+module Geometry = Ripple_cache.Geometry
+module Simulator = Ripple_cpu.Simulator
+module Lru = Ripple_cache.Lru
+module Pipeline = Ripple_core.Pipeline
+module W = Ripple_workloads
+
+(* Accesses over a deliberately small line space so random streams have
+   reuse (hits, evictions, next-use structure), not just cold misses. *)
+let arb_access =
+  QCheck.map
+    (fun (line, block, pf) ->
+      if pf then Access.prefetch ~line ~block else Access.demand ~line ~block)
+    QCheck.(triple (int_range 0 512) (int_range (-1) 300) bool)
+
+let arb_accesses = QCheck.(list_of_size (Gen.int_range 0 2000) arb_access)
+
+let prop_pack_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"pack/unpack round-trips" arb_access (fun a ->
+      Access.unpack (Access.pack a) = a)
+
+let prop_pack_bounds =
+  (* The extremes of the documented ranges survive; line and kind are
+     recoverable independently of block. *)
+  QCheck.Test.make ~count:200 ~name:"packed accessors agree with record fields"
+    arb_access (fun a ->
+      let p = Access.pack a in
+      Access.packed_line p = a.Access.line
+      && Access.packed_block p = a.Access.block
+      && Access.packed_pc p = a.Access.pc
+      && Access.packed_is_demand p = Access.is_demand a
+      && Access.packed_is_prefetch p = Access.is_prefetch a)
+
+let prop_stream_materializes =
+  QCheck.Test.make ~count:100 ~name:"of_list/to_array round-trips" arb_accesses
+    (fun accs ->
+      let stream = Access_stream.of_list accs in
+      Access_stream.length stream = List.length accs
+      && Array.to_list (Access_stream.to_array stream) = accs)
+
+let prop_stream_iteration_orders =
+  (* get, iter, iteri, fold_left and iteri_rev all observe the same
+     sequence, across chunk boundaries. *)
+  QCheck.Test.make ~count:60 ~name:"iteration orders agree" arb_accesses (fun accs ->
+      let stream = Access_stream.of_list accs in
+      let n = Access_stream.length stream in
+      let by_get = Array.init n (Access_stream.get stream) in
+      let by_iter = ref [] in
+      Access_stream.iter (fun p -> by_iter := p :: !by_iter) stream;
+      let by_rev = ref [] in
+      Access_stream.iteri_rev (fun i p -> by_rev := (i, p) :: !by_rev) stream;
+      let folded = Access_stream.fold_left (fun acc p -> p :: acc) [] stream in
+      Array.to_list by_get = List.rev !by_iter
+      && Array.to_list by_get = List.rev folded
+      && !by_rev = List.mapi (fun i p -> (i, p)) (Array.to_list by_get))
+
+let prop_cursor_rewind =
+  QCheck.Test.make ~count:60 ~name:"cursor rewind replays identically" arb_accesses
+    (fun accs ->
+      let stream = Access_stream.of_list accs in
+      let cursor = Access_stream.Cursor.create stream in
+      let drain () =
+        let out = ref [] in
+        while Access_stream.Cursor.has_next cursor do
+          out := Access_stream.Cursor.next cursor :: !out
+        done;
+        List.rev !out
+      in
+      let first = drain () in
+      Access_stream.Cursor.rewind cursor;
+      let second = drain () in
+      first = second
+      && List.length first = Access_stream.length stream
+      && Access_stream.Cursor.pos cursor = Access_stream.length stream)
+
+let prop_builder_chunking =
+  (* A stream built incrementally equals one built in bulk, across sizes
+     that straddle the chunk boundary. *)
+  QCheck.Test.make ~count:20 ~name:"builder equals bulk construction around chunk edges"
+    QCheck.(int_range 0 3)
+    (fun delta ->
+      let n = Access_stream.chunk_entries + delta - 2 in
+      let accs = List.init n (fun i -> Access.demand ~line:(i land 1023) ~block:(-1)) in
+      let b = Access_stream.Builder.create () in
+      List.iter (Access_stream.Builder.add_access b) accs;
+      let incremental = Access_stream.Builder.finish b in
+      let bulk = Access_stream.of_list accs in
+      Access_stream.length incremental = n
+      && Access_stream.to_array incremental = Access_stream.to_array bulk)
+
+(* ----------------- streaming vs materialized oracle ----------------- *)
+
+let tiny = Geometry.v ~size_bytes:(4 * 2 * 64) ~ways:2
+
+let belady_equal (a : Belady.result) (b : Belady.result) = a = b
+
+let prop_belady_stream_equivalence =
+  (* Belady over the chunked stream vs over a stream rebuilt from the
+     materialized boxed array: identical result records (counters and
+     the full eviction log), in both modes. *)
+  QCheck.Test.make ~count:40 ~name:"belady: streaming path = materialized path"
+    arb_accesses (fun accs ->
+      let streaming = Access_stream.of_list accs in
+      let materialized = Access_stream.of_array (Access_stream.to_array streaming) in
+      belady_equal
+        (Belady.simulate tiny ~mode:Belady.Min streaming)
+        (Belady.simulate tiny ~mode:Belady.Min materialized)
+      && belady_equal
+           (Belady.simulate tiny ~mode:Belady.Demand_min streaming)
+           (Belady.simulate tiny ~mode:Belady.Demand_min materialized))
+
+let prop_oracle_recorded_stream_equivalence =
+  (* The end-to-end streaming contract: [Simulator.oracle] fed a
+     pre-recorded packed stream must equal the oracle left to record its
+     own — same Simulator.result, workload by workload. *)
+  QCheck.Test.make ~count:4 ~name:"oracle: cached stream = fresh recording"
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let w = W.Cfg_gen.generate { W.Apps.kafka with W.App_model.seed } in
+      let program = w.W.Cfg_gen.program in
+      let trace = W.Executor.run w ~input:W.Executor.train ~n_instrs:40_000 in
+      let prefetcher = Simulator.prefetcher_fdip in
+      let stream = Simulator.record_stream_indexed ~program ~trace ~prefetcher () in
+      let with_stream =
+        Simulator.oracle ~warmup:1_000 ~stream ~mode:Belady.Demand_min ~program ~trace
+          ~prefetcher ()
+      in
+      let fresh =
+        Simulator.oracle ~warmup:1_000 ~mode:Belady.Demand_min ~program ~trace ~prefetcher
+          ()
+      in
+      with_stream = fresh)
+
+let suites =
+  [
+    ( "stream",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_pack_roundtrip;
+          prop_pack_bounds;
+          prop_stream_materializes;
+          prop_stream_iteration_orders;
+          prop_cursor_rewind;
+          prop_builder_chunking;
+          prop_belady_stream_equivalence;
+          prop_oracle_recorded_stream_equivalence;
+        ] );
+  ]
