@@ -4,6 +4,7 @@
      ripple-sim simulate --app cassandra --prefetch fdip --policy lru
      ripple-sim ripple   --app verilator --prefetch none --threshold 0.55
      ripple-sim sweep    --apps cassandra,kafka --prefetch none,fdip --jobs 4
+     ripple-sim lint     --apps drupal --json
      ripple-sim trace    --app kafka --instrs 200000 --out kafka.pt
 
    Everything the subcommands do is a thin composition of the public
@@ -290,6 +291,80 @@ let sweep_cmd =
       $ thresholds_arg $ ripple_policy_arg $ instrs_arg $ jobs_arg $ out_arg $ seed_arg
       $ quiet_flag)
 
+(* ------------------------------- lint ------------------------------- *)
+
+let lint_cmd =
+  let module Lint = Ripple_analysis.Lint in
+  let module Json = Ripple_util.Json in
+  let apps_arg =
+    Arg.(
+      value
+      & opt (list app_conv) W.Apps.all
+      & info [ "apps" ] ~docv:"APP,.."
+          ~doc:"Applications to lint (comma-separated; default: all nine).")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt float 0.55
+      & info [ "t"; "threshold" ] ~docv:"P" ~doc:"Invalidation threshold in [0,1].")
+  in
+  let demote_flag =
+    Arg.(value & flag & info [ "demote" ] ~doc:"Inject demote hints instead of invalidations.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object per application.")
+  in
+  (* Lint needs only enough profile to drive the injector; the shared
+     2M-instruction default would triple the run time for no extra
+     findings. *)
+  let lint_instrs_arg =
+    Arg.(
+      value
+      & opt int 500_000
+      & info [ "n"; "instrs" ] ~docv:"N" ~doc:"Profile-trace length in instructions.")
+  in
+  let run apps prefetch threshold demote json n_instrs =
+    let mode = if demote then Ripple_core.Injector.Demote else Ripple_core.Injector.Invalidate in
+    let results =
+      List.map
+        (fun (app : W.App_model.t) ->
+          let workload = W.Cfg_gen.generate app in
+          let program = workload.W.Cfg_gen.program in
+          let profile = W.Executor.run workload ~input:W.Executor.train ~n_instrs in
+          let _instrumented, analysis =
+            Pipeline.instrument_with
+              { Pipeline.Options.default with threshold; mode; verify = true }
+              ~program ~profile_trace:profile ~prefetch
+          in
+          (app.W.App_model.name, Option.get analysis.Pipeline.lint))
+        apps
+    in
+    if json then
+      List.iter
+        (fun (name, s) ->
+          print_endline
+            (Json.to_string (Json.Obj [ ("app", Json.String name); ("lint", Lint.to_json s) ])))
+        results
+    else
+      List.iter
+        (fun (name, s) -> Format.printf "@[<v>== %s ==@,%a@]@." name Lint.pp s)
+        results;
+    let code =
+      List.fold_left (fun acc (_, s) -> max acc (Lint.exit_code s)) 0 results
+    in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically verify application CFGs and the hints Ripple injects: structural checks, \
+          reachability, and safe/harmful/redundant classification of every injected \
+          invalidation.  Exit status: 0 clean, 1 warnings, 2 errors.")
+    Term.(
+      const run $ apps_arg $ prefetch_arg $ threshold_arg $ demote_flag $ json_flag
+      $ lint_instrs_arg)
+
 (* ------------------------------- trace ------------------------------ *)
 
 let trace_cmd =
@@ -326,4 +401,6 @@ let () =
     Cmd.info "ripple-sim" ~version:"1.0.0"
       ~doc:"Profile-guided I-cache replacement (Ripple, ISCA 2021) simulator"
   in
-  exit (Cmd.eval (Cmd.group info [ apps_cmd; simulate_cmd; ripple_cmd; sweep_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ apps_cmd; simulate_cmd; ripple_cmd; sweep_cmd; lint_cmd; trace_cmd ]))

@@ -1,0 +1,75 @@
+module Addr = Ripple_isa.Addr
+module Json = Ripple_util.Json
+
+type severity = Info | Warning | Error
+
+let severity_name = function Info -> "info" | Warning -> "warning" | Error -> "error"
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+type code =
+  | Entry_out_of_range
+  | Id_mismatch
+  | Nonpositive_extent
+  | Dangling_successor
+  | Dangling_return
+  | Region_violation
+  | Overlapping_blocks
+  | Misaligned_block
+  | Unreachable_block
+  | Hint_outside_footprint
+  | Harmful_invalidation
+  | Redundant_invalidation
+
+let code_name = function
+  | Entry_out_of_range -> "entry_out_of_range"
+  | Id_mismatch -> "id_mismatch"
+  | Nonpositive_extent -> "nonpositive_extent"
+  | Dangling_successor -> "dangling_successor"
+  | Dangling_return -> "dangling_return"
+  | Region_violation -> "region_violation"
+  | Overlapping_blocks -> "overlapping_blocks"
+  | Misaligned_block -> "misaligned_block"
+  | Unreachable_block -> "unreachable_block"
+  | Hint_outside_footprint -> "hint_outside_footprint"
+  | Harmful_invalidation -> "harmful_invalidation"
+  | Redundant_invalidation -> "redundant_invalidation"
+
+type t = {
+  severity : severity;
+  code : code;
+  block : int option;
+  line : Addr.line option;
+  message : string;
+}
+
+let v severity code ?block ?line message = { severity; code; block; line; message }
+
+let max_severity = function
+  | [] -> None
+  | fs ->
+    Some
+      (List.fold_left
+         (fun acc f -> if severity_rank f.severity > severity_rank acc then f.severity else acc)
+         Info fs)
+
+let to_json f =
+  Json.Obj
+    [
+      ("severity", Json.String (severity_name f.severity));
+      ("code", Json.String (code_name f.code));
+      ("block", match f.block with Some b -> Json.Int b | None -> Json.Null);
+      ("line", match f.line with Some l -> Json.Int l | None -> Json.Null);
+      ("message", Json.String f.message);
+    ]
+
+let pp fmt f =
+  let pp_block fmt = function
+    | Some b -> Format.fprintf fmt " bb%d" b
+    | None -> ()
+  in
+  let pp_line fmt = function
+    | Some l -> Format.fprintf fmt " %a" Addr.pp_line l
+    | None -> ()
+  in
+  Format.fprintf fmt "@[%s[%s]%a%a: %s@]" (severity_name f.severity) (code_name f.code)
+    pp_block f.block pp_line f.line f.message

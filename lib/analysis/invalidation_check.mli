@@ -1,0 +1,61 @@
+(** Classification of injected invalidation/demotion hints (layer 3).
+
+    A hint is judged by what can happen to its victim line on the
+    static flow graph {e after} the hint executes (hints sit at the end
+    of their block):
+
+    - {b Redundant} — the same line is already hint-dead on every path
+      reaching this hint, with no intervening reference, and an earlier
+      hint that {e dominates} this one witnesses it (including the
+      degenerate case of a duplicate hint in the same block).  The hint
+      can only ever find the line absent: pure overhead.
+    - {b Harmful} — some path re-references the line while fewer than
+      [ways] distinct other lines of the same cache set have been
+      touched since the hint.  No replacement policy — the ideal one
+      included — would have evicted the line that early, so the hint
+      converts a likely hit into a miss ([reuse_block] and the conflict
+      count witness the path).
+    - {b Safe} — neither of the above, split by reason: [Safe_dead]
+      when no path re-references the line at all (accounting for
+      re-invalidations in between), [Safe_pressure] when every path to
+      a re-reference first touches at least [ways] distinct same-set
+      lines — by then the victim is past its ideal eviction point and
+      would have been evicted anyway.
+
+    The conflict count along a path is explored lowest-first and
+    memoised per block, so the search visits each block at most [ways]
+    times; paths are pruned once they saturate the set's associativity
+    or cross another hint on the same line.
+
+    Return edges are {e not} modelled (see {!Cfg}): reuse that flows
+    through a function return is governed by the profile's conditional
+    probability, which is exactly the evidence the injector already
+    demanded.  What this pass catches statically is the blunder the
+    profile cannot excuse — invalidating a line the cue block's own
+    forward slice is still about to execute. *)
+
+module Addr := Ripple_isa.Addr
+module Basic_block := Ripple_isa.Basic_block
+module Geometry := Ripple_cache.Geometry
+
+type site = {
+  block : int;  (** block carrying the hint *)
+  index : int;  (** position in the block's hint array *)
+  line : Addr.line;  (** victim line *)
+  demote : bool;  (** [Demote] rather than [Invalidate] *)
+}
+
+type classification =
+  | Safe_dead
+  | Safe_pressure
+  | Harmful of { reuse_block : int; conflicts : int }
+  | Redundant of { earlier : int }
+
+val classification_name : classification -> string
+(** ["safe_dead"], ["safe_pressure"], ["harmful"], ["redundant"]. *)
+
+val classify : geometry:Geometry.t -> entry:int -> Basic_block.t array -> (site * classification) list
+(** All hint sites in block order (hint order within a block), each with
+    its classification.  [geometry] supplies the set mapping and
+    associativity of the target I-cache.  Requires a structurally valid
+    program (run {!Cfg.check} first). *)

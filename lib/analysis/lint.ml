@@ -1,0 +1,184 @@
+module Addr = Ripple_isa.Addr
+module Basic_block = Ripple_isa.Basic_block
+module Program = Ripple_isa.Program
+module Geometry = Ripple_cache.Geometry
+module Json = Ripple_util.Json
+
+type provenance = { block : int; line : Addr.line; probability : float; windows : int }
+
+type hint_counts = {
+  total : int;
+  safe_dead : int;
+  safe_pressure : int;
+  harmful : int;
+  redundant : int;
+}
+
+let no_hints = { total = 0; safe_dead = 0; safe_pressure = 0; harmful = 0; redundant = 0 }
+
+type summary = {
+  findings : Finding.t list;
+  errors : int;
+  warnings : int;
+  infos : int;
+  hints : hint_counts;
+  structural_gate : bool;
+}
+
+let footprint_lines blocks =
+  let lines = Hashtbl.create 4096 in
+  Array.iter
+    (fun b -> List.iter (fun l -> Hashtbl.replace lines l ()) (Basic_block.lines b))
+    blocks;
+  lines
+
+let provenance_of provenance ~block ~line =
+  List.find_opt (fun p -> p.block = block && p.line = line) provenance
+
+let provenance_clause = function
+  | Some p ->
+    Printf.sprintf " (injected at P=%.2f over %d windows)" p.probability p.windows
+  | None -> ""
+
+let hint_findings ~geometry ~provenance ~entry blocks =
+  let footprint = footprint_lines blocks in
+  let classified = Invalidation_check.classify ~geometry ~entry blocks in
+  let counts = ref no_hints in
+  let findings = ref [] in
+  List.iter
+    (fun ((s : Invalidation_check.site), c) ->
+      let prov =
+        provenance_of provenance ~block:s.Invalidation_check.block
+          ~line:s.Invalidation_check.line
+      in
+      let why = provenance_clause prov in
+      let verb = if s.Invalidation_check.demote then "demotion" else "invalidation" in
+      let n = !counts in
+      counts := { n with total = n.total + 1 };
+      (match c with
+      | Invalidation_check.Safe_dead -> counts := { !counts with safe_dead = !counts.safe_dead + 1 }
+      | Invalidation_check.Safe_pressure ->
+        counts := { !counts with safe_pressure = !counts.safe_pressure + 1 }
+      | Invalidation_check.Harmful { reuse_block; conflicts } ->
+        counts := { !counts with harmful = !counts.harmful + 1 };
+        (* A statically cheap path back to the line is indistinguishable
+           from the loop-carried reuse Ripple deliberately targets (the
+           line is live in the CFG, dead in the profile).  Profile
+           provenance is the tie-breaker: with quoted evidence the
+           finding is a [Warning] to audit; an unjustified hint — no
+           provenance at all — is an [Error].  Demotions never error:
+           the line survives until a genuine conflict arrives. *)
+        let severity =
+          if s.Invalidation_check.demote || prov <> None then Finding.Warning
+          else Finding.Error
+        in
+        findings :=
+          Finding.v severity Finding.Harmful_invalidation ~block:s.Invalidation_check.block
+            ~line:s.Invalidation_check.line
+            (Printf.sprintf
+               "harmful %s: line re-referenced by bb%d after only %d same-set conflict(s) — \
+                likely hit-to-miss conversion%s"
+               verb reuse_block conflicts why)
+          :: !findings
+      | Invalidation_check.Redundant { earlier } ->
+        counts := { !counts with redundant = !counts.redundant + 1 };
+        findings :=
+          Finding.v Finding.Warning Finding.Redundant_invalidation
+            ~block:s.Invalidation_check.block ~line:s.Invalidation_check.line
+            (Printf.sprintf
+               "redundant %s: dominated by the hint in bb%d with no intervening reference%s"
+               verb earlier why)
+          :: !findings);
+      if not (Hashtbl.mem footprint s.Invalidation_check.line) then
+        findings :=
+          Finding.v Finding.Warning Finding.Hint_outside_footprint
+            ~block:s.Invalidation_check.block ~line:s.Invalidation_check.line
+            (Printf.sprintf "%s operand is not a line of the program text%s" verb why)
+          :: !findings)
+    classified;
+  (List.rev !findings, !counts)
+
+let order findings =
+  (* Severity-descending, then by anchor block, stable within. *)
+  List.stable_sort
+    (fun (a : Finding.t) b ->
+      match compare (Finding.severity_rank b.Finding.severity) (Finding.severity_rank a.Finding.severity) with
+      | 0 ->
+        compare
+          (Option.value a.Finding.block ~default:(-1))
+          (Option.value b.Finding.block ~default:(-1))
+      | c -> c)
+    findings
+
+let summarize ~hints ~structural_gate findings =
+  let findings = order findings in
+  let count sev =
+    List.length (List.filter (fun f -> f.Finding.severity = sev) findings)
+  in
+  {
+    findings;
+    errors = count Finding.Error;
+    warnings = count Finding.Warning;
+    infos = count Finding.Info;
+    hints;
+    structural_gate;
+  }
+
+let check_blocks ?(geometry = Geometry.l1i) ?aligned ?(provenance = []) ~entry blocks =
+  let structural = Cfg.check ~entry ?aligned blocks in
+  let structural_errors =
+    List.exists (fun f -> f.Finding.severity = Finding.Error) structural
+  in
+  if structural_errors then summarize ~hints:no_hints ~structural_gate:true structural
+  else begin
+    let hint_fs, hints = hint_findings ~geometry ~provenance ~entry blocks in
+    summarize ~hints ~structural_gate:false (structural @ hint_fs)
+  end
+
+let check_program ?geometry ?provenance program =
+  check_blocks ?geometry ~aligned:(Program.aligned program) ?provenance
+    ~entry:(Program.entry program) (Program.blocks program)
+
+let max_severity t = Finding.max_severity t.findings
+
+let exit_code t =
+  match max_severity t with
+  | Some Finding.Error -> 2
+  | Some Finding.Warning -> 1
+  | Some Finding.Info | None -> 0
+
+let hints_to_json h =
+  Json.Obj
+    [
+      ("total", Json.Int h.total);
+      ("safe_dead", Json.Int h.safe_dead);
+      ("safe_pressure", Json.Int h.safe_pressure);
+      ("harmful", Json.Int h.harmful);
+      ("redundant", Json.Int h.redundant);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("errors", Json.Int t.errors);
+      ("warnings", Json.Int t.warnings);
+      ("infos", Json.Int t.infos);
+      ("hints", hints_to_json t.hints);
+      ("structural_gate", Json.Bool t.structural_gate);
+      ("findings", Json.List (List.map Finding.to_json t.findings));
+    ]
+
+let pp fmt t =
+  (* Info findings (orphan blocks on generated CFGs number in the
+     hundreds) are folded into the trailer count; the JSON form keeps
+     every finding. *)
+  List.iter
+    (fun (f : Finding.t) ->
+      if f.Finding.severity <> Finding.Info then Format.fprintf fmt "%a@." Finding.pp f)
+    t.findings;
+  Format.fprintf fmt
+    "@[%d error(s), %d warning(s), %d info(s); hints: %d total, %d safe (dead), %d safe \
+     (pressure), %d harmful, %d redundant%s@]"
+    t.errors t.warnings t.infos t.hints.total t.hints.safe_dead t.hints.safe_pressure
+    t.hints.harmful t.hints.redundant
+    (if t.structural_gate then " [semantic layers skipped: structural errors]" else "")

@@ -1,0 +1,40 @@
+(** Backward may-reference ("hit-liveness") dataflow over cache lines.
+
+    A tracked line is {e live} at a program point when some flow-graph
+    path from that point reaches a block that touches the line {e
+    without first crossing another hint on the same line}.  Formally,
+    per block [b] over the {!Cfg.flow_successors} graph:
+
+    {v
+      gen(b)   = tracked lines touched by b's original code
+      kill(b)  = tracked lines operated on by b's injected hints
+      out(b)   = U in(s), s in flow-successors(b)
+      in(b)    = gen(b) U (out(b) \ kill(b))
+    v}
+
+    The block body executes before its hints (hints are appended at the
+    block's end), so [gen] wins over [kill] in [in(b)] — a block that
+    references then invalidates a line still exposes the reference to
+    its predecessors.  Hints kill because a reference downstream of
+    another hint on the same line misses regardless of what an upstream
+    hint did: for classifying upstream invalidations, such references
+    are not at risk of hit-to-miss conversion.
+
+    The lattice is a finite powerset (only the lines under scrutiny —
+    in practice, the hinted lines — are tracked), the transfer is
+    monotone, and the worklist fixpoint therefore terminates; sets are
+    bit-packed so the pass is linear in practice. *)
+
+module Addr := Ripple_isa.Addr
+module Basic_block := Ripple_isa.Basic_block
+
+type t
+
+val compute : blocks:Basic_block.t array -> tracked:Addr.line array -> t
+(** Fixpoint over [blocks] for the [tracked] lines (duplicates in
+    [tracked] are harmless).  Out-of-range successor ids are ignored;
+    run {!Cfg.check} first. *)
+
+val live_in : t -> block:int -> line:Addr.line -> bool
+val live_out : t -> block:int -> line:Addr.line -> bool
+(** [false] for untracked lines and out-of-range blocks. *)

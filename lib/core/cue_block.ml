@@ -51,7 +51,15 @@ let walk_window ~scan_limit ~step_limit (stream : Access_stream.t) (w : Eviction
    pair packs into one int key. *)
 let pack ~victim ~block = (victim lsl 22) lor block
 
-let analyze ?(scan_limit = default_scan_limit) ?(step_limit = default_step_limit)
+type drops = {
+  windows_total : int;
+  no_candidate : int;
+  below_support : int;
+  below_threshold : int;
+  selected : int;
+}
+
+let analyze_report ?(scan_limit = default_scan_limit) ?(step_limit = default_step_limit)
     ?(min_support = default_min_support) ~stream ~windows ~exec_counts ~threshold () =
   let window_counts = Hashtbl.create (4 * Array.length windows) in
   let seen = Hashtbl.create 64 in
@@ -65,8 +73,11 @@ let analyze ?(scan_limit = default_scan_limit) ?(step_limit = default_step_limit
           | None -> Hashtbl.add window_counts key 1))
     windows;
   (* Pass 2: pick each window's best candidate and keep it when it clears
-     the threshold. *)
+     the threshold; windows that do not land in a decision are counted by
+     the reason they fell out. *)
   let chosen = Hashtbl.create 4096 in
+  let no_candidate = ref 0 and below_support = ref 0 and below_threshold = ref 0 in
+  let selected = ref 0 in
   Array.iter
     (fun (w : Eviction_window.t) ->
       let victim = w.Eviction_window.victim in
@@ -81,19 +92,36 @@ let analyze ?(scan_limit = default_scan_limit) ?(step_limit = default_step_limit
               best_block := block
             end
           end);
-      let supported =
-        !best_block >= 0
-        && (try Hashtbl.find window_counts (pack ~victim ~block:!best_block) with Not_found -> 0)
-           >= min_support
-      in
-      if supported && !best_p >= threshold then begin
+      if !best_block < 0 then incr no_candidate
+      else if
+        (try Hashtbl.find window_counts (pack ~victim ~block:!best_block) with Not_found -> 0)
+        < min_support
+      then incr below_support
+      else if !best_p < threshold then incr below_threshold
+      else begin
+        incr selected;
         let key = pack ~victim ~block:!best_block in
         match Hashtbl.find_opt chosen key with
         | Some (block, victim, p, n) -> Hashtbl.replace chosen key (block, victim, p, n + 1)
         | None -> Hashtbl.add chosen key (!best_block, victim, !best_p, 1)
       end)
     windows;
-  Hashtbl.fold
-    (fun _ (cue_block, victim, probability, windows) acc ->
-      { cue_block; victim; probability; windows } :: acc)
-    chosen []
+  let decisions =
+    Hashtbl.fold
+      (fun _ (cue_block, victim, probability, windows) acc ->
+        { cue_block; victim; probability; windows } :: acc)
+      chosen []
+  in
+  ( decisions,
+    {
+      windows_total = Array.length windows;
+      no_candidate = !no_candidate;
+      below_support = !below_support;
+      below_threshold = !below_threshold;
+      selected = !selected;
+    } )
+
+let analyze ?scan_limit ?step_limit ?min_support ~stream ~windows ~exec_counts ~threshold () =
+  fst
+    (analyze_report ?scan_limit ?step_limit ?min_support ~stream ~windows ~exec_counts
+       ~threshold ())

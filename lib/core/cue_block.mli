@@ -35,6 +35,30 @@ val default_min_support : int
     noise (an execution count of one makes any probability trivially 1)
     and would be pure static/dynamic overhead. *)
 
+(** Where each eviction window's candidacy ended — the per-reason drop
+    accounting the aggregate decision count used to hide.  Every window
+    lands in exactly one bucket:
+    [no_candidate + below_support + below_threshold + selected = total]. *)
+type drops = {
+  windows_total : int;
+  no_candidate : int;  (** window walk found no executed candidate *)
+  below_support : int;  (** best pair covered fewer than [min_support] windows *)
+  below_threshold : int;  (** best probability under the invalidation threshold *)
+  selected : int;  (** window contributed to a kept decision *)
+}
+
+val analyze_report :
+  ?scan_limit:int ->
+  ?step_limit:int ->
+  ?min_support:int ->
+  stream:Access_stream.t ->
+  windows:Eviction_window.t array ->
+  exec_counts:int array ->
+  threshold:float ->
+  unit ->
+  decision list * drops
+(** Like {!analyze}, also reporting why windows fell out of selection. *)
+
 val analyze :
   ?scan_limit:int ->
   ?step_limit:int ->

@@ -4,7 +4,15 @@ module Addr = Ripple_isa.Addr
 
 type mode = Invalidate | Demote
 
-type stats = { injected : int; skipped_jit : int; skipped_cap : int; blocks_touched : int }
+type placement = { block : int; line : Addr.line; probability : float; windows : int }
+
+type stats = {
+  injected : int;
+  skipped_jit : int;
+  skipped_cap : int;
+  blocks_touched : int;
+  placements : placement list;
+}
 
 let default_max_hints_per_block = 3
 
@@ -22,7 +30,7 @@ let inject ?(mode = Invalidate) ?(skip_jit = true) ?(max_hints_per_block = defau
   let skipped_cap = ref 0 in
   let injected = ref 0 in
   let blocks_touched = ref 0 in
-  let victims_of ds =
+  let kept_of ds =
     let sorted =
       List.sort
         (fun (a : Cue_block.decision) b -> compare b.Cue_block.probability a.Cue_block.probability)
@@ -33,9 +41,12 @@ let inject ?(mode = Invalidate) ?(skip_jit = true) ?(max_hints_per_block = defau
       max 0 (List.length sorted - max_hints_per_block)
     in
     skipped_cap := !skipped_cap + dropped;
-    List.map (fun (d : Cue_block.decision) -> d.Cue_block.victim) kept
+    kept
   in
-  let victim_lines = Array.map victims_of per_block in
+  let kept_decisions = Array.map kept_of per_block in
+  let victim_lines =
+    Array.map (List.map (fun (d : Cue_block.decision) -> d.Cue_block.victim)) kept_decisions
+  in
   Array.iter
     (fun vs ->
       if vs <> [] then begin
@@ -53,6 +64,25 @@ let inject ?(mode = Invalidate) ?(skip_jit = true) ?(max_hints_per_block = defau
   let hints_new = Array.map (List.map (fun line -> as_hint (remap_line line))) victim_lines in
   let instrumented, _ = Program.with_hints program ~hints:hints_new in
   assert (Program.static_bytes provisional = Program.static_bytes instrumented);
+  (* Provenance, in injection order (block id, then the within-block
+     probability-descending order the hints were materialised in), with
+     operands expressed in the final layout. *)
+  let placements =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun block ds ->
+              List.map
+                (fun (d : Cue_block.decision) ->
+                  {
+                    block;
+                    line = remap_line d.Cue_block.victim;
+                    probability = d.Cue_block.probability;
+                    windows = d.Cue_block.windows;
+                  })
+                ds)
+            kept_decisions))
+  in
   ( instrumented,
     remap,
     {
@@ -60,4 +90,5 @@ let inject ?(mode = Invalidate) ?(skip_jit = true) ?(max_hints_per_block = defau
       skipped_jit = !skipped_jit;
       skipped_cap = !skipped_cap;
       blocks_touched = !blocks_touched;
+      placements;
     } )

@@ -14,11 +14,27 @@ module Addr := Ripple_isa.Addr
 
 type mode = Invalidate | Demote
 
+(** One hint actually placed, with the decision evidence that justified
+    it.  This is the provenance trail the static verifier
+    ({!Ripple_analysis.Lint}) quotes when it flags a hint: [probability]
+    is the selected conditional probability P(evict victim | exec
+    block), [windows] the eviction-window support behind it.  [line] is
+    the final (post-remap) operand, matching the instrumented binary. *)
+type placement = {
+  block : int;
+  line : Addr.line;
+  probability : float;
+  windows : int;
+}
+
 type stats = {
   injected : int;  (** hints actually placed *)
   skipped_jit : int;  (** decisions dropped because the cue block is JIT *)
   skipped_cap : int;  (** decisions dropped by the per-block cap *)
   blocks_touched : int;
+  placements : placement list;
+      (** per-hint provenance, ordered by block id then descending
+          probability (the within-block injection order) *)
 }
 
 val default_max_hints_per_block : int

@@ -18,11 +18,15 @@ let prefetcher_of ?config prefetch program =
 
 let belady_mode_of = function No_prefetch -> Belady.Min | Nlp | Fdip -> Belady.Demand_min
 
+module Lint = Ripple_analysis.Lint
+
 type analysis = {
   threshold : float;
   n_windows : int;
   n_decisions : int;
+  drops : Cue_block.drops;
   injection : Injector.stats;
+  lint : Lint.summary option;
 }
 
 module Options = struct
@@ -36,6 +40,7 @@ module Options = struct
     min_support : int;
     exclude_prefetch_covered : bool;
     pt_roundtrip : bool;
+    verify : bool;
   }
 
   let default =
@@ -49,8 +54,20 @@ module Options = struct
       min_support = Cue_block.default_min_support;
       exclude_prefetch_covered = false;
       pt_roundtrip = true;
+      verify = false;
     }
 end
+
+let provenance_of_stats (s : Injector.stats) =
+  List.map
+    (fun (p : Injector.placement) ->
+      {
+        Lint.block = p.Injector.block;
+        line = p.Injector.line;
+        probability = p.Injector.probability;
+        windows = p.Injector.windows;
+      })
+    s.Injector.placements
 
 let instrument_with (o : Options.t) ~program ~profile_trace ~prefetch =
   let config = o.Options.config in
@@ -75,21 +92,33 @@ let instrument_with (o : Options.t) ~program ~profile_trace ~prefetch =
       replay.Belady.evictions
   in
   let exec_counts = Bb_trace.exec_counts program trace in
-  let decisions =
-    Cue_block.analyze ~scan_limit:o.Options.scan_limit ~min_support:o.Options.min_support
-      ~stream ~windows ~exec_counts ~threshold:o.Options.threshold ()
+  let decisions, drops =
+    Cue_block.analyze_report ~scan_limit:o.Options.scan_limit
+      ~min_support:o.Options.min_support ~stream ~windows ~exec_counts
+      ~threshold:o.Options.threshold ()
   in
   (* Step 3: link-time injection. *)
   let instrumented, _remap, injection =
     Injector.inject ~mode:o.Options.mode ~skip_jit:o.Options.skip_jit
       ~max_hints_per_block:o.Options.max_hints_per_block ~program ~decisions ()
   in
+  (* Optional step 4: static verification of the instrumented binary
+     (the `ripple-sim lint` pass as a pipeline gate). *)
+  let lint =
+    if o.Options.verify then
+      Some
+        (Lint.check_program ~geometry:config.Config.l1i
+           ~provenance:(provenance_of_stats injection) instrumented)
+    else None
+  in
   ( instrumented,
     {
       threshold = o.Options.threshold;
       n_windows = Array.length windows;
       n_decisions = List.length decisions;
+      drops;
       injection;
+      lint;
     } )
 
 type evaluation = {

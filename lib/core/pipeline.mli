@@ -25,7 +25,11 @@ type analysis = {
   threshold : float;
   n_windows : int;  (** ideal-policy eviction windows in the profile *)
   n_decisions : int;  (** deduplicated (cue, victim) injections *)
+  drops : Cue_block.drops;  (** per-reason window drop accounting *)
   injection : Injector.stats;
+  lint : Ripple_analysis.Lint.summary option;
+      (** static-verifier report on the instrumented binary; [Some] iff
+          {!Options.t.verify} was set *)
 }
 
 (** Instrumentation knobs, gathered into one plain record.  Build a
@@ -57,6 +61,11 @@ module Options : sig
         (** pass the profile through the PT codec; disable for stitched
             LBR samples ({!Ripple_trace.Lbr}), which are not a single
             legal control-flow path *)
+    verify : bool;
+        (** run the static verifier ({!Ripple_analysis.Lint}) over the
+            instrumented binary and attach its summary to the analysis
+            record — the lint gate that catches harmful or redundant
+            injections before a sweep spends hours on them *)
   }
 
   val default : t

@@ -4,17 +4,38 @@ module Simulator = Ripple_cpu.Simulator
 module Pipeline = Ripple_core.Pipeline
 module Injector = Ripple_core.Injector
 
+module Cue_block = Ripple_core.Cue_block
+module Lint = Ripple_analysis.Lint
+
 let analysis_to_json (a : Pipeline.analysis) =
+  let d = a.Pipeline.drops in
   Json.Obj
-    [
-      ("threshold", Json.Float a.Pipeline.threshold);
-      ("n_windows", Json.Int a.Pipeline.n_windows);
-      ("n_decisions", Json.Int a.Pipeline.n_decisions);
-      ("injected", Json.Int a.Pipeline.injection.Injector.injected);
-      ("skipped_jit", Json.Int a.Pipeline.injection.Injector.skipped_jit);
-      ("skipped_cap", Json.Int a.Pipeline.injection.Injector.skipped_cap);
-      ("blocks_touched", Json.Int a.Pipeline.injection.Injector.blocks_touched);
-    ]
+    ([
+       ("threshold", Json.Float a.Pipeline.threshold);
+       ("n_windows", Json.Int a.Pipeline.n_windows);
+       ("n_decisions", Json.Int a.Pipeline.n_decisions);
+       ("windows_no_candidate", Json.Int d.Cue_block.no_candidate);
+       ("windows_below_support", Json.Int d.Cue_block.below_support);
+       ("windows_below_threshold", Json.Int d.Cue_block.below_threshold);
+       ("windows_selected", Json.Int d.Cue_block.selected);
+       ("injected", Json.Int a.Pipeline.injection.Injector.injected);
+       ("skipped_jit", Json.Int a.Pipeline.injection.Injector.skipped_jit);
+       ("skipped_cap", Json.Int a.Pipeline.injection.Injector.skipped_cap);
+       ("blocks_touched", Json.Int a.Pipeline.injection.Injector.blocks_touched);
+     ]
+    @
+    match a.Pipeline.lint with
+    | None -> []
+    | Some s ->
+      [
+        ( "lint",
+          Json.Obj
+            [
+              ("errors", Json.Int s.Lint.errors);
+              ("warnings", Json.Int s.Lint.warnings);
+              ("infos", Json.Int s.Lint.infos);
+            ] );
+      ])
 
 let gc_to_json (g : Runner.gc_stats) =
   Json.Obj

@@ -46,6 +46,7 @@ let entry t = t.entry
 let n_blocks t = Array.length t.blocks
 let block t i = t.blocks.(i)
 let blocks t = t.blocks
+let aligned t = Array.copy t.aligned
 let iter f t = Array.iter f t.blocks
 
 let block_at t addr =

@@ -34,6 +34,12 @@ val block : t -> int -> Basic_block.t
 val blocks : t -> Basic_block.t array
 (** The underlying array; treat as read-only. *)
 
+val aligned : t -> bool array
+(** Per-block alignment requests as passed to {!v} (a fresh copy).
+    Blocks with the flag set must sit on {!block_alignment}-byte
+    addresses — the layout invariant the static verifier
+    ({!Ripple_analysis.Lint}) re-checks. *)
+
 val iter : (Basic_block.t -> unit) -> t -> unit
 
 val block_at : t -> Addr.t -> Basic_block.t option

@@ -63,6 +63,14 @@ module Cue_block = Ripple_core.Cue_block
 module Injector = Ripple_core.Injector
 module Pipeline = Ripple_core.Pipeline
 
+(* Static verification of CFGs and injected invalidations *)
+module Finding = Ripple_analysis.Finding
+module Cfg = Ripple_analysis.Cfg
+module Dominance = Ripple_analysis.Dominance
+module Liveness = Ripple_analysis.Liveness
+module Invalidation_check = Ripple_analysis.Invalidation_check
+module Lint = Ripple_analysis.Lint
+
 (* Experiment orchestration: parallel, resumable sweeps over the
    evaluation matrix *)
 module Exp = Ripple_exp

@@ -1,0 +1,663 @@
+(* Tests for ripple.analysis: the static verifier — structural CFG
+   checks, dominators, hit-liveness, hint classification, the lint
+   front door — plus the provenance/drop-accounting satellites it rides
+   with (Injector placements, Cue_block.analyze_report, the pipeline
+   verify gate). *)
+
+module Addr = Ripple_isa.Addr
+module Basic_block = Ripple_isa.Basic_block
+module Program = Ripple_isa.Program
+module Builder = Ripple_isa.Builder
+module Geometry = Ripple_cache.Geometry
+module Access = Ripple_cache.Access
+module Json = Ripple_util.Json
+module Finding = Ripple_analysis.Finding
+module Cfg = Ripple_analysis.Cfg
+module Dominance = Ripple_analysis.Dominance
+module Liveness = Ripple_analysis.Liveness
+module Icheck = Ripple_analysis.Invalidation_check
+module Lint = Ripple_analysis.Lint
+module Eviction_window = Ripple_core.Eviction_window
+module Cue_block = Ripple_core.Cue_block
+module Injector = Ripple_core.Injector
+module Pipeline = Ripple_core.Pipeline
+module W = Ripple_workloads
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let checkf = check (Alcotest.float 1e-9)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let ub = Program.user_base
+
+(* A block record with addresses assigned by hand, bypassing layout so
+   deliberately broken inputs can be expressed. *)
+let mk ?(bytes = 64) ?(privilege = Basic_block.User) ?(jit = false) ?(hints = [||]) ~id ~addr
+    term =
+  {
+    Basic_block.id;
+    addr;
+    bytes;
+    n_instrs = max 1 (bytes / 4);
+    privilege;
+    jit;
+    term;
+    hints;
+  }
+
+(* Blocks on consecutive cache lines from user_base. *)
+let at k = ub + (k * Addr.line_size)
+let line_at k = Addr.line_of (at k)
+let has code (s : Lint.summary) = List.exists (fun f -> f.Finding.code = code) s.Lint.findings
+
+let flagged code ~block (s : Lint.summary) =
+  List.exists
+    (fun f -> f.Finding.code = code && f.Finding.block = Some block)
+    s.Lint.findings
+
+(* --------------------------- structural ----------------------------- *)
+
+let test_structural_dangling () =
+  let s = Lint.check_blocks ~entry:0 [| mk ~id:0 ~addr:(at 0) (Basic_block.Jump 7) |] in
+  checkb "dangling successor flagged" true (has Finding.Dangling_successor s);
+  checki "is an error" 2 (Lint.exit_code s);
+  checkb "gates semantic layers" true s.Lint.structural_gate;
+  let s =
+    Lint.check_blocks ~entry:0
+      [|
+        mk ~id:0 ~addr:(at 0) (Basic_block.Call { callee = 1; return_to = 9 });
+        mk ~id:1 ~addr:(at 1) Basic_block.Return;
+      |]
+  in
+  checkb "dangling return_to flagged" true (has Finding.Dangling_return s)
+
+let test_structural_entry_and_ids () =
+  let s = Lint.check_blocks ~entry:5 [| mk ~id:0 ~addr:(at 0) Basic_block.Halt |] in
+  checkb "entry out of range" true (has Finding.Entry_out_of_range s);
+  let s = Lint.check_blocks ~entry:0 [| mk ~id:1 ~addr:(at 0) Basic_block.Halt |] in
+  checkb "id mismatch" true (has Finding.Id_mismatch s);
+  let s = Lint.check_blocks ~entry:0 [| mk ~bytes:0 ~id:0 ~addr:(at 0) Basic_block.Halt |] in
+  checkb "nonpositive extent" true (has Finding.Nonpositive_extent s)
+
+let test_structural_layout () =
+  (* User block below its region. *)
+  let s =
+    Lint.check_blocks ~entry:0 [| mk ~id:0 ~addr:(ub - Addr.line_size) Basic_block.Halt |]
+  in
+  checkb "region violation" true (has Finding.Region_violation s);
+  (* Two blocks sharing bytes. *)
+  let s =
+    Lint.check_blocks ~entry:0
+      [|
+        mk ~id:0 ~addr:(at 0) (Basic_block.Fallthrough 1);
+        mk ~id:1 ~addr:(at 0 + 32) Basic_block.Halt;
+      |]
+  in
+  checkb "overlap" true (has Finding.Overlapping_blocks s);
+  (* Alignment requested but not honoured. *)
+  let s =
+    Lint.check_blocks ~entry:0 ~aligned:[| true |]
+      [| mk ~id:0 ~addr:(at 0 + 8) Basic_block.Halt |]
+  in
+  checkb "misaligned" true (has Finding.Misaligned_block s)
+
+let test_structural_orphan_is_info () =
+  let s =
+    Lint.check_blocks ~entry:0
+      [|
+        mk ~id:0 ~addr:(at 0) (Basic_block.Jump 0);
+        mk ~id:1 ~addr:(at 1) Basic_block.Halt;
+      |]
+  in
+  checkb "orphan flagged" true (flagged Finding.Unreachable_block ~block:1 s);
+  checki "as info only" 0 (Lint.exit_code s);
+  checki "no errors" 0 s.Lint.errors;
+  checki "no warnings" 0 s.Lint.warnings;
+  checki "one info" 1 s.Lint.infos
+
+let test_structural_gate_skips_hints () =
+  (* A broken graph carrying a hint: the hint must not be classified. *)
+  let s =
+    Lint.check_blocks ~entry:0
+      [| mk ~hints:[| Basic_block.Invalidate (line_at 1) |] ~id:0 ~addr:(at 0) (Basic_block.Jump 9) |]
+  in
+  checkb "gate set" true s.Lint.structural_gate;
+  checki "no hints classified" 0 s.Lint.hints.Lint.total
+
+(* ---------------------------- dominance ----------------------------- *)
+
+let test_dominance_diamond () =
+  let succs = [| [ 1; 2 ]; [ 3 ]; [ 3 ]; [] |] in
+  let d = Dominance.compute ~n:4 ~entry:0 ~succs:(fun i -> succs.(i)) in
+  checkb "idom 1 = 0" true (Dominance.idom d 1 = Some 0);
+  checkb "idom 2 = 0" true (Dominance.idom d 2 = Some 0);
+  checkb "join dominated by fork" true (Dominance.idom d 3 = Some 0);
+  checkb "entry has no idom" true (Dominance.idom d 0 = None);
+  checkb "0 dominates 3" true (Dominance.dominates d ~dom:0 3);
+  checkb "1 does not dominate 3" false (Dominance.dominates d ~dom:1 3);
+  checkb "reflexive" true (Dominance.dominates d ~dom:3 3)
+
+let test_dominance_loop_and_unreachable () =
+  let succs = [| [ 1 ]; [ 2 ]; [ 1; 3 ]; []; [ 0 ] |] in
+  let d = Dominance.compute ~n:5 ~entry:0 ~succs:(fun i -> succs.(i)) in
+  checkb "idom of loop body" true (Dominance.idom d 2 = Some 1);
+  checkb "loop head dominates exit" true (Dominance.dominates d ~dom:1 3);
+  checkb "node 4 unreachable" false (Dominance.is_reachable d 4);
+  checkb "unreachable has no idom" true (Dominance.idom d 4 = None);
+  checkb "nothing dominates unreachable" false (Dominance.dominates d ~dom:0 4)
+
+let test_post_dominance () =
+  let blocks =
+    [|
+      mk ~id:0 ~addr:(at 0) (Basic_block.Cond { taken = 1; fallthrough = 2 });
+      mk ~id:1 ~addr:(at 1) (Basic_block.Jump 3);
+      mk ~id:2 ~addr:(at 2) (Basic_block.Jump 3);
+      mk ~id:3 ~addr:(at 3) Basic_block.Return;
+    |]
+  in
+  let pd = Dominance.post_of_blocks blocks in
+  checkb "join post-dominates fork" true (Dominance.dominates pd ~dom:3 0);
+  checkb "arm does not post-dominate fork" false (Dominance.dominates pd ~dom:1 0);
+  (* The virtual exit (index n) post-dominates everything. *)
+  checkb "virtual exit post-dominates" true (Dominance.dominates pd ~dom:4 0)
+
+(* ---------------------------- liveness ------------------------------ *)
+
+let test_liveness_chain () =
+  let blocks =
+    [|
+      mk ~id:0 ~addr:(at 0) (Basic_block.Fallthrough 1);
+      mk ~id:1 ~addr:(at 1) (Basic_block.Fallthrough 2);
+      mk ~id:2 ~addr:(at 2) Basic_block.Halt;
+    |]
+  in
+  let l = Liveness.compute ~blocks ~tracked:[| line_at 2 |] in
+  checkb "live at distance" true (Liveness.live_in l ~block:0 ~line:(line_at 2));
+  checkb "live at use" true (Liveness.live_in l ~block:2 ~line:(line_at 2));
+  checkb "dead past last use" false (Liveness.live_out l ~block:2 ~line:(line_at 2));
+  checkb "untracked line is dead" false (Liveness.live_in l ~block:0 ~line:(line_at 1))
+
+let test_liveness_hint_kills () =
+  let blocks =
+    [|
+      mk ~id:0 ~addr:(at 0) (Basic_block.Fallthrough 1);
+      mk
+        ~hints:[| Basic_block.Invalidate (line_at 2) |]
+        ~id:1 ~addr:(at 1) (Basic_block.Fallthrough 2);
+      mk ~id:2 ~addr:(at 2) Basic_block.Halt;
+    |]
+  in
+  let l = Liveness.compute ~blocks ~tracked:[| line_at 2 |] in
+  checkb "hint kills upstream liveness" false (Liveness.live_in l ~block:0 ~line:(line_at 2));
+  checkb "use below hint still live" true (Liveness.live_in l ~block:2 ~line:(line_at 2))
+
+let test_liveness_gen_beats_kill () =
+  (* A block that references then invalidates a line still exposes the
+     reference to its predecessors (code runs before hints). *)
+  let blocks =
+    [|
+      mk ~id:0 ~addr:(at 0) (Basic_block.Fallthrough 1);
+      mk ~hints:[| Basic_block.Invalidate (line_at 1) |] ~id:1 ~addr:(at 1) Basic_block.Halt;
+    |]
+  in
+  let l = Liveness.compute ~blocks ~tracked:[| line_at 1 |] in
+  checkb "self-reference wins" true (Liveness.live_in l ~block:1 ~line:(line_at 1));
+  checkb "propagates upstream" true (Liveness.live_in l ~block:0 ~line:(line_at 1))
+
+(* ------------------------- classification --------------------------- *)
+
+(* Tiny cache: 2 ways x 4 sets, so blocks 4 lines apart conflict. *)
+let tiny_geometry = Geometry.v ~size_bytes:(2 * 4 * Addr.line_size) ~ways:2
+
+let classify blocks = Icheck.classify ~geometry:tiny_geometry ~entry:0 blocks
+
+let test_classify_harmful_direct () =
+  let blocks =
+    [|
+      mk
+        ~hints:[| Basic_block.Invalidate (line_at 1) |]
+        ~id:0 ~addr:(at 0) (Basic_block.Fallthrough 1);
+      mk ~id:1 ~addr:(at 1) Basic_block.Halt;
+    |]
+  in
+  match classify blocks with
+  | [ (site, Icheck.Harmful { reuse_block; conflicts }) ] ->
+    checki "site block" 0 site.Icheck.block;
+    checkb "site line" true (site.Icheck.line = line_at 1);
+    checki "reused by successor" 1 reuse_block;
+    checki "no conflicts on the path" 0 conflicts
+  | _ -> Alcotest.fail "expected one harmful classification"
+
+let test_classify_safe_dead () =
+  (* Victim line belongs to a block no path from the hint reaches. *)
+  let blocks =
+    [|
+      mk ~hints:[| Basic_block.Invalidate (line_at 1) |] ~id:0 ~addr:(at 0) Basic_block.Halt;
+      mk ~id:1 ~addr:(at 1) Basic_block.Halt;
+    |]
+  in
+  (match classify blocks with
+  | [ (_, Icheck.Safe_dead) ] -> ()
+  | _ -> Alcotest.fail "expected safe (dead)")
+
+let test_classify_safe_pressure () =
+  (* Reuse exists, but both paths first touch [ways] = 2 distinct lines
+     of the victim's set (blocks 4 and 8 lines in, same set as 12). *)
+  let blocks =
+    [|
+      mk
+        ~hints:[| Basic_block.Invalidate (line_at 12) |]
+        ~id:0 ~addr:(at 0) (Basic_block.Fallthrough 1);
+      mk ~id:1 ~addr:(at 4) (Basic_block.Fallthrough 2);
+      mk ~id:2 ~addr:(at 8) (Basic_block.Fallthrough 3);
+      mk ~id:3 ~addr:(at 12) Basic_block.Halt;
+    |]
+  in
+  (match classify blocks with
+  | [ (_, Icheck.Safe_pressure) ] -> ()
+  | _ -> Alcotest.fail "expected safe (pressure)");
+  (* Remove one conflicting block: 1 < ways conflicts, harmful again. *)
+  let blocks =
+    [|
+      mk
+        ~hints:[| Basic_block.Invalidate (line_at 12) |]
+        ~id:0 ~addr:(at 0) (Basic_block.Fallthrough 1);
+      mk ~id:1 ~addr:(at 4) (Basic_block.Fallthrough 2);
+      mk ~id:2 ~addr:(at 12) Basic_block.Halt;
+    |]
+  in
+  match classify blocks with
+  | [ (_, Icheck.Harmful { conflicts; _ }) ] -> checki "one conflict" 1 conflicts
+  | _ -> Alcotest.fail "expected harmful with one conflict"
+
+let test_classify_redundant () =
+  let l = line_at 100 in
+  let blocks =
+    [|
+      mk ~hints:[| Basic_block.Invalidate l |] ~id:0 ~addr:(at 0) (Basic_block.Fallthrough 1);
+      mk ~hints:[| Basic_block.Invalidate l |] ~id:1 ~addr:(at 1) Basic_block.Halt;
+    |]
+  in
+  (match classify blocks with
+  | [ (_, Icheck.Safe_dead); (site, Icheck.Redundant { earlier }) ] ->
+    checki "redundant site" 1 site.Icheck.block;
+    checki "witness" 0 earlier
+  | _ -> Alcotest.fail "expected dead + redundant");
+  (* Degenerate case: a duplicate inside one block. *)
+  let blocks =
+    [| mk ~hints:[| Basic_block.Invalidate l; Basic_block.Invalidate l |] ~id:0 ~addr:(at 0) Basic_block.Halt |]
+  in
+  match classify blocks with
+  | [ (_, Icheck.Safe_dead); (_, Icheck.Redundant { earlier }) ] -> checki "same block" 0 earlier
+  | _ -> Alcotest.fail "expected dead + same-block redundant"
+
+let test_classify_reference_defeats_redundancy () =
+  (* The second hint's own block re-references the line first, so it is
+     not redundant (and, having no successors, it is dead). *)
+  let blocks =
+    [|
+      mk
+        ~hints:[| Basic_block.Invalidate (line_at 1) |]
+        ~id:0 ~addr:(at 0) (Basic_block.Fallthrough 1);
+      mk ~hints:[| Basic_block.Invalidate (line_at 1) |] ~id:1 ~addr:(at 1) Basic_block.Halt;
+    |]
+  in
+  match classify blocks with
+  | [ (_, Icheck.Harmful _); (_, Icheck.Safe_dead) ] -> ()
+  | _ -> Alcotest.fail "expected harmful then safe (dead)"
+
+let test_classify_prunes_at_reinvalidation () =
+  (* A second hint on the same line between hint and reuse shields the
+     upstream hint (past the re-invalidation the line misses regardless
+     of what the first hint did), and the second hint is itself
+     redundant: the dominating first hint already left the line
+     invalid.  The reuse at bb2 misses either way; neither hint alone
+     converts a hit. *)
+  let blocks =
+    [|
+      mk
+        ~hints:[| Basic_block.Invalidate (line_at 12) |]
+        ~id:0 ~addr:(at 0) (Basic_block.Fallthrough 1);
+      mk
+        ~hints:[| Basic_block.Invalidate (line_at 12) |]
+        ~id:1 ~addr:(at 1) (Basic_block.Fallthrough 2);
+      mk ~id:2 ~addr:(at 12) Basic_block.Halt;
+    |]
+  in
+  match classify blocks with
+  | [ (_, Icheck.Safe_dead); (site, Icheck.Redundant { earlier }) ] ->
+    checki "redundant site" 1 site.Icheck.block;
+    checki "dominating witness" 0 earlier
+  | _ -> Alcotest.fail "expected shielded dead + redundant"
+
+(* ------------------------------ lint -------------------------------- *)
+
+let harmful_blocks ~demote =
+  let hint =
+    if demote then Basic_block.Demote (line_at 1) else Basic_block.Invalidate (line_at 1)
+  in
+  [|
+    mk ~hints:[| hint |] ~id:0 ~addr:(at 0) (Basic_block.Fallthrough 1);
+    mk ~id:1 ~addr:(at 1) Basic_block.Halt;
+  |]
+
+let test_lint_harmful_severity () =
+  (* Unjustified harmful invalidation: an error. *)
+  let s =
+    Lint.check_blocks ~geometry:tiny_geometry ~entry:0 (harmful_blocks ~demote:false)
+  in
+  checki "error without provenance" 2 (Lint.exit_code s);
+  checki "harmful counted" 1 s.Lint.hints.Lint.harmful;
+  (* The same hint with quoted profile evidence: an audit warning. *)
+  let provenance =
+    [ { Lint.block = 0; line = line_at 1; probability = 0.9; windows = 5 } ]
+  in
+  let s =
+    Lint.check_blocks ~geometry:tiny_geometry ~provenance ~entry:0
+      (harmful_blocks ~demote:false)
+  in
+  checki "warning with provenance" 1 (Lint.exit_code s);
+  checki "no errors" 0 s.Lint.errors;
+  (match s.Lint.findings with
+  | [ f ] -> checkb "quotes the evidence" true (contains f.Finding.message "P=0.90")
+  | _ -> Alcotest.fail "expected exactly one finding");
+  (* A harmful demotion never errors. *)
+  let s = Lint.check_blocks ~geometry:tiny_geometry ~entry:0 (harmful_blocks ~demote:true) in
+  checki "demotion is a warning" 1 (Lint.exit_code s)
+
+let test_lint_outside_footprint () =
+  let blocks =
+    [| mk ~hints:[| Basic_block.Invalidate (line_at 4096) |] ~id:0 ~addr:(at 0) Basic_block.Halt |]
+  in
+  let s = Lint.check_blocks ~entry:0 blocks in
+  checkb "flagged" true (has Finding.Hint_outside_footprint s);
+  checki "warning" 1 (Lint.exit_code s)
+
+let test_lint_clean_program () =
+  let b = Builder.create () in
+  let b0 = Builder.block b ~bytes:64 ~term:Basic_block.Halt () in
+  let b1 = Builder.block b ~bytes:64 ~term:Basic_block.Halt () in
+  Builder.set_term b b0 (Basic_block.Fallthrough b1);
+  let program = Builder.finish b ~entry:b0 in
+  let s = Lint.check_program program in
+  checki "no findings" 0 (List.length s.Lint.findings);
+  checki "exit 0" 0 (Lint.exit_code s);
+  checkb "no max severity" true (Lint.max_severity s = None)
+
+let test_lint_json () =
+  let s = Lint.check_blocks ~geometry:tiny_geometry ~entry:0 (harmful_blocks ~demote:false) in
+  let j = Lint.to_json s in
+  checkb "errors field" true (Json.member "errors" j = Some (Json.Int 1));
+  checkb "gate field" true (Json.member "structural_gate" j = Some (Json.Bool false));
+  match Json.member "hints" j with
+  | Some h -> checkb "hint totals" true (Json.member "total" h = Some (Json.Int 1))
+  | None -> Alcotest.fail "missing hints object"
+
+(* --------------------- qcheck: mutation flagging -------------------- *)
+
+let tiny_model seed =
+  {
+    W.Apps.verilator with
+    W.App_model.name = "tiny";
+    seed;
+    n_functions = 12;
+    hot_functions = 4;
+    handler_blocks = 8;
+    blocks_per_function = 6;
+  }
+
+let tiny_program seed = (W.Cfg_gen.generate (tiny_model seed)).W.Cfg_gen.program
+
+let lint_mutated program blocks =
+  Lint.check_blocks ~entry:(Program.entry program) blocks
+
+let prop_mutation_dangling =
+  QCheck.Test.make ~count:15 ~name:"lint flags a dangling successor"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let program = tiny_program seed in
+      let blocks = Array.copy (Program.blocks program) in
+      let n = Array.length blocks in
+      let i = seed mod n in
+      blocks.(i) <- { blocks.(i) with Basic_block.term = Basic_block.Jump (n + 5) };
+      has Finding.Dangling_successor (lint_mutated program blocks))
+
+let prop_mutation_overlap =
+  QCheck.Test.make ~count:15 ~name:"lint flags overlapping byte ranges"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let program = tiny_program seed in
+      let blocks = Array.copy (Program.blocks program) in
+      let n = Array.length blocks in
+      let i = seed mod n in
+      (* Land on another block of the same privilege so the only broken
+         invariant is the overlap. *)
+      let j = ref ((i + 1) mod n) in
+      while
+        blocks.(!j).Basic_block.privilege <> blocks.(i).Basic_block.privilege || !j = i
+      do
+        j := (!j + 1) mod n
+      done;
+      blocks.(i) <- { blocks.(i) with Basic_block.addr = blocks.(!j).Basic_block.addr };
+      has Finding.Overlapping_blocks (lint_mutated program blocks))
+
+let prop_mutation_orphan =
+  QCheck.Test.make ~count:15 ~name:"lint flags an appended orphan block"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let program = tiny_program seed in
+      let old = Program.blocks program in
+      let n = Array.length old in
+      let max_end =
+        Array.fold_left
+          (fun acc (b : Basic_block.t) ->
+            if b.Basic_block.privilege = Basic_block.User then
+              max acc (b.Basic_block.addr + b.Basic_block.bytes)
+            else acc)
+          ub old
+      in
+      let orphan = mk ~id:n ~addr:(max_end + Addr.line_size) Basic_block.Halt in
+      let blocks = Array.append old [| orphan |] in
+      flagged Finding.Unreachable_block ~block:n (lint_mutated program blocks))
+
+(* ------------------- nine apps, paper defaults ---------------------- *)
+
+let test_nine_apps_no_errors () =
+  List.iter
+    (fun (m : W.App_model.t) ->
+      let w = W.Cfg_gen.generate m in
+      let program = w.W.Cfg_gen.program in
+      let profile = W.Executor.run w ~input:W.Executor.train ~n_instrs:100_000 in
+      let _instrumented, analysis =
+        Pipeline.instrument_with
+          { Pipeline.Options.default with verify = true }
+          ~program ~profile_trace:profile ~prefetch:Pipeline.Fdip
+      in
+      match analysis.Pipeline.lint with
+      | None -> Alcotest.fail "verify = true must attach a lint summary"
+      | Some s ->
+        checki (m.W.App_model.name ^ ": no error findings") 0 s.Lint.errors;
+        checki
+          (m.W.App_model.name ^ ": hints all classified")
+          analysis.Pipeline.injection.Injector.injected s.Lint.hints.Lint.total)
+    W.Apps.all
+
+(* ----------------- satellite: cue-block drop report ----------------- *)
+
+(* The Fig. 5 scenario from test_core: victim line 100 evicted twice,
+   block 2 the best cue in both windows at P = 1.0. *)
+let drops_scenario () =
+  let d ~line ~block = Access.demand ~line ~block in
+  let stream =
+    [|
+      d ~line:50 ~block:9; d ~line:100 ~block:5; d ~line:60 ~block:1; d ~line:61 ~block:2;
+      d ~line:62 ~block:3; d ~line:60 ~block:1; d ~line:62 ~block:3; d ~line:62 ~block:3;
+      d ~line:100 ~block:5; d ~line:60 ~block:1; d ~line:61 ~block:2; d ~line:62 ~block:3;
+      d ~line:60 ~block:1; d ~line:62 ~block:3; d ~line:62 ~block:3;
+    |]
+  in
+  let windows =
+    [|
+      { Eviction_window.victim = 100; start = 1; stop = 4 };
+      { Eviction_window.victim = 100; start = 8; stop = 11 };
+    |]
+  in
+  let exec_counts = Array.make 10 0 in
+  Array.iter
+    (fun (a : Access.t) -> exec_counts.(a.Access.block) <- exec_counts.(a.Access.block) + 1)
+    stream;
+  (Ripple_cache.Access_stream.of_array stream, windows, exec_counts)
+
+let partition_holds (d : Cue_block.drops) =
+  d.Cue_block.no_candidate + d.Cue_block.below_support + d.Cue_block.below_threshold
+  + d.Cue_block.selected
+  = d.Cue_block.windows_total
+
+let test_drop_report () =
+  let stream, windows, exec_counts = drops_scenario () in
+  let report threshold min_support =
+    snd (Cue_block.analyze_report ~min_support ~stream ~windows ~exec_counts ~threshold ())
+  in
+  let d = report 0.6 2 in
+  checki "total" 2 d.Cue_block.windows_total;
+  checki "selected" 2 d.Cue_block.selected;
+  checki "none dropped" 0
+    (d.Cue_block.no_candidate + d.Cue_block.below_support + d.Cue_block.below_threshold);
+  checkb "partition" true (partition_holds d);
+  (* Impossible threshold: same windows fall out for the threshold. *)
+  let d = report 1.01 2 in
+  checki "below threshold" 2 d.Cue_block.below_threshold;
+  checki "nothing selected" 0 d.Cue_block.selected;
+  checkb "partition" true (partition_holds d);
+  (* Unreachable support floor. *)
+  let d = report 0.6 99 in
+  checki "below support" 2 d.Cue_block.below_support;
+  checkb "partition" true (partition_holds d);
+  (* No executed candidate at all. *)
+  let stream, windows, _ = drops_scenario () in
+  let d =
+    snd
+      (Cue_block.analyze_report ~min_support:2 ~stream ~windows
+         ~exec_counts:(Array.make 10 0) ~threshold:0.6 ())
+  in
+  checki "no candidate" 2 d.Cue_block.no_candidate;
+  checkb "partition" true (partition_holds d)
+
+let test_drop_report_agrees_with_analyze () =
+  let stream, windows, exec_counts = drops_scenario () in
+  let decisions =
+    Cue_block.analyze ~min_support:2 ~stream ~windows ~exec_counts ~threshold:0.6 ()
+  in
+  let decisions', d =
+    Cue_block.analyze_report ~min_support:2 ~stream ~windows ~exec_counts ~threshold:0.6 ()
+  in
+  checkb "same decisions" true (decisions = decisions');
+  checki "selected windows behind the decisions" 2 d.Cue_block.selected
+
+(* ---------------- satellite: injector provenance -------------------- *)
+
+let test_injector_placements () =
+  let b = Builder.create () in
+  let b0 = Builder.block b ~bytes:64 ~term:Basic_block.Halt () in
+  let b1 = Builder.block b ~bytes:64 ~term:Basic_block.Halt () in
+  let b2 = Builder.block b ~bytes:64 ~term:Basic_block.Halt () in
+  Builder.set_term b b0 (Basic_block.Fallthrough b1);
+  Builder.set_term b b1 (Basic_block.Fallthrough b2);
+  let program = Builder.finish b ~entry:b0 in
+  let victim = Addr.line_of (Program.block program b2).Basic_block.addr in
+  let decisions =
+    [ { Cue_block.cue_block = b0; victim; probability = 0.8; windows = 4 } ]
+  in
+  let instrumented, _, stats = Injector.inject ~program ~decisions () in
+  match stats.Injector.placements with
+  | [ p ] ->
+    checki "cue block" b0 p.Injector.block;
+    checkf "probability" 0.8 p.Injector.probability;
+    checki "window support" 4 p.Injector.windows;
+    (* The placement's line is the post-remap operand actually injected. *)
+    let hints = (Program.block instrumented b0).Basic_block.hints in
+    checki "one hint placed" 1 (Array.length hints);
+    checkb "operand matches" true (Basic_block.hint_line hints.(0) = p.Injector.line)
+  | _ -> Alcotest.fail "expected exactly one placement"
+
+(* ------------------ satellite: pipeline verify gate ----------------- *)
+
+let test_pipeline_verify_gate () =
+  let w = W.Cfg_gen.generate (tiny_model 17) in
+  let program = w.W.Cfg_gen.program in
+  let profile = W.Executor.run w ~input:W.Executor.train ~n_instrs:100_000 in
+  let instrument verify =
+    snd
+      (Pipeline.instrument_with
+         { Pipeline.Options.default with verify }
+         ~program ~profile_trace:profile ~prefetch:Pipeline.No_prefetch)
+  in
+  let off = instrument false in
+  checkb "off by default" true (off.Pipeline.lint = None);
+  let on = instrument true in
+  (match on.Pipeline.lint with
+  | None -> Alcotest.fail "verify must attach a summary"
+  | Some s -> checki "no errors on its own output" 0 s.Lint.errors);
+  (* Drop accounting covers every window either way. *)
+  checki "drops cover all windows" on.Pipeline.n_windows
+    on.Pipeline.drops.Cue_block.windows_total;
+  checkb "partition" true (partition_holds on.Pipeline.drops)
+
+let suites =
+  [
+    ( "analysis.structural",
+      [
+        Alcotest.test_case "dangling edges" `Quick test_structural_dangling;
+        Alcotest.test_case "entry and ids" `Quick test_structural_entry_and_ids;
+        Alcotest.test_case "layout invariants" `Quick test_structural_layout;
+        Alcotest.test_case "orphan is info" `Quick test_structural_orphan_is_info;
+        Alcotest.test_case "errors gate hints" `Quick test_structural_gate_skips_hints;
+      ] );
+    ( "analysis.dominance",
+      [
+        Alcotest.test_case "diamond" `Quick test_dominance_diamond;
+        Alcotest.test_case "loop and unreachable" `Quick test_dominance_loop_and_unreachable;
+        Alcotest.test_case "post-dominators" `Quick test_post_dominance;
+      ] );
+    ( "analysis.liveness",
+      [
+        Alcotest.test_case "chain" `Quick test_liveness_chain;
+        Alcotest.test_case "hint kills" `Quick test_liveness_hint_kills;
+        Alcotest.test_case "gen beats kill" `Quick test_liveness_gen_beats_kill;
+      ] );
+    ( "analysis.classify",
+      [
+        Alcotest.test_case "harmful direct reuse" `Quick test_classify_harmful_direct;
+        Alcotest.test_case "safe dead" `Quick test_classify_safe_dead;
+        Alcotest.test_case "safe pressure" `Quick test_classify_safe_pressure;
+        Alcotest.test_case "redundant" `Quick test_classify_redundant;
+        Alcotest.test_case "reference defeats redundancy" `Quick
+          test_classify_reference_defeats_redundancy;
+        Alcotest.test_case "prunes at re-invalidation" `Quick
+          test_classify_prunes_at_reinvalidation;
+      ] );
+    ( "analysis.lint",
+      [
+        Alcotest.test_case "harmful severity vs provenance" `Quick test_lint_harmful_severity;
+        Alcotest.test_case "hint outside footprint" `Quick test_lint_outside_footprint;
+        Alcotest.test_case "clean program" `Quick test_lint_clean_program;
+        Alcotest.test_case "json shape" `Quick test_lint_json;
+        Alcotest.test_case "nine apps, paper defaults: no errors" `Slow
+          test_nine_apps_no_errors;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest
+          [ prop_mutation_dangling; prop_mutation_overlap; prop_mutation_orphan ] );
+    ( "analysis.satellites",
+      [
+        Alcotest.test_case "cue-block drop report" `Quick test_drop_report;
+        Alcotest.test_case "drop report agrees with analyze" `Quick
+          test_drop_report_agrees_with_analyze;
+        Alcotest.test_case "injector placements" `Quick test_injector_placements;
+        Alcotest.test_case "pipeline verify gate" `Quick test_pipeline_verify_gate;
+      ] );
+  ]
