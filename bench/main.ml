@@ -125,6 +125,14 @@ let run_specs specs =
   all_cells := !all_cells @ cells;
   cells
 
+(* Every figure assumes its cells succeeded; a failed cell means the
+   figure is wrong, so abort with the offending spec. *)
+let require cell =
+  match Exp.Runner.result cell with
+  | Ok o -> o
+  | Error e ->
+    failwith (Printf.sprintf "%s: %s" (Exp.Spec.to_string cell.Exp.Runner.spec) e)
+
 let write_cells () =
   match !out_path with
   | None -> ()
@@ -166,7 +174,7 @@ let ensure_cells pairs =
     let cells1 = run_specs phase1 in
     let outcome_of cells pair kind =
       match Exp.Runner.find cells (spec_of pair kind) with
-      | Some cell -> Exp.Runner.ok_exn cell
+      | Some cell -> require cell
       | None ->
         failwith (Printf.sprintf "bench: missing cell %s" (Exp.Spec.to_string (spec_of pair kind)))
     in
@@ -375,7 +383,7 @@ let fig6 () =
   let cells = run_specs specs in
   List.iter2
     (fun threshold cell ->
-      let ev = Option.get (Exp.Runner.ok_exn cell).Exp.Runner.evaluation in
+      let ev = Option.get (require cell).Exp.Runner.evaluation in
       Table.add_row table
         [
           Printf.sprintf "%.0f%%" (100.0 *. threshold);
@@ -742,7 +750,7 @@ let extras () =
       let fdip_cell = cell_of model Core.Pipeline.Fdip in
       let none_cell = cell_of model Core.Pipeline.No_prefetch in
       let ship =
-        (Exp.Runner.ok_exn (Option.get (Exp.Runner.find ship_cells (ship_spec model))))
+        (require (Option.get (Exp.Runner.find ship_cells (ship_spec model))))
           .Exp.Runner.result
       in
       let rdip =

@@ -50,8 +50,16 @@ let run_apps apps =
       apps
   in
   let cells = Exp.Runner.run ?jobs specs in
+  (* A failed calibration cell invalidates the whole table; abort loudly
+     with the cell that broke. *)
+  let require cell =
+    match Exp.Runner.result cell with
+    | Ok o -> o
+    | Error e ->
+      failwith (Printf.sprintf "%s: %s" (Exp.Spec.to_string cell.Exp.Runner.spec) e)
+  in
   let outcome model pf kind =
-    Exp.Runner.ok_exn (Option.get (Exp.Runner.find cells (spec_of model pf kind)))
+    require (Option.get (Exp.Runner.find cells (spec_of model pf kind)))
   in
   List.iter
     (fun (model : W.App_model.t) ->

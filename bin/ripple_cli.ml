@@ -6,6 +6,7 @@
      ripple-sim sweep    --apps cassandra,kafka --prefetch none,fdip --jobs 4
      ripple-sim lint     --apps drupal --json
      ripple-sim trace    --app kafka --instrs 200000 --out kafka.pt
+     ripple-sim chaos    --quick --json --out chaos.json
 
    Everything the subcommands do is a thin composition of the public
    library API; see examples/ for the same flows in code. *)
@@ -18,6 +19,7 @@ module Pipeline = Ripple_core.Pipeline
 module Pt = Ripple_trace.Pt
 module Program = Ripple_isa.Program
 module Exp = Ripple_exp
+module Chaos = Ripple_fault.Chaos
 
 open Cmdliner
 
@@ -253,8 +255,26 @@ let sweep_cmd =
   let quiet_flag =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-cell progress on stderr.")
   in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "retries" ] ~docv:"K"
+          ~doc:
+            "Retry a failing cell up to $(docv) times with a perturbed seed before recording \
+             it as failed.")
+  in
+  let max_failures_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-failures" ] ~docv:"K"
+          ~doc:
+            "Circuit breaker: once $(docv) cells have failed, skip the rest of the sweep \
+             (skipped cells are recorded as such in the JSONL output).")
+  in
   let run apps prefetches policies oracle ideal thresholds ripple_policy n_instrs jobs out
-      seed quiet =
+      seed quiet retries max_failures =
     let specs =
       List.concat_map
         (fun (m : W.App_model.t) ->
@@ -272,14 +292,14 @@ let sweep_cmd =
             prefetches)
         apps
     in
-    let cells = Exp.Runner.run ?jobs ~quiet specs in
+    let cells = Exp.Runner.run ?jobs ~quiet ~retries ?max_failures specs in
     Exp.Report.print_summary cells;
     (match out with
     | None -> ()
     | Some path ->
       Exp.Report.write_jsonl path cells;
       Printf.printf "wrote %s (%d cells)\n" path (List.length cells));
-    if List.exists (fun c -> Result.is_error c.Exp.Runner.outcome) cells then exit 3
+    if List.exists (fun c -> Result.is_error (Exp.Runner.result c)) cells then exit 3
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -289,7 +309,7 @@ let sweep_cmd =
     Term.(
       const run $ apps_arg $ prefetches_arg $ policies_arg $ oracle_flag $ ideal_flag
       $ thresholds_arg $ ripple_policy_arg $ instrs_arg $ jobs_arg $ out_arg $ seed_arg
-      $ quiet_flag)
+      $ quiet_flag $ retries_arg $ max_failures_arg)
 
 (* ------------------------------- lint ------------------------------- *)
 
@@ -396,6 +416,102 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Capture a PT-style trace and verify the encode/decode round trip.")
     Term.(const run $ app_arg $ instrs_arg $ out_arg)
 
+(* ------------------------------- chaos ------------------------------ *)
+
+let chaos_cmd =
+  let module Json = Ripple_util.Json in
+  let apps_arg =
+    Arg.(
+      value
+      & opt (list app_conv) W.Apps.all
+      & info [ "apps" ] ~docv:"APP,.."
+          ~doc:"Applications to stress (comma-separated; default: all nine).")
+  in
+  let policy_arg =
+    Arg.(value & opt policy_conv "lru" & info [ "policy" ] ~docv:"POLICY" ~doc:policy_doc)
+  in
+  let chaos_instrs_arg =
+    Arg.(
+      value
+      & opt int 200_000
+      & info [ "n"; "instrs" ] ~docv:"N" ~doc:"Trace length in instructions per cell.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt int 20240
+      & info [ "seed" ] ~docv:"S" ~doc:"Base seed; cells derive per-(app, fault) seeds.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: the runtime's recommended domain count).")
+  in
+  let quick_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "quick" ]
+          ~doc:
+            "CI preset: 60k-instruction traces without a prefetcher.  Explicit $(b,--instrs) \
+             / $(b,--prefetch) still win.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the report as one JSON object on stdout.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write the JSON report to $(docv).")
+  in
+  let prefetch_opt_arg =
+    Arg.(
+      value
+      & opt (some prefetch_conv) None
+      & info [ "p"; "prefetch" ] ~docv:"PF"
+          ~doc:"Prefetcher: none, nlp or fdip (default: fdip, or none under $(b,--quick)).")
+  in
+  let instrs_set_flag =
+    (* Detect whether --instrs was given so --quick can lower the default
+       without overriding an explicit request. *)
+    Term.(
+      const (fun n quick -> if quick && n = 200_000 then 60_000 else n)
+      $ chaos_instrs_arg $ quick_flag)
+  in
+  let run apps policy n_instrs seed jobs quick json out prefetch =
+    let prefetch =
+      match prefetch with
+      | Some p -> p
+      | None -> if quick then Pipeline.No_prefetch else Pipeline.Fdip
+    in
+    let apps = List.map (fun (m : W.App_model.t) -> m.W.App_model.name) apps in
+    let report = Chaos.run ~apps ~n_instrs ~seed ~prefetch ~policy ?jobs () in
+    let j = Chaos.report_to_json report in
+    (match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Json.to_string j);
+      output_char oc '\n';
+      close_out oc);
+    if json then print_endline (Json.to_string j) else Chaos.print_summary report;
+    let code = Chaos.exit_code report in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the fault-injection matrix: every application under corrupted PT streams, \
+          truncated captures and profile drift, asserting no crash, bounded degradation, and \
+          the never-worse-than-no-hints guarantee.  Exit status: 0 clean, 1 contract \
+          violation, 2 crash.")
+    Term.(
+      const run $ apps_arg $ policy_arg $ instrs_set_flag $ seed_arg $ jobs_arg $ quick_flag
+      $ json_flag $ out_arg $ prefetch_opt_arg)
+
 let () =
   let info =
     Cmd.info "ripple-sim" ~version:"1.0.0"
@@ -403,4 +519,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ apps_cmd; simulate_cmd; ripple_cmd; sweep_cmd; lint_cmd; trace_cmd ]))
+       (Cmd.group info
+          [ apps_cmd; simulate_cmd; ripple_cmd; sweep_cmd; lint_cmd; trace_cmd; chaos_cmd ]))

@@ -19,6 +19,34 @@ let prefetcher_of ?config prefetch program =
 let belady_mode_of = function No_prefetch -> Belady.Min | Nlp | Fdip -> Belady.Demand_min
 
 module Lint = Ripple_analysis.Lint
+module Invalidation_check = Ripple_analysis.Invalidation_check
+module Json = Ripple_util.Json
+
+module Degrade = struct
+  type level = Full | Safe_only | Hints_off
+
+  let level_name = function Full -> "full" | Safe_only -> "safe-only" | Hints_off -> "off"
+
+  type t = {
+    level : level;
+    fingerprint_ok : bool;
+    salvage : float;
+    drift : float;
+    stripped : int;
+  }
+
+  let full = { level = Full; fingerprint_ok = true; salvage = 1.0; drift = 0.0; stripped = 0 }
+
+  let to_json t =
+    Json.Obj
+      [
+        ("level", Json.String (level_name t.level));
+        ("fingerprint_ok", Json.Bool t.fingerprint_ok);
+        ("salvage", Json.Float t.salvage);
+        ("drift", Json.Float t.drift);
+        ("stripped", Json.Int t.stripped);
+      ]
+end
 
 type analysis = {
   threshold : float;
@@ -27,6 +55,7 @@ type analysis = {
   drops : Cue_block.drops;
   injection : Injector.stats;
   lint : Lint.summary option;
+  degrade : Degrade.t;
 }
 
 module Options = struct
@@ -41,6 +70,10 @@ module Options = struct
     exclude_prefetch_covered : bool;
     pt_roundtrip : bool;
     verify : bool;
+    degrade : bool;
+    min_salvage : float;
+    drift_safe : float;
+    drift_off : float;
   }
 
   let default =
@@ -55,8 +88,29 @@ module Options = struct
       exclude_prefetch_covered = false;
       pt_roundtrip = true;
       verify = false;
+      degrade = false;
+      min_salvage = 0.5;
+      drift_safe = 0.02;
+      drift_off = 0.15;
     }
 end
+
+(* Below this salvage ratio a profile is considered partial enough that
+   only statically-verified-safe hints may survive. *)
+let safe_salvage = 0.95
+
+type profile = {
+  trace : int array;
+  source : Program.t;
+  salvage : float;
+  pt_errors : int;
+}
+
+let profile_of_trace ?(salvage = 1.0) ~source trace = { trace; source; salvage; pt_errors = 0 }
+
+let profile_of_pt ~source data =
+  let r = Pt.decode_result source data in
+  { trace = r.Pt.trace; source; salvage = r.Pt.salvage; pt_errors = List.length r.Pt.errors }
 
 let provenance_of_stats (s : Injector.stats) =
   List.map
@@ -69,57 +123,170 @@ let provenance_of_stats (s : Injector.stats) =
       })
     s.Injector.placements
 
-let instrument_with (o : Options.t) ~program ~profile_trace ~prefetch =
+let no_drops =
+  {
+    Cue_block.windows_total = 0;
+    no_candidate = 0;
+    below_support = 0;
+    below_threshold = 0;
+    selected = 0;
+  }
+
+let no_injection =
+  { Injector.injected = 0; skipped_jit = 0; skipped_cap = 0; blocks_touched = 0; placements = [] }
+
+(* Safe-only mode: classify every injected hint on the instrumented
+   binary and strip the ones the static analysis cannot prove harmless
+   (Harmful or Redundant), keeping injection stats and provenance in
+   step.  Placements are ordered block-ascending then by within-block
+   injection order, matching each block's hint array — so the
+   (block, hint-index) key filters both consistently. *)
+let strip_unsafe ~(config : Config.t) instrumented (injection : Injector.stats) =
+  let classified =
+    Invalidation_check.classify ~geometry:config.Config.l1i
+      ~entry:(Program.entry instrumented) (Program.blocks instrumented)
+  in
+  let unsafe = Hashtbl.create 16 in
+  List.iter
+    (fun ((site : Invalidation_check.site), cls) ->
+      match cls with
+      | Invalidation_check.Harmful _ | Invalidation_check.Redundant _ ->
+        Hashtbl.replace unsafe (site.Invalidation_check.block, site.Invalidation_check.index) ()
+      | Invalidation_check.Safe_dead | Invalidation_check.Safe_pressure -> ())
+    classified;
+  if Hashtbl.length unsafe = 0 then (instrumented, injection, 0)
+  else begin
+    let stripped = Hashtbl.length unsafe in
+    let hints =
+      Array.mapi
+        (fun b (blk : Basic_block.t) ->
+          List.filteri
+            (fun i _ -> not (Hashtbl.mem unsafe (b, i)))
+            (Array.to_list blk.Basic_block.hints))
+        (Program.blocks instrumented)
+    in
+    let program, _remap = Program.with_hints instrumented ~hints in
+    let counters = Hashtbl.create 16 in
+    let placements =
+      List.filter
+        (fun (p : Injector.placement) ->
+          let b = p.Injector.block in
+          let i = Option.value (Hashtbl.find_opt counters b) ~default:0 in
+          Hashtbl.replace counters b (i + 1);
+          not (Hashtbl.mem unsafe (b, i)))
+        injection.Injector.placements
+    in
+    let blocks_touched = Array.fold_left (fun acc h -> if h <> [] then acc + 1 else acc) 0 hints in
+    let injection =
+      {
+        injection with
+        Injector.injected = injection.Injector.injected - stripped;
+        blocks_touched;
+        placements;
+      }
+    in
+    (program, injection, stripped)
+  end
+
+let instrument_profile (o : Options.t) ~program ~(profile : profile) ~prefetch =
   let config = o.Options.config in
+  let fingerprint_ok =
+    Program.layout_fingerprint profile.source = Program.layout_fingerprint program
+  in
+  (* Drift is measured against the binary about to be instrumented: the
+     fraction of profile transitions its CFG cannot produce. *)
+  let drift = if o.Options.degrade then Bb_trace.drift program profile.trace else 0.0 in
+  let level =
+    if not o.Options.degrade then Degrade.Full
+    else if profile.salvage < o.Options.min_salvage || drift > o.Options.drift_off then
+      Degrade.Hints_off
+    else if (not fingerprint_ok) || drift > o.Options.drift_safe || profile.salvage < safe_salvage
+    then Degrade.Safe_only
+    else Degrade.Full
+  in
+  let degrade_record ~stripped =
+    { Degrade.level; fingerprint_ok; salvage = profile.salvage; drift; stripped }
+  in
+  match level with
+  | Degrade.Hints_off ->
+    (* The profile is not trustworthy enough to act on at all: ship the
+       binary untouched, so behaviour is exactly the baseline policy. *)
+    ( program,
+      {
+        threshold = o.Options.threshold;
+        n_windows = 0;
+        n_decisions = 0;
+        drops = no_drops;
+        injection = no_injection;
+        lint = None;
+        degrade = degrade_record ~stripped:0;
+      } )
+  | Degrade.Full | Degrade.Safe_only ->
+    (* Step 2 (Fig. 4): ideal-policy replay over the stream the
+       prefetcher produces on the profiled layout, yielding eviction
+       windows. *)
+    let source = profile.source in
+    let trace = profile.trace in
+    let stream =
+      Simulator.record_stream ~config ~program:source ~trace
+        ~prefetcher:(prefetcher_of ~config prefetch)
+        ()
+    in
+    let replay = Belady.simulate config.Config.l1i ~mode:(belady_mode_of prefetch) stream in
+    let windows =
+      Eviction_window.of_evictions ~demand_covered_only:o.Options.exclude_prefetch_covered
+        replay.Belady.evictions
+    in
+    let exec_counts = Bb_trace.exec_counts source trace in
+    let decisions, drops =
+      Cue_block.analyze_report ~scan_limit:o.Options.scan_limit
+        ~min_support:o.Options.min_support ~stream ~windows ~exec_counts
+        ~threshold:o.Options.threshold ()
+    in
+    (* Step 3: link-time injection — into the binary being shipped,
+       which may not be the layout the profile was collected on. *)
+    let decisions =
+      List.filter (fun (d : Cue_block.decision) -> d.Cue_block.cue_block < Program.n_blocks program) decisions
+    in
+    let instrumented, _remap, injection =
+      Injector.inject ~mode:o.Options.mode ~skip_jit:o.Options.skip_jit
+        ~max_hints_per_block:o.Options.max_hints_per_block ~program ~decisions ()
+    in
+    let instrumented, injection, stripped =
+      match level with
+      | Degrade.Safe_only -> strip_unsafe ~config instrumented injection
+      | Degrade.Full | Degrade.Hints_off -> (instrumented, injection, 0)
+    in
+    (* Optional step 4: static verification of the instrumented binary
+       (the `ripple-sim lint` pass as a pipeline gate). *)
+    let lint =
+      if o.Options.verify then
+        Some
+          (Lint.check_program ~geometry:config.Config.l1i
+             ~provenance:(provenance_of_stats injection) instrumented)
+      else None
+    in
+    ( instrumented,
+      {
+        threshold = o.Options.threshold;
+        n_windows = Array.length windows;
+        n_decisions = List.length decisions;
+        drops;
+        injection;
+        lint;
+        degrade = degrade_record ~stripped;
+      } )
+
+let instrument_with (o : Options.t) ~program ~profile_trace ~prefetch =
   (* Step 1 (Fig. 4): runtime profiling.  The analysis consumes the
      PT round trip, not the raw trace.  LBR-sampled profiles are stitched
      from disjoint path fragments and bypass the codec
      ([pt_roundtrip = false]). *)
-  let trace =
-    if o.Options.pt_roundtrip then Pt.decode program (Pt.encode program profile_trace)
-    else profile_trace
+  let profile =
+    if o.Options.pt_roundtrip then profile_of_pt ~source:program (Pt.encode program profile_trace)
+    else profile_of_trace ~source:program profile_trace
   in
-  (* Step 2: ideal-policy replay over the stream the prefetcher
-     produces, yielding eviction windows. *)
-  let stream =
-    Simulator.record_stream ~config ~program ~trace
-      ~prefetcher:(prefetcher_of ~config prefetch)
-      ()
-  in
-  let replay = Belady.simulate config.Config.l1i ~mode:(belady_mode_of prefetch) stream in
-  let windows =
-    Eviction_window.of_evictions ~demand_covered_only:o.Options.exclude_prefetch_covered
-      replay.Belady.evictions
-  in
-  let exec_counts = Bb_trace.exec_counts program trace in
-  let decisions, drops =
-    Cue_block.analyze_report ~scan_limit:o.Options.scan_limit
-      ~min_support:o.Options.min_support ~stream ~windows ~exec_counts
-      ~threshold:o.Options.threshold ()
-  in
-  (* Step 3: link-time injection. *)
-  let instrumented, _remap, injection =
-    Injector.inject ~mode:o.Options.mode ~skip_jit:o.Options.skip_jit
-      ~max_hints_per_block:o.Options.max_hints_per_block ~program ~decisions ()
-  in
-  (* Optional step 4: static verification of the instrumented binary
-     (the `ripple-sim lint` pass as a pipeline gate). *)
-  let lint =
-    if o.Options.verify then
-      Some
-        (Lint.check_program ~geometry:config.Config.l1i
-           ~provenance:(provenance_of_stats injection) instrumented)
-    else None
-  in
-  ( instrumented,
-    {
-      threshold = o.Options.threshold;
-      n_windows = Array.length windows;
-      n_decisions = List.length decisions;
-      drops;
-      injection;
-      lint;
-    } )
+  instrument_profile o ~program ~profile ~prefetch
 
 type evaluation = {
   result : Simulator.result;
@@ -129,8 +296,6 @@ type evaluation = {
   static_overhead : float;
   dynamic_overhead : float;
 }
-
-module Json = Ripple_util.Json
 
 let evaluation_to_json (ev : evaluation) =
   Json.Obj

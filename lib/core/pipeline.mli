@@ -21,6 +21,34 @@ val prefetch_name : prefetch -> string
 val prefetcher_of : ?config:Config.t -> prefetch -> Program.t -> Prefetcher.t
 val belady_mode_of : prefetch -> Belady.mode
 
+(** The degradation ladder: how much of a profile's authority survives
+    contact with the binary it is about to instrument.  [Full] applies
+    every decision; [Safe_only] keeps only hints the static analysis
+    ({!Ripple_analysis.Invalidation_check}) proves harmless; [Hints_off]
+    ships the binary untouched, so behaviour is exactly the baseline
+    replacement policy.  The ladder only engages when
+    {!Options.t.degrade} is set — legacy callers get [Full]
+    unconditionally. *)
+module Degrade : sig
+  type level = Full | Safe_only | Hints_off
+
+  val level_name : level -> string
+  (** ["full"], ["safe-only"], ["off"]. *)
+
+  type t = {
+    level : level;
+    fingerprint_ok : bool;  (** profile layout matches the target binary *)
+    salvage : float;  (** fraction of the profile capture recovered *)
+    drift : float;  (** illegal-transition fraction vs. the target CFG *)
+    stripped : int;  (** hints removed by the safe-only filter *)
+  }
+
+  val full : t
+  (** The no-degradation record legacy paths report. *)
+
+  val to_json : t -> Ripple_util.Json.t
+end
+
 type analysis = {
   threshold : float;
   n_windows : int;  (** ideal-policy eviction windows in the profile *)
@@ -30,6 +58,7 @@ type analysis = {
   lint : Ripple_analysis.Lint.summary option;
       (** static-verifier report on the instrumented binary; [Some] iff
           {!Options.t.verify} was set *)
+  degrade : Degrade.t;  (** which rung of the ladder was applied, and why *)
 }
 
 (** Instrumentation knobs, gathered into one plain record.  Build a
@@ -66,10 +95,58 @@ module Options : sig
             instrumented binary and attach its summary to the analysis
             record — the lint gate that catches harmful or redundant
             injections before a sweep spends hours on them *)
+    degrade : bool;
+        (** engage the degradation ladder ({!Degrade}): step down to
+            safe-only hints or no hints when the profile's fingerprint,
+            salvage ratio or drift says it no longer describes the
+            target binary.  Off by default: legacy callers (including
+            stitched LBR profiles, which are deliberately not a legal
+            path) keep full-trust behaviour *)
+    min_salvage : float;
+        (** below this salvage ratio the profile is discarded outright
+            ([Hints_off]); default 0.5 *)
+    drift_safe : float;
+        (** above this illegal-transition fraction only verified-safe
+            hints survive; default 0.02 *)
+    drift_off : float;
+        (** above this the profile is discarded outright; default 0.15 *)
   }
 
   val default : t
 end
+
+type profile = {
+  trace : int array;  (** decoded block sequence *)
+  source : Program.t;  (** the layout the profile was collected on *)
+  salvage : float;  (** fraction of the capture recovered (1.0 = clean) *)
+  pt_errors : int;  (** decode errors survived to produce [trace] *)
+}
+(** A profile artifact: the decoded trace plus everything the
+    degradation ladder needs to decide how far to trust it.  [source]
+    carries the layout fingerprint implicitly — hint line operands are
+    computed on [source] and only valid on binaries with the same
+    fingerprint. *)
+
+val profile_of_trace : ?salvage:float -> source:Program.t -> int array -> profile
+(** Wraps an already-decoded trace ([salvage] defaults to 1.0; pass the
+    captured fraction when the capture is known to be partial). *)
+
+val profile_of_pt : source:Program.t -> bytes -> profile
+(** Recovering decode ({!Ripple_trace.Pt.decode_result}) of a possibly
+    corrupt stream: never raises; the salvage ratio and error count land
+    in the artifact for the ladder to judge. *)
+
+val instrument_profile :
+  Options.t ->
+  program:Program.t ->
+  profile:profile ->
+  prefetch:prefetch ->
+  Program.t * analysis
+(** Like {!instrument_with}, but profile and target binary are decoupled:
+    the eviction analysis runs on [profile.source] (the layout that was
+    profiled), injection targets [program] (the binary being shipped),
+    and — when {!Options.t.degrade} is set — the ladder compares the two
+    and steps down accordingly. *)
 
 val instrument_with :
   Options.t ->

@@ -8,28 +8,34 @@ let guarded f x =
     Error
       (Printexc.to_string e ^ if String.trim bt = "" then "" else "\n" ^ String.trim bt)
 
-let run ?jobs ~f items =
+let run ?jobs ?(stop = fun () -> false) ~f items =
   let n = Array.length items in
   let jobs = max 1 (min (match jobs with Some j -> j | None -> default_jobs ()) (max 1 n)) in
   if n = 0 then [||]
-  else if jobs = 1 then Array.map (guarded f) items
   else begin
     (* Slots are written at most once, each by the single domain that
        claimed the index, then read only after every worker has been
-       joined — no two domains ever race on a slot. *)
+       joined — no two domains ever race on a slot.  [stop] is polled
+       once per claim: items claimed after it trips stay [None]. *)
     let results = Array.make n None in
-    let cursor = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add cursor 1 in
-        if i < n then begin
-          results.(i) <- Some (guarded f items.(i));
-          loop ()
-        end
+    if jobs = 1 then
+      for i = 0 to n - 1 do
+        if not (stop ()) then results.(i) <- Some (guarded f items.(i))
+      done
+    else begin
+      let cursor = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add cursor 1 in
+          if i < n then begin
+            if not (stop ()) then results.(i) <- Some (guarded f items.(i));
+            loop ()
+          end
+        in
+        loop ()
       in
-      loop ()
-    in
-    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
-    Array.iter Domain.join domains;
-    Array.map (function Some r -> r | None -> assert false) results
+      let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+      Array.iter Domain.join domains
+    end;
+    results
   end

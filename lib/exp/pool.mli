@@ -17,9 +17,21 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the pool size when [?jobs]
     is not given. *)
 
-val run : ?jobs:int -> f:('a -> 'b) -> 'a array -> ('b, string) result array
+val run :
+  ?jobs:int ->
+  ?stop:(unit -> bool) ->
+  f:('a -> 'b) ->
+  'a array ->
+  ('b, string) result option array
 (** [run ~jobs ~f items] evaluates [f] on every item and returns the
     results in item order.  [jobs] is clamped to [1 .. length items];
     with [jobs = 1] the pool degenerates to a plain serial loop in the
     calling domain — the reference against which parallel runs are
-    checked for determinism. *)
+    checked for determinism.
+
+    [stop] is the circuit breaker: it is polled before each item is
+    started, and items claimed after it returns [true] are left as
+    [None] (skipped) instead of run.  Which items a tripped breaker
+    skips depends on scheduling when [jobs > 1]; with the breaker
+    untripped (the common case) results are [Some] for every slot and
+    independent of [jobs]. *)

@@ -22,6 +22,7 @@ let analysis_to_json (a : Pipeline.analysis) =
        ("skipped_jit", Json.Int a.Pipeline.injection.Injector.skipped_jit);
        ("skipped_cap", Json.Int a.Pipeline.injection.Injector.skipped_cap);
        ("blocks_touched", Json.Int a.Pipeline.injection.Injector.blocks_touched);
+       ("degrade", Pipeline.Degrade.to_json a.Pipeline.degrade);
      ]
     @
     match a.Pipeline.lint with
@@ -47,14 +48,22 @@ let gc_to_json (g : Runner.gc_stats) =
     ]
 
 let cell_to_json ?(gc = false) (cell : Runner.cell) =
-  let spec_fields =
-    match Spec.to_json cell.Runner.spec with Json.Obj fields -> fields | _ -> assert false
-  in
+  let spec_fields = Spec.to_fields cell.Runner.spec in
   let gc_fields = if gc then [ ("gc", gc_to_json cell.Runner.gc) ] else [] in
+  let attempt_fields =
+    if cell.Runner.attempts > 1 then [ ("attempts", Json.Int cell.Runner.attempts) ] else []
+  in
   let payload =
-    match cell.Runner.outcome with
-    | Error e -> [ ("status", Json.String "error"); ("error", Json.String e) ]
-    | Ok o ->
+    match cell.Runner.status with
+    (* The backtrace stays out of the JSONL: whether one was captured
+       depends on the domain the cell ran in, and machine-readable rows
+       must be identical across pool sizes.  It remains on the cell for
+       interactive debugging. *)
+    | Runner.Failed f ->
+      [ ("status", Json.String "failed"); ("error", Json.String f.Runner.message) ]
+    | Runner.Skipped reason ->
+      [ ("status", Json.String "skipped"); ("reason", Json.String reason) ]
+    | Runner.Done o ->
       [ ("status", Json.String "ok"); ("result", Simulator.result_to_json o.Runner.result) ]
       @ (match o.Runner.evaluation with
         | Some ev -> [ ("evaluation", Pipeline.evaluation_to_json ev) ]
@@ -64,7 +73,7 @@ let cell_to_json ?(gc = false) (cell : Runner.cell) =
       | Some a -> [ ("analysis", analysis_to_json a) ]
       | None -> [])
   in
-  Json.Obj (spec_fields @ payload @ gc_fields)
+  Json.Obj (spec_fields @ payload @ attempt_fields @ gc_fields)
 
 let to_jsonl ?gc cells =
   let buf = Buffer.create 4096 in
@@ -113,11 +122,20 @@ let print_summary cells =
   List.iter
     (fun (cell : Runner.cell) ->
       let key = Spec.to_string cell.Runner.spec in
-      match cell.Runner.outcome with
-      | Error e ->
+      match cell.Runner.status with
+      | Runner.Failed f ->
         Table.add_row table
-          [ key; "-"; "-"; "-"; "-"; Printf.sprintf "ERROR: %s" (List.hd (String.split_on_char '\n' e)) ]
-      | Ok o ->
+          [
+            key;
+            "-";
+            "-";
+            "-";
+            "-";
+            Printf.sprintf "FAILED: %s" (List.hd (String.split_on_char '\n' f.Runner.message));
+          ]
+      | Runner.Skipped reason ->
+        Table.add_row table [ key; "-"; "-"; "-"; "-"; Printf.sprintf "SKIPPED: %s" reason ]
+      | Runner.Done o ->
         let r = o.Runner.result in
         let cov, acc =
           match o.Runner.evaluation with

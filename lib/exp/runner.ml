@@ -17,12 +17,23 @@ type gc_stats = {
   top_heap_words : int;
 }
 
+type failure = { message : string; backtrace : string }
+
+type status = Done of outcome | Failed of failure | Skipped of string
+
 type cell = {
   spec : Spec.t;
-  outcome : (outcome, string) result;
+  status : status;
   elapsed : float;
   gc : gc_stats;
+  attempts : int;
 }
+
+let result cell =
+  match cell.status with
+  | Done o -> Ok o
+  | Failed f -> Error f.message
+  | Skipped reason -> Error (Printf.sprintf "skipped: %s" reason)
 
 let no_gc_stats =
   { allocated_words = 0.0; minor_words = 0.0; major_words = 0.0; top_heap_words = 0 }
@@ -154,14 +165,45 @@ let run_spec ?(config = Config.default) (spec : Spec.t) =
 
 let progress_lock = Mutex.create ()
 
-let run ?config ?jobs ?(quiet = false) specs =
+let breaker_reason = "circuit breaker: failure budget exhausted"
+
+let run ?config ?jobs ?(quiet = false) ?(retries = 0) ?max_failures specs =
   let specs = Array.of_list specs in
   let total = Array.length specs in
   let done_count = Atomic.make 0 in
+  let failures = Atomic.make 0 in
+  (* The breaker is polled per claim: once the failure budget is spent,
+     unstarted cells are skipped.  Failure outcomes themselves are
+     deterministic per cell; which cells a tripped breaker reaches in
+     time is not, when [jobs > 1] (documented in {!Pool.run}). *)
+  let stop =
+    match max_failures with
+    | None -> fun () -> false
+    | Some limit -> fun () -> Atomic.get failures >= limit
+  in
   let f spec =
     let t0 = Unix.gettimeofday () in
     let g0 = Gc.quick_stat () in
-    let outcome = run_spec ?config spec in
+    (* Bounded retry with seed perturbation: a deterministic failure
+       fails every attempt identically, while a seed-sensitive corner
+       (e.g. a stochastic policy tripping an edge case) gets fresh
+       randomness.  The emitted cell always carries the original spec. *)
+    let rec attempt k =
+      let spec_k =
+        if k = 0 then spec
+        else { spec with Spec.seed = Spec.perturb_seed spec.Spec.seed ~attempt:k }
+      in
+      match run_spec ?config spec_k with
+      | outcome -> (Done outcome, k + 1)
+      | exception e ->
+        let backtrace = String.trim (Printexc.get_backtrace ()) in
+        if k < retries then attempt (k + 1)
+        else begin
+          Atomic.incr failures;
+          (Failed { message = Printexc.to_string e; backtrace }, k + 1)
+        end
+    in
+    let status, attempts = attempt 0 in
     let g1 = Gc.quick_stat () in
     let elapsed = Unix.gettimeofday () -. t0 in
     (* Words this domain allocated while the cell ran; promoted words
@@ -180,24 +222,37 @@ let run ?config ?jobs ?(quiet = false) specs =
     in
     let k = Atomic.fetch_and_add done_count 1 + 1 in
     if not quiet then begin
+      let tag = match status with Done _ -> "" | Failed _ -> " FAILED" | Skipped _ -> "" in
       Mutex.lock progress_lock;
-      Printf.eprintf "[exp] %d/%d %s %.1fs\n%!" k total (Spec.to_string spec) elapsed;
+      Printf.eprintf "[exp] %d/%d %s %.1fs%s\n%!" k total (Spec.to_string spec) elapsed tag;
       Mutex.unlock progress_lock
     end;
-    (outcome, elapsed, gc)
+    (status, elapsed, gc, attempts)
   in
-  let results = Pool.run ?jobs ~f specs in
+  let results = Pool.run ?jobs ~stop ~f specs in
   Array.to_list
     (Array.map2
        (fun spec r ->
          match r with
-         | Ok (outcome, elapsed, gc) -> { spec; outcome = Ok outcome; elapsed; gc }
-         | Error e -> { spec; outcome = Error e; elapsed = 0.0; gc = no_gc_stats })
+         | Some (Ok (status, elapsed, gc, attempts)) -> { spec; status; elapsed; gc; attempts }
+         | Some (Error e) ->
+           (* [f] catches its own exceptions; the pool guard is a belt
+              for failures outside the retry loop (e.g. out-of-memory). *)
+           {
+             spec;
+             status = Failed { message = e; backtrace = "" };
+             elapsed = 0.0;
+             gc = no_gc_stats;
+             attempts = 0;
+           }
+         | None ->
+           {
+             spec;
+             status = Skipped breaker_reason;
+             elapsed = 0.0;
+             gc = no_gc_stats;
+             attempts = 0;
+           })
        specs results)
 
 let find cells spec = List.find_opt (fun c -> Spec.equal c.spec spec) cells
-
-let ok_exn cell =
-  match cell.outcome with
-  | Ok outcome -> outcome
-  | Error e -> failwith (Printf.sprintf "cell %s failed: %s" (Spec.to_string cell.spec) e)

@@ -13,10 +13,13 @@
     [run ~jobs:1] and [run ~jobs:n] produce identical cell lists,
     byte-for-byte once rendered by {!Report}.
 
-    Isolation: a cell that raises is recorded as [Error] (message and
-    backtrace) in its slot; the rest of the sweep completes.  Per-cell
-    wall-clock timing and progress go to [stderr] (suppress with
-    [~quiet:true]); timing never appears in machine-readable output. *)
+    Isolation: a cell that raises is recorded as [Failed] (message and
+    backtrace) in its slot; the rest of the sweep completes.  [retries]
+    reruns a failing cell with a perturbed seed before giving up, and
+    [max_failures] is a circuit breaker that skips the remainder of a
+    sweep drowning in failures.  Per-cell wall-clock timing and progress
+    go to [stderr] (suppress with [~quiet:true]); timing never appears
+    in machine-readable output. *)
 
 module Config := Ripple_cpu.Config
 module Simulator := Ripple_cpu.Simulator
@@ -37,28 +40,52 @@ type gc_stats = {
   top_heap_words : int;  (** process top-heap watermark after the cell *)
 }
 
+type failure = {
+  message : string;  (** printed exception of the final attempt *)
+  backtrace : string;  (** empty when backtrace recording is off *)
+}
+
+(** How a cell ended: completed, failed every attempt, or skipped
+    because the sweep's circuit breaker had already tripped. *)
+type status = Done of outcome | Failed of failure | Skipped of string
+
 type cell = {
   spec : Spec.t;
-  outcome : (outcome, string) result;
+  status : status;
   elapsed : float;  (** seconds, wall clock — diagnostic, not reported *)
   gc : gc_stats;
       (** allocation profile of the run — diagnostic; only rendered when
           {!Report} is asked for it, since the numbers depend on memo
           warm-up and domain scheduling, not on the spec alone *)
+  attempts : int;  (** executions of the cell, [1] unless retried *)
 }
+
+val result : cell -> (outcome, string) result
+(** The cell's outcome as a result: [Failed] and [Skipped] collapse to
+    [Error] with a printable reason. *)
 
 val run_spec : ?config:Config.t -> Spec.t -> outcome
 (** Executes one cell in the calling domain.
     @raise Invalid_argument on an unknown app or policy name. *)
 
-val run : ?config:Config.t -> ?jobs:int -> ?quiet:bool -> Spec.t list -> cell list
+val run :
+  ?config:Config.t ->
+  ?jobs:int ->
+  ?quiet:bool ->
+  ?retries:int ->
+  ?max_failures:int ->
+  Spec.t list ->
+  cell list
 (** Fans the specs out over {!Pool.run}.  [jobs] defaults to
-    {!Pool.default_jobs}; [quiet] (default false) silences the
-    per-cell progress lines on [stderr]. *)
+    {!Pool.default_jobs}; [quiet] (default false) silences the per-cell
+    progress lines on [stderr].  A cell that raises is retried up to
+    [retries] times (default 0) with {!Spec.perturb_seed}ed seeds — the
+    emitted cell keeps the original spec and records the attempt count.
+    After [max_failures] cells have failed (all retries exhausted), the
+    breaker trips and unstarted cells come back [Skipped]; cells
+    actually run are deterministic per spec regardless of [jobs], but
+    which cells a tripped breaker still lets through is
+    scheduling-dependent when [jobs > 1]. *)
 
 val find : cell list -> Spec.t -> cell option
 (** Lookup by spec ({!Spec.equal}). *)
-
-val ok_exn : cell -> outcome
-(** The outcome of a cell that must have succeeded.
-    @raise Failure with the cell key and error otherwise. *)

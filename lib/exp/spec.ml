@@ -57,17 +57,22 @@ let prng_seed t =
     (to_string t);
   !h
 
-let to_json t =
-  Json.Obj
-    [
-      ("spec", Json.String (to_string t));
-      ("app", Json.String t.app);
-      ("prefetch", Json.String (Pipeline.prefetch_name t.prefetch));
-      ("kind", Json.String (kind_name t.kind));
-      ( "policy",
-        match policy_name t with Some p -> Json.String p | None -> Json.Null );
-      ("threshold", match threshold t with Some x -> Json.Float x | None -> Json.Null);
-      ("instrs", Json.Int t.n_instrs);
-      ("input", Json.String (input_name t.input));
-      ("seed", Json.Int t.seed);
-    ]
+(* Seed used for retry attempt [attempt] of a cell (attempt 0 is the
+   spec's own seed): a large odd stride keeps perturbed seeds disjoint
+   across neighbouring base seeds for any plausible retry budget. *)
+let perturb_seed seed ~attempt = seed + (attempt * 1_000_003)
+
+let to_fields t =
+  [
+    ("spec", Json.String (to_string t));
+    ("app", Json.String t.app);
+    ("prefetch", Json.String (Pipeline.prefetch_name t.prefetch));
+    ("kind", Json.String (kind_name t.kind));
+    ("policy", match policy_name t with Some p -> Json.String p | None -> Json.Null);
+    ("threshold", match threshold t with Some x -> Json.Float x | None -> Json.Null);
+    ("instrs", Json.Int t.n_instrs);
+    ("input", Json.String (input_name t.input));
+    ("seed", Json.Int t.seed);
+  ]
+
+let to_json t = Json.Obj (to_fields t)

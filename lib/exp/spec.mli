@@ -67,4 +67,14 @@ val prng_seed : t -> int
     the same spec draws the same stream in every run, serial or
     parallel. *)
 
+val perturb_seed : int -> attempt:int -> int
+(** Seed for retry [attempt] of a cell whose base seed is the argument;
+    [attempt = 0] is the identity.  Deterministic, so a retried sweep
+    stays byte-identical across [--jobs]. *)
+
+val to_fields : t -> (string * Ripple_util.Json.t) list
+(** The spec's JSON object fields, for embedding into a larger record
+    (the per-cell JSONL rows of {!Report}). *)
+
 val to_json : t -> Ripple_util.Json.t
+(** [Obj (to_fields t)]. *)

@@ -1,0 +1,56 @@
+(** The chaos harness: the fault matrix run end-to-end.
+
+    For each (application, fault) cell the harness profiles the app on
+    the train input, pushes the profile through the fault injector, runs
+    the degradation-aware pipeline ({!Ripple_core.Pipeline.instrument_profile}
+    with [degrade = true]), evaluates the instrumented binary on the
+    clean evaluation trace, and checks the contract:
+
+    - nothing may crash (a raised exception anywhere in the cell is a
+      [Crashed] verdict, exit code 2);
+    - every cell reports a salvage ratio and a degradation level;
+    - the chosen level must match the fault's {!Fault.expectation};
+    - a cell degraded to hints-off must match the uninstrumented
+      baseline IPC on the same trace — the never-worse guarantee.
+
+    Cells are deterministic in [(app, fault, seed)]; apps fan out over
+    the domain pool. *)
+
+module Pipeline := Ripple_core.Pipeline
+module Config := Ripple_cpu.Config
+
+type outcome = {
+  degrade : Pipeline.Degrade.t;  (** ladder decision and its evidence *)
+  pt_errors : int;  (** decode errors survived while reading the profile *)
+  injected : int;  (** hints in the shipped binary *)
+  baseline_ipc : float;  (** uninstrumented run on the eval trace *)
+  instrumented_ipc : float;  (** instrumented run on the same trace *)
+  violations : string list;  (** contract breaches; empty = cell passes *)
+}
+
+type status = Ran of outcome | Crashed of string
+
+type cell = { app : string; fault : Fault.t; expectation : Fault.expectation; status : status }
+type report = { cells : cell list; crashed : int; violations : int }
+
+val run :
+  ?apps:string list ->
+  ?faults:Fault.t list ->
+  ?n_instrs:int ->
+  ?seed:int ->
+  ?prefetch:Pipeline.prefetch ->
+  ?policy:string ->
+  ?config:Config.t ->
+  ?jobs:int ->
+  ?progress:(cell -> unit) ->
+  unit ->
+  report
+(** Runs the matrix (defaults: all nine apps × {!Fault.matrix},
+    200k instructions, FDIP, LRU).  [progress] is called once per
+    finished cell, from worker domains. *)
+
+val exit_code : report -> int
+(** 2 if any cell crashed, 1 if any contract violation, else 0. *)
+
+val report_to_json : report -> Ripple_util.Json.t
+val print_summary : report -> unit

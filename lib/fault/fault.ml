@@ -1,0 +1,210 @@
+module Prng = Ripple_util.Prng
+module Json = Ripple_util.Json
+module Program = Ripple_isa.Program
+module Packet = Ripple_trace.Packet
+module Pt = Ripple_trace.Pt
+
+type t =
+  | Clean
+  | Flip_tnt of { flips : int }
+  | Drop_tip of { count : int }
+  | Garbage_tip of { count : int }
+  | Truncate_pt of { keep : float }
+  | Truncate_trace of { keep : float }
+  | Layout_shift of { lines : int }
+  | Edge_reshuffle of { fraction : float }
+  | Hot_swap of { rotation : int }
+
+let name = function
+  | Clean -> "clean"
+  | Flip_tnt _ -> "flip-tnt"
+  | Drop_tip _ -> "drop-tip"
+  | Garbage_tip _ -> "garbage-tip"
+  | Truncate_pt _ -> "truncate-pt"
+  | Truncate_trace _ -> "truncate-trace"
+  | Layout_shift _ -> "layout-shift"
+  | Edge_reshuffle _ -> "edge-reshuffle"
+  | Hot_swap _ -> "hot-swap"
+
+let to_string t =
+  match t with
+  | Clean -> "clean"
+  | Flip_tnt { flips } -> Printf.sprintf "flip-tnt:%d" flips
+  | Drop_tip { count } -> Printf.sprintf "drop-tip:%d" count
+  | Garbage_tip { count } -> Printf.sprintf "garbage-tip:%d" count
+  | Truncate_pt { keep } -> Printf.sprintf "truncate-pt:%g" keep
+  | Truncate_trace { keep } -> Printf.sprintf "truncate-trace:%g" keep
+  | Layout_shift { lines } -> Printf.sprintf "layout-shift:%d" lines
+  | Edge_reshuffle { fraction } -> Printf.sprintf "edge-reshuffle:%g" fraction
+  | Hot_swap { rotation } -> Printf.sprintf "hot-swap:%d" rotation
+
+let to_json t =
+  let param =
+    match t with
+    | Clean -> []
+    | Flip_tnt { flips } -> [ ("flips", Json.Int flips) ]
+    | Drop_tip { count } | Garbage_tip { count } -> [ ("count", Json.Int count) ]
+    | Truncate_pt { keep } | Truncate_trace { keep } -> [ ("keep", Json.Float keep) ]
+    | Layout_shift { lines } -> [ ("lines", Json.Int lines) ]
+    | Edge_reshuffle { fraction } -> [ ("fraction", Json.Float fraction) ]
+    | Hot_swap { rotation } -> [ ("rotation", Json.Int rotation) ]
+  in
+  Json.Obj (("class", Json.String (name t)) :: param)
+
+(* ------------------------- PT stream faults ------------------------- *)
+
+(* Parse a clean stream into its packet sequence (the injectors only
+   ever corrupt streams the encoder just produced, so strict parsing is
+   fine here), returning the raw header bytes and the packets. *)
+let packets data =
+  let _, start = Pt.split_header data in
+  let len = Bytes.length data in
+  let rec walk pos acc =
+    if pos >= len then List.rev acc
+    else begin
+      let packet, next = Packet.read data ~pos in
+      walk next (packet :: acc)
+    end
+  in
+  (Bytes.sub data 0 start, Array.of_list (walk start []))
+
+let rebuild header pkts =
+  let buf = Buffer.create 4096 in
+  Buffer.add_bytes buf header;
+  Array.iter (function Some p -> Packet.write buf p | None -> ()) pkts;
+  Buffer.to_bytes buf
+
+let indices_of pkts pred =
+  let acc = ref [] in
+  Array.iteri (fun i p -> if pred p then acc := i :: !acc) pkts;
+  Array.of_list (List.rev !acc)
+
+(* Pick [count] distinct victims from [eligible] (all of them if fewer). *)
+let pick_victims prng eligible count =
+  let pool = Array.copy eligible in
+  Prng.shuffle prng pool;
+  Array.sub pool 0 (min count (Array.length pool))
+
+let corrupt_pt ~seed fault data =
+  match fault with
+  | Clean | Truncate_trace _ | Layout_shift _ | Edge_reshuffle _ | Hot_swap _ -> data
+  | Truncate_pt { keep } ->
+    let _, start = Pt.split_header data in
+    let payload = Bytes.length data - start in
+    let kept = int_of_float (keep *. float_of_int payload) in
+    Bytes.sub data 0 (start + max 0 (min payload kept))
+  | Flip_tnt { flips } ->
+    let prng = Prng.create ~seed in
+    let header, pkts = packets data in
+    let tnts = indices_of pkts (function Packet.Tnt _ -> true | _ -> false) in
+    if Array.length tnts = 0 then data
+    else begin
+      let pkts =
+        Array.map (function Packet.Tnt bits -> Packet.Tnt (Array.copy bits) | p -> p) pkts
+      in
+      for _ = 1 to flips do
+        match pkts.(Prng.pick prng tnts) with
+        | Packet.Tnt bits ->
+          let j = Prng.int prng (Array.length bits) in
+          bits.(j) <- not bits.(j)
+        | Packet.Tip _ | Packet.End_of_trace -> assert false
+      done;
+      rebuild header (Array.map (fun p -> Some p) pkts)
+    end
+  | Drop_tip { count } ->
+    let prng = Prng.create ~seed in
+    let header, pkts = packets data in
+    let tips = indices_of pkts (function Packet.Tip _ -> true | _ -> false) in
+    let dropped = pick_victims prng tips count in
+    let out = Array.map (fun p -> Some p) pkts in
+    Array.iter (fun i -> out.(i) <- None) dropped;
+    rebuild header out
+  | Garbage_tip { count } ->
+    let prng = Prng.create ~seed in
+    let header, pkts = packets data in
+    let tips = indices_of pkts (function Packet.Tip _ -> true | _ -> false) in
+    let garbled = pick_victims prng tips count in
+    let out = Array.map (fun p -> Some p) pkts in
+    (* A garbage target is overwhelmingly unlikely to land on a block
+       boundary, so the decoder sees a well-formed TIP pointing nowhere. *)
+    Array.iter (fun i -> out.(i) <- Some (Packet.Tip (1 + Prng.int prng 0x3FFFFFFF))) garbled;
+    rebuild header out
+
+(* ----------------------- decoded-trace faults ----------------------- *)
+
+let truncate_trace ~keep trace =
+  let n = Array.length trace in
+  Array.sub trace 0 (max 0 (min n (int_of_float (keep *. float_of_int n))))
+
+(* Swap short windows of the trace between random positions: the edge
+   weights the profile reports are redistributed over transitions the
+   program cannot take, without changing any block's execution count. *)
+let reshuffle ~seed ~fraction trace =
+  let t = Array.copy trace in
+  let n = Array.length t in
+  let w = 4 in
+  if n < 4 * w then t
+  else begin
+    let prng = Prng.create ~seed in
+    (* Each swap seams at most four illegal transitions into the trace,
+       so [fraction * n / 4] swaps targets a drift of [fraction] (less
+       whatever swaps happen to land on identical content). *)
+    let swaps = max 1 (int_of_float (fraction *. float_of_int n /. 4.0)) in
+    for _ = 1 to swaps do
+      let i = Prng.int prng (n - w) and j = Prng.int prng (n - w) in
+      for k = 0 to w - 1 do
+        let tmp = t.(i + k) in
+        t.(i + k) <- t.(j + k);
+        t.(j + k) <- tmp
+      done
+    done;
+    t
+  end
+
+let apply_trace ~seed fault trace =
+  match fault with
+  | Truncate_trace { keep } -> truncate_trace ~keep trace
+  | Edge_reshuffle { fraction } -> reshuffle ~seed ~fraction trace
+  | Clean | Flip_tnt _ | Drop_tip _ | Garbage_tip _ | Truncate_pt _ | Layout_shift _
+  | Hot_swap _ ->
+    trace
+
+(* ------------------------ profile-side drift ------------------------ *)
+
+let profile_program fault program =
+  match fault with
+  | Layout_shift { lines } -> Program.relocate program ~line_shift:lines
+  | _ -> program
+
+let profile_rotation = function Hot_swap { rotation } -> Some rotation | _ -> None
+
+(* ------------------------- expectations ----------------------------- *)
+
+type expectation = Expect_full | Expect_degraded | Expect_off | Expect_any
+
+let expectation_name = function
+  | Expect_full -> "full"
+  | Expect_degraded -> "degraded"
+  | Expect_off -> "off"
+  | Expect_any -> "any"
+
+let expectation = function
+  | Clean | Hot_swap _ -> Expect_full
+  | Flip_tnt _ | Drop_tip _ | Garbage_tip _ -> Expect_any
+  | Truncate_pt { keep } -> if keep <= 0.4 then Expect_degraded else Expect_any
+  | Truncate_trace { keep } -> if keep < 0.5 then Expect_off else Expect_any
+  | Layout_shift _ -> Expect_degraded
+  | Edge_reshuffle { fraction } -> if fraction >= 0.3 then Expect_degraded else Expect_any
+
+let matrix =
+  [
+    Clean;
+    Flip_tnt { flips = 32 };
+    Drop_tip { count = 8 };
+    Garbage_tip { count = 8 };
+    Truncate_pt { keep = 0.3 };
+    Truncate_trace { keep = 0.3 };
+    Layout_shift { lines = 3 };
+    Edge_reshuffle { fraction = 0.5 };
+    Hot_swap { rotation = 2 };
+  ]

@@ -1,0 +1,72 @@
+(** Seeded, composable fault injectors for the chaos harness.
+
+    Each fault models one way a profile goes bad in production:
+
+    - {b PT stream corruption} ([Flip_tnt], [Drop_tip], [Garbage_tip],
+      [Truncate_pt]): the trace ring overflowed or bytes rotted — the
+      recovering decoder ({!Ripple_trace.Pt.decode_result}) must salvage
+      what it can.
+    - {b Capture truncation} ([Truncate_trace]): the profile covers only
+      a prefix of the execution it claims to describe.
+    - {b Profile drift} ([Layout_shift], [Edge_reshuffle], [Hot_swap]):
+      the binary was rebuilt with shifted code, the reported edge
+      weights no longer match the CFG, or the evaluated workload mix
+      differs from the trained one (Fig. 13).
+
+    Every injector is a pure function of [(seed, fault, input)], so a
+    chaos cell is exactly as reproducible as any other experiment
+    cell. *)
+
+module Program := Ripple_isa.Program
+
+type t =
+  | Clean  (** no fault: the control row of the matrix *)
+  | Flip_tnt of { flips : int }  (** flip random TNT payload bits *)
+  | Drop_tip of { count : int }  (** delete random TIP packets *)
+  | Garbage_tip of { count : int }  (** rewrite TIP targets to garbage *)
+  | Truncate_pt of { keep : float }  (** keep this byte fraction of the payload *)
+  | Truncate_trace of { keep : float }  (** keep this prefix of the capture *)
+  | Layout_shift of { lines : int }  (** profile collected [lines] cache lines ago *)
+  | Edge_reshuffle of { fraction : float }  (** scramble this fraction of transitions *)
+  | Hot_swap of { rotation : int }  (** profile under a rotated handler mix *)
+
+val name : t -> string
+(** Stable kebab-case class name (no parameters). *)
+
+val to_string : t -> string
+(** Class name plus parameters, e.g. ["flip-tnt:32"]. *)
+
+val to_json : t -> Ripple_util.Json.t
+
+val corrupt_pt : seed:int -> t -> bytes -> bytes
+(** Applies a PT-stream fault to a {e clean} encoded stream; identity
+    for trace- and program-level faults.  The header is preserved (the
+    stream still advertises the full execution), so the salvage ratio of
+    the recovering decode reflects what the fault destroyed. *)
+
+val apply_trace : seed:int -> t -> int array -> int array
+(** Applies a decoded-trace fault ([Truncate_trace], [Edge_reshuffle]);
+    identity otherwise. *)
+
+val profile_program : t -> Program.t -> Program.t
+(** The program layout the profile was (notionally) collected on:
+    [Layout_shift] relocates the text by N cache lines; identity
+    otherwise. *)
+
+val profile_rotation : t -> int option
+(** [Hot_swap]'s handler rotation for the profiling input, if any. *)
+
+(** What the degradation ladder must do with a faulted profile for the
+    chaos harness to pass the cell. *)
+type expectation =
+  | Expect_full  (** hints must survive intact *)
+  | Expect_degraded  (** must step down to safe-only or off *)
+  | Expect_off  (** must disable hints entirely *)
+  | Expect_any  (** any level, as long as nothing crashes *)
+
+val expectation_name : expectation -> string
+val expectation : t -> expectation
+
+val matrix : t list
+(** The default chaos matrix: one [Clean] control plus the eight fault
+    classes at their standard severities. *)

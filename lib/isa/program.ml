@@ -93,6 +93,47 @@ let with_hints t ~hints =
   let p = { t with blocks = rewritten; sorted_by_addr = sort_by_addr rewritten } in
   (p, fun addr -> addr)
 
+(* FNV-1a over everything injection coordinates depend on: block count,
+   entry, and each block's address/size/shape.  Hints are deliberately
+   excluded so the fingerprint of an instrumented binary matches the
+   binary it was derived from (injection is layout-preserving). *)
+let layout_fingerprint t =
+  let h = ref 0x811c9dc5 in
+  let mix v =
+    (* Fold the value in byte-wise so every bit participates; same
+       32-bit FNV constants as Ripple_exp.Spec.prng_seed, masked to stay
+       stable across OCaml versions and word sizes. *)
+    let v = ref v in
+    for _ = 0 to 7 do
+      h := (!h lxor (!v land 0xFF)) * 0x01000193 land 0x3FFFFFFF;
+      v := !v lsr 8
+    done
+  in
+  mix t.entry;
+  mix (Array.length t.blocks);
+  Array.iter
+    (fun (b : Basic_block.t) ->
+      mix b.Basic_block.addr;
+      mix b.Basic_block.bytes;
+      mix b.Basic_block.n_instrs;
+      mix
+        ((match b.Basic_block.privilege with Basic_block.User -> 0 | Basic_block.Kernel -> 1)
+        lor if b.Basic_block.jit then 2 else 0))
+    t.blocks;
+  !h
+
+let relocate t ~line_shift =
+  let delta = line_shift * Addr.line_size in
+  let blocks =
+    Array.map
+      (fun (b : Basic_block.t) ->
+        let addr = b.Basic_block.addr + delta in
+        assert (addr >= 0);
+        { b with Basic_block.addr })
+      t.blocks
+  in
+  { t with blocks; sorted_by_addr = sort_by_addr blocks }
+
 let pp_summary fmt t =
   Format.fprintf fmt "@[program: %d blocks, %d bytes, %d instrs, %d hint(s), %d lines@]"
     (n_blocks t) (static_bytes t) (static_instrs t) (static_hints t) (footprint_lines t)

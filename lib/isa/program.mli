@@ -58,6 +58,24 @@ val static_hints : t -> int
 val footprint_lines : t -> int
 (** Number of distinct I-cache lines the whole text occupies. *)
 
+val layout_fingerprint : t -> int
+(** FNV-1a hash of the layout every injected line operand depends on:
+    entry, block count, and each block's (address, bytes, instruction
+    count, privilege, JIT flag).  Injected hints are excluded, so an
+    instrumented binary fingerprints identically to the binary its
+    profile was collected on.  This is the artifact {!Ripple_core.Pipeline}
+    stores with a profile and re-checks before applying stale hints: a
+    rebuild that moves code produces a different fingerprint. *)
+
+val relocate : t -> line_shift:int -> t
+(** [relocate t ~line_shift] shifts every block address by
+    [line_shift * Addr.line_size] bytes — the layout drift of a rebuild
+    that inserts or removes whole cache lines of code upstream.  Block
+    ids, sizes and control flow are unchanged; only the line/set mapping
+    (and hence {!layout_fingerprint}) moves.  Used by the fault-injection
+    harness to collect profiles on a layout the evaluated binary no
+    longer has. *)
+
 val with_hints : t -> hints:Basic_block.hint list array -> t * (Addr.t -> Addr.t)
 (** [with_hints p ~hints] returns a program in which block [i] carries
     [hints.(i)], plus the (identity) old→new address remapper — see the

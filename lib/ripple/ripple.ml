@@ -74,3 +74,7 @@ module Lint = Ripple_analysis.Lint
 (* Experiment orchestration: parallel, resumable sweeps over the
    evaluation matrix *)
 module Exp = Ripple_exp
+
+(* Fault injection and the chaos harness *)
+module Fault = Ripple_fault.Fault
+module Chaos = Ripple_fault.Chaos

@@ -43,6 +43,36 @@ let demand_stream program trace =
     trace;
   Access_stream.Builder.finish builder
 
+let illegal_transitions program trace =
+  let n_blocks = Program.n_blocks program in
+  let illegal = ref 0 in
+  let n = Array.length trace in
+  for i = 0 to n - 2 do
+    let id = trace.(i) and next = trace.(i + 1) in
+    let bad =
+      if id < 0 || id >= n_blocks || next < 0 || next >= n_blocks then true
+      else begin
+        match (Program.block program id).Basic_block.term with
+        | Basic_block.Fallthrough expected | Basic_block.Jump expected -> next <> expected
+        | Basic_block.Call { callee; return_to = _ } -> next <> callee
+        | Basic_block.Cond { taken; fallthrough } -> next <> taken && next <> fallthrough
+        | Basic_block.Indirect targets ->
+          not (Array.exists (fun t -> t = next) targets)
+        | Basic_block.Indirect_call { callees; return_to = _ } ->
+          not (Array.exists (fun t -> t = next) callees)
+        | Basic_block.Return -> false
+        | Basic_block.Halt -> true
+      end
+    in
+    if bad then incr illegal
+  done;
+  !illegal
+
+let drift program trace =
+  let n = Array.length trace in
+  if n < 2 then 0.0
+  else Float.of_int (illegal_transitions program trace) /. Float.of_int (n - 1)
+
 let kernel_fraction program trace =
   if Array.length trace = 0 then 0.0
   else begin

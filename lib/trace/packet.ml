@@ -7,6 +7,11 @@ let tag_tnt = 0b00
 let tag_tip = 0b01
 let tag_end = 0b10
 
+(* A TIP packet always opens with exactly this byte (the tag in the top
+   two bits, the low six clear) — the anchor the recovering decoder
+   scans for when it resynchronizes after corruption. *)
+let tip_tag_byte = tag_tip lsl 6
+
 (* TNT byte layout: [tag:2][payload+stop:6].  The payload holds the bits
    oldest-first from the least-significant end, followed by a 1 stop bit;
    e.g. bits [T; NT] encode as tag | 0b100_01 pattern below. *)
@@ -37,7 +42,9 @@ let read bytes ~pos =
   let tag = byte lsr 6 in
   if tag = tag_tnt then begin
     let payload = byte land 0x3F in
-    if payload = 0 then invalid_arg "Packet.read: empty TNT";
+    (* 0 has no stop bit; 1 is a stop bit with no payload bits.  The
+       encoder emits neither, so both are corruption. *)
+    if payload <= 1 then invalid_arg "Packet.read: empty TNT";
     (* Position of the stop bit = highest set bit. *)
     let stop = ref 5 in
     while payload land (1 lsl !stop) = 0 do

@@ -17,6 +17,12 @@ val max_tnt_bits : int
 (** 5: two tag bits leave six payload bits, one of which is the stop bit
     (Intel's short-TNT packet fits 6 because its tag is a single bit). *)
 
+val tip_tag_byte : int
+(** The first byte of every TIP packet (tag bits only, payload follows
+    as LEB128).  Recovering decoders scan for this byte to find the next
+    resynchronization point in a corrupt stream, the role PSB packets
+    play for real PT decoders. *)
+
 val write : Buffer.t -> t -> unit
 (** Serialises one packet.  TNT packets use one byte (two tag bits, a
     stop bit delimiting up to six payload bits); TIP packets use a tag

@@ -32,13 +32,29 @@ let write_header buf n =
   in
   emit n
 
-let read_header data =
+(* Bounds-checked header read.  A corrupt stream can claim any block
+   count; the cap keeps a garbage header from turning into an attempt to
+   materialise a multi-gigabyte trace. *)
+let max_expected = 1 lsl 24
+
+let read_header_opt data =
+  let len = Bytes.length data in
   let rec take pos shift acc =
-    let byte = Char.code (Bytes.get data pos) in
-    let acc = acc lor ((byte land 0x7F) lsl shift) in
-    if byte land 0x80 <> 0 then take (pos + 1) (shift + 7) acc else (acc, pos + 1)
+    if pos >= len || shift > 56 then None
+    else begin
+      let byte = Char.code (Bytes.get data pos) in
+      let acc = acc lor ((byte land 0x7F) lsl shift) in
+      if byte land 0x80 <> 0 then take (pos + 1) (shift + 7) acc else Some (acc, pos + 1)
+    end
   in
-  take 0 0 0
+  match take 0 0 0 with
+  | Some (n, _) when n < 0 || n > max_expected -> None
+  | other -> other
+
+let split_header data =
+  match read_header_opt data with
+  | Some (n, payload) -> (n, payload)
+  | None -> invalid_arg "Pt.split_header: malformed header"
 
 let encode program blocks =
   let buf = Buffer.create (Array.length blocks) in
@@ -74,6 +90,37 @@ let encode program blocks =
   Packet.write buf Packet.End_of_trace;
   Buffer.to_bytes buf
 
+type error_kind =
+  | Bad_header
+  | Bad_packet
+  | Unexpected_packet
+  | Bad_tip
+  | Truncated
+  | Past_halt
+
+let error_kind_name = function
+  | Bad_header -> "bad-header"
+  | Bad_packet -> "bad-packet"
+  | Unexpected_packet -> "unexpected-packet"
+  | Bad_tip -> "bad-tip"
+  | Truncated -> "truncated"
+  | Past_halt -> "past-halt"
+
+type decode_error = { pos : int; decoded : int; kind : error_kind }
+
+type recovery = {
+  trace : int array;
+  expected : int;
+  salvage : float;
+  errors : decode_error list;
+  resyncs : int;
+}
+
+let block_start_of_addr program addr =
+  match Program.block_at program addr with
+  | Some b when b.Basic_block.addr = addr -> Some b.Basic_block.id
+  | Some _ | None -> None
+
 (* Decoder state: a packet cursor plus a TNT bit cursor within the
    current TNT packet. *)
 type cursor = {
@@ -83,67 +130,157 @@ type cursor = {
   mutable tnt_pos : int;
 }
 
-let next_packet c =
-  let packet, pos = Packet.read c.data ~pos:c.pos in
-  c.pos <- pos;
-  packet
-
-let next_tnt c =
-  if c.tnt_pos < Array.length c.tnt then begin
-    let bit = c.tnt.(c.tnt_pos) in
-    c.tnt_pos <- c.tnt_pos + 1;
-    bit
-  end
-  else begin
-    match next_packet c with
-    | Packet.Tnt bits ->
-      c.tnt <- bits;
-      c.tnt_pos <- 1;
-      bits.(0)
-    | Packet.End_of_trace -> invalid_arg "Pt.decode: truncated trace (TNT)"
-    | Packet.Tip _ -> invalid_arg "Pt.decode: expected TNT, got TIP"
-  end
-
-let next_tip c =
-  if c.tnt_pos < Array.length c.tnt then invalid_arg "Pt.decode: unconsumed TNT bits";
-  match next_packet c with
-  | Packet.Tip addr -> addr
-  | Packet.End_of_trace -> invalid_arg "Pt.decode: truncated trace (TIP)"
-  | Packet.Tnt _ -> invalid_arg "Pt.decode: expected TIP, got TNT"
-
-let block_of_addr program addr =
-  match Program.block_at program addr with
-  | Some b when b.Basic_block.addr = addr -> b.Basic_block.id
-  | Some _ | None -> invalid_arg "Pt.decode: TIP does not land on a block"
-
-let decode program data =
-  let n, pos = read_header data in
-  let c = { data; pos; tnt = [||]; tnt_pos = 0 } in
-  let ids = Array.make n 0 in
-  if n > 0 then begin
-    let first =
-      match next_packet c with
-      | Packet.Tip addr -> block_of_addr program addr
-      | Packet.Tnt _ | Packet.End_of_trace ->
-        invalid_arg "Pt.decode: trace must start with TIP"
+(* The recovering decoder.  Structure: [run] appends a block and walks
+   statically determined flow; on anything malformed it records a
+   structured error and [restart]s by scanning forward for the next TIP
+   packet that lands exactly on a block boundary (the role PSB packets
+   play for real PT decoders).  Every fault either consumes the
+   offending bytes or rescans from strictly past them, so the cursor
+   always advances and decoding terminates.  End-of-trace before the
+   advertised block count is terminal — there is nothing left to scan. *)
+let decode_result program data =
+  let len = Bytes.length data in
+  match read_header_opt data with
+  | None ->
+    {
+      trace = [||];
+      expected = 0;
+      salvage = 0.0;
+      errors = [ { pos = 0; decoded = 0; kind = Bad_header } ];
+      resyncs = 0;
+    }
+  | Some (n, start) ->
+    (* The advertised count is untrusted, so the output grows on demand
+       rather than being allocated up front. *)
+    let buf = ref (Array.make (max 16 (min n 65536)) 0) in
+    let count = ref 0 in
+    let push id =
+      if !count = Array.length !buf then begin
+        let grown = Array.make (2 * !count) 0 in
+        Array.blit !buf 0 grown 0 !count;
+        buf := grown
+      end;
+      !buf.(!count) <- id;
+      incr count
     in
-    let rec follow i id =
-      ids.(i) <- id;
-      if i + 1 < n then begin
-        let b = Program.block program id in
-        match b.Basic_block.term with
-        | Basic_block.Fallthrough next | Basic_block.Jump next -> follow (i + 1) next
-        | Basic_block.Call { callee; return_to = _ } -> follow (i + 1) callee
-        | Basic_block.Cond { taken; fallthrough } ->
-          if next_tnt c then follow (i + 1) taken else follow (i + 1) fallthrough
-        | Basic_block.Indirect _ | Basic_block.Indirect_call _ | Basic_block.Return ->
-          follow (i + 1) (block_of_addr program (next_tip c))
-        | Basic_block.Halt -> invalid_arg "Pt.decode: execution continues past halt"
+    let errors = ref [] in
+    let resyncs = ref 0 in
+    let record pos kind = errors := { pos; decoded = !count; kind } :: !errors in
+    let c = { data; pos = start; tnt = [||]; tnt_pos = 0 } in
+    let rec resync pos =
+      if pos >= len then None
+      else if Char.code (Bytes.get data pos) <> Packet.tip_tag_byte then resync (pos + 1)
+      else begin
+        match Packet.read data ~pos with
+        | Packet.Tip addr, next -> begin
+          match block_start_of_addr program addr with
+          | Some id ->
+            c.pos <- next;
+            c.tnt <- [||];
+            c.tnt_pos <- 0;
+            incr resyncs;
+            Some id
+          | None -> resync (pos + 1)
+        end
+        | (Packet.Tnt _ | Packet.End_of_trace), _ -> resync (pos + 1)
+        | exception Invalid_argument _ -> resync (pos + 1)
       end
     in
-    follow 0 first
-  end;
-  ids
+    let rec run id =
+      push id;
+      if !count < n then step id
+    and step id =
+      let b = Program.block program id in
+      match b.Basic_block.term with
+      | Basic_block.Fallthrough next | Basic_block.Jump next -> run next
+      | Basic_block.Call { callee; return_to = _ } -> run callee
+      | Basic_block.Cond { taken; fallthrough } ->
+        if c.tnt_pos < Array.length c.tnt then begin
+          let bit = c.tnt.(c.tnt_pos) in
+          c.tnt_pos <- c.tnt_pos + 1;
+          run (if bit then taken else fallthrough)
+        end
+        else begin
+          let pre = c.pos in
+          match Packet.read data ~pos:pre with
+          | Packet.Tnt bits, next ->
+            c.pos <- next;
+            c.tnt <- bits;
+            c.tnt_pos <- 1;
+            run (if bits.(0) then taken else fallthrough)
+          | Packet.Tip _, _ ->
+            (* A TIP where bits were due is itself a candidate restart
+               point, so rescan from [pre] rather than past it. *)
+            record pre Unexpected_packet;
+            restart pre
+          | Packet.End_of_trace, _ -> record pre Truncated
+          | exception Invalid_argument _ ->
+            record pre Bad_packet;
+            restart (pre + 1)
+        end
+      | Basic_block.Indirect _ | Basic_block.Indirect_call _ | Basic_block.Return ->
+        let pre = c.pos in
+        if c.tnt_pos < Array.length c.tnt then begin
+          (* Leftover conditional bits at an indirect transfer: the
+             pending packet was garbage.  Drop the bits and rescan. *)
+          record pre Unexpected_packet;
+          c.tnt <- [||];
+          c.tnt_pos <- 0;
+          restart pre
+        end
+        else begin
+          match Packet.read data ~pos:pre with
+          | Packet.Tip addr, next -> begin
+            match block_start_of_addr program addr with
+            | Some id ->
+              c.pos <- next;
+              run id
+            | None ->
+              record pre Bad_tip;
+              restart next
+          end
+          | Packet.Tnt _, next ->
+            record pre Unexpected_packet;
+            restart next
+          | Packet.End_of_trace, _ -> record pre Truncated
+          | exception Invalid_argument _ ->
+            record pre Bad_packet;
+            restart (pre + 1)
+        end
+      | Basic_block.Halt ->
+        record c.pos Past_halt;
+        restart c.pos
+    and restart pos = match resync pos with Some id -> run id | None -> () in
+    (if n > 0 then begin
+       let pre = c.pos in
+       match Packet.read data ~pos:pre with
+       | Packet.Tip addr, next -> begin
+         match block_start_of_addr program addr with
+         | Some id ->
+           c.pos <- next;
+           run id
+         | None ->
+           record pre Bad_tip;
+           restart next
+       end
+       | Packet.Tnt _, next ->
+         record pre Unexpected_packet;
+         restart next
+       | Packet.End_of_trace, _ -> record pre Truncated
+       | exception Invalid_argument _ ->
+         record pre Bad_packet;
+         restart (pre + 1)
+     end);
+    let trace = Array.sub !buf 0 !count in
+    let salvage = if n = 0 then 1.0 else Float.of_int !count /. Float.of_int n in
+    { trace; expected = n; salvage; errors = List.rev !errors; resyncs = !resyncs }
+
+let decode program data =
+  let r = decode_result program data in
+  match r.errors with
+  | [] -> r.trace
+  | { pos; kind; decoded = _ } :: _ ->
+    invalid_arg (Printf.sprintf "Pt.decode: %s at byte %d" (error_kind_name kind) pos)
 
 let compression_ratio program blocks =
   if Array.length blocks = 0 then 0.0

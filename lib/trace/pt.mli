@@ -5,7 +5,14 @@
     block sequence from the packets plus the static program.  Together
     they realise step 1 of Ripple's pipeline (Fig. 4): the profile that
     reaches the offline analysis is exactly what PT-style tracing can
-    reconstruct, no more. *)
+    reconstruct, no more.
+
+    Real PT streams are lossy — ring buffers overflow, packets truncate
+    mid-capture — so the primary decoder here is {!decode_result}: it
+    never raises, resynchronizes at the next plausible TIP packet after
+    corruption, and reports how much of the advertised execution it
+    salvaged.  The strict {!decode} is a thin wrapper that raises if the
+    recovery was anything but total. *)
 
 module Program := Ripple_isa.Program
 
@@ -16,9 +23,50 @@ val encode : Program.t -> int array -> bytes
     become TIPs; direct flow is omitted.  Raises [Invalid_argument] if
     consecutive blocks are not connected in [program]. *)
 
+type error_kind =
+  | Bad_header  (** the leading LEB128 block count is malformed or absurd *)
+  | Bad_packet  (** undecodable byte where a packet should start *)
+  | Unexpected_packet  (** well-formed packet of the wrong kind for this point *)
+  | Bad_tip  (** TIP address does not land on a block boundary *)
+  | Truncated  (** stream ended before the advertised block count *)
+  | Past_halt  (** decoded flow reached a halt with blocks still owed *)
+
+val error_kind_name : error_kind -> string
+(** Stable kebab-case name, used in JSON reports. *)
+
+type decode_error = {
+  pos : int;  (** byte offset in the stream where the fault was detected *)
+  decoded : int;  (** blocks successfully decoded before the fault *)
+  kind : error_kind;
+}
+
+type recovery = {
+  trace : int array;  (** salvaged block ids, in decode order *)
+  expected : int;  (** block count advertised by the header (0 if unreadable) *)
+  salvage : float;  (** decoded / expected; 1.0 for a clean stream *)
+  errors : decode_error list;  (** faults encountered, in stream order *)
+  resyncs : int;  (** successful re-synchronizations at a TIP packet *)
+}
+
+val decode_result : Program.t -> bytes -> recovery
+(** Recovering decode: never raises.  On a fault it records a
+    {!decode_error} and scans forward for the next TIP packet whose
+    address is an exact block start — the resynchronization anchor,
+    playing the role PSB packets do for real PT decoders — then resumes
+    from that block with pending TNT state discarded.  On a clean stream
+    the result is [decode program data] with [salvage = 1.0] and no
+    errors.  Salvage is monotonically non-increasing under byte-prefix
+    truncation of the stream. *)
+
 val decode : Program.t -> bytes -> int array
-(** Inverse of {!encode}: [decode program (encode program t) = t].
-    Raises [Invalid_argument] on a malformed or truncated stream. *)
+(** Strict inverse of {!encode}: [decode program (encode program t) = t].
+    Thin wrapper over {!decode_result} that raises [Invalid_argument] on
+    the first recorded error. *)
+
+val split_header : bytes -> int * int
+(** [(block_count, payload_start)] of a stream — where the fault
+    injectors must stop treating bytes as sacred.  Raises
+    [Invalid_argument] if the header itself is malformed. *)
 
 val compression_ratio : Program.t -> int array -> float
 (** Encoded bytes per executed basic block — the paper's "<1 % overhead"

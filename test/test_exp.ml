@@ -32,7 +32,7 @@ let test_parallel_determinism () =
     (Exp.Report.to_jsonl parallel);
   List.iter
     (fun (c : Exp.Runner.cell) ->
-      Alcotest.(check bool) "cell ok" true (Result.is_ok c.outcome))
+      Alcotest.(check bool) "cell ok" true (Result.is_ok (Exp.Runner.result c)))
     serial
 
 (* Same property through the packed-stream memo: Oracle cells share a
@@ -59,7 +59,7 @@ let test_parallel_determinism_with_memoized_streams () =
     (Exp.Report.to_jsonl parallel);
   List.iter
     (fun (c : Exp.Runner.cell) ->
-      Alcotest.(check bool) "cell ok" true (Result.is_ok c.outcome))
+      Alcotest.(check bool) "cell ok" true (Result.is_ok (Exp.Runner.result c)))
     parallel
 
 (* write_jsonl creates missing parent directories and leaves no temp
@@ -104,14 +104,93 @@ let test_failed_cell_isolation () =
   let bad_policy = Exp.Spec.v ~n_instrs ~app:"finagle-http" (Exp.Spec.Policy "no-such-policy") in
   match Exp.Runner.run ~jobs:2 ~quiet:true [ bad_app; good; bad_policy ] with
   | [ a; g; p ] ->
-    Alcotest.(check bool) "bad app errors" true (Result.is_error a.Exp.Runner.outcome);
-    Alcotest.(check bool) "good cell survives" true (Result.is_ok g.Exp.Runner.outcome);
-    Alcotest.(check bool) "bad policy errors" true (Result.is_error p.Exp.Runner.outcome);
+    Alcotest.(check bool)
+      "bad app errors" true
+      (Result.is_error (Exp.Runner.result a));
+    Alcotest.(check bool) "good cell survives" true (Result.is_ok (Exp.Runner.result g));
+    Alcotest.(check bool)
+      "bad policy errors" true
+      (Result.is_error (Exp.Runner.result p));
     let json = Exp.Report.cell_to_json a in
     Alcotest.(check (option string))
-      "error status rendered" (Some "error")
+      "failed status rendered" (Some "failed")
       (match Json.member "status" json with Some (Json.String s) -> Some s | _ -> None)
   | _ -> Alcotest.fail "expected three cells"
+
+(* A cell that fails deterministically is retried with perturbed seeds:
+   the emitted cell keeps the original spec, records every attempt, and
+   renders the attempt count in its JSON row. *)
+let test_retries_recorded () =
+  let bad = Exp.Spec.v ~n_instrs ~app:"no-such-app" (Exp.Spec.Policy "lru") in
+  let good = Exp.Spec.v ~n_instrs ~app:"finagle-http" (Exp.Spec.Policy "lru") in
+  match Exp.Runner.run ~jobs:1 ~quiet:true ~retries:2 [ bad; good ] with
+  | [ b; g ] ->
+    Alcotest.(check bool) "still failed" true (Result.is_error (Exp.Runner.result b));
+    Alcotest.(check int) "all attempts recorded" 3 b.Exp.Runner.attempts;
+    Alcotest.(check bool) "original spec kept" true (Exp.Spec.equal bad b.Exp.Runner.spec);
+    Alcotest.(check int) "successful cell runs once" 1 g.Exp.Runner.attempts;
+    let json = Exp.Report.cell_to_json b in
+    Alcotest.(check (option int))
+      "attempts rendered" (Some 3)
+      (match Json.member "attempts" json with Some (Json.Int n) -> Some n | _ -> None)
+  | _ -> Alcotest.fail "expected two cells"
+
+(* Seed perturbation is deterministic and injective over attempts, so a
+   retried stochastic cell replays identically in a rerun. *)
+let test_perturb_seed () =
+  Alcotest.(check int) "attempt 0 is identity" 99 (Exp.Spec.perturb_seed 99 ~attempt:0);
+  Alcotest.(check bool)
+    "attempts diverge" true
+    (Exp.Spec.perturb_seed 99 ~attempt:1 <> Exp.Spec.perturb_seed 99 ~attempt:2)
+
+(* The circuit breaker: once the failure budget is spent, the rest of a
+   serial sweep is skipped (not run, not failed) and says so in JSONL. *)
+let test_circuit_breaker () =
+  let bad i = Exp.Spec.v ~n_instrs ~seed:i ~app:"no-such-app" (Exp.Spec.Policy "lru") in
+  let good = Exp.Spec.v ~n_instrs ~app:"finagle-http" (Exp.Spec.Policy "lru") in
+  match Exp.Runner.run ~jobs:1 ~quiet:true ~max_failures:1 [ bad 1; bad 2; good ] with
+  | [ a; b; c ] ->
+    Alcotest.(check bool)
+      "first failure recorded" true
+      (match a.Exp.Runner.status with Exp.Runner.Failed _ -> true | _ -> false);
+    let skipped (cell : Exp.Runner.cell) =
+      match cell.Exp.Runner.status with Exp.Runner.Skipped _ -> true | _ -> false
+    in
+    Alcotest.(check bool) "second cell skipped" true (skipped b);
+    Alcotest.(check bool) "good cell skipped too" true (skipped c);
+    Alcotest.(check (option string))
+      "skipped status rendered" (Some "skipped")
+      (match Json.member "status" (Exp.Report.cell_to_json c) with
+      | Some (Json.String s) -> Some s
+      | _ -> None)
+  | _ -> Alcotest.fail "expected three cells"
+
+(* Jobs-parity must survive failed and retried cells: rows for failures
+   carry the error message, not timing or scheduling artefacts, so a
+   sweep with broken cells still renders byte-identically across pool
+   sizes. *)
+let test_parity_with_failures () =
+  let open Exp.Spec in
+  let specs =
+    List.concat_map
+      (fun app ->
+        [
+          v ~n_instrs ~app (Policy "lru");
+          v ~n_instrs ~app (Policy "no-such-policy");
+          v ~n_instrs ~app:(app ^ "-missing") (Policy "lru");
+          v ~n_instrs ~app (Ripple { policy = "lru"; threshold = 0.5 });
+        ])
+      [ "finagle-http"; "verilator" ]
+  in
+  let serial = Exp.Runner.run ~jobs:1 ~quiet:true ~retries:1 specs in
+  let parallel = Exp.Runner.run ~jobs:4 ~quiet:true ~retries:1 specs in
+  Alcotest.(check string)
+    "failed/retried sweep byte-identical across jobs" (Exp.Report.to_jsonl serial)
+    (Exp.Report.to_jsonl parallel);
+  Alcotest.(check int)
+    "failures present" 4
+    (List.length
+       (List.filter (fun c -> Result.is_error (Exp.Runner.result c)) serial))
 
 let test_prng_seed_distinct () =
   let s1 = Exp.Spec.v ~n_instrs ~app:"finagle-http" (Exp.Spec.Policy "random") in
@@ -165,9 +244,11 @@ let test_json_roundtrip () =
   in
   let cells = Exp.Runner.run ~jobs:1 ~quiet:true [ rspec ] in
   let cell = List.hd cells in
-  (match (Exp.Runner.ok_exn cell).Exp.Runner.evaluation with
-  | Some ev -> roundtrip "evaluation" (Core.Pipeline.evaluation_to_json ev)
-  | None -> Alcotest.fail "ripple cell should carry an evaluation");
+  (match Exp.Runner.result cell with
+  | Ok { Exp.Runner.evaluation = Some ev; _ } ->
+    roundtrip "evaluation" (Core.Pipeline.evaluation_to_json ev)
+  | Ok _ -> Alcotest.fail "ripple cell should carry an evaluation"
+  | Error e -> Alcotest.fail e);
   roundtrip "cell" (Exp.Report.cell_to_json cell);
   roundtrip "spec" (Exp.Spec.to_json rspec)
 
@@ -182,6 +263,10 @@ let suites =
           test_write_jsonl_creates_parents;
         Alcotest.test_case "repeated spec identical" `Slow test_repeat_spec_identical;
         Alcotest.test_case "failed-cell isolation" `Slow test_failed_cell_isolation;
+        Alcotest.test_case "retries recorded" `Slow test_retries_recorded;
+        Alcotest.test_case "perturb_seed deterministic" `Quick test_perturb_seed;
+        Alcotest.test_case "circuit breaker skips remainder" `Slow test_circuit_breaker;
+        Alcotest.test_case "parity with failed/retried cells" `Slow test_parity_with_failures;
         Alcotest.test_case "prng seeds distinct" `Quick test_prng_seed_distinct;
         Alcotest.test_case "registry complete at Table II geometry" `Quick
           test_registry_complete;

@@ -1,0 +1,351 @@
+(* The robustness layer: recovering PT decode, fault injectors, the
+   degradation ladder, and a slice of the chaos harness. *)
+
+module Addr = Ripple_isa.Addr
+module Basic_block = Ripple_isa.Basic_block
+module Builder = Ripple_isa.Builder
+module Program = Ripple_isa.Program
+module Pt = Ripple_trace.Pt
+module Bb_trace = Ripple_trace.Bb_trace
+module W = Ripple_workloads
+module Core = Ripple_core
+module Fault = Ripple_fault.Fault
+module Chaos = Ripple_fault.Chaos
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let checkf = check (Alcotest.float 1e-9)
+
+(* A real workload program and a legal training trace: big enough that
+   every fault class has material to chew on. *)
+let workload_fixture =
+  lazy
+    (let w = W.Cfg_gen.generate { W.Apps.kafka with W.App_model.seed = 5 } in
+     let trace = W.Executor.run w ~input:W.Executor.train ~n_instrs:40_000 in
+     (w.W.Cfg_gen.program, trace))
+
+(* --------------------- recovering decoder ---------------------------- *)
+
+let test_decode_result_clean () =
+  let program, trace = Lazy.force workload_fixture in
+  let r = Pt.decode_result program (Pt.encode program trace) in
+  check (Alcotest.array Alcotest.int) "clean stream decodes exactly" trace r.Pt.trace;
+  checkf "salvage 1.0" 1.0 r.Pt.salvage;
+  checki "no errors" 0 (List.length r.Pt.errors);
+  checki "no resyncs" 0 r.Pt.resyncs
+
+let test_decode_result_empty_stream () =
+  let program, _ = Lazy.force workload_fixture in
+  let r = Pt.decode_result program Bytes.empty in
+  checki "nothing decoded" 0 (Array.length r.Pt.trace);
+  checkb "reports an error" true (r.Pt.errors <> []);
+  checkf "zero salvage" 0.0 r.Pt.salvage
+
+(* Every corrupted fixture must decode without raising, stay within the
+   program's block-id range, and never claim more than it salvaged. *)
+let corrupted_fixtures () =
+  let program, trace = Lazy.force workload_fixture in
+  let clean = Pt.encode program trace in
+  ( program,
+    trace,
+    List.map
+      (fun fault -> (Fault.to_string fault, Fault.corrupt_pt ~seed:77 fault clean))
+      [
+        Fault.Flip_tnt { flips = 32 };
+        Fault.Drop_tip { count = 8 };
+        Fault.Garbage_tip { count = 8 };
+        Fault.Truncate_pt { keep = 0.3 };
+        Fault.Flip_tnt { flips = 256 };
+        Fault.Truncate_pt { keep = 0.05 };
+      ] )
+
+let test_decode_result_corrupted_fixtures () =
+  let program, trace, fixtures = corrupted_fixtures () in
+  let n_blocks = Program.n_blocks program in
+  List.iter
+    (fun (label, data) ->
+      let r = Pt.decode_result program data in
+      checki (label ^ " expected count") (Array.length trace) r.Pt.expected;
+      checkb (label ^ " salvage in [0,1]") true (r.Pt.salvage >= 0.0 && r.Pt.salvage <= 1.0);
+      checkb
+        (label ^ " salvage consistent")
+        true
+        (abs_float
+           (r.Pt.salvage
+           -. (float_of_int (Array.length r.Pt.trace) /. float_of_int r.Pt.expected))
+        < 1e-9);
+      Array.iter
+        (fun id -> checkb (label ^ " block ids in range") true (id >= 0 && id < n_blocks))
+        r.Pt.trace)
+    fixtures
+
+(* The strict decoder is a thin wrapper: clean streams round-trip,
+   corrupt streams raise with the first recorded error. *)
+let test_strict_decode_raises () =
+  let program, trace, fixtures = corrupted_fixtures () in
+  ignore trace;
+  List.iter
+    (fun (label, data) ->
+      let r = Pt.decode_result program data in
+      if r.Pt.errors <> [] then
+        match Pt.decode program data with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail (label ^ ": strict decode should raise")
+      else
+        check (Alcotest.array Alcotest.int)
+          (label ^ ": strict agrees with recovery")
+          r.Pt.trace (Pt.decode program data))
+    fixtures
+
+(* Salvage is monotonically non-increasing under byte-prefix truncation:
+   cutting more of the stream can never recover more of the trace. *)
+let test_salvage_monotone_under_truncation () =
+  let program, trace = Lazy.force workload_fixture in
+  let clean = Pt.encode program trace in
+  let n = Bytes.length clean in
+  let prev = ref (-.1.0) in
+  (* Walk keep = 0.0 .. 1.0; salvage at each step must be >= the last. *)
+  for step = 0 to 20 do
+    let keep = float_of_int step /. 20.0 in
+    let cut = Bytes.sub clean 0 (int_of_float (keep *. float_of_int n)) in
+    let r = Pt.decode_result program cut in
+    checkb
+      (Printf.sprintf "salvage non-decreasing in kept bytes (keep=%.2f)" keep)
+      true (r.Pt.salvage >= !prev);
+    prev := r.Pt.salvage
+  done;
+  checkf "full stream salvages everything" 1.0 !prev
+
+(* Totality: the recovering decoder accepts arbitrary garbage. *)
+let prop_decode_result_total =
+  let program, _ = Lazy.force workload_fixture in
+  QCheck.Test.make ~count:500 ~name:"decode_result total on arbitrary bytes"
+    QCheck.(
+      make ~print:Print.string
+        Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 256)))
+    (fun s ->
+      let r = Pt.decode_result program (Bytes.of_string s) in
+      r.Pt.salvage >= 0.0 && r.Pt.salvage <= 1.0)
+
+(* Totality under structured corruption of real streams: flip random
+   bytes of a valid encoding and decode. *)
+let prop_decode_result_total_byte_flips =
+  let program, trace = Lazy.force workload_fixture in
+  let clean = Pt.encode program trace in
+  QCheck.Test.make ~count:300 ~name:"decode_result total under random byte flips"
+    QCheck.(make ~print:Print.(list (pair int int)) Gen.(list_size (int_range 1 16) (pair nat nat)))
+    (fun flips ->
+      let data = Bytes.copy clean in
+      List.iter
+        (fun (pos, bit) ->
+          let pos = pos mod Bytes.length data in
+          Bytes.set data pos
+            (Char.chr (Char.code (Bytes.get data pos) lxor (1 lsl (bit mod 8)))))
+        flips;
+      let r = Pt.decode_result program data in
+      r.Pt.salvage >= 0.0 && r.Pt.salvage <= 1.0)
+
+(* ------------------------- fault injectors --------------------------- *)
+
+let test_corrupt_pt_deterministic () =
+  let program, trace = Lazy.force workload_fixture in
+  let clean = Pt.encode program trace in
+  List.iter
+    (fun fault ->
+      let a = Fault.corrupt_pt ~seed:9 fault clean
+      and b = Fault.corrupt_pt ~seed:9 fault clean in
+      checkb (Fault.to_string fault ^ " deterministic in seed") true (Bytes.equal a b))
+    Fault.matrix;
+  (* And the stream-level faults actually change the bytes. *)
+  List.iter
+    (fun fault ->
+      let a = Fault.corrupt_pt ~seed:9 fault clean in
+      checkb (Fault.to_string fault ^ " changes the stream") false (Bytes.equal a clean))
+    [
+      Fault.Flip_tnt { flips = 32 };
+      Fault.Drop_tip { count = 8 };
+      Fault.Garbage_tip { count = 8 };
+      Fault.Truncate_pt { keep = 0.3 };
+    ]
+
+let test_truncate_trace_prefix () =
+  let _, trace = Lazy.force workload_fixture in
+  let t = Fault.apply_trace ~seed:1 (Fault.Truncate_trace { keep = 0.25 }) trace in
+  checki "quarter kept" (int_of_float (0.25 *. float_of_int (Array.length trace)))
+    (Array.length t);
+  check (Alcotest.array Alcotest.int) "is a prefix" (Array.sub trace 0 (Array.length t)) t
+
+let test_reshuffle_preserves_counts () =
+  let program, trace = Lazy.force workload_fixture in
+  let t = Fault.apply_trace ~seed:3 (Fault.Edge_reshuffle { fraction = 0.5 }) trace in
+  checki "length preserved" (Array.length trace) (Array.length t);
+  check
+    (Alcotest.array Alcotest.int)
+    "execution counts preserved"
+    (Bb_trace.exec_counts program trace)
+    (Bb_trace.exec_counts program t);
+  checkb "transitions scrambled" true (Bb_trace.drift program t > 0.0)
+
+(* ------------------- fingerprint, relocation, drift ------------------ *)
+
+let test_fingerprint_and_relocate () =
+  let program, trace = Lazy.force workload_fixture in
+  checki "fingerprint stable" (Program.layout_fingerprint program)
+    (Program.layout_fingerprint program);
+  let shifted = Program.relocate program ~line_shift:3 in
+  checkb "relocation changes the fingerprint" true
+    (Program.layout_fingerprint shifted <> Program.layout_fingerprint program);
+  checki "relocation shifts block addresses"
+    ((Program.block program 0).Basic_block.addr + (3 * Addr.line_size))
+    (Program.block shifted 0).Basic_block.addr;
+  checki "block count unchanged" (Program.n_blocks program) (Program.n_blocks shifted);
+  (* Hints don't participate: an instrumented binary fingerprints the
+     same as the source it was built from. *)
+  let hints = Array.make (Program.n_blocks program) [] in
+  hints.(trace.(0)) <- [ Basic_block.Invalidate 1 ];
+  let instrumented, _ = Program.with_hints program ~hints in
+  checki "hints excluded from fingerprint" (Program.layout_fingerprint program)
+    (Program.layout_fingerprint instrumented)
+
+let test_drift_zero_on_legal_trace () =
+  let program, trace = Lazy.force workload_fixture in
+  checkf "legal trace has zero drift" 0.0 (Bb_trace.drift program trace);
+  checkf "tiny trace has zero drift" 0.0 (Bb_trace.drift program [| trace.(0) |])
+
+(* ----------------------- degradation ladder -------------------------- *)
+
+let ladder_opts =
+  { Core.Pipeline.Options.default with Core.Pipeline.Options.degrade = true }
+
+let instrument profile =
+  let program, _ = Lazy.force workload_fixture in
+  Core.Pipeline.instrument_profile ladder_opts ~program ~profile
+    ~prefetch:Core.Pipeline.No_prefetch
+
+let level (analysis : Core.Pipeline.analysis) =
+  analysis.Core.Pipeline.degrade.Core.Pipeline.Degrade.level
+
+let test_ladder_full_on_clean_profile () =
+  let program, trace = Lazy.force workload_fixture in
+  let profile = Core.Pipeline.profile_of_trace ~source:program trace in
+  let _, analysis = instrument profile in
+  checkb "clean profile keeps full hints" true (level analysis = Core.Pipeline.Degrade.Full);
+  checkb "fingerprint matches" true
+    analysis.Core.Pipeline.degrade.Core.Pipeline.Degrade.fingerprint_ok
+
+let test_ladder_safe_only_on_layout_shift () =
+  let program, trace = Lazy.force workload_fixture in
+  let shifted = Program.relocate program ~line_shift:3 in
+  let profile = Core.Pipeline.profile_of_trace ~source:shifted trace in
+  let _, analysis = instrument profile in
+  checkb "fingerprint mismatch detected" false
+    analysis.Core.Pipeline.degrade.Core.Pipeline.Degrade.fingerprint_ok;
+  checkb "steps down to safe-only" true (level analysis = Core.Pipeline.Degrade.Safe_only)
+
+let test_ladder_off_on_low_salvage () =
+  let program, trace = Lazy.force workload_fixture in
+  let truncated = Fault.apply_trace ~seed:1 (Fault.Truncate_trace { keep = 0.3 }) trace in
+  let profile = Core.Pipeline.profile_of_trace ~salvage:0.3 ~source:program truncated in
+  let instrumented, analysis = instrument profile in
+  checkb "low salvage turns hints off" true
+    (level analysis = Core.Pipeline.Degrade.Hints_off);
+  checki "nothing injected" 0
+    analysis.Core.Pipeline.injection.Ripple_core.Injector.injected;
+  (* The shipped binary is the original, untouched. *)
+  checki "binary untouched" (Program.layout_fingerprint program)
+    (Program.layout_fingerprint instrumented);
+  checki "no hint instructions" 0 (Bb_trace.n_hint_instrs instrumented trace)
+
+let test_ladder_off_on_heavy_drift () =
+  let program, trace = Lazy.force workload_fixture in
+  (* Scramble hard enough that drift clears the 0.15 shut-off. *)
+  let scrambled = Fault.apply_trace ~seed:3 (Fault.Edge_reshuffle { fraction = 1.5 }) trace in
+  let profile = Core.Pipeline.profile_of_trace ~source:program scrambled in
+  let _, analysis = instrument profile in
+  let d = analysis.Core.Pipeline.degrade in
+  checkb "drift measured" true (d.Core.Pipeline.Degrade.drift > 0.0);
+  checkb "heavy drift degrades" true (level analysis <> Core.Pipeline.Degrade.Full)
+
+let test_ladder_disabled_by_default () =
+  let program, trace = Lazy.force workload_fixture in
+  let truncated = Fault.apply_trace ~seed:1 (Fault.Truncate_trace { keep = 0.3 }) trace in
+  let profile = Core.Pipeline.profile_of_trace ~salvage:0.3 ~source:program truncated in
+  let _, analysis =
+    Core.Pipeline.instrument_profile Core.Pipeline.Options.default ~program ~profile
+      ~prefetch:Core.Pipeline.No_prefetch
+  in
+  checkb "legacy callers keep full trust" true (level analysis = Core.Pipeline.Degrade.Full)
+
+(* ---------------------------- chaos slice ---------------------------- *)
+
+(* One app through a representative fault column: nothing crashes,
+   every cell carries a degradation record, contracts hold. *)
+let test_chaos_single_app () =
+  let faults =
+    [
+      Fault.Clean;
+      Fault.Garbage_tip { count = 8 };
+      Fault.Truncate_trace { keep = 0.3 };
+      Fault.Layout_shift { lines = 3 };
+    ]
+  in
+  let report =
+    Chaos.run ~apps:[ "kafka" ] ~faults ~n_instrs:30_000
+      ~prefetch:Core.Pipeline.No_prefetch ~jobs:1 ()
+  in
+  checki "one cell per fault" (List.length faults) (List.length report.Chaos.cells);
+  checki "nothing crashed" 0 report.Chaos.crashed;
+  checki "no contract violations" 0 report.Chaos.violations;
+  checki "clean exit code" 0 (Chaos.exit_code report);
+  List.iter
+    (fun (c : Chaos.cell) ->
+      match c.Chaos.status with
+      | Chaos.Crashed e -> Alcotest.fail e
+      | Chaos.Ran o ->
+        let d = o.Chaos.degrade in
+        checkb "salvage recorded" true
+          (d.Core.Pipeline.Degrade.salvage >= 0.0 && d.Core.Pipeline.Degrade.salvage <= 1.0))
+    report.Chaos.cells;
+  (* The report JSON round-trips through the parser. *)
+  let json = Chaos.report_to_json report in
+  match Ripple_util.Json.parse (Ripple_util.Json.to_string json) with
+  | Ok parsed ->
+    checkb "report JSON round-trips" true (Ripple_util.Json.equal json parsed)
+  | Error e -> Alcotest.fail e
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "fault.decode",
+      [
+        Alcotest.test_case "clean stream" `Quick test_decode_result_clean;
+        Alcotest.test_case "empty stream" `Quick test_decode_result_empty_stream;
+        Alcotest.test_case "corrupted fixtures" `Quick test_decode_result_corrupted_fixtures;
+        Alcotest.test_case "strict wrapper raises" `Quick test_strict_decode_raises;
+        Alcotest.test_case "salvage monotone under truncation" `Quick
+          test_salvage_monotone_under_truncation;
+        qcheck prop_decode_result_total;
+        qcheck prop_decode_result_total_byte_flips;
+      ] );
+    ( "fault.inject",
+      [
+        Alcotest.test_case "corrupt_pt deterministic" `Quick test_corrupt_pt_deterministic;
+        Alcotest.test_case "truncate_trace prefix" `Quick test_truncate_trace_prefix;
+        Alcotest.test_case "reshuffle preserves counts" `Quick test_reshuffle_preserves_counts;
+        Alcotest.test_case "fingerprint and relocate" `Quick test_fingerprint_and_relocate;
+        Alcotest.test_case "drift zero on legal traces" `Quick test_drift_zero_on_legal_trace;
+      ] );
+    ( "fault.ladder",
+      [
+        Alcotest.test_case "full on clean profile" `Quick test_ladder_full_on_clean_profile;
+        Alcotest.test_case "safe-only on layout shift" `Quick
+          test_ladder_safe_only_on_layout_shift;
+        Alcotest.test_case "off on low salvage" `Quick test_ladder_off_on_low_salvage;
+        Alcotest.test_case "off on heavy drift" `Quick test_ladder_off_on_heavy_drift;
+        Alcotest.test_case "ladder opt-in" `Quick test_ladder_disabled_by_default;
+      ] );
+    ( "fault.chaos",
+      [ Alcotest.test_case "single-app chaos slice" `Slow test_chaos_single_app ] );
+  ]

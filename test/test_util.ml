@@ -216,6 +216,55 @@ let test_table_formats () =
   check Alcotest.string "fpct negative" "-1.00%" (Table.fpct (-0.01));
   check Alcotest.string "fnum" "3.142" (Table.fnum 3.14159)
 
+(* ------------------------------- Json ------------------------------- *)
+
+module Json = Ripple_util.Json
+
+(* The parser is total: any byte string yields [Ok] or [Error], never an
+   exception.  This is what lets the recovery paths feed it untrusted
+   result files. *)
+let prop_json_parse_total =
+  QCheck.Test.make ~count:2_000 ~name:"Json.parse never raises"
+    QCheck.(make ~print:Print.string Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 64)))
+    (fun s ->
+      match Json.parse s with
+      | Ok _ | Error _ -> true)
+
+(* render ∘ parse is the identity on every value the printer can emit
+   (non-finite floats excepted — JSON has no spelling for them, so the
+   generator stays finite). *)
+let json_gen =
+  QCheck.Gen.(
+    sized_size (int_range 0 5) @@ fix (fun self n ->
+        let str = string_size ~gen:(char_range '\000' '\255') (int_range 0 12) in
+        let leaf =
+          oneof
+            [
+              return Json.Null;
+              map (fun b -> Json.Bool b) bool;
+              map (fun i -> Json.Int i) small_signed_int;
+              map (fun f -> Json.Float f) (float_bound_inclusive 1e6);
+              map (fun s -> Json.String s) str;
+            ]
+        in
+        if n <= 0 then leaf
+        else
+          oneof
+            [
+              leaf;
+              map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n - 1)));
+              map
+                (fun l -> Json.Obj l)
+                (list_size (int_range 0 4) (pair str (self (n - 1))));
+            ]))
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:1_000 ~name:"Json render/parse round-trip"
+    (QCheck.make ~print:Json.to_string json_gen) (fun v ->
+      match Json.parse (Json.to_string v) with
+      | Ok parsed -> Json.equal v parsed
+      | Error _ -> false)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suites =
@@ -255,5 +304,10 @@ let suites =
       [
         Alcotest.test_case "renders" `Quick test_table_renders;
         Alcotest.test_case "formats" `Quick test_table_formats;
+      ] );
+    ( "util.json",
+      [
+        qcheck prop_json_parse_total;
+        qcheck prop_json_roundtrip;
       ] );
   ]
