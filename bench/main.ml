@@ -36,6 +36,7 @@ let jobs =
   ref (Option.map int_of_string (Sys.getenv_opt "RIPPLE_BENCH_JOBS"))
 
 let out_path = ref None
+let metrics_path = ref None
 
 let threshold_candidates = [ 0.5; 0.65 ]
 let apps = W.Apps.all
@@ -144,6 +145,23 @@ let write_cells () =
     in
     Exp.Report.write_jsonl ~gc:!gc_in_jsonl path sorted;
     log "wrote %s (%d cells)" path (List.length sorted)
+
+let write_metrics () =
+  match !metrics_path with
+  | None -> ()
+  | Some path ->
+    (* Merge over the spec-sorted, deduplicated cell list — the same
+       normalization as the JSONL — so the aggregate is independent of
+       figure order and pool size. *)
+    let sorted =
+      List.sort_uniq
+        (fun (a : Exp.Runner.cell) b -> Exp.Spec.compare a.Exp.Runner.spec b.Exp.Runner.spec)
+        !all_cells
+    in
+    let oc = open_out path in
+    output_string oc (Ripple_obs.Snapshot.to_openmetrics (Exp.Report.merged_metrics sorted));
+    close_out oc;
+    log "wrote %s" path
 
 let cell_policies = [ "lru"; "random"; "srrip"; "drrip"; "ghrp"; "hawkeye" ]
 
@@ -498,13 +516,6 @@ let fig13 () =
     (fun model ->
       let { workload; eval = eval0; _ } = workload_of model in
       let program = workload.W.Cfg_gen.program in
-      let instr profile_trace =
-        fst
-          (Core.Pipeline.instrument_with
-             { Core.Pipeline.Options.default with threshold = 0.5 }
-             ~program ~profile_trace ~prefetch:Core.Pipeline.Fdip)
-      in
-      let generic = instr eval0 in
       Array.iteri
         (fun i input ->
           if i >= 1 then begin
@@ -514,12 +525,25 @@ let fig13 () =
               Cpu.Simulator.run ~warmup ~program ~trace ~policy:Cache.Lru.make
                 ~prefetcher:(Core.Pipeline.prefetcher_of Core.Pipeline.Fdip) ()
             in
-            let eval_with instrumented =
-              Core.Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace
-                ~policy:Cache.Lru.make ~prefetch:Core.Pipeline.Fdip ()
+            (* One façade call per (profile, eval-input) pair: the profile
+               input and the evaluation trace are independent axes of
+               Pipeline.run, which is exactly Fig. 13's experiment. *)
+            let eval_on profile_trace =
+              let oc =
+                Core.Pipeline.run
+                  {
+                    Core.Pipeline.Options.default with
+                    threshold = 0.5;
+                    prefetch = Core.Pipeline.Fdip;
+                    eval =
+                      Some (Core.Pipeline.Eval.v ~warmup ~trace ~policy:Cache.Lru.make ());
+                  }
+                  ~source:program (Core.Pipeline.Trace profile_trace)
+              in
+              Option.get oc.Core.Pipeline.evaluation
             in
-            let cross = eval_with generic in
-            let own = eval_with (instr trace) in
+            let cross = eval_on eval0 in
+            let own = eval_on trace in
             let s_cross = speedup ~base cross.Core.Pipeline.result in
             let s_own = speedup ~base own.Core.Pipeline.result in
             Summary.add gains s_cross;
@@ -565,22 +589,20 @@ let ablation () =
           ?(max_hints_per_block = Core.Injector.default_max_hints_per_block)
           ?(exclude = false) ~prefetch ~base () =
         let threshold = (cell_of model prefetch).ripple_lru.threshold in
-        let instrumented, _ =
-          Core.Pipeline.instrument_with
+        let oc =
+          Core.Pipeline.run
             {
               Core.Pipeline.Options.default with
               threshold;
               mode;
               max_hints_per_block;
               exclude_prefetch_covered = exclude;
+              prefetch;
+              eval = Some (Core.Pipeline.Eval.v ~warmup ~trace:eval ~policy:Cache.Lru.make ());
             }
-            ~program ~profile_trace:train ~prefetch
+            ~source:program (Core.Pipeline.Trace train)
         in
-        let ev =
-          Core.Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval
-            ~policy:Cache.Lru.make ~prefetch ()
-        in
-        speedup ~base ev.Core.Pipeline.result
+        speedup ~base (Option.get oc.Core.Pipeline.evaluation).Core.Pipeline.result
       in
       let inv = run ~prefetch:Core.Pipeline.Fdip ~base:fdip_base () in
       let dem = run ~mode:Core.Injector.Demote ~prefetch:Core.Pipeline.Fdip ~base:fdip_base () in
@@ -623,25 +645,23 @@ let lbr () =
       let { workload; train; eval; warmup } = workload_of model in
       let program = workload.W.Cfg_gen.program in
       let base = (cell_of model Core.Pipeline.Fdip).lru in
-      let evaluate instrumented =
-        Core.Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval
-          ~policy:Cache.Lru.make ~prefetch:Core.Pipeline.Fdip ()
+      let eval_profile ?(pt_roundtrip = true) profile_trace =
+        let oc =
+          Core.Pipeline.run
+            {
+              Core.Pipeline.Options.default with
+              pt_roundtrip;
+              prefetch = Core.Pipeline.Fdip;
+              eval = Some (Core.Pipeline.Eval.v ~warmup ~trace:eval ~policy:Cache.Lru.make ());
+            }
+            ~source:program (Core.Pipeline.Trace profile_trace)
+        in
+        Option.get oc.Core.Pipeline.evaluation
       in
-      let pt_ev =
-        evaluate
-          (fst
-             (Core.Pipeline.instrument_with Core.Pipeline.Options.default ~program
-                ~profile_trace:train ~prefetch:Core.Pipeline.Fdip))
-      in
+      let pt_ev = eval_profile train in
       let samples = Ripple_trace.Lbr.capture program ~trace:train ~period:120 ~depth:16 in
       let stitched = Ripple_trace.Lbr.stitched_trace samples in
-      let lbr_ev =
-        evaluate
-          (fst
-             (Core.Pipeline.instrument_with
-                { Core.Pipeline.Options.default with pt_roundtrip = false }
-                ~program ~profile_trace:stitched ~prefetch:Core.Pipeline.Fdip))
-      in
+      let lbr_ev = eval_profile ~pt_roundtrip:false stitched in
       Table.add_row table
         [
           model.W.App_model.name;
@@ -684,10 +704,15 @@ let geometry () =
   let run ~analysis_geom ~run_geom ~alabel ~rlabel =
     let config_a = { Cpu.Config.default with Cpu.Config.l1i = analysis_geom } in
     let config_r = { Cpu.Config.default with Cpu.Config.l1i = run_geom } in
-    let instrumented, _ =
-      Core.Pipeline.instrument_with
-        { Core.Pipeline.Options.default with config = config_a }
-        ~program ~profile_trace:train ~prefetch:Core.Pipeline.Fdip
+    (* Analysis and execution geometries differ here by design, which one
+       Pipeline.run (one config per run) cannot express: instrument under
+       config_a via the façade, then evaluate the shipped binary under
+       config_r through the compatibility wrapper. *)
+    let instrumented =
+      (Core.Pipeline.run
+         { Core.Pipeline.Options.default with config = config_a; prefetch = Core.Pipeline.Fdip }
+         ~source:program (Core.Pipeline.Trace train))
+        .Core.Pipeline.program
     in
     let base =
       Cpu.Simulator.run ~config:config_r ~warmup ~program ~trace:eval ~policy:Cache.Lru.make
@@ -913,6 +938,9 @@ let () =
     | "--out" :: path :: rest ->
       out_path := Some path;
       split_flags targets rest
+    | "--metrics" :: path :: rest ->
+      metrics_path := Some path;
+      split_flags targets rest
     | arg :: rest -> split_flags (arg :: targets) rest
     | [] -> List.rev targets
   in
@@ -927,4 +955,5 @@ let () =
           (String.concat ", " (List.map fst commands));
         exit 1)
     args;
-  write_cells ()
+  write_cells ();
+  write_metrics ()

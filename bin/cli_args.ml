@@ -1,0 +1,122 @@
+(* Shared cmdliner vocabulary for ripple-sim subcommands.
+
+   One definition per concept: the application, prefetcher and policy
+   converters (the latter two driven by the live registries, so a policy
+   added to {!Ripple_cache.Registry} is immediately accepted — and
+   documented — everywhere), plus the argument bundles every subcommand
+   reuses.  Subcommands never roll their own parsers. *)
+
+module W = Ripple_workloads
+module Registry = Ripple_cache.Registry
+module Pipeline = Ripple_core.Pipeline
+open Cmdliner
+
+let app_conv =
+  let parse s =
+    match W.Apps.by_name s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown application %S (known: %s)" s
+             (String.concat ", " (List.map (fun m -> m.W.App_model.name) W.Apps.all))))
+  in
+  let print fmt (m : W.App_model.t) = Format.fprintf fmt "%s" m.W.App_model.name in
+  Arg.conv (parse, print)
+
+let prefetch_conv =
+  let parse = function
+    | "none" -> Ok Pipeline.No_prefetch
+    | "nlp" -> Ok Pipeline.Nlp
+    | "fdip" -> Ok Pipeline.Fdip
+    | s -> Error (`Msg (Printf.sprintf "unknown prefetcher %S (none|nlp|fdip)" s))
+  in
+  let print fmt p = Format.fprintf fmt "%s" (Pipeline.prefetch_name p) in
+  Arg.conv (parse, print)
+
+(* The policy vocabulary (parser and help text) comes from the one
+   registry, so a policy added there is immediately accepted here. *)
+let policy_conv =
+  let parse s =
+    match Registry.find s with
+    | Some e -> Ok e.Registry.name
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown policy %S (known: %s)" s (String.concat ", " Registry.names)))
+  in
+  let print fmt name = Format.fprintf fmt "%s" name in
+  Arg.conv (parse, print)
+
+let policy_doc =
+  "Replacement policy: "
+  ^ String.concat ", "
+      (List.map
+         (fun e -> Printf.sprintf "$(b,%s) (%s)" e.Registry.name e.Registry.description)
+         Registry.all)
+  ^ "."
+
+let app_arg =
+  Arg.(
+    required
+    & opt (some app_conv) None
+    & info [ "a"; "app" ] ~docv:"APP" ~doc:"Application model (see $(b,ripple-sim apps)).")
+
+let app_pos_arg =
+  Arg.(
+    required
+    & pos 0 (some app_conv) None
+    & info [] ~docv:"APP" ~doc:"Application model (see $(b,ripple-sim apps)).")
+
+let apps_arg ~verb =
+  Arg.(
+    value
+    & opt (list app_conv) W.Apps.all
+    & info [ "apps" ] ~docv:"APP,.."
+        ~doc:(Printf.sprintf "Applications to %s (comma-separated; default: all nine)." verb))
+
+let prefetch_arg =
+  Arg.(
+    value
+    & opt prefetch_conv Pipeline.Fdip
+    & info [ "p"; "prefetch" ] ~docv:"PF" ~doc:"Prefetcher: none, nlp or fdip.")
+
+let policy_arg =
+  Arg.(value & opt policy_conv "lru" & info [ "policy" ] ~docv:"POLICY" ~doc:policy_doc)
+
+let instrs_arg =
+  Arg.(
+    value
+    & opt int 2_000_000
+    & info [ "n"; "instrs" ] ~docv:"N" ~doc:"Trace length in instructions.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains (default: the runtime's recommended domain count).  Results are \
+           identical for every $(docv).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's merged metric snapshot to $(docv) as OpenMetrics text \
+           (deterministic: byte-identical across $(b,--jobs) values).")
+
+let threshold_arg =
+  Arg.(
+    value
+    & opt float 0.55
+    & info [ "t"; "threshold" ] ~docv:"P" ~doc:"Invalidation threshold in [0,1].")
+
+(* Writes already-rendered observability output; goes through the sink's
+   atomic temp-file path so a crash never leaves a partial artifact. *)
+let write_text path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc

@@ -5,89 +5,26 @@
      ripple-sim ripple   --app verilator --prefetch none --threshold 0.55
      ripple-sim sweep    --apps cassandra,kafka --prefetch none,fdip --jobs 4
      ripple-sim lint     --apps drupal --json
-     ripple-sim trace    --app kafka --instrs 200000 --out kafka.pt
+     ripple-sim trace    cassandra --out trace.json --metrics metrics.txt
      ripple-sim chaos    --quick --json --out chaos.json
 
    Everything the subcommands do is a thin composition of the public
-   library API; see examples/ for the same flows in code. *)
+   library API; see examples/ for the same flows in code.  Shared
+   argument converters live in {!Cli_args} — one policy/prefetch/app
+   vocabulary for every subcommand. *)
 
 module W = Ripple_workloads
 module Cache = Ripple_cache
 module Registry = Ripple_cache.Registry
 module Simulator = Ripple_cpu.Simulator
 module Pipeline = Ripple_core.Pipeline
+module Obs = Ripple_obs
 module Pt = Ripple_trace.Pt
 module Program = Ripple_isa.Program
 module Exp = Ripple_exp
 module Chaos = Ripple_fault.Chaos
 
 open Cmdliner
-
-(* ------------------------------ shared ------------------------------ *)
-
-let app_conv =
-  let parse s =
-    match W.Apps.by_name s with
-    | Some m -> Ok m
-    | None ->
-      Error
-        (`Msg
-          (Printf.sprintf "unknown application %S (known: %s)" s
-             (String.concat ", " (List.map (fun m -> m.W.App_model.name) W.Apps.all))))
-  in
-  let print fmt (m : W.App_model.t) = Format.fprintf fmt "%s" m.W.App_model.name in
-  Arg.conv (parse, print)
-
-let prefetch_conv =
-  let parse = function
-    | "none" -> Ok Pipeline.No_prefetch
-    | "nlp" -> Ok Pipeline.Nlp
-    | "fdip" -> Ok Pipeline.Fdip
-    | s -> Error (`Msg (Printf.sprintf "unknown prefetcher %S (none|nlp|fdip)" s))
-  in
-  let print fmt p = Format.fprintf fmt "%s" (Pipeline.prefetch_name p) in
-  Arg.conv (parse, print)
-
-(* The policy vocabulary (parser and help text) comes from the one
-   registry, so a policy added there is immediately accepted here. *)
-let policy_conv =
-  let parse s =
-    match Registry.find s with
-    | Some e -> Ok e.Registry.name
-    | None ->
-      Error
-        (`Msg
-          (Printf.sprintf "unknown policy %S (known: %s)" s
-             (String.concat ", " Registry.names)))
-  in
-  let print fmt name = Format.fprintf fmt "%s" name in
-  Arg.conv (parse, print)
-
-let policy_doc =
-  "Replacement policy: "
-  ^ String.concat ", "
-      (List.map
-         (fun e -> Printf.sprintf "$(b,%s) (%s)" e.Registry.name e.Registry.description)
-         Registry.all)
-  ^ "."
-
-let app_arg =
-  Arg.(
-    required
-    & opt (some app_conv) None
-    & info [ "a"; "app" ] ~docv:"APP" ~doc:"Application model (see $(b,ripple-sim apps)).")
-
-let prefetch_arg =
-  Arg.(
-    value
-    & opt prefetch_conv Pipeline.Fdip
-    & info [ "p"; "prefetch" ] ~docv:"PF" ~doc:"Prefetcher: none, nlp or fdip.")
-
-let instrs_arg =
-  Arg.(
-    value
-    & opt int 2_000_000
-    & info [ "n"; "instrs" ] ~docv:"N" ~doc:"Trace length in instructions.")
 
 let setup app n_instrs =
   let workload = W.Cfg_gen.generate app in
@@ -99,22 +36,19 @@ let print_result label (r : Simulator.result) =
     r.Simulator.ipc r.Simulator.mpki r.Simulator.demand_misses r.Simulator.served_l2
     r.Simulator.served_l3 r.Simulator.served_memory
 
+let write_metrics path snapshot =
+  Cli_args.write_text path (Obs.Snapshot.to_openmetrics snapshot);
+  Printf.printf "wrote %s\n" path
+
 (* ------------------------------- apps ------------------------------- *)
 
 let apps_cmd =
-  let run () =
-    List.iter
-      (fun m -> Format.printf "%a@." W.App_model.pp m)
-      W.Apps.all
-  in
+  let run () = List.iter (fun m -> Format.printf "%a@." W.App_model.pp m) W.Apps.all in
   Cmd.v (Cmd.info "apps" ~doc:"List the nine application models.") Term.(const run $ const ())
 
 (* ----------------------------- simulate ----------------------------- *)
 
 let simulate_cmd =
-  let policy_arg =
-    Arg.(value & opt policy_conv "lru" & info [ "policy" ] ~docv:"POLICY" ~doc:policy_doc)
-  in
   let oracle_flag =
     Arg.(value & flag & info [ "oracle" ] ~doc:"Also run the ideal-replacement bound.")
   in
@@ -135,43 +69,45 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one cache/prefetcher configuration over an application.")
-    Term.(const run $ app_arg $ prefetch_arg $ instrs_arg $ policy_arg $ oracle_flag)
+    Term.(
+      const run $ Cli_args.app_arg $ Cli_args.prefetch_arg $ Cli_args.instrs_arg
+      $ Cli_args.policy_arg $ oracle_flag)
 
 (* ------------------------------ ripple ------------------------------ *)
 
 let ripple_cmd =
-  let threshold_arg =
-    Arg.(
-      value
-      & opt float 0.55
-      & info [ "t"; "threshold" ] ~docv:"P" ~doc:"Invalidation threshold in [0,1].")
-  in
   let demote_flag =
     Arg.(value & flag & info [ "demote" ] ~doc:"Inject demote hints instead of invalidations.")
   in
   let random_flag =
-    Arg.(value & flag & info [ "random" ] ~doc:"Underlying hardware policy: Random (Ripple-Random).")
+    Arg.(
+      value & flag & info [ "random" ] ~doc:"Underlying hardware policy: Random (Ripple-Random).")
   in
   let run app prefetch n_instrs threshold demote random =
     let workload, eval, warmup = setup app n_instrs in
     let program = workload.W.Cfg_gen.program in
     let profile = W.Executor.run workload ~input:W.Executor.train ~n_instrs in
     let mode = if demote then Ripple_core.Injector.Demote else Ripple_core.Injector.Invalidate in
-    let instrumented, analysis =
-      Pipeline.instrument_with
-        { Pipeline.Options.default with threshold; mode }
-        ~program ~profile_trace:profile ~prefetch
+    let policy = if random then Cache.Random_policy.make ~seed:1234 else Cache.Lru.make in
+    let oc =
+      Pipeline.run
+        {
+          Pipeline.Options.default with
+          threshold;
+          mode;
+          prefetch;
+          eval = Some (Pipeline.Eval.v ~warmup ~trace:eval ~policy ());
+        }
+        ~source:program (Pipeline.Trace profile)
     in
+    let analysis = oc.Pipeline.analysis in
     Printf.printf "windows=%d decisions=%d injected=%d\n" analysis.Pipeline.n_windows
       analysis.Pipeline.n_decisions analysis.Pipeline.injection.Ripple_core.Injector.injected;
-    let policy = if random then Cache.Random_policy.make ~seed:1234 else Cache.Lru.make in
     let baseline =
       Simulator.run ~warmup ~program ~trace:eval ~policy:Cache.Lru.make
         ~prefetcher:(Pipeline.prefetcher_of prefetch) ()
     in
-    let ev =
-      Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval ~policy ~prefetch ()
-    in
+    let ev = Option.get oc.Pipeline.evaluation in
     print_result "lru baseline" baseline;
     print_result (if random then "ripple-random" else "ripple-lru") ev.Pipeline.result;
     Printf.printf
@@ -185,30 +121,23 @@ let ripple_cmd =
   Cmd.v
     (Cmd.info "ripple" ~doc:"Profile, analyze, inject and evaluate Ripple on an application.")
     Term.(
-      const run $ app_arg $ prefetch_arg $ instrs_arg $ threshold_arg $ demote_flag
-      $ random_flag)
+      const run $ Cli_args.app_arg $ Cli_args.prefetch_arg $ Cli_args.instrs_arg
+      $ Cli_args.threshold_arg $ demote_flag $ random_flag)
 
 (* ------------------------------- sweep ------------------------------ *)
 
 let sweep_cmd =
-  let apps_arg =
-    Arg.(
-      value
-      & opt (list app_conv) W.Apps.all
-      & info [ "apps" ] ~docv:"APP,.."
-          ~doc:"Applications to sweep (comma-separated; default: all nine).")
-  in
   let prefetches_arg =
     Arg.(
       value
-      & opt (list prefetch_conv) [ Pipeline.Fdip ]
+      & opt (list Cli_args.prefetch_conv) [ Pipeline.Fdip ]
       & info [ "p"; "prefetch" ] ~docv:"PF,.." ~doc:"Prefetchers to sweep: none, nlp, fdip.")
   in
   let policies_arg =
     Arg.(
       value
-      & opt (list policy_conv) [ "lru" ]
-      & info [ "policies" ] ~docv:"POLICY,.." ~doc:policy_doc)
+      & opt (list Cli_args.policy_conv) [ "lru" ]
+      & info [ "policies" ] ~docv:"POLICY,.." ~doc:Cli_args.policy_doc)
   in
   let oracle_flag =
     Arg.(value & flag & info [ "oracle" ] ~doc:"Include the ideal-replacement bound per cell.")
@@ -228,18 +157,9 @@ let sweep_cmd =
   let ripple_policy_arg =
     Arg.(
       value
-      & opt policy_conv "lru"
+      & opt Cli_args.policy_conv "lru"
       & info [ "ripple-policy" ] ~docv:"POLICY"
           ~doc:"Hardware policy under Ripple instrumentation (default lru).")
-  in
-  let jobs_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "j"; "jobs" ] ~docv:"N"
-          ~doc:
-            "Worker domains (default: the runtime's recommended domain count).  Results are \
-             identical for every $(docv).")
   in
   let out_arg =
     Arg.(
@@ -274,7 +194,7 @@ let sweep_cmd =
              (skipped cells are recorded as such in the JSONL output).")
   in
   let run apps prefetches policies oracle ideal thresholds ripple_policy n_instrs jobs out
-      seed quiet retries max_failures =
+      metrics seed quiet retries max_failures =
     let specs =
       List.concat_map
         (fun (m : W.App_model.t) ->
@@ -286,8 +206,7 @@ let sweep_cmd =
               @ (if ideal then [ v Exp.Spec.Ideal_cache ] else [])
               @ (if oracle then [ v Exp.Spec.Oracle ] else [])
               @ List.map
-                  (fun threshold ->
-                    v (Exp.Spec.Ripple { policy = ripple_policy; threshold }))
+                  (fun threshold -> v (Exp.Spec.Ripple { policy = ripple_policy; threshold }))
                   thresholds)
             prefetches)
         apps
@@ -299,6 +218,9 @@ let sweep_cmd =
     | Some path ->
       Exp.Report.write_jsonl path cells;
       Printf.printf "wrote %s (%d cells)\n" path (List.length cells));
+    (match metrics with
+    | None -> ()
+    | Some path -> write_metrics path (Exp.Report.merged_metrics cells));
     if List.exists (fun c -> Result.is_error (Exp.Runner.result c)) cells then exit 3
   in
   Cmd.v
@@ -307,28 +229,15 @@ let sweep_cmd =
          "Run an experiment matrix (apps x prefetchers x policies/bounds/Ripple cells) over \
           a parallel domain pool.")
     Term.(
-      const run $ apps_arg $ prefetches_arg $ policies_arg $ oracle_flag $ ideal_flag
-      $ thresholds_arg $ ripple_policy_arg $ instrs_arg $ jobs_arg $ out_arg $ seed_arg
-      $ quiet_flag $ retries_arg $ max_failures_arg)
+      const run $ Cli_args.apps_arg ~verb:"sweep" $ prefetches_arg $ policies_arg $ oracle_flag
+      $ ideal_flag $ thresholds_arg $ ripple_policy_arg $ Cli_args.instrs_arg $ Cli_args.jobs_arg
+      $ out_arg $ Cli_args.metrics_arg $ seed_arg $ quiet_flag $ retries_arg $ max_failures_arg)
 
 (* ------------------------------- lint ------------------------------- *)
 
 let lint_cmd =
   let module Lint = Ripple_analysis.Lint in
   let module Json = Ripple_util.Json in
-  let apps_arg =
-    Arg.(
-      value
-      & opt (list app_conv) W.Apps.all
-      & info [ "apps" ] ~docv:"APP,.."
-          ~doc:"Applications to lint (comma-separated; default: all nine).")
-  in
-  let threshold_arg =
-    Arg.(
-      value
-      & opt float 0.55
-      & info [ "t"; "threshold" ] ~docv:"P" ~doc:"Invalidation threshold in [0,1].")
-  in
   let demote_flag =
     Arg.(value & flag & info [ "demote" ] ~doc:"Inject demote hints instead of invalidations.")
   in
@@ -352,12 +261,12 @@ let lint_cmd =
           let workload = W.Cfg_gen.generate app in
           let program = workload.W.Cfg_gen.program in
           let profile = W.Executor.run workload ~input:W.Executor.train ~n_instrs in
-          let _instrumented, analysis =
-            Pipeline.instrument_with
-              { Pipeline.Options.default with threshold; mode; verify = true }
-              ~program ~profile_trace:profile ~prefetch
+          let oc =
+            Pipeline.run
+              { Pipeline.Options.default with threshold; mode; verify = true; prefetch }
+              ~source:program (Pipeline.Trace profile)
           in
-          (app.W.App_model.name, Option.get analysis.Pipeline.lint))
+          (app.W.App_model.name, Option.get oc.Pipeline.analysis.Pipeline.lint))
         apps
     in
     if json then
@@ -367,12 +276,8 @@ let lint_cmd =
             (Json.to_string (Json.Obj [ ("app", Json.String name); ("lint", Lint.to_json s) ])))
         results
     else
-      List.iter
-        (fun (name, s) -> Format.printf "@[<v>== %s ==@,%a@]@." name Lint.pp s)
-        results;
-    let code =
-      List.fold_left (fun acc (_, s) -> max acc (Lint.exit_code s)) 0 results
-    in
+      List.iter (fun (name, s) -> Format.printf "@[<v>== %s ==@,%a@]@." name Lint.pp s) results;
+    let code = List.fold_left (fun acc (_, s) -> max acc (Lint.exit_code s)) 0 results in
     if code <> 0 then exit code
   in
   Cmd.v
@@ -382,8 +287,8 @@ let lint_cmd =
           reachability, and safe/harmful/redundant classification of every injected \
           invalidation.  Exit status: 0 clean, 1 warnings, 2 errors.")
     Term.(
-      const run $ apps_arg $ prefetch_arg $ threshold_arg $ demote_flag $ json_flag
-      $ lint_instrs_arg)
+      const run $ Cli_args.apps_arg ~verb:"lint" $ Cli_args.prefetch_arg $ Cli_args.threshold_arg
+      $ demote_flag $ json_flag $ lint_instrs_arg)
 
 (* ------------------------------- trace ------------------------------ *)
 
@@ -392,44 +297,81 @@ let trace_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the encoded PT stream to $(docv).")
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's Chrome trace-event JSON to $(docv) (load in chrome://tracing or \
+             Perfetto).")
   in
-  let run app n_instrs out =
-    let workload = W.Cfg_gen.generate app in
-    let trace = W.Executor.run workload ~input:W.Executor.train ~n_instrs in
+  let pt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pt" ] ~docv:"FILE"
+          ~doc:
+            "Also capture the profile as an encoded PT-style stream, verify its encode/decode \
+             round trip and write it to $(docv).")
+  in
+  let run app prefetch n_instrs pname out metrics pt =
+    let workload, eval, warmup = setup app n_instrs in
     let program = workload.W.Cfg_gen.program in
-    let encoded = Pt.encode program trace in
-    let decoded = Pt.decode program encoded in
-    assert (decoded = trace);
-    Printf.printf "blocks=%d encoded=%d bytes (%.3f bytes/block), roundtrip ok\n"
-      (Array.length trace) (Bytes.length encoded)
-      (Float.of_int (Bytes.length encoded) /. Float.of_int (Array.length trace));
-    match out with
+    let profile = W.Executor.run workload ~input:W.Executor.train ~n_instrs in
+    (match pt with
     | None -> ()
     | Some path ->
+      let encoded = Pt.encode program profile in
+      let decoded = Pt.decode program encoded in
+      assert (decoded = profile);
       let oc = open_out_bin path in
       output_bytes oc encoded;
       close_out oc;
-      Printf.printf "wrote %s\n" path
+      Printf.printf "pt: blocks=%d encoded=%d bytes (%.3f bytes/block), roundtrip ok -> %s\n"
+        (Array.length profile) (Bytes.length encoded)
+        (Float.of_int (Bytes.length encoded) /. Float.of_int (Array.length profile))
+        path);
+    (* The full six-stage pipeline under one observed run: verify on so
+       the lint stage contributes, eval on so the simulate stage (and
+       the virtual-time IPC/MPKI series) appears in the trace. *)
+    let obs = Obs.Run.create () in
+    let outcome =
+      Pipeline.run ~obs
+        {
+          Pipeline.Options.default with
+          verify = true;
+          prefetch;
+          eval = Some (Pipeline.Eval.v ~warmup ~trace:eval ~policy:(Registry.factory pname) ());
+        }
+        ~source:program (Pipeline.Trace profile)
+    in
+    let spans = Obs.Span.paths (Obs.Run.spans obs) in
+    Printf.printf "spans=%d metrics=%d\n"
+      (List.fold_left (fun acc (_, n) -> acc + n) 0 spans)
+      (List.length outcome.Pipeline.metrics.Obs.Snapshot.metrics);
+    (match outcome.Pipeline.evaluation with
+    | Some ev -> print_result "instrumented" ev.Pipeline.result
+    | None -> ());
+    (match out with
+    | None -> ()
+    | Some path ->
+      Obs.Export.write Obs.Export.chrome_sink ~path obs;
+      Printf.printf "wrote %s\n" path);
+    match metrics with
+    | None -> ()
+    | Some path -> write_metrics path outcome.Pipeline.metrics
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Capture a PT-style trace and verify the encode/decode round trip.")
-    Term.(const run $ app_arg $ instrs_arg $ out_arg)
+    (Cmd.info "trace"
+       ~doc:
+         "Run the full pipeline over an application with observability on and export the \
+          span/metric record: Chrome trace-event JSON ($(b,--out)) and OpenMetrics text \
+          ($(b,--metrics)).")
+    Term.(
+      const run $ Cli_args.app_pos_arg $ Cli_args.prefetch_arg $ Cli_args.instrs_arg
+      $ Cli_args.policy_arg $ out_arg $ Cli_args.metrics_arg $ pt_arg)
 
 (* ------------------------------- chaos ------------------------------ *)
 
 let chaos_cmd =
   let module Json = Ripple_util.Json in
-  let apps_arg =
-    Arg.(
-      value
-      & opt (list app_conv) W.Apps.all
-      & info [ "apps" ] ~docv:"APP,.."
-          ~doc:"Applications to stress (comma-separated; default: all nine).")
-  in
-  let policy_arg =
-    Arg.(value & opt policy_conv "lru" & info [ "policy" ] ~docv:"POLICY" ~doc:policy_doc)
-  in
   let chaos_instrs_arg =
     Arg.(
       value
@@ -441,13 +383,6 @@ let chaos_cmd =
       value
       & opt int 20240
       & info [ "seed" ] ~docv:"S" ~doc:"Base seed; cells derive per-(app, fault) seeds.")
-  in
-  let jobs_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "j"; "jobs" ] ~docv:"N"
-          ~doc:"Worker domains (default: the runtime's recommended domain count).")
   in
   let quick_flag =
     Arg.(
@@ -470,7 +405,7 @@ let chaos_cmd =
   let prefetch_opt_arg =
     Arg.(
       value
-      & opt (some prefetch_conv) None
+      & opt (some Cli_args.prefetch_conv) None
       & info [ "p"; "prefetch" ] ~docv:"PF"
           ~doc:"Prefetcher: none, nlp or fdip (default: fdip, or none under $(b,--quick)).")
   in
@@ -481,7 +416,7 @@ let chaos_cmd =
       const (fun n quick -> if quick && n = 200_000 then 60_000 else n)
       $ chaos_instrs_arg $ quick_flag)
   in
-  let run apps policy n_instrs seed jobs quick json out prefetch =
+  let run apps policy n_instrs seed jobs quick json out metrics prefetch =
     let prefetch =
       match prefetch with
       | Some p -> p
@@ -492,11 +427,10 @@ let chaos_cmd =
     let j = Chaos.report_to_json report in
     (match out with
     | None -> ()
-    | Some path ->
-      let oc = open_out path in
-      output_string oc (Json.to_string j);
-      output_char oc '\n';
-      close_out oc);
+    | Some path -> Cli_args.write_text path (Json.to_string j ^ "\n"));
+    (match metrics with
+    | None -> ()
+    | Some path -> write_metrics path (Chaos.merged_metrics report));
     if json then print_endline (Json.to_string j) else Chaos.print_summary report;
     let code = Chaos.exit_code report in
     if code <> 0 then exit code
@@ -509,8 +443,9 @@ let chaos_cmd =
           the never-worse-than-no-hints guarantee.  Exit status: 0 clean, 1 contract \
           violation, 2 crash.")
     Term.(
-      const run $ apps_arg $ policy_arg $ instrs_set_flag $ seed_arg $ jobs_arg $ quick_flag
-      $ json_flag $ out_arg $ prefetch_opt_arg)
+      const run $ Cli_args.apps_arg ~verb:"stress" $ Cli_args.policy_arg $ instrs_set_flag
+      $ seed_arg $ Cli_args.jobs_arg $ quick_flag $ json_flag $ out_arg $ Cli_args.metrics_arg
+      $ prefetch_opt_arg)
 
 let () =
   let info =

@@ -5,6 +5,7 @@ module Pt = Ripple_trace.Pt
 module Bb_trace = Ripple_trace.Bb_trace
 module Config = Ripple_cpu.Config
 module Simulator = Ripple_cpu.Simulator
+module Obs = Ripple_obs
 
 type prefetch = No_prefetch | Nlp | Fdip
 
@@ -58,6 +59,16 @@ type analysis = {
   degrade : Degrade.t;
 }
 
+module Eval = struct
+  type t = {
+    trace : int array;
+    policy : Ripple_cache.Policy.factory;
+    warmup : int;
+  }
+
+  let v ?(warmup = 0) ~trace ~policy () = { trace; policy; warmup }
+end
+
 module Options = struct
   type t = {
     config : Config.t;
@@ -74,6 +85,9 @@ module Options = struct
     min_salvage : float;
     drift_safe : float;
     drift_off : float;
+    prefetch : prefetch;
+    eval : Eval.t option;
+    search : float list;
   }
 
   let default =
@@ -92,6 +106,9 @@ module Options = struct
       min_salvage = 0.5;
       drift_safe = 0.02;
       drift_off = 0.15;
+      prefetch = Fdip;
+      eval = None;
+      search = [];
     }
 end
 
@@ -105,6 +122,8 @@ type profile = {
   salvage : float;
   pt_errors : int;
 }
+
+type input = Trace of int array | Pt_bytes of bytes | Profile of profile
 
 let profile_of_trace ?(salvage = 1.0) ~source trace = { trace; source; salvage; pt_errors = 0 }
 
@@ -134,6 +153,86 @@ let no_drops =
 
 let no_injection =
   { Injector.injected = 0; skipped_jit = 0; skipped_cap = 0; blocks_touched = 0; placements = [] }
+
+(* ------------------------- the metric vocabulary ------------------------- *)
+
+(* One record of metric cells per run, resolved once so stage code holds
+   cells, not names.  Registration is find-or-create and covers the
+   whole vocabulary up front (including the simulator family), so every
+   outcome snapshot carries the complete schema regardless of which
+   branches executed — the invariant docs/metrics.schema is checked
+   against. *)
+module Metrics = struct
+  type t = {
+    decode_blocks : Obs.Metric.counter;
+    decode_errors : Obs.Metric.counter;
+    decode_salvage : Obs.Metric.gauge;
+    profile_drift : Obs.Metric.gauge;
+    degrade_level : Obs.Metric.gauge;
+    profile_accesses : Obs.Metric.counter;
+    belady_windows : Obs.Metric.counter;
+    belady_window_blocks : Obs.Metric.histogram;
+    cue_no_candidate : Obs.Metric.counter;
+    cue_below_support : Obs.Metric.counter;
+    cue_below_threshold : Obs.Metric.counter;
+    cue_selected : Obs.Metric.counter;
+    cue_decisions : Obs.Metric.counter;
+    cue_probability : Obs.Metric.histogram;
+    inject_hints : Obs.Metric.counter;
+    inject_stripped : Obs.Metric.counter;
+    inject_skipped_jit : Obs.Metric.counter;
+    inject_skipped_cap : Obs.Metric.counter;
+    inject_blocks_touched : Obs.Metric.counter;
+    lint_errors : Obs.Metric.counter;
+    lint_warnings : Obs.Metric.counter;
+    lint_infos : Obs.Metric.counter;
+    eval_coverage : Obs.Metric.gauge;
+    eval_accuracy : Obs.Metric.gauge;
+    eval_hint_execs : Obs.Metric.counter;
+  }
+
+  let register reg =
+    let c name help = Obs.Registry.counter reg ~help name in
+    let g name help = Obs.Registry.gauge reg ~help name in
+    let h name bounds help = Obs.Registry.histogram reg ~help ~bounds name in
+    Simulator.register_obs reg;
+    {
+      decode_blocks = c "ripple_decode_blocks" "basic blocks recovered from the capture";
+      decode_errors = c "ripple_decode_errors" "decode errors survived by resynchronization";
+      decode_salvage = g "ripple_decode_salvage" "fraction of the capture recovered";
+      profile_drift = g "ripple_profile_drift" "illegal-transition fraction vs the target CFG";
+      degrade_level = g "ripple_degrade_level" "ladder rung: 0 full, 1 safe-only, 2 off";
+      profile_accesses = c "ripple_profile_accesses" "recorded profile access-stream entries";
+      belady_windows = c "ripple_belady_windows" "ideal-policy eviction windows";
+      belady_window_blocks =
+        h "ripple_belady_window_blocks"
+          [ 4.0; 16.0; 64.0; 256.0; 1024.0; 4096.0 ]
+          "eviction-window length in stream entries";
+      cue_no_candidate = c "ripple_cue_windows_no_candidate" "windows with no cue candidate";
+      cue_below_support = c "ripple_cue_windows_below_support" "windows under min support";
+      cue_below_threshold =
+        c "ripple_cue_windows_below_threshold" "windows under the probability threshold";
+      cue_selected = c "ripple_cue_windows_selected" "windows covered by a selected cue";
+      cue_decisions = c "ripple_cue_decisions" "deduplicated (cue, victim) decisions";
+      cue_probability =
+        h "ripple_cue_probability"
+          [ 0.2; 0.4; 0.5; 0.6; 0.8; 0.9 ]
+          "conditional eviction probability of selected cues";
+      inject_hints = c "ripple_inject_hints" "hints present in the shipped binary";
+      inject_stripped = c "ripple_inject_stripped" "hints removed by the safe-only filter";
+      inject_skipped_jit = c "ripple_inject_skipped_jit" "decisions dropped in JIT code";
+      inject_skipped_cap = c "ripple_inject_skipped_cap" "decisions over the per-block cap";
+      inject_blocks_touched = c "ripple_inject_blocks_touched" "blocks that received a hint";
+      lint_errors = c "ripple_lint_errors" "static-verifier errors on the shipped binary";
+      lint_warnings = c "ripple_lint_warnings" "static-verifier warnings";
+      lint_infos = c "ripple_lint_infos" "static-verifier infos";
+      eval_coverage = g "ripple_eval_coverage" "replacement coverage of the evaluated run";
+      eval_accuracy = g "ripple_eval_accuracy" "replacement accuracy of the evaluated run";
+      eval_hint_execs = c "ripple_eval_hint_execs" "dynamic hint executions while evaluated";
+    }
+end
+
+let stage obs name f = Obs.Span.with_span (Obs.Run.spans obs) name f
 
 (* Safe-only mode: classify every injected hint on the instrumented
    binary and strip the ones the static analysis cannot prove harmless
@@ -188,106 +287,6 @@ let strip_unsafe ~(config : Config.t) instrumented (injection : Injector.stats) 
     (program, injection, stripped)
   end
 
-let instrument_profile (o : Options.t) ~program ~(profile : profile) ~prefetch =
-  let config = o.Options.config in
-  let fingerprint_ok =
-    Program.layout_fingerprint profile.source = Program.layout_fingerprint program
-  in
-  (* Drift is measured against the binary about to be instrumented: the
-     fraction of profile transitions its CFG cannot produce. *)
-  let drift = if o.Options.degrade then Bb_trace.drift program profile.trace else 0.0 in
-  let level =
-    if not o.Options.degrade then Degrade.Full
-    else if profile.salvage < o.Options.min_salvage || drift > o.Options.drift_off then
-      Degrade.Hints_off
-    else if (not fingerprint_ok) || drift > o.Options.drift_safe || profile.salvage < safe_salvage
-    then Degrade.Safe_only
-    else Degrade.Full
-  in
-  let degrade_record ~stripped =
-    { Degrade.level; fingerprint_ok; salvage = profile.salvage; drift; stripped }
-  in
-  match level with
-  | Degrade.Hints_off ->
-    (* The profile is not trustworthy enough to act on at all: ship the
-       binary untouched, so behaviour is exactly the baseline policy. *)
-    ( program,
-      {
-        threshold = o.Options.threshold;
-        n_windows = 0;
-        n_decisions = 0;
-        drops = no_drops;
-        injection = no_injection;
-        lint = None;
-        degrade = degrade_record ~stripped:0;
-      } )
-  | Degrade.Full | Degrade.Safe_only ->
-    (* Step 2 (Fig. 4): ideal-policy replay over the stream the
-       prefetcher produces on the profiled layout, yielding eviction
-       windows. *)
-    let source = profile.source in
-    let trace = profile.trace in
-    let stream =
-      Simulator.record_stream ~config ~program:source ~trace
-        ~prefetcher:(prefetcher_of ~config prefetch)
-        ()
-    in
-    let replay = Belady.simulate config.Config.l1i ~mode:(belady_mode_of prefetch) stream in
-    let windows =
-      Eviction_window.of_evictions ~demand_covered_only:o.Options.exclude_prefetch_covered
-        replay.Belady.evictions
-    in
-    let exec_counts = Bb_trace.exec_counts source trace in
-    let decisions, drops =
-      Cue_block.analyze_report ~scan_limit:o.Options.scan_limit
-        ~min_support:o.Options.min_support ~stream ~windows ~exec_counts
-        ~threshold:o.Options.threshold ()
-    in
-    (* Step 3: link-time injection — into the binary being shipped,
-       which may not be the layout the profile was collected on. *)
-    let decisions =
-      List.filter (fun (d : Cue_block.decision) -> d.Cue_block.cue_block < Program.n_blocks program) decisions
-    in
-    let instrumented, _remap, injection =
-      Injector.inject ~mode:o.Options.mode ~skip_jit:o.Options.skip_jit
-        ~max_hints_per_block:o.Options.max_hints_per_block ~program ~decisions ()
-    in
-    let instrumented, injection, stripped =
-      match level with
-      | Degrade.Safe_only -> strip_unsafe ~config instrumented injection
-      | Degrade.Full | Degrade.Hints_off -> (instrumented, injection, 0)
-    in
-    (* Optional step 4: static verification of the instrumented binary
-       (the `ripple-sim lint` pass as a pipeline gate). *)
-    let lint =
-      if o.Options.verify then
-        Some
-          (Lint.check_program ~geometry:config.Config.l1i
-             ~provenance:(provenance_of_stats injection) instrumented)
-      else None
-    in
-    ( instrumented,
-      {
-        threshold = o.Options.threshold;
-        n_windows = Array.length windows;
-        n_decisions = List.length decisions;
-        drops;
-        injection;
-        lint;
-        degrade = degrade_record ~stripped;
-      } )
-
-let instrument_with (o : Options.t) ~program ~profile_trace ~prefetch =
-  (* Step 1 (Fig. 4): runtime profiling.  The analysis consumes the
-     PT round trip, not the raw trace.  LBR-sampled profiles are stitched
-     from disjoint path fragments and bypass the codec
-     ([pt_roundtrip = false]). *)
-  let profile =
-    if o.Options.pt_roundtrip then profile_of_pt ~source:program (Pt.encode program profile_trace)
-    else profile_of_trace ~source:program profile_trace
-  in
-  instrument_profile o ~program ~profile ~prefetch
-
 type evaluation = {
   result : Simulator.result;
   coverage : float;
@@ -310,7 +309,11 @@ let evaluation_to_json (ev : evaluation) =
 
 let overhead ~extra ~base = if base = 0 then 0.0 else Float.of_int extra /. Float.of_int base
 
-let evaluate ?(config = Config.default) ?(warmup = 0) ~original ~instrumented ~trace ~policy
+(* Instrumented-run evaluation (the paper's metrics).  The core of the
+   legacy [evaluate] entry point, shared with [run]'s simulate stage;
+   [obs], when present, routes the timing simulation's counters and the
+   Ripple accuracy/coverage gauges into the run's registry. *)
+let eval_core ?obs ~(config : Config.t) ~warmup ~original ~instrumented ~trace ~policy
     ~prefetch () =
   (* Ideal eviction windows on the evaluation stream of the instrumented
      binary, in trace coordinates: the accuracy yardstick. *)
@@ -329,55 +332,289 @@ let evaluate ?(config = Config.default) ?(warmup = 0) ~original ~instrumented ~t
   let accurate = ref 0 in
   let on_hint ~at hint ~resident =
     if at >= warmup then begin
-    incr hint_execs;
-    (* A hint that fires inside one of its victim's ideal windows evicts a
-       line the ideal policy would evict too; one that finds the line
-       absent cannot introduce a miss either. *)
-    let line = Basic_block.hint_line hint in
-    if (not resident) || Eviction_window.Index.mem index ~line ~at then incr accurate
+      incr hint_execs;
+      (* A hint that fires inside one of its victim's ideal windows evicts a
+         line the ideal policy would evict too; one that finds the line
+         absent cannot introduce a miss either. *)
+      let line = Basic_block.hint_line hint in
+      if (not resident) || Eviction_window.Index.mem index ~line ~at then incr accurate
     end
   in
   let result =
-    Simulator.run ~config ~warmup ~on_hint ~program:instrumented ~trace ~policy
+    Simulator.run ~config ~warmup ?obs ~on_hint ~program:instrumented ~trace ~policy
       ~prefetcher:(prefetcher_of ~config prefetch)
       ()
   in
   let accuracy =
     if !hint_execs = 0 then 1.0 else Float.of_int !accurate /. Float.of_int !hint_execs
   in
-  {
-    result;
-    coverage = Ripple_cache.Stats.coverage result.Simulator.l1i;
-    accuracy;
-    hint_execs = !hint_execs;
-    static_overhead =
-      overhead
-        ~extra:(Program.static_instrs instrumented - Program.static_instrs original)
-        ~base:(Program.static_instrs original);
-    dynamic_overhead =
-      overhead ~extra:result.Simulator.hint_instructions
-        ~base:(result.Simulator.instructions - result.Simulator.hint_instructions);
-  }
+  let ev =
+    {
+      result;
+      coverage = Ripple_cache.Stats.coverage result.Simulator.l1i;
+      accuracy;
+      hint_execs = !hint_execs;
+      static_overhead =
+        overhead
+          ~extra:(Program.static_instrs instrumented - Program.static_instrs original)
+          ~base:(Program.static_instrs original);
+      dynamic_overhead =
+        overhead ~extra:result.Simulator.hint_instructions
+          ~base:(result.Simulator.instructions - result.Simulator.hint_instructions);
+    }
+  in
+  (match obs with
+  | None -> ()
+  | Some obs ->
+    let m = Metrics.register (Obs.Run.registry obs) in
+    Obs.Metric.set m.Metrics.eval_coverage ev.coverage;
+    Obs.Metric.set m.Metrics.eval_accuracy ev.accuracy;
+    Obs.Metric.add m.Metrics.eval_hint_execs ev.hint_execs);
+  ev
+
+type outcome = {
+  program : Program.t;
+  analysis : analysis;
+  evaluation : evaluation option;
+  obs : Obs.Run.t;
+  metrics : Obs.Snapshot.t;
+}
+
+let degrade_level_code = function
+  | Degrade.Full -> 0.0
+  | Degrade.Safe_only -> 1.0
+  | Degrade.Hints_off -> 2.0
+
+(* One end-to-end run at a fixed threshold: the six instrumented stages
+   (decode → profile → belady → cue-select → inject → simulate), each a
+   span in [obs] with its counters. *)
+let run_one ~obs ~(m : Metrics.t) (o : Options.t) ~source input =
+  let config = o.Options.config in
+  let prefetch = o.Options.prefetch in
+  (* Stage 1 (Fig. 4): runtime profiling.  The analysis consumes what
+     hardware tracing can reconstruct — raw traces pass through the
+     PT-style codec round trip unless the caller opted out (stitched LBR
+     samples are not a single legal path). *)
+  let profile =
+    stage obs "decode" (fun () ->
+        match input with
+        | Profile p -> p
+        | Pt_bytes data -> profile_of_pt ~source data
+        | Trace t ->
+          if o.Options.pt_roundtrip then profile_of_pt ~source (Pt.encode source t)
+          else profile_of_trace ~source t)
+  in
+  Obs.Metric.add m.Metrics.decode_blocks (Array.length profile.trace);
+  Obs.Metric.add m.Metrics.decode_errors profile.pt_errors;
+  Obs.Metric.set m.Metrics.decode_salvage profile.salvage;
+  let fingerprint_ok =
+    Program.layout_fingerprint profile.source = Program.layout_fingerprint source
+  in
+  (* Drift is measured against the binary about to be instrumented: the
+     fraction of profile transitions its CFG cannot produce. *)
+  let drift = if o.Options.degrade then Bb_trace.drift source profile.trace else 0.0 in
+  let level =
+    if not o.Options.degrade then Degrade.Full
+    else if profile.salvage < o.Options.min_salvage || drift > o.Options.drift_off then
+      Degrade.Hints_off
+    else if (not fingerprint_ok) || drift > o.Options.drift_safe || profile.salvage < safe_salvage
+    then Degrade.Safe_only
+    else Degrade.Full
+  in
+  Obs.Metric.set m.Metrics.profile_drift drift;
+  Obs.Metric.set m.Metrics.degrade_level (degrade_level_code level);
+  let degrade_record ~stripped =
+    { Degrade.level; fingerprint_ok; salvage = profile.salvage; drift; stripped }
+  in
+  let instrumented, analysis =
+    match level with
+    | Degrade.Hints_off ->
+      (* The profile is not trustworthy enough to act on at all: ship the
+         binary untouched, so behaviour is exactly the baseline policy. *)
+      ( source,
+        {
+          threshold = o.Options.threshold;
+          n_windows = 0;
+          n_decisions = 0;
+          drops = no_drops;
+          injection = no_injection;
+          lint = None;
+          degrade = degrade_record ~stripped:0;
+        } )
+    | Degrade.Full | Degrade.Safe_only ->
+      (* Step 2 (Fig. 4): ideal-policy replay over the stream the
+         prefetcher produces on the profiled layout, yielding eviction
+         windows. *)
+      let stream =
+        stage obs "profile" (fun () ->
+            Simulator.record_stream ~config ~program:profile.source ~trace:profile.trace
+              ~prefetcher:(prefetcher_of ~config prefetch)
+              ())
+      in
+      Obs.Metric.add m.Metrics.profile_accesses (Ripple_cache.Access_stream.length stream);
+      let windows =
+        stage obs "belady" (fun () ->
+            let replay =
+              Belady.simulate config.Config.l1i ~mode:(belady_mode_of prefetch) stream
+            in
+            Eviction_window.of_evictions
+              ~demand_covered_only:o.Options.exclude_prefetch_covered replay.Belady.evictions)
+      in
+      Obs.Metric.add m.Metrics.belady_windows (Array.length windows);
+      Array.iter
+        (fun (w : Eviction_window.t) ->
+          Obs.Metric.observe m.Metrics.belady_window_blocks
+            (Float.of_int (w.Eviction_window.stop - w.Eviction_window.start)))
+        windows;
+      let decisions, drops =
+        stage obs "cue-select" (fun () ->
+            let exec_counts = Bb_trace.exec_counts profile.source profile.trace in
+            let decisions, drops =
+              Cue_block.analyze_report ~scan_limit:o.Options.scan_limit
+                ~min_support:o.Options.min_support ~stream ~windows ~exec_counts
+                ~threshold:o.Options.threshold ()
+            in
+            (* Injection targets the binary being shipped, which may not
+               be the layout the profile was collected on: decisions past
+               its block count cannot land. *)
+            ( List.filter
+                (fun (d : Cue_block.decision) ->
+                  d.Cue_block.cue_block < Program.n_blocks source)
+                decisions,
+              drops ))
+      in
+      Obs.Metric.add m.Metrics.cue_no_candidate drops.Cue_block.no_candidate;
+      Obs.Metric.add m.Metrics.cue_below_support drops.Cue_block.below_support;
+      Obs.Metric.add m.Metrics.cue_below_threshold drops.Cue_block.below_threshold;
+      Obs.Metric.add m.Metrics.cue_selected drops.Cue_block.selected;
+      Obs.Metric.add m.Metrics.cue_decisions (List.length decisions);
+      List.iter
+        (fun (d : Cue_block.decision) ->
+          Obs.Metric.observe m.Metrics.cue_probability d.Cue_block.probability)
+        decisions;
+      (* Step 3: link-time injection, then (in safe-only mode) the
+         static stripper, then the optional lint gate. *)
+      stage obs "inject" (fun () ->
+          let instrumented, _remap, injection =
+            Injector.inject ~mode:o.Options.mode ~skip_jit:o.Options.skip_jit
+              ~max_hints_per_block:o.Options.max_hints_per_block ~program:source ~decisions ()
+          in
+          let instrumented, injection, stripped =
+            match level with
+            | Degrade.Safe_only -> strip_unsafe ~config instrumented injection
+            | Degrade.Full | Degrade.Hints_off -> (instrumented, injection, 0)
+          in
+          let lint =
+            if o.Options.verify then
+              Some
+                (Lint.check_program ~geometry:config.Config.l1i
+                   ~provenance:(provenance_of_stats injection) instrumented)
+            else None
+          in
+          Obs.Metric.add m.Metrics.inject_hints injection.Injector.injected;
+          Obs.Metric.add m.Metrics.inject_stripped stripped;
+          Obs.Metric.add m.Metrics.inject_skipped_jit injection.Injector.skipped_jit;
+          Obs.Metric.add m.Metrics.inject_skipped_cap injection.Injector.skipped_cap;
+          Obs.Metric.add m.Metrics.inject_blocks_touched injection.Injector.blocks_touched;
+          (match lint with
+          | None -> ()
+          | Some s ->
+            Obs.Metric.add m.Metrics.lint_errors s.Lint.errors;
+            Obs.Metric.add m.Metrics.lint_warnings s.Lint.warnings;
+            Obs.Metric.add m.Metrics.lint_infos s.Lint.infos);
+          ( instrumented,
+            {
+              threshold = o.Options.threshold;
+              n_windows = Array.length windows;
+              n_decisions = List.length decisions;
+              drops;
+              injection;
+              lint;
+              degrade = degrade_record ~stripped;
+            } ))
+  in
+  let evaluation =
+    match o.Options.eval with
+    | None -> None
+    | Some (e : Eval.t) ->
+      Some
+        (stage obs "simulate" (fun () ->
+             eval_core ~obs ~config ~warmup:e.Eval.warmup ~original:source ~instrumented
+               ~trace:e.Eval.trace ~policy:e.Eval.policy ~prefetch ()))
+  in
+  { program = instrumented; analysis; evaluation; obs; metrics = Obs.Snapshot.empty }
+
+let run ?obs (o : Options.t) ~source input =
+  let obs = match obs with Some obs -> obs | None -> Obs.Run.create () in
+  let m = Metrics.register (Obs.Run.registry obs) in
+  let outcome =
+    match o.Options.search with
+    | [] -> run_one ~obs ~m o ~source input
+    | candidates ->
+      if o.Options.eval = None then
+        invalid_arg "Pipeline.run: Options.search requires Options.eval";
+      (* Per-application threshold selection (§III-C): one sub-run per
+         candidate under a [search] span, best IPC winning, first
+         candidate winning ties.  Counters accumulate across candidates
+         (the registry is per run, not per candidate). *)
+      stage obs "search" (fun () ->
+          let best = ref None in
+          List.iter
+            (fun threshold ->
+              let oc =
+                run_one ~obs ~m { o with Options.threshold; search = [] } ~source input
+              in
+              let ipc =
+                match oc.evaluation with
+                | Some ev -> ev.result.Simulator.ipc
+                | None -> assert false
+              in
+              match !best with
+              | Some (best_ipc, _) when best_ipc >= ipc -> ()
+              | _ -> best := Some (ipc, oc))
+            candidates;
+          match !best with Some (_, oc) -> oc | None -> assert false)
+  in
+  { outcome with metrics = Obs.Run.snapshot obs }
+
+(* ------------------------- legacy entry points ------------------------- *)
+
+let instrument_profile (o : Options.t) ~program ~profile ~prefetch =
+  let oc =
+    run
+      { o with Options.prefetch; eval = None; search = [] }
+      ~source:program (Profile profile)
+  in
+  (oc.program, oc.analysis)
+
+let instrument_with (o : Options.t) ~program ~profile_trace ~prefetch =
+  let oc =
+    run
+      { o with Options.prefetch; eval = None; search = [] }
+      ~source:program (Trace profile_trace)
+  in
+  (oc.program, oc.analysis)
+
+let evaluate ?(config = Config.default) ?(warmup = 0) ~original ~instrumented ~trace ~policy
+    ~prefetch () =
+  eval_core ~config ~warmup ~original ~instrumented ~trace ~policy ~prefetch ()
 
 let search_threshold ?(config = Config.default) ?(warmup = 0)
     ?(candidates = [ 0.45; 0.55; 0.65 ]) ?(mode = Options.default.Options.mode)
     ?(exclude_prefetch_covered = Options.default.Options.exclude_prefetch_covered) ~program
     ~profile_trace ~eval_trace ~policy ~prefetch () =
   assert (candidates <> []);
-  let best = ref None in
-  List.iter
-    (fun threshold ->
-      let instrumented, _ =
-        instrument_with
-          { Options.default with config; threshold; mode; exclude_prefetch_covered }
-          ~program ~profile_trace ~prefetch
-      in
-      let ev =
-        evaluate ~config ~warmup ~original:program ~instrumented ~trace:eval_trace ~policy
-          ~prefetch ()
-      in
-      match !best with
-      | Some (_, b) when b.result.Simulator.ipc >= ev.result.Simulator.ipc -> ()
-      | _ -> best := Some (threshold, ev))
-    candidates;
-  match !best with Some r -> r | None -> assert false
+  let oc =
+    run
+      {
+        Options.default with
+        config;
+        mode;
+        exclude_prefetch_covered;
+        prefetch;
+        search = candidates;
+        eval = Some (Eval.v ~warmup ~trace:eval_trace ~policy ());
+      }
+      ~source:program (Trace profile_trace)
+  in
+  (oc.analysis.threshold, Option.get oc.evaluation)

@@ -1,12 +1,17 @@
 (** End-to-end Ripple (Fig. 4): profile → eviction analysis → injection →
     instrumented binary, plus the instrumented-run evaluation that yields
-    the paper's metrics.
+    the paper's metrics — all behind the single {!run} façade.
 
     Profiling goes through the PT-style encoder/decoder round trip — the
     analysis only ever sees what hardware tracing can reconstruct.  The
     ideal-policy replay uses MIN when no prefetcher is configured and
     prefetch-aware Demand-MIN otherwise, over the access stream the
-    configured prefetcher actually produces. *)
+    configured prefetcher actually produces.
+
+    Every run is observable: the six stages (decode → profile → belady →
+    cue-select → inject → simulate) open spans in a {!Ripple_obs.Run.t},
+    and each stage's counters land in its registry.  The returned
+    {!outcome} carries a deterministic {!Ripple_obs.Snapshot.t} of it. *)
 
 module Program := Ripple_isa.Program
 module Policy := Ripple_cache.Policy
@@ -14,6 +19,7 @@ module Belady := Ripple_cache.Belady
 module Prefetcher := Ripple_prefetch.Prefetcher
 module Config := Ripple_cpu.Config
 module Simulator := Ripple_cpu.Simulator
+module Obs := Ripple_obs
 
 type prefetch = No_prefetch | Nlp | Fdip
 
@@ -61,16 +67,30 @@ type analysis = {
   degrade : Degrade.t;  (** which rung of the ladder was applied, and why *)
 }
 
+(** An evaluation request: simulate the instrumented binary on [trace]
+    under [policy], counting only past the [warmup] trace index.
+    Attached to {!Options.t.eval} to make {!run} produce an
+    {!outcome.evaluation}. *)
+module Eval : sig
+  type t = { trace : int array; policy : Policy.factory; warmup : int }
+
+  val v : ?warmup:int -> trace:int array -> policy:Policy.factory -> unit -> t
+  (** [warmup] defaults to 0. *)
+end
+
 (** Instrumentation knobs, gathered into one plain record.  Build a
     variant with a record update over {!Options.default}:
 
-    {[ Pipeline.instrument_with
+    {[ Pipeline.run
          { Pipeline.Options.default with threshold = 0.65; pt_roundtrip = false }
-         ~program ~profile_trace ~prefetch ]}
+         ~source (Trace profile_trace) ]}
 
     There are deliberately no [with_*] combinators — OCaml's [{ r with
     field = v }] is the update idiom, and a flat record keeps every
-    option greppable and exhaustively matchable. *)
+    option greppable and exhaustively matchable.
+
+    Note [t] contains a closure when [eval] is set: compare options
+    structurally by field, never with polymorphic equality. *)
 module Options : sig
   type t = {
     config : Config.t;
@@ -110,6 +130,14 @@ module Options : sig
             hints survive; default 0.02 *)
     drift_off : float;
         (** above this the profile is discarded outright; default 0.15 *)
+    prefetch : prefetch;  (** front-end prefetcher; default [Fdip] *)
+    eval : Eval.t option;
+        (** when set, {!run} simulates the instrumented binary and fills
+            {!outcome.evaluation}; default [None] *)
+    search : float list;
+        (** per-application threshold candidates (§III-C): when
+            non-empty, {!run} runs the pipeline once per candidate and
+            keeps the best-IPC outcome (requires [eval]); default [[]] *)
   }
 
   val default : t
@@ -127,6 +155,16 @@ type profile = {
     computed on [source] and only valid on binaries with the same
     fingerprint. *)
 
+type input =
+  | Trace of int array
+      (** an already-decoded block trace of the source binary itself;
+          round-trips through the PT codec unless
+          {!Options.t.pt_roundtrip} is off *)
+  | Pt_bytes of bytes  (** a raw PT-style capture, decoded recoveringly *)
+  | Profile of profile
+      (** a pre-built artifact, possibly from a different layout — the
+          decoupled-profile path the degradation ladder judges *)
+
 val profile_of_trace : ?salvage:float -> source:Program.t -> int array -> profile
 (** Wraps an already-decoded trace ([salvage] defaults to 1.0; pass the
     captured fraction when the capture is known to be partial). *)
@@ -135,27 +173,6 @@ val profile_of_pt : source:Program.t -> bytes -> profile
 (** Recovering decode ({!Ripple_trace.Pt.decode_result}) of a possibly
     corrupt stream: never raises; the salvage ratio and error count land
     in the artifact for the ladder to judge. *)
-
-val instrument_profile :
-  Options.t ->
-  program:Program.t ->
-  profile:profile ->
-  prefetch:prefetch ->
-  Program.t * analysis
-(** Like {!instrument_with}, but profile and target binary are decoupled:
-    the eviction analysis runs on [profile.source] (the layout that was
-    profiled), injection targets [program] (the binary being shipped),
-    and — when {!Options.t.degrade} is set — the ladder compares the two
-    and steps down accordingly. *)
-
-val instrument_with :
-  Options.t ->
-  program:Program.t ->
-  profile_trace:int array ->
-  prefetch:prefetch ->
-  Program.t * analysis
-(** Profile → eviction analysis → cue-block selection → link-time
-    injection, under [Options]. *)
 
 type evaluation = {
   result : Simulator.result;  (** performance of the instrumented run *)
@@ -171,6 +188,55 @@ val evaluation_to_json : evaluation -> Ripple_util.Json.t
     ({!Ripple_cpu.Simulator.result_to_json}) plus the Ripple metrics.
     Deterministic; the JSONL payload of Ripple cells in sweeps. *)
 
+type outcome = {
+  program : Program.t;  (** the instrumented binary *)
+  analysis : analysis;
+  evaluation : evaluation option;  (** [Some] iff {!Options.t.eval} was *)
+  obs : Obs.Run.t;
+      (** the live observability context the run recorded into — spans
+          carry wall-clock durations, so render it ({!Ripple_obs.Export})
+          but never diff it *)
+  metrics : Obs.Snapshot.t;
+      (** deterministic view of [obs]: metric values plus span structure,
+          no durations — byte-identical across pool sizes and reruns *)
+}
+
+val run : ?obs:Obs.Run.t -> Options.t -> source:Program.t -> input -> outcome
+(** The façade: profile acquisition → eviction analysis → cue-block
+    selection → link-time injection — and, per {!Options.t.eval} /
+    [search], evaluation and per-application threshold selection — as
+    one call.  [source] is the binary being shipped; [input] is where
+    the profile comes from.  [obs] attaches the run to an existing
+    observability context (e.g. a per-cell runner span); a fresh one is
+    created otherwise.
+
+    Raises [Invalid_argument] if [search] is non-empty while [eval] is
+    [None] (threshold selection needs an IPC to rank by). *)
+
+(** {2 Legacy entry points}
+
+    Thin wrappers over {!run}, kept for one release.
+
+    @deprecated Use {!run} with the matching {!input} constructor. *)
+
+val instrument_profile :
+  Options.t ->
+  program:Program.t ->
+  profile:profile ->
+  prefetch:prefetch ->
+  Program.t * analysis
+(** [run o ~source:program (Profile profile)] without evaluation.
+    @deprecated Use {!run} with [Profile] and [Options.t.prefetch]. *)
+
+val instrument_with :
+  Options.t ->
+  program:Program.t ->
+  profile_trace:int array ->
+  prefetch:prefetch ->
+  Program.t * analysis
+(** [run o ~source:program (Trace profile_trace)] without evaluation.
+    @deprecated Use {!run} with [Trace] and [Options.t.prefetch]. *)
+
 val evaluate :
   ?config:Config.t ->
   ?warmup:int ->
@@ -181,12 +247,14 @@ val evaluate :
   prefetch:prefetch ->
   unit ->
   evaluation
-(** Runs the instrumented program on [trace] under [policy], counting
-    only past the [warmup] trace index (steady state); accuracy is
-    judged against the ideal policy's eviction windows recomputed on the
-    evaluation stream: a hint execution is accurate when it fires inside
-    one of its victim's ideal eviction windows (so the ideal policy would
-    have evicted the line too). *)
+(** Evaluates an already-instrumented binary: runs it on [trace] under
+    [policy], counting only past the [warmup] trace index (steady
+    state); accuracy is judged against the ideal policy's eviction
+    windows recomputed on the evaluation stream: a hint execution is
+    accurate when it fires inside one of its victim's ideal eviction
+    windows (so the ideal policy would have evicted the line too).
+    @deprecated Use {!run} with [Options.t.eval] — the instrumented
+    binary and its evaluation then come from one call. *)
 
 val search_threshold :
   ?config:Config.t ->
@@ -203,4 +271,6 @@ val search_threshold :
   float * evaluation
 (** Per-application threshold selection (§III-C): evaluates each
     candidate (default [0.45; 0.55; 0.65]) and returns the best-IPC one
-    with its evaluation. *)
+    with its evaluation.
+    @deprecated Use {!run} with [Options.t.search] and [Options.t.eval];
+    the winning threshold is [outcome.analysis.threshold]. *)

@@ -55,6 +55,47 @@ let result_to_json (r : result) =
           ] );
     ]
 
+module Obs = Ripple_obs
+
+(* The simulator's metric vocabulary.  [register_obs] is find-or-create,
+   so callers (the pipeline, the experiment runner) may pre-register the
+   whole family to fix a snapshot's schema before any event fires. *)
+let obs_counter reg name help = Obs.Registry.counter reg ~help name
+
+let register_obs reg =
+  let c name help = ignore (obs_counter reg name help) in
+  c "ripple_sim_instructions" "retired instructions, hints included";
+  c "ripple_sim_hint_instructions" "retired Ripple hint instructions";
+  c "ripple_sim_demand_accesses" "L1I demand accesses";
+  c "ripple_sim_demand_misses" "L1I demand misses";
+  c "ripple_sim_demand_misses_cold" "compulsory L1I demand misses";
+  c "ripple_sim_prefetch_fills" "prefetches that missed and filled";
+  c "ripple_sim_evictions" "valid L1I lines displaced by fills";
+  c "ripple_sim_replacement_decisions" "fills that picked a victim";
+  c "ripple_sim_hinted_fills" "fills into ways freed by a Ripple hint";
+  c "ripple_sim_invalidate_hits" "invalidation hints that found their line";
+  c "ripple_sim_invalidate_misses" "invalidation hints to an absent line";
+  c "ripple_sim_demotes" "demote hints executed";
+  ignore (Obs.Registry.series reg ~help:"periodic IPC over virtual time" "ripple_sim_ipc");
+  ignore (Obs.Registry.series reg ~help:"periodic MPKI over virtual time" "ripple_sim_mpki")
+
+let observe_result obs (r : result) =
+  let reg = Obs.Run.registry obs in
+  register_obs reg;
+  let add name v = Obs.Metric.add (Obs.Registry.counter reg name) v in
+  add "ripple_sim_instructions" r.instructions;
+  add "ripple_sim_hint_instructions" r.hint_instructions;
+  add "ripple_sim_demand_accesses" r.l1i.Stats.demand_accesses;
+  add "ripple_sim_demand_misses" r.l1i.Stats.demand_misses;
+  add "ripple_sim_demand_misses_cold" r.l1i.Stats.demand_misses_cold;
+  add "ripple_sim_prefetch_fills" r.l1i.Stats.prefetch_fills;
+  add "ripple_sim_evictions" r.l1i.Stats.evictions;
+  add "ripple_sim_replacement_decisions" r.l1i.Stats.replacement_decisions;
+  add "ripple_sim_hinted_fills" r.l1i.Stats.hinted_fills;
+  add "ripple_sim_invalidate_hits" r.l1i.Stats.invalidate_hits;
+  add "ripple_sim_invalidate_misses" r.l1i.Stats.invalidate_misses;
+  add "ripple_sim_demotes" r.l1i.Stats.demotes
+
 let prefetcher_none _program = Prefetcher.none
 
 let prefetcher_nlp ?(config = Config.default) _program =
@@ -91,8 +132,8 @@ let finish ~(config : Config.t) ~instructions ~hint_instructions ~miss_cycles ~l
     served_memory = mem_served;
   }
 
-let run ?(config = Config.default) ?(warmup = 0) ?(on_hint = fun ~at:_ _ ~resident:_ -> ())
-    ~program ~trace ~policy ~prefetcher () =
+let run ?(config = Config.default) ?(warmup = 0) ?obs
+    ?(on_hint = fun ~at:_ _ ~resident:_ -> ()) ~program ~trace ~policy ~prefetcher () =
   let l1 = Cache.create ~geometry:config.Config.l1i ~policy () in
   let hierarchy = Hierarchy.create config in
   let pf = prefetcher program in
@@ -150,6 +191,36 @@ let run ?(config = Config.default) ?(warmup = 0) ?(on_hint = fun ~at:_ _ ~reside
       miss_cycles := !miss_cycles + Hierarchy.penalty config served;
       true
   in
+  (* Periodic IPC/MPKI samples in *virtual* time (the trace index), so
+     the series is a pure function of the run — identical at any pool
+     size.  At most ~16 samples per run; the per-block cost without a
+     sampler is one match. *)
+  let sampler =
+    match obs with
+    | None -> None
+    | Some obs ->
+      let reg = Obs.Run.registry obs in
+      register_obs reg;
+      let ipc_series = Obs.Registry.series reg "ripple_sim_ipc" in
+      let mpki_series = Obs.Registry.series reg "ripple_sim_mpki" in
+      let every = max 1 (Array.length trace / 16) in
+      Some
+        (fun at ->
+          if (at + 1) mod every = 0 then begin
+            let original = !instructions - !hint_instructions in
+            if original > 0 then begin
+              let cycles =
+                (config.Config.cpi_base *. Float.of_int original)
+                +. (config.Config.hint_cpi *. Float.of_int !hint_instructions)
+                +. (config.Config.miss_exposure *. Float.of_int !miss_cycles)
+              in
+              Obs.Metric.sample ipc_series ~at
+                (if cycles > 0.0 then Float.of_int original /. cycles else 0.0);
+              Obs.Metric.sample mpki_series ~at
+                (Stats.mpki (Cache.stats l1) ~instructions:original)
+            end
+          end)
+  in
   Array.iteri
     (fun at id ->
       (* Steady state: warm the caches and predictors, then zero the
@@ -181,11 +252,16 @@ let run ?(config = Config.default) ?(warmup = 0) ?(on_hint = fun ~at:_ _ ~reside
         | Basic_block.Demote line -> Cache.demote l1 line);
         incr hint_instructions
       done;
-      instructions := !instructions + Basic_block.total_instrs b)
+      instructions := !instructions + Basic_block.total_instrs b;
+      match sampler with Some f -> f at | None -> ())
     trace;
-  finish ~config ~instructions:!instructions ~hint_instructions:!hint_instructions
-    ~miss_cycles:(Float.of_int !miss_cycles) ~l1i:(Cache.stats l1) ~l2_served:!l2_served
-    ~l3_served:!l3_served ~mem_served:!mem_served
+  let result =
+    finish ~config ~instructions:!instructions ~hint_instructions:!hint_instructions
+      ~miss_cycles:(Float.of_int !miss_cycles) ~l1i:(Cache.stats l1) ~l2_served:!l2_served
+      ~l3_served:!l3_served ~mem_served:!mem_served
+  in
+  (match obs with Some o -> observe_result o result | None -> ());
+  result
 
 let instructions_from ~program ~trace ~warmup =
   let per_block = Array.map Basic_block.total_instrs (Program.blocks program) in

@@ -40,6 +40,7 @@ val result_to_json : result -> Ripple_util.Json.t
 val run :
   ?config:Config.t ->
   ?warmup:int ->
+  ?obs:Ripple_obs.Run.t ->
   ?on_hint:(at:int -> Ripple_isa.Basic_block.hint -> resident:bool -> unit) ->
   program:Program.t ->
   trace:int array ->
@@ -53,7 +54,26 @@ val run :
     for Ripple's replacement-accuracy metric.  [warmup] names a trace
     index before which the caches are exercised but nothing is counted:
     all measurements are steady-state, as in the paper's 100 M-instruction
-    steady-state captures. *)
+    steady-state captures.
+
+    [obs] attaches the run to an observability context: the final result
+    is folded into the [ripple_sim_*] counters ({!observe_result}), and
+    ~16 periodic IPC/MPKI samples land in the [ripple_sim_ipc] /
+    [ripple_sim_mpki] series, timestamped in {e virtual} time (the trace
+    index) so the series — like every counter — is byte-identical across
+    pool sizes. *)
+
+val register_obs : Ripple_obs.Registry.t -> unit
+(** Pre-registers the simulator's whole metric vocabulary
+    ([ripple_sim_*] counters plus the IPC/MPKI series), fixing the
+    snapshot schema even for runs that never fire some events.
+    Find-or-create: safe to call repeatedly. *)
+
+val observe_result : Ripple_obs.Run.t -> result -> unit
+(** Folds a finished result into the [ripple_sim_*] counters — what
+    [run ~obs] does automatically, exposed for paths that compute a
+    result without the full simulation loop ({!oracle},
+    {!ideal_cache}). *)
 
 val ideal_cache :
   ?config:Config.t -> ?warmup:int -> program:Program.t -> trace:int array -> unit -> result

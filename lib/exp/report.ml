@@ -68,12 +68,23 @@ let cell_to_json ?(gc = false) (cell : Runner.cell) =
       @ (match o.Runner.evaluation with
         | Some ev -> [ ("evaluation", Pipeline.evaluation_to_json ev) ]
         | None -> [])
-      @
-      (match o.Runner.analysis with
-      | Some a -> [ ("analysis", analysis_to_json a) ]
-      | None -> [])
+      @ (match o.Runner.analysis with
+        | Some a -> [ ("analysis", analysis_to_json a) ]
+        | None -> [])
+      @ [ ("metrics", Ripple_obs.Snapshot.to_json o.Runner.metrics) ]
   in
   Json.Obj (spec_fields @ payload @ attempt_fields @ gc_fields)
+
+(* Cells arrive in submission order regardless of pool size, and merge
+   is an order-respecting fold, so the aggregate is deterministic across
+   [jobs]. *)
+let merged_metrics cells =
+  List.fold_left
+    (fun acc (cell : Runner.cell) ->
+      match cell.Runner.status with
+      | Runner.Done o -> Ripple_obs.Snapshot.merge acc o.Runner.metrics
+      | Runner.Failed _ | Runner.Skipped _ -> acc)
+    Ripple_obs.Snapshot.empty cells
 
 let to_jsonl ?gc cells =
   let buf = Buffer.create 4096 in
@@ -93,14 +104,22 @@ let rec mkdir_parents dir =
 
 let write_jsonl ?gc path cells =
   mkdir_parents (Filename.dirname path);
-  (* Write-then-rename so a crash mid-write never leaves a truncated
-     file where a previous complete run's output used to be. *)
+  (* Write-then-fsync-then-rename so a crash — even one straddling the
+     rename — never leaves a truncated file where a previous complete
+     run's output used to be: the data is durable before the name
+     flips. *)
   let dir = Filename.dirname path in
   let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".") ".tmp" in
   (try
      let oc = open_out tmp in
-     output_string oc (to_jsonl ?gc cells);
-     close_out oc;
+     (try
+        output_string oc (to_jsonl ?gc cells);
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc);
+        close_out oc
+      with e ->
+        close_out_noerr oc;
+        raise e);
      Sys.rename tmp path
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());

@@ -14,15 +14,21 @@ val cell_to_json : ?gc:bool -> Runner.cell -> Ripple_util.Json.t
     list renders byte-identically at any pool size; turn it on for
     memory diagnostics (the bench's smoke target does). *)
 
+val merged_metrics : Runner.cell list -> Ripple_obs.Snapshot.t
+(** All completed cells' metric snapshots folded together
+    ({!Ripple_obs.Snapshot.merge}) in submission order — deterministic
+    across pool sizes.  Failed and skipped cells contribute nothing. *)
+
 val to_jsonl : ?gc:bool -> Runner.cell list -> string
 (** One [cell_to_json] per line, ["\n"]-terminated. *)
 
 val write_jsonl : ?gc:bool -> string -> Runner.cell list -> unit
 (** [write_jsonl path cells] writes {!to_jsonl} to [path], creating
     missing parent directories and writing atomically (temp file in the
-    destination directory, then rename), so readers never observe a
-    partial file and an interrupted run never clobbers a previous
-    complete one. *)
+    destination directory, fsynced before the rename), so readers never
+    observe a partial file and an interrupted run — or a crash straddling
+    the rename — never clobbers a previous complete one.  The temp file
+    is removed on any failure. *)
 
 val print_summary : Runner.cell list -> unit
 (** Human-readable per-cell table (IPC, MPKI, misses, Ripple coverage /

@@ -3,11 +3,13 @@ module Registry = Ripple_cache.Registry
 module Config = Ripple_cpu.Config
 module Simulator = Ripple_cpu.Simulator
 module Pipeline = Ripple_core.Pipeline
+module Obs = Ripple_obs
 
 type outcome = {
   result : Simulator.result;
   evaluation : Pipeline.evaluation option;
   analysis : Pipeline.analysis option;
+  metrics : Obs.Snapshot.t;
 }
 
 type gc_stats = {
@@ -131,35 +133,54 @@ let run_spec ?(config = Config.default) (spec : Spec.t) =
   let prefetch = spec.Spec.prefetch in
   let prefetcher = Pipeline.prefetcher_of ~config prefetch in
   let policy_of name = (Registry.find_exn name).Registry.factory ~seed:(Spec.prng_seed spec) in
+  (* Every cell gets a private observability context; the deterministic
+     snapshot rides on the outcome so {!Report} can render it into the
+     JSONL regardless of which domain ran the cell. *)
+  let obs = Obs.Run.create () in
   match spec.Spec.kind with
   | Spec.Policy name ->
     let result =
-      Simulator.run ~config ~warmup ~program ~trace:eval ~policy:(policy_of name) ~prefetcher
-        ()
+      Obs.Span.with_span (Obs.Run.spans obs) "simulate" (fun () ->
+          Simulator.run ~config ~warmup ~obs ~program ~trace:eval ~policy:(policy_of name)
+            ~prefetcher ())
     in
-    { result; evaluation = None; analysis = None }
+    { result; evaluation = None; analysis = None; metrics = Obs.Run.snapshot obs }
   | Spec.Ideal_cache ->
-    let result = Simulator.ideal_cache ~config ~warmup ~program ~trace:eval () in
-    { result; evaluation = None; analysis = None }
+    let result =
+      Obs.Span.with_span (Obs.Run.spans obs) "simulate" (fun () ->
+          Simulator.ideal_cache ~config ~warmup ~program ~trace:eval ())
+    in
+    Simulator.observe_result obs result;
+    { result; evaluation = None; analysis = None; metrics = Obs.Run.snapshot obs }
   | Spec.Oracle ->
     let stream = stream_of ~config spec ~trace:eval ~program in
     let result =
-      Simulator.oracle ~config ~warmup ~stream ~mode:(Pipeline.belady_mode_of prefetch)
-        ~program ~trace:eval ~prefetcher ()
+      Obs.Span.with_span (Obs.Run.spans obs) "simulate" (fun () ->
+          Simulator.oracle ~config ~warmup ~stream ~mode:(Pipeline.belady_mode_of prefetch)
+            ~program ~trace:eval ~prefetcher ())
     in
-    { result; evaluation = None; analysis = None }
+    Simulator.observe_result obs result;
+    { result; evaluation = None; analysis = None; metrics = Obs.Run.snapshot obs }
   | Spec.Ripple { policy; threshold } ->
     let train = trace_of spec.Spec.app ~n_instrs:spec.Spec.n_instrs Spec.Train in
-    let instrumented, analysis =
-      Pipeline.instrument_with
-        { Pipeline.Options.default with config; threshold }
-        ~program ~profile_trace:train ~prefetch
+    let oc =
+      Pipeline.run ~obs
+        {
+          Pipeline.Options.default with
+          config;
+          threshold;
+          prefetch;
+          eval = Some (Pipeline.Eval.v ~warmup ~trace:eval ~policy:(policy_of policy) ());
+        }
+        ~source:program (Pipeline.Trace train)
     in
-    let ev =
-      Pipeline.evaluate ~config ~warmup ~original:program ~instrumented ~trace:eval
-        ~policy:(policy_of policy) ~prefetch ()
-    in
-    { result = ev.Pipeline.result; evaluation = Some ev; analysis = Some analysis }
+    let ev = Option.get oc.Pipeline.evaluation in
+    {
+      result = ev.Pipeline.result;
+      evaluation = Some ev;
+      analysis = Some oc.Pipeline.analysis;
+      metrics = oc.Pipeline.metrics;
+    }
 
 (* ------------------------------ the pool ----------------------------- *)
 

@@ -29,6 +29,10 @@ type outcome = {
   result : Simulator.result;
   evaluation : Pipeline.evaluation option;  (** Ripple cells only *)
   analysis : Pipeline.analysis option;  (** Ripple cells only *)
+  metrics : Ripple_obs.Snapshot.t;
+      (** deterministic metric snapshot of the cell's private
+          observability context — values and span structure only, no
+          durations, so JSONL rows stay identical across pool sizes *)
 }
 
 type gc_stats = {

@@ -9,6 +9,8 @@ module Pool = Ripple_exp.Pool
 module Json = Ripple_util.Json
 module Table = Ripple_util.Table
 
+module Obs = Ripple_obs
+
 type outcome = {
   degrade : Pipeline.Degrade.t;
   pt_errors : int;
@@ -16,6 +18,7 @@ type outcome = {
   baseline_ipc : float;
   instrumented_ipc : float;
   violations : string list;
+  metrics : Obs.Snapshot.t;
 }
 
 type status = Ran of outcome | Crashed of string
@@ -117,13 +120,13 @@ let run_cell ~seed ~n_instrs ~prefetch ~config ~policy ~workload ~program ~train
         Pipeline.Options.config;
         degrade = true;
         min_support = 1;
+        prefetch;
+        eval = Some (Pipeline.Eval.v ~warmup ~trace:eval ~policy ());
       }
     in
-    let instrumented, analysis = Pipeline.instrument_profile opts ~program ~profile ~prefetch in
-    let ev =
-      Pipeline.evaluate ~config ~warmup ~original:program ~instrumented ~trace:eval ~policy
-        ~prefetch ()
-    in
+    let oc = Pipeline.run opts ~source:program (Pipeline.Profile profile) in
+    let analysis = oc.Pipeline.analysis in
+    let ev = Option.get oc.Pipeline.evaluation in
     let degrade = analysis.Pipeline.degrade in
     let instrumented_ipc = ev.Pipeline.result.Simulator.ipc in
     {
@@ -133,6 +136,7 @@ let run_cell ~seed ~n_instrs ~prefetch ~config ~policy ~workload ~program ~train
       baseline_ipc;
       instrumented_ipc;
       violations = check_cell ~expectation ~degrade ~baseline_ipc ~instrumented_ipc;
+      metrics = oc.Pipeline.metrics;
     }
   with
   | outcome -> Ran outcome
@@ -208,6 +212,15 @@ let run ?(apps = app_names ()) ?(faults = Fault.matrix) ?(n_instrs = 200_000) ?(
   { cells; crashed; violations }
 
 let exit_code report = if report.crashed > 0 then 2 else if report.violations > 0 then 1 else 0
+
+(* Cells are ordered (app-major, fault-minor) regardless of pool size,
+   and merge is a fold in that order, so the aggregate is deterministic
+   across [jobs]. *)
+let merged_metrics r =
+  List.fold_left
+    (fun acc c ->
+      match c.status with Ran o -> Obs.Snapshot.merge acc o.metrics | Crashed _ -> acc)
+    Obs.Snapshot.empty r.cells
 
 let cell_to_json c =
   let base =

@@ -2,9 +2,10 @@
 
     For each (application, fault) cell the harness profiles the app on
     the train input, pushes the profile through the fault injector, runs
-    the degradation-aware pipeline ({!Ripple_core.Pipeline.instrument_profile}
-    with [degrade = true]), evaluates the instrumented binary on the
-    clean evaluation trace, and checks the contract:
+    the degradation-aware pipeline ({!Ripple_core.Pipeline.run} with
+    [degrade = true] and an evaluation request), evaluates the
+    instrumented binary on the clean evaluation trace, and checks the
+    contract:
 
     - nothing may crash (a raised exception anywhere in the cell is a
       [Crashed] verdict, exit code 2);
@@ -26,6 +27,8 @@ type outcome = {
   baseline_ipc : float;  (** uninstrumented run on the eval trace *)
   instrumented_ipc : float;  (** instrumented run on the same trace *)
   violations : string list;  (** contract breaches; empty = cell passes *)
+  metrics : Ripple_obs.Snapshot.t;
+      (** deterministic metric snapshot of the cell's pipeline run *)
 }
 
 type status = Ran of outcome | Crashed of string
@@ -51,6 +54,11 @@ val run :
 
 val exit_code : report -> int
 (** 2 if any cell crashed, 1 if any contract violation, else 0. *)
+
+val merged_metrics : report -> Ripple_obs.Snapshot.t
+(** All ran cells' snapshots folded together ({!Ripple_obs.Snapshot.merge})
+    in cell order — deterministic across [jobs], since cells are ordered
+    (app, fault) regardless of scheduling. *)
 
 val report_to_json : report -> Ripple_util.Json.t
 val print_summary : report -> unit

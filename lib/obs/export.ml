@@ -1,0 +1,93 @@
+module Json = Ripple_util.Json
+
+type sink = { name : string; extension : string; render : Run.t -> string }
+
+let us ~epoch t = Json.Float (1e6 *. (t -. epoch))
+
+let span_event ~epoch (c : Span.closed) =
+  Json.Obj
+    [
+      ("name", Json.String c.Span.name);
+      ("cat", Json.String "ripple");
+      ("ph", Json.String "X");
+      ("ts", us ~epoch c.Span.start_s);
+      ("dur", Json.Float (1e6 *. (c.Span.stop_s -. c.Span.start_s)));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+      ("args", Json.Obj [ ("path", Json.String c.Span.path) ]);
+    ]
+
+let counter_events (s : Metric.series) =
+  Array.to_list
+    (Array.map
+       (fun (at, v) ->
+         Json.Obj
+           [
+             ("name", Json.String s.Metric.s_name);
+             ("cat", Json.String "ripple");
+             ("ph", Json.String "C");
+             ("ts", Json.Int at);
+             ("pid", Json.Int 2);
+             ("tid", Json.Int 0);
+             ("args", Json.Obj [ ("value", Json.Float v) ]);
+           ])
+       (Metric.series_points s))
+
+let process_meta ~pid name =
+  Json.Obj
+    [
+      ("name", Json.String "process_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.String name) ]);
+    ]
+
+let chrome_trace ?(process_name = "ripple-sim") run =
+  let spans = Run.spans run in
+  let epoch = Span.epoch spans in
+  let span_events = List.map (span_event ~epoch) (Span.closed spans) in
+  let series_events =
+    List.concat_map
+      (fun (_, cell) ->
+        match cell with Registry.Series s -> counter_events s | _ -> [])
+      (Registry.cells (Run.registry run))
+  in
+  let meta =
+    [
+      process_meta ~pid:1 process_name;
+      process_meta ~pid:2 (process_name ^ " (virtual time)");
+    ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ span_events @ series_events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let openmetrics run = Snapshot.to_openmetrics (Run.snapshot run)
+
+let chrome_sink =
+  {
+    name = "chrome-trace";
+    extension = ".json";
+    render = (fun run -> Json.to_string (chrome_trace run) ^ "\n");
+  }
+
+let openmetrics_sink = { name = "openmetrics"; extension = ".txt"; render = openmetrics }
+
+let sinks = [ chrome_sink; openmetrics_sink ]
+let find_sink name = List.find_opt (fun s -> s.name = name) sinks
+
+let write sink ~path run =
+  let rendered = sink.render run in
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".") ".tmp" in
+  try
+    let oc = open_out_bin tmp in
+    output_string oc rendered;
+    close_out oc;
+    Sys.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e

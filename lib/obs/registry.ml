@@ -1,0 +1,74 @@
+type cell =
+  | Counter of Metric.counter
+  | Gauge of Metric.gauge
+  | Histogram of Metric.histogram
+  | Series of Metric.series
+
+type t = { table : (string, cell) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 32 }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+  | Series _ -> "series"
+
+let clash name existing wanted =
+  invalid_arg
+    (Printf.sprintf "Ripple_obs.Registry: %S is a %s, requested as a %s" name
+       (kind_name existing) wanted)
+
+let counter t ?(help = "") name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Counter c) -> c
+  | Some other -> clash name other "counter"
+  | None ->
+    let c = { Metric.c_name = name; c_help = help; count = 0 } in
+    Hashtbl.add t.table name (Counter c);
+    c
+
+let gauge t ?(help = "") name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Gauge g) -> g
+  | Some other -> clash name other "gauge"
+  | None ->
+    let g = { Metric.g_name = name; g_help = help; value = 0.0 } in
+    Hashtbl.add t.table name (Gauge g);
+    g
+
+let histogram t ?(help = "") ~bounds name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Histogram h) -> h
+  | Some other -> clash name other "histogram"
+  | None ->
+    let bounds = Array.of_list bounds in
+    let h =
+      {
+        Metric.h_name = name;
+        h_help = help;
+        bounds;
+        counts = Array.make (Array.length bounds + 1) 0;
+        sum = 0.0;
+        observations = 0;
+      }
+    in
+    Hashtbl.add t.table name (Histogram h);
+    h
+
+let series t ?(help = "") name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Series s) -> s
+  | Some other -> clash name other "series"
+  | None ->
+    let s = { Metric.s_name = name; s_help = help; at = [||]; values = [||]; n = 0 } in
+    Hashtbl.add t.table name (Series s);
+    s
+
+let find t name = Hashtbl.find_opt t.table name
+
+let cells t =
+  Hashtbl.fold (fun name cell acc -> (name, cell) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let names t = List.map fst (cells t)

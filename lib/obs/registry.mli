@@ -1,0 +1,40 @@
+(** Per-run metric registry: the name → cell mapping.
+
+    Each pipeline run (or experiment cell) owns one registry, so metrics
+    from concurrent cells never share mutable state — determinism across
+    pool sizes falls out of ownership, not locking.  Creation is
+    find-or-create: asking twice for the same name returns the same
+    cell; asking for an existing name with a different metric type is a
+    programming error and raises [Invalid_argument].
+
+    Registration order is remembered only for iteration; every rendered
+    view ({!Snapshot}) sorts by name, so two registries holding the same
+    cells render identically no matter the order the instrumented code
+    touched them in. *)
+
+type t
+
+type cell =
+  | Counter of Metric.counter
+  | Gauge of Metric.gauge
+  | Histogram of Metric.histogram
+  | Series of Metric.series
+
+val create : unit -> t
+
+val counter : t -> ?help:string -> string -> Metric.counter
+val gauge : t -> ?help:string -> string -> Metric.gauge
+
+val histogram : t -> ?help:string -> bounds:float list -> string -> Metric.histogram
+(** [bounds] are ascending upper bucket bounds (an overflow bucket is
+    implicit); ignored when the histogram already exists. *)
+
+val series : t -> ?help:string -> string -> Metric.series
+
+val find : t -> string -> cell option
+
+val cells : t -> (string * cell) list
+(** Name-sorted. *)
+
+val names : t -> string list
+(** Name-sorted. *)

@@ -57,6 +57,9 @@ module Config = Ripple_cpu.Config
 module Hierarchy = Ripple_cpu.Hierarchy
 module Simulator = Ripple_cpu.Simulator
 
+(* Observability: spans, metrics, Chrome-trace / OpenMetrics export *)
+module Obs = Ripple_obs
+
 (* The paper's contribution *)
 module Eviction_window = Ripple_core.Eviction_window
 module Cue_block = Ripple_core.Cue_block

@@ -87,6 +87,25 @@ let test_write_jsonl_creates_parents () =
   Unix.rmdir (Filename.concat root "a");
   Unix.rmdir root
 
+(* When the final rename fails (destination occupied by a directory),
+   write_jsonl must remove its temp file — an aborted write leaves the
+   destination directory exactly as it found it. *)
+let test_write_jsonl_temp_cleanup () =
+  let root = Filename.temp_file "ripple_exp_test" "" in
+  Sys.remove root;
+  Unix.mkdir root 0o755;
+  let path = Filename.concat root "out.jsonl" in
+  Unix.mkdir path 0o755 (* rename file -> existing dir fails *);
+  let cells = [] in
+  (match Exp.Report.write_jsonl path cells with
+  | () -> Alcotest.fail "expected the rename to fail"
+  | exception Sys_error _ -> ());
+  Alcotest.(check (list string))
+    "only the blocking directory remains" [ "out.jsonl" ]
+    (Array.to_list (Sys.readdir root));
+  Unix.rmdir path;
+  Unix.rmdir root
+
 (* Repeating the same spec twice in one sweep must give identical cells:
    per-cell PRNGs, not a shared stream. *)
 let test_repeat_spec_identical () =
@@ -261,6 +280,8 @@ let suites =
           test_parallel_determinism_with_memoized_streams;
         Alcotest.test_case "write_jsonl creates parent dirs" `Slow
           test_write_jsonl_creates_parents;
+        Alcotest.test_case "write_jsonl removes temp on failed rename" `Quick
+          test_write_jsonl_temp_cleanup;
         Alcotest.test_case "repeated spec identical" `Slow test_repeat_spec_identical;
         Alcotest.test_case "failed-cell isolation" `Slow test_failed_cell_isolation;
         Alcotest.test_case "retries recorded" `Slow test_retries_recorded;
