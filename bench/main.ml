@@ -706,8 +706,8 @@ let geometry () =
     let config_r = { Cpu.Config.default with Cpu.Config.l1i = run_geom } in
     (* Analysis and execution geometries differ here by design, which one
        Pipeline.run (one config per run) cannot express: instrument under
-       config_a via the façade, then evaluate the shipped binary under
-       config_r through the compatibility wrapper. *)
+       config_a via the façade, then time the shipped binary under
+       config_r with a plain simulator run (speedup only needs IPC). *)
     let instrumented =
       (Core.Pipeline.run
          { Core.Pipeline.Options.default with config = config_a; prefetch = Core.Pipeline.Fdip }
@@ -718,16 +718,17 @@ let geometry () =
       Cpu.Simulator.run ~config:config_r ~warmup ~program ~trace:eval ~policy:Cache.Lru.make
         ~prefetcher:(Core.Pipeline.prefetcher_of ~config:config_r Core.Pipeline.Fdip) ()
     in
-    let ev =
-      Core.Pipeline.evaluate ~config:config_r ~warmup ~original:program ~instrumented
-        ~trace:eval ~policy:Cache.Lru.make ~prefetch:Core.Pipeline.Fdip ()
+    let ripple =
+      Cpu.Simulator.run ~config:config_r ~warmup ~program:instrumented ~trace:eval
+        ~policy:Cache.Lru.make
+        ~prefetcher:(Core.Pipeline.prefetcher_of ~config:config_r Core.Pipeline.Fdip) ()
     in
     Table.add_row table
       [
         alabel;
         rlabel;
         Printf.sprintf "%.3f" base.Cpu.Simulator.mpki;
-        pct (speedup ~base ev.Core.Pipeline.result);
+        pct (speedup ~base ripple);
       ]
   in
   List.iter

@@ -447,6 +447,166 @@ let chaos_cmd =
       $ seed_arg $ Cli_args.jobs_arg $ quick_flag $ json_flag $ out_arg $ Cli_args.metrics_arg
       $ prefetch_opt_arg)
 
+(* ------------------------------- serve ------------------------------ *)
+
+let serve_cmd =
+  let module Server = Ripple_serve.Server in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt int 7400
+      & info [ "port" ] ~docv:"PORT" ~doc:"Protocol listener port (0 picks an ephemeral one).")
+  in
+  let metrics_port_arg =
+    Arg.(
+      value
+      & opt int 7401
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:"OpenMetrics scrape port (0 picks an ephemeral one).")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt int 400_000
+      & info [ "window" ] ~docv:"BLOCKS" ~doc:"Rolling-profile capacity per app, in blocks.")
+  in
+  let reemit_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "reemit-every" ] ~docv:"BLOCKS"
+          ~doc:
+            "Also re-emit hints mid-capture every $(docv) freshly decoded blocks (0: re-emit \
+             only on flush).")
+  in
+  let ready_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ready-file" ] ~docv:"FILE"
+          ~doc:
+            "Write \"<port> <metrics-port>\" to $(docv) once both listeners are bound — the \
+             startup handshake for scripts driving ephemeral ports.")
+  in
+  let run host port metrics_port window reemit_every threshold prefetch ready_file =
+    let config =
+      {
+        Server.default_config with
+        host;
+        port;
+        metrics_port;
+        window;
+        reemit_every;
+        options =
+          { Pipeline.Options.default with degrade = true; threshold; prefetch };
+        ready_file;
+      }
+    in
+    Printf.printf "ripple-sim serve: %s port=%d metrics-port=%d window=%d reemit-every=%d\n%!"
+      host port metrics_port window reemit_every;
+    Server.serve_forever (Server.create config)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the continuous-profiling daemon: accept chunked PT captures over a framed \
+          socket protocol, maintain a rolling windowed profile per application, re-emit \
+          hints through the degradation ladder as the profile drifts, and expose live \
+          OpenMetrics on a scrape endpoint.")
+    Term.(
+      const run $ host_arg $ port_arg $ metrics_port_arg $ window_arg $ reemit_arg
+      $ Cli_args.threshold_arg $ Cli_args.prefetch_arg $ ready_file_arg)
+
+(* ------------------------------- push ------------------------------- *)
+
+let push_cmd =
+  let module Fault = Ripple_fault.Fault in
+  let module Client = Ripple_serve.Client in
+  let module Protocol = Ripple_serve.Protocol in
+  let module Json = Ripple_util.Json in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Daemon address.")
+  in
+  let port_arg =
+    Arg.(value & opt int 7400 & info [ "port" ] ~docv:"PORT" ~doc:"Daemon protocol port.")
+  in
+  let chunk_arg =
+    Arg.(
+      value
+      & opt int 4096
+      & info [ "chunk" ] ~docv:"BYTES" ~doc:"Chunk size for streaming the capture.")
+  in
+  let fault_conv =
+    let parse = function
+      | "flip-tnt" -> Ok (Fault.Flip_tnt { flips = 32 })
+      | "drop-tip" -> Ok (Fault.Drop_tip { count = 8 })
+      | "garbage-tip" -> Ok (Fault.Garbage_tip { count = 8 })
+      | "truncate-pt" -> Ok (Fault.Truncate_pt { keep = 0.6 })
+      | s -> Error (`Msg (Printf.sprintf "unknown fault %S" s))
+    in
+    let print fmt f = Format.fprintf fmt "%s" (Fault.name f) in
+    Arg.conv (parse, print)
+  in
+  let fault_arg =
+    Arg.(
+      value
+      & opt (some fault_conv) None
+      & info [ "fault" ] ~docv:"FAULT"
+          ~doc:
+            "Corrupt the encoded capture before pushing: flip-tnt, drop-tip, garbage-tip or \
+             truncate-pt (default severities).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1234 & info [ "seed" ] ~docv:"S" ~doc:"Fault-injection seed.")
+  in
+  let flushes_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "flushes" ] ~docv:"K" ~doc:"Push the capture $(docv) times, flushing after each.")
+  in
+  let run app host port n_instrs chunk fault seed flushes =
+    let workload = W.Cfg_gen.generate app in
+    let program = workload.W.Cfg_gen.program in
+    let trace = W.Executor.run workload ~input:W.Executor.train ~n_instrs in
+    let data = Pt.encode program trace in
+    let data = match fault with None -> data | Some f -> Fault.corrupt_pt ~seed f data in
+    let name = app.W.App_model.name in
+    let client = Client.connect ~host ~port in
+    let expect label = function
+      | Protocol.Ok json -> json
+      | Protocol.Error msg -> failwith (Printf.sprintf "push: %s failed: %s" label msg)
+    in
+    ignore (expect "hello" (Client.request client (Protocol.Hello name)) : Json.t);
+    for _ = 1 to flushes do
+      let len = Bytes.length data in
+      let pos = ref 0 in
+      while !pos < len do
+        let n = min chunk (len - !pos) in
+        ignore
+          (expect "chunk" (Client.request client (Protocol.Chunk (Bytes.sub data !pos n)))
+            : Json.t);
+        pos := !pos + n
+      done;
+      let status = expect "flush" (Client.request client Protocol.Flush) in
+      print_endline (Json.to_string status)
+    done;
+    ignore (expect "bye" (Client.request client Protocol.Bye) : Json.t);
+    Client.close client
+  in
+  Cmd.v
+    (Cmd.info "push"
+       ~doc:
+         "Capture an application's profile as an encoded PT stream (optionally \
+          fault-injected) and stream it to a running $(b,serve) daemon in chunks, flushing \
+          at the end; prints the daemon's status report per flush.")
+    Term.(
+      const run $ Cli_args.app_pos_arg $ host_arg $ port_arg $ Cli_args.instrs_arg $ chunk_arg
+      $ fault_arg $ seed_arg $ flushes_arg)
+
 let () =
   let info =
     Cmd.info "ripple-sim" ~version:"1.0.0"
@@ -455,4 +615,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ apps_cmd; simulate_cmd; ripple_cmd; sweep_cmd; lint_cmd; trace_cmd; chaos_cmd ]))
+          [
+            apps_cmd;
+            simulate_cmd;
+            ripple_cmd;
+            sweep_cmd;
+            lint_cmd;
+            trace_cmd;
+            chaos_cmd;
+            serve_cmd;
+            push_cmd;
+          ]))

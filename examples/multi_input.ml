@@ -26,12 +26,7 @@ let () =
   let traces =
     Array.map (fun input -> W.Executor.run workload ~input ~n_instrs) W.Executor.eval_inputs
   in
-  let instrument profile_trace =
-    fst
-      (Pipeline.instrument_with Pipeline.Options.default ~program ~profile_trace
-         ~prefetch:Pipeline.Fdip)
-  in
-  let generic = instrument traces.(0) in
+  let generic = traces.(0) in
   let table =
     Table.create
       ~title:
@@ -50,18 +45,24 @@ let () =
           Simulator.run ~warmup ~program ~trace ~policy:Cache.Lru.make
             ~prefetcher:(Pipeline.prefetcher_of Pipeline.Fdip) ()
         in
-        let speedup instrumented =
-          let ev =
-            Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace
-              ~policy:Cache.Lru.make ~prefetch:Pipeline.Fdip ()
+        let speedup profile_trace =
+          let oc =
+            Pipeline.run
+              {
+                Pipeline.Options.default with
+                prefetch = Pipeline.Fdip;
+                eval = Some (Pipeline.Eval.v ~warmup ~trace ~policy:Cache.Lru.make ());
+              }
+              ~source:program (Pipeline.Trace profile_trace)
           in
+          let ev = Option.get oc.Pipeline.evaluation in
           100.0 *. ((ev.Pipeline.result.Simulator.ipc /. baseline.Simulator.ipc) -. 1.0)
         in
         Table.add_row table
           [
             input.W.Executor.label;
             Printf.sprintf "%+.2f%%" (speedup generic);
-            Printf.sprintf "%+.2f%%" (speedup (instrument trace));
+            Printf.sprintf "%+.2f%%" (speedup trace);
           ]
       end)
     W.Executor.eval_inputs;

@@ -49,14 +49,16 @@ let () =
               ~trace:eval ~prefetcher () );
         ]
       in
-      let instrumented, _ =
-        Pipeline.instrument_with Pipeline.Options.default ~program ~profile_trace:profile
-          ~prefetch
+      let outcome =
+        Pipeline.run
+          {
+            Pipeline.Options.default with
+            prefetch;
+            eval = Some (Pipeline.Eval.v ~warmup ~trace:eval ~policy:Cache.Lru.make ());
+          }
+          ~source:program (Pipeline.Trace profile)
       in
-      let ripple =
-        Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval
-          ~policy:Cache.Lru.make ~prefetch ()
-      in
+      let ripple = Option.get outcome.Pipeline.evaluation in
       let rows = rows @ [ ("Ripple-LRU", ripple.Pipeline.result) ] in
       let table =
         Table.create

@@ -33,12 +33,19 @@ let () =
   Printf.printf "profiled         : %d blocks (%d instructions)\n" (Array.length profile)
     n_instrs;
 
-  (* 2. Offline analysis + link-time injection. *)
-  let instrumented, analysis =
-    Pipeline.instrument_with
-      { Pipeline.Options.default with threshold = 0.55 }
-      ~program ~profile_trace:profile ~prefetch:Pipeline.Fdip
+  (* 2. Offline analysis + link-time injection, with the instrumented
+     binary evaluated on the fresh input — one [Pipeline.run] call. *)
+  let outcome =
+    Pipeline.run
+      {
+        Pipeline.Options.default with
+        threshold = 0.55;
+        prefetch = Pipeline.Fdip;
+        eval = Some (Pipeline.Eval.v ~warmup ~trace:eval ~policy:Cache.Lru.make ());
+      }
+      ~source:program (Pipeline.Trace profile)
   in
+  let analysis = outcome.Pipeline.analysis in
   Printf.printf "eviction windows : %d\n" analysis.Pipeline.n_windows;
   Printf.printf "cue decisions    : %d (threshold %.0f%%)\n" analysis.Pipeline.n_decisions
     (100.0 *. analysis.Pipeline.threshold);
@@ -56,10 +63,7 @@ let () =
     Simulator.oracle ~warmup ~mode:(Pipeline.belady_mode_of Pipeline.Fdip) ~program ~trace:eval
       ~prefetcher:(Pipeline.prefetcher_of Pipeline.Fdip) ()
   in
-  let ripple =
-    Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval
-      ~policy:Cache.Lru.make ~prefetch:Pipeline.Fdip ()
-  in
+  let ripple = Option.get outcome.Pipeline.evaluation in
   let speedup r = 100.0 *. ((r.Simulator.ipc /. baseline.Simulator.ipc) -. 1.0) in
   Printf.printf "\n%-24s %10s %10s\n" "" "MPKI" "speedup";
   Printf.printf "%-24s %10.3f %10s\n" "FDIP + LRU (baseline)" baseline.Simulator.mpki "--";

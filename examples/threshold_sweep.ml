@@ -40,15 +40,18 @@ let () =
   in
   List.iter
     (fun threshold ->
-      let instrumented, analysis =
-        Pipeline.instrument_with
-          { Pipeline.Options.default with threshold }
-          ~program ~profile_trace:profile ~prefetch:Pipeline.Fdip
+      let outcome =
+        Pipeline.run
+          {
+            Pipeline.Options.default with
+            threshold;
+            prefetch = Pipeline.Fdip;
+            eval = Some (Pipeline.Eval.v ~warmup ~trace:eval ~policy:Cache.Lru.make ());
+          }
+          ~source:program (Pipeline.Trace profile)
       in
-      let ev =
-        Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval
-          ~policy:Cache.Lru.make ~prefetch:Pipeline.Fdip ()
-      in
+      let analysis = outcome.Pipeline.analysis in
+      let ev = Option.get outcome.Pipeline.evaluation in
       Table.add_row table
         [
           Printf.sprintf "%.0f%%" (100.0 *. threshold);

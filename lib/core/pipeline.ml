@@ -123,13 +123,20 @@ type profile = {
   pt_errors : int;
 }
 
-type input = Trace of int array | Pt_bytes of bytes | Profile of profile
+type input =
+  | Trace of int array
+  | Pt_bytes of bytes
+  | Pt_session of Pt.Session.t
+  | Profile of profile
 
-let profile_of_trace ?(salvage = 1.0) ~source trace = { trace; source; salvage; pt_errors = 0 }
-
-let profile_of_pt ~source data =
-  let r = Pt.decode_result source data in
+let profile_of_recovery ~source (r : Pt.recovery) =
   { trace = r.Pt.trace; source; salvage = r.Pt.salvage; pt_errors = List.length r.Pt.errors }
+
+let profile_of ~source = function
+  | Trace trace -> { trace; source; salvage = 1.0; pt_errors = 0 }
+  | Pt_bytes data -> profile_of_recovery ~source (Pt.decode_result source data)
+  | Pt_session s -> profile_of_recovery ~source (Pt.Session.result s)
+  | Profile p -> p
 
 let provenance_of_stats (s : Injector.stats) =
   List.map
@@ -398,11 +405,9 @@ let run_one ~obs ~(m : Metrics.t) (o : Options.t) ~source input =
   let profile =
     stage obs "decode" (fun () ->
         match input with
-        | Profile p -> p
-        | Pt_bytes data -> profile_of_pt ~source data
-        | Trace t ->
-          if o.Options.pt_roundtrip then profile_of_pt ~source (Pt.encode source t)
-          else profile_of_trace ~source t)
+        | Trace t when o.Options.pt_roundtrip ->
+          profile_of ~source (Pt_bytes (Pt.encode source t))
+        | (Trace _ | Pt_bytes _ | Pt_session _ | Profile _) as input -> profile_of ~source input)
   in
   Obs.Metric.add m.Metrics.decode_blocks (Array.length profile.trace);
   Obs.Metric.add m.Metrics.decode_errors profile.pt_errors;
@@ -544,6 +549,8 @@ let run_one ~obs ~(m : Metrics.t) (o : Options.t) ~source input =
   in
   { program = instrumented; analysis; evaluation; obs; metrics = Obs.Snapshot.empty }
 
+let register_metrics reg = ignore (Metrics.register reg : Metrics.t)
+
 let run ?obs (o : Options.t) ~source input =
   let obs = match obs with Some obs -> obs | None -> Obs.Run.create () in
   let m = Metrics.register (Obs.Run.registry obs) in
@@ -576,45 +583,3 @@ let run ?obs (o : Options.t) ~source input =
           match !best with Some (_, oc) -> oc | None -> assert false)
   in
   { outcome with metrics = Obs.Run.snapshot obs }
-
-(* ------------------------- legacy entry points ------------------------- *)
-
-let instrument_profile (o : Options.t) ~program ~profile ~prefetch =
-  let oc =
-    run
-      { o with Options.prefetch; eval = None; search = [] }
-      ~source:program (Profile profile)
-  in
-  (oc.program, oc.analysis)
-
-let instrument_with (o : Options.t) ~program ~profile_trace ~prefetch =
-  let oc =
-    run
-      { o with Options.prefetch; eval = None; search = [] }
-      ~source:program (Trace profile_trace)
-  in
-  (oc.program, oc.analysis)
-
-let evaluate ?(config = Config.default) ?(warmup = 0) ~original ~instrumented ~trace ~policy
-    ~prefetch () =
-  eval_core ~config ~warmup ~original ~instrumented ~trace ~policy ~prefetch ()
-
-let search_threshold ?(config = Config.default) ?(warmup = 0)
-    ?(candidates = [ 0.45; 0.55; 0.65 ]) ?(mode = Options.default.Options.mode)
-    ?(exclude_prefetch_covered = Options.default.Options.exclude_prefetch_covered) ~program
-    ~profile_trace ~eval_trace ~policy ~prefetch () =
-  assert (candidates <> []);
-  let oc =
-    run
-      {
-        Options.default with
-        config;
-        mode;
-        exclude_prefetch_covered;
-        prefetch;
-        search = candidates;
-        eval = Some (Eval.v ~warmup ~trace:eval_trace ~policy ());
-      }
-      ~source:program (Trace profile_trace)
-  in
-  (oc.analysis.threshold, Option.get oc.evaluation)

@@ -14,6 +14,7 @@
     {!outcome} carries a deterministic {!Ripple_obs.Snapshot.t} of it. *)
 
 module Program := Ripple_isa.Program
+module Pt := Ripple_trace.Pt
 module Policy := Ripple_cache.Policy
 module Belady := Ripple_cache.Belady
 module Prefetcher := Ripple_prefetch.Prefetcher
@@ -161,18 +162,26 @@ type input =
           round-trips through the PT codec unless
           {!Options.t.pt_roundtrip} is off *)
   | Pt_bytes of bytes  (** a raw PT-style capture, decoded recoveringly *)
+  | Pt_session of Pt.Session.t
+      (** a live incremental decoding session ({!Ripple_trace.Pt.Session}):
+          the streaming path the [ripple-sim serve] daemon feeds.  The
+          session is snapshotted as-is — callers normally
+          {!Pt.Session.finish} it first so salvage and errors are
+          final *)
   | Profile of profile
       (** a pre-built artifact, possibly from a different layout — the
           decoupled-profile path the degradation ladder judges *)
 
-val profile_of_trace : ?salvage:float -> source:Program.t -> int array -> profile
-(** Wraps an already-decoded trace ([salvage] defaults to 1.0; pass the
-    captured fraction when the capture is known to be partial). *)
-
-val profile_of_pt : source:Program.t -> bytes -> profile
-(** Recovering decode ({!Ripple_trace.Pt.decode_result}) of a possibly
-    corrupt stream: never raises; the salvage ratio and error count land
-    in the artifact for the ladder to judge. *)
+val profile_of : source:Program.t -> input -> profile
+(** Profile construction over the same [input] variant {!run} takes:
+    [Trace t] wraps an already-decoded trace (salvage 1.0, no errors);
+    [Pt_bytes data] is a recovering decode
+    ({!Ripple_trace.Pt.decode_result}) of a possibly corrupt stream —
+    never raises, the salvage ratio and error count land in the artifact
+    for the ladder to judge; [Pt_session s] snapshots a live session the
+    same way; [Profile p] is the identity.  For a partial capture whose
+    salvage is known out of band, build the (public) {!profile} record
+    directly. *)
 
 type evaluation = {
   result : Simulator.result;  (** performance of the instrumented run *)
@@ -201,6 +210,13 @@ type outcome = {
           no durations — byte-identical across pool sizes and reruns *)
 }
 
+val register_metrics : Obs.Registry.t -> unit
+(** Registers the pipeline's complete metric vocabulary (including the
+    simulator family) in [reg], find-or-create.  {!run} does this
+    implicitly; long-lived consumers that scrape a registry before any
+    run has happened (the [ripple-sim serve] daemon) call it up front so
+    every snapshot carries the full schema [docs/metrics.schema] pins. *)
+
 val run : ?obs:Obs.Run.t -> Options.t -> source:Program.t -> input -> outcome
 (** The façade: profile acquisition → eviction analysis → cue-block
     selection → link-time injection — and, per {!Options.t.eval} /
@@ -212,65 +228,3 @@ val run : ?obs:Obs.Run.t -> Options.t -> source:Program.t -> input -> outcome
 
     Raises [Invalid_argument] if [search] is non-empty while [eval] is
     [None] (threshold selection needs an IPC to rank by). *)
-
-(** {2 Legacy entry points}
-
-    Thin wrappers over {!run}, kept for one release.
-
-    @deprecated Use {!run} with the matching {!input} constructor. *)
-
-val instrument_profile :
-  Options.t ->
-  program:Program.t ->
-  profile:profile ->
-  prefetch:prefetch ->
-  Program.t * analysis
-(** [run o ~source:program (Profile profile)] without evaluation.
-    @deprecated Use {!run} with [Profile] and [Options.t.prefetch]. *)
-
-val instrument_with :
-  Options.t ->
-  program:Program.t ->
-  profile_trace:int array ->
-  prefetch:prefetch ->
-  Program.t * analysis
-(** [run o ~source:program (Trace profile_trace)] without evaluation.
-    @deprecated Use {!run} with [Trace] and [Options.t.prefetch]. *)
-
-val evaluate :
-  ?config:Config.t ->
-  ?warmup:int ->
-  original:Program.t ->
-  instrumented:Program.t ->
-  trace:int array ->
-  policy:Policy.factory ->
-  prefetch:prefetch ->
-  unit ->
-  evaluation
-(** Evaluates an already-instrumented binary: runs it on [trace] under
-    [policy], counting only past the [warmup] trace index (steady
-    state); accuracy is judged against the ideal policy's eviction
-    windows recomputed on the evaluation stream: a hint execution is
-    accurate when it fires inside one of its victim's ideal eviction
-    windows (so the ideal policy would have evicted the line too).
-    @deprecated Use {!run} with [Options.t.eval] — the instrumented
-    binary and its evaluation then come from one call. *)
-
-val search_threshold :
-  ?config:Config.t ->
-  ?warmup:int ->
-  ?candidates:float list ->
-  ?mode:Injector.mode ->
-  ?exclude_prefetch_covered:bool ->
-  program:Program.t ->
-  profile_trace:int array ->
-  eval_trace:int array ->
-  policy:Policy.factory ->
-  prefetch:prefetch ->
-  unit ->
-  float * evaluation
-(** Per-application threshold selection (§III-C): evaluates each
-    candidate (default [0.45; 0.55; 0.65]) and returns the best-IPC one
-    with its evaluation.
-    @deprecated Use {!run} with [Options.t.search] and [Options.t.eval];
-    the winning threshold is [outcome.analysis.threshold]. *)

@@ -60,7 +60,7 @@ let profile_of_fault ~seed ~n_instrs workload program train fault =
       }
     in
     let t = W.Executor.run workload ~input ~n_instrs in
-    Pipeline.profile_of_pt ~source:program (Pt.encode program t)
+    Pipeline.profile_of ~source:program (Pipeline.Pt_bytes (Pt.encode program t))
   | None -> begin
     let source = Fault.profile_program fault program in
     let t = Fault.apply_trace ~seed fault train in
@@ -68,16 +68,16 @@ let profile_of_fault ~seed ~n_instrs workload program train fault =
     | Fault.Truncate_trace { keep } ->
       (* The capture is a clean prefix; what was lost is known, so the
          salvage ratio is declared rather than measured. *)
-      Pipeline.profile_of_trace ~salvage:keep ~source t
+      { Pipeline.trace = t; source; salvage = keep; pt_errors = 0 }
     | Fault.Edge_reshuffle _ ->
       (* A reshuffled capture is no longer a legal path, so it cannot
          round-trip the codec; it reaches the pipeline as a decoded
          trace, the way a stitched LBR profile would. *)
-      Pipeline.profile_of_trace ~source t
+      Pipeline.profile_of ~source (Pipeline.Trace t)
     | Fault.Clean | Fault.Flip_tnt _ | Fault.Drop_tip _ | Fault.Garbage_tip _
     | Fault.Truncate_pt _ | Fault.Layout_shift _ | Fault.Hot_swap _ ->
       let data = Fault.corrupt_pt ~seed fault (Pt.encode source t) in
-      Pipeline.profile_of_pt ~source data
+      Pipeline.profile_of ~source (Pipeline.Pt_bytes data)
   end
 
 let check_cell ~expectation ~(degrade : Pipeline.Degrade.t) ~baseline_ipc ~instrumented_ipc =

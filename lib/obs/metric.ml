@@ -45,3 +45,37 @@ let sample s ~at v =
 
 let series_points s = Array.init s.n (fun i -> (s.at.(i), s.values.(i)))
 let series_last s = if s.n = 0 then None else Some s.values.(s.n - 1)
+
+(* OpenMetrics label-value escaping: backslash, double quote, newline. *)
+let escape_label_value v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let labelled name labels =
+  match labels with
+  | [] -> name
+  | labels ->
+    let buf = Buffer.create (String.length name + 16) in
+    Buffer.add_string buf name;
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_label_value v);
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+let family_of name = match String.index_opt name '{' with None -> name | Some i -> String.sub name 0 i
+let labels_of name = match String.index_opt name '{' with None -> "" | Some i -> String.sub name i (String.length name - i)

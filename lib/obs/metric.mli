@@ -56,3 +56,26 @@ val sample : series -> at:int -> float -> unit
 
 val series_points : series -> (int * float) array
 val series_last : series -> float option
+
+(** {2 Labels}
+
+    A labeled cell is an ordinary cell whose registry name carries an
+    OpenMetrics label set: [name{key="value",...}].  The registry treats
+    the whole string as the key, so each label combination is its own
+    cell; {!Snapshot.to_openmetrics} groups cells by {!family_of} and
+    emits one [# TYPE] line per family.  Convention: a family is either
+    always labeled or never labeled — mixing breaks the name-sorted
+    grouping. *)
+
+val labelled : string -> (string * string) list -> string
+(** [labelled name [(k, v); ...]] renders the labeled cell name
+    [name\{k="v",...\}] with label values escaped per OpenMetrics
+    (backslash, double quote, newline); an empty label list yields
+    [name] unchanged. *)
+
+val family_of : string -> string
+(** The metric-family part of a (possibly labeled) cell name: everything
+    before the first [{]. *)
+
+val labels_of : string -> string
+(** The label part including braces ([""] when unlabeled). *)

@@ -95,20 +95,36 @@ let to_json t =
    so equal values render identically everywhere. *)
 let float_str v = Json.to_string (Json.Float v)
 
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ | Series _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+(* Merge [extra] (e.g. [le="0.5"]) into a rendered label set: [""] gains
+   braces, [{k="v"}] gains a trailing [,extra]. *)
+let with_label labels extra =
+  if labels = "" then Printf.sprintf "{%s}" extra
+  else Printf.sprintf "%s,%s}" (String.sub labels 0 (String.length labels - 1)) extra
+
 let to_openmetrics t =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  (* Metrics are name-sorted, and a family is never both labeled and
+     unlabeled, so every family's cells are contiguous: one [# TYPE]
+     line opens each group. *)
+  let current = ref "" in
   List.iter
     (fun (name, value) ->
+      let family = Metric.family_of name in
+      let labels = Metric.labels_of name in
+      if family <> !current then begin
+        current := family;
+        line "# TYPE %s %s" family (kind_name value)
+      end;
       match value with
-      | Counter n ->
-        line "# TYPE %s counter" name;
-        line "%s_total %d" name n
-      | Gauge v ->
-        line "# TYPE %s gauge" name;
-        line "%s %s" name (float_str v)
+      | Counter n -> line "%s_total%s %d" family labels n
+      | Gauge v -> line "%s%s %s" family labels (float_str v)
       | Histogram h ->
-        line "# TYPE %s histogram" name;
         let cumulative = ref 0 in
         Array.iteri
           (fun i c ->
@@ -116,16 +132,17 @@ let to_openmetrics t =
             let le =
               if i < Array.length h.bounds then float_str h.bounds.(i) else "+Inf"
             in
-            line "%s_bucket{le=\"%s\"} %d" name le !cumulative)
+            line "%s_bucket%s %d" family
+              (with_label labels (Printf.sprintf "le=\"%s\"" le))
+              !cumulative)
           h.counts;
-        line "%s_sum %s" name (float_str h.sum);
-        line "%s_count %d" name h.count
+        line "%s_sum%s %s" family labels (float_str h.sum);
+        line "%s_count%s %d" family labels h.count
       | Series points ->
-        line "# TYPE %s gauge" name;
         let last =
           if Array.length points = 0 then 0.0 else snd points.(Array.length points - 1)
         in
-        line "%s %s" name (float_str last))
+        line "%s%s %s" family labels (float_str last))
     t.metrics;
   Buffer.add_string buf "# EOF\n";
   Buffer.contents buf

@@ -35,8 +35,9 @@ val to_json : t -> Ripple_util.Json.t
 
 val to_openmetrics : t -> string
 (** OpenMetrics text exposition, sorted by name: a [# TYPE] line per
-    family, counter samples suffixed [_total], histograms as
-    [_bucket{le=...}]/[_sum]/[_count], series as gauges holding their
-    last sample, terminated by [# EOF].  Loadable by
-    Prometheus-compatible scrapers; the [# TYPE] lines are the
+    family (labeled cells — see {!Metric.labelled} — group under their
+    family, one sample per label set), counter samples suffixed
+    [_total], histograms as [_bucket{le=...}]/[_sum]/[_count], series as
+    gauges holding their last sample, terminated by [# EOF].  Loadable
+    by Prometheus-compatible scrapers; the [# TYPE] lines are the
     metric-name schema CI diffs against [docs/metrics.schema]. *)

@@ -81,3 +81,11 @@ module Exp = Ripple_exp
 (* Fault injection and the chaos harness *)
 module Fault = Ripple_fault.Fault
 module Chaos = Ripple_fault.Chaos
+
+(* Continuous-profiling daemon: framed protocol, rolling windowed
+   profiles, and the serve/push client-server pair *)
+module Serve_protocol = Ripple_serve.Protocol
+module Rolling = Ripple_serve.Rolling
+module Session = Ripple_serve.Session
+module Server = Ripple_serve.Server
+module Serve_client = Ripple_serve.Client

@@ -1,0 +1,61 @@
+type t = { fd : Unix.file_descr; reader : Protocol.Reader.t; buf : bytes }
+
+let connect ~host ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  { fd; reader = Protocol.Reader.create (); buf = Bytes.create 65536 }
+
+let write_all fd s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write_substring fd s !pos (len - !pos)
+  done
+
+let request t frame =
+  let out = Buffer.create 256 in
+  Protocol.write_frame out frame;
+  write_all t.fd (Buffer.contents out);
+  let rec await () =
+    match Protocol.Reader.pop_reply t.reader with
+    | `Reply r -> r
+    | `Corrupt msg -> failwith ("Client.request: " ^ msg)
+    | `Awaiting -> begin
+      match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
+      | 0 -> failwith "Client.request: server closed connection"
+      | n ->
+        Protocol.Reader.add t.reader t.buf n;
+        await ()
+    end
+  in
+  await ()
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let scrape ~host ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  write_all fd (Printf.sprintf "GET /metrics HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n" host);
+  let b = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec drain () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes b chunk 0 n;
+      drain ()
+  in
+  drain ();
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let response = Buffer.contents b in
+  match String.index_opt response '\r' with
+  | None -> response
+  | Some _ -> begin
+    (* Split head from body at the first blank line. *)
+    let rec find i =
+      if i + 3 >= String.length response then None
+      else if String.sub response i 4 = "\r\n\r\n" then Some (i + 4)
+      else find (i + 1)
+    in
+    match find 0 with None -> response | Some body -> String.sub response body (String.length response - body)
+  end

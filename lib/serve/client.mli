@@ -1,0 +1,17 @@
+(** Minimal blocking client for the {!Protocol} wire format — what
+    [ripple-sim push] and the end-to-end tests speak to a running
+    daemon. *)
+
+type t
+
+val connect : host:string -> port:int -> t
+
+val request : t -> Protocol.frame -> Protocol.reply
+(** Write one frame, block until its reply arrives.  Raises [Failure]
+    on a corrupt reply stream or if the server closes mid-reply. *)
+
+val close : t -> unit
+
+val scrape : host:string -> port:int -> string
+(** Fetch the OpenMetrics exposition from the daemon's metrics
+    endpoint (a one-shot [GET /metrics]); returns the body only. *)

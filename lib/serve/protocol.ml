@@ -1,0 +1,120 @@
+module Json = Ripple_util.Json
+
+type frame = Hello of string | Chunk of bytes | Flush | Status | Bye
+type reply = Ok of Json.t | Error of string
+
+(* Generous for PT chunks (a whole capture fits in one frame if the
+   client insists) while bounding what a garbage length prefix can make
+   the reader try to buffer. *)
+let max_payload = 16 * 1024 * 1024
+
+let frame_name = function
+  | Hello _ -> "hello"
+  | Chunk _ -> "chunk"
+  | Flush -> "flush"
+  | Status -> "status"
+  | Bye -> "bye"
+
+let tag_of_frame = function
+  | Hello _ -> 'H'
+  | Chunk _ -> 'C'
+  | Flush -> 'F'
+  | Status -> 'S'
+  | Bye -> 'B'
+
+let add_u32 buf n =
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (n land 0xFF))
+
+let write buf tag payload =
+  let n = String.length payload in
+  if n > max_payload then invalid_arg "Protocol.write: payload too large";
+  Buffer.add_char buf tag;
+  add_u32 buf n;
+  Buffer.add_string buf payload
+
+let write_frame buf frame =
+  let payload =
+    match frame with
+    | Hello app -> app
+    | Chunk data -> Bytes.to_string data
+    | Flush | Status | Bye -> ""
+  in
+  write buf (tag_of_frame frame) payload
+
+let write_reply buf = function
+  | Ok json -> write buf 'O' (Json.to_string json)
+  | Error msg -> write buf 'E' msg
+
+module Reader = struct
+  (* A growable byte queue with a consumed prefix, compacted lazily so
+     steady-state reads don't shift memory. *)
+  type t = { mutable data : bytes; mutable start : int; mutable len : int }
+
+  let create () = { data = Bytes.create 4096; start = 0; len = 0 }
+
+  let add t buf n =
+    if n < 0 || n > Bytes.length buf then invalid_arg "Protocol.Reader.add";
+    if t.start + t.len + n > Bytes.length t.data then begin
+      let cap = ref (max 4096 (2 * Bytes.length t.data)) in
+      while t.len + n > !cap do
+        cap := 2 * !cap
+      done;
+      let grown = Bytes.create !cap in
+      Bytes.blit t.data t.start grown 0 t.len;
+      t.data <- grown;
+      t.start <- 0
+    end;
+    Bytes.blit buf 0 t.data (t.start + t.len) n;
+    t.len <- t.len + n
+
+  let byte t i = Char.code (Bytes.get t.data (t.start + i))
+
+  (* Pop the next (tag, payload) pair if a whole frame is buffered. *)
+  let pop_raw t =
+    if t.len < 5 then `Awaiting
+    else begin
+      let tag = Bytes.get t.data t.start in
+      let n = (byte t 1 lsl 24) lor (byte t 2 lsl 16) lor (byte t 3 lsl 8) lor byte t 4 in
+      if n > max_payload then `Corrupt (Printf.sprintf "frame length %d exceeds cap" n)
+      else if t.len < 5 + n then `Awaiting
+      else begin
+        let payload = Bytes.sub_string t.data (t.start + 5) n in
+        t.start <- t.start + 5 + n;
+        t.len <- t.len - 5 - n;
+        if t.len = 0 then t.start <- 0;
+        `Raw (tag, payload)
+      end
+    end
+
+  let pop_frame t =
+    match pop_raw t with
+    | `Awaiting -> `Awaiting
+    | `Corrupt _ as c -> c
+    | `Raw (tag, payload) -> begin
+      match tag with
+      | 'H' -> `Frame (Hello payload)
+      | 'C' -> `Frame (Chunk (Bytes.of_string payload))
+      | 'F' -> `Frame Flush
+      | 'S' -> `Frame Status
+      | 'B' -> `Frame Bye
+      | c -> `Corrupt (Printf.sprintf "unknown frame tag %C" c)
+    end
+
+  let pop_reply t =
+    match pop_raw t with
+    | `Awaiting -> `Awaiting
+    | `Corrupt _ as c -> c
+    | `Raw (tag, payload) -> begin
+      match tag with
+      | 'O' -> begin
+        match Json.parse payload with
+        | Result.Ok json -> `Reply (Ok json)
+        | Result.Error e -> `Corrupt (Printf.sprintf "unparseable ok payload: %s" e)
+      end
+      | 'E' -> `Reply (Error payload)
+      | c -> `Corrupt (Printf.sprintf "unknown reply tag %C" c)
+    end
+end

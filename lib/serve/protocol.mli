@@ -1,0 +1,53 @@
+(** The daemon's framed wire protocol.
+
+    Frames are length-prefixed: one tag byte, a 4-byte big-endian
+    payload length, then the payload.  The framing is deliberately dumb
+    — the interesting incrementality lives in {!Ripple_trace.Pt.Session}
+    — but it is chunk-transparent: a {!Reader} accepts arbitrary byte
+    slices and yields exactly the frames the peer wrote, however the
+    transport split them.
+
+    A client session is [Hello] (bind this connection to an app), any
+    number of [Chunk]s carrying PT-stream bytes, [Flush] to close the
+    capture generation and trigger re-analysis, [Status] at will, and
+    [Bye].  Every frame is answered with one reply. *)
+
+type frame =
+  | Hello of string  (** register/select the named app for this connection *)
+  | Chunk of bytes  (** raw PT-stream bytes, any split *)
+  | Flush  (** end of capture: close the generation, re-emit hints *)
+  | Status  (** report the bound session's state *)
+  | Bye  (** close the connection (the session itself persists) *)
+
+type reply =
+  | Ok of Ripple_util.Json.t
+  | Error of string
+
+val max_payload : int
+(** Frames advertising a larger payload are rejected as corrupt. *)
+
+val frame_name : frame -> string
+(** ["hello"], ["chunk"], ["flush"], ["status"], ["bye"] — span and
+    metric label values. *)
+
+val write_frame : Buffer.t -> frame -> unit
+val write_reply : Buffer.t -> reply -> unit
+
+(** Incremental frame parser: feed transport bytes as they arrive, pop
+    complete frames.  One reader per connection direction. *)
+module Reader : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> bytes -> int -> unit
+  (** [add t buf n] appends the first [n] bytes of [buf]. *)
+
+  val pop_frame : t -> [ `Frame of frame | `Awaiting | `Corrupt of string ]
+  (** Next complete frame, [`Awaiting] if the buffer holds only a
+      partial one.  After [`Corrupt] the stream is unrecoverable (the
+      framing carries no resync marker): close the connection. *)
+
+  val pop_reply : t -> [ `Reply of reply | `Awaiting | `Corrupt of string ]
+  (** Client side of {!pop_frame}. *)
+end

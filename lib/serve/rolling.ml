@@ -1,0 +1,52 @@
+type generation = { g_blocks : int array; g_expected : int; g_errors : int }
+
+type t = { window : int; mutable gens : generation list (* newest first *); mutable total : int }
+
+let create ~window =
+  if window <= 0 then invalid_arg "Rolling.create: window must be positive";
+  { window; gens = []; total = 0 }
+
+let add t ~blocks ~expected ~errors =
+  t.gens <- { g_blocks = blocks; g_expected = expected; g_errors = errors } :: t.gens;
+  t.total <- t.total + Array.length blocks;
+  (* Evict oldest-first while over capacity, but never the sole
+     generation: one oversized capture still counts as the profile. *)
+  let rec evict () =
+    if t.total > t.window && List.length t.gens > 1 then begin
+      let rec split acc = function
+        | [ oldest ] -> (List.rev acc, oldest)
+        | g :: rest -> split (g :: acc) rest
+        | [] -> assert false
+      in
+      let keep, oldest = split [] t.gens in
+      t.gens <- keep;
+      t.total <- t.total - Array.length oldest.g_blocks;
+      evict ()
+    end
+  in
+  evict ()
+
+let blocks t = t.total
+let generations t = List.length t.gens
+
+let trace t =
+  let out = Array.make t.total 0 in
+  (* [gens] is newest first; the merged trace runs oldest first. *)
+  let pos = ref t.total in
+  List.iter
+    (fun g ->
+      let n = Array.length g.g_blocks in
+      pos := !pos - n;
+      Array.blit g.g_blocks 0 out !pos n)
+    t.gens;
+  out
+
+let advertised t = List.fold_left (fun acc g -> acc + g.g_expected) 0 t.gens
+
+let salvage t =
+  let expected = advertised t in
+  if expected > 0 then Float.of_int t.total /. Float.of_int expected
+  else if t.gens <> [] && List.for_all (fun g -> g.g_errors = 0) t.gens then 1.0
+  else 0.0
+
+let errors t = List.fold_left (fun acc g -> acc + g.g_errors) 0 t.gens

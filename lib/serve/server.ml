@@ -1,0 +1,246 @@
+module Program = Ripple_isa.Program
+module Pipeline = Ripple_core.Pipeline
+module Apps = Ripple_workloads.Apps
+module Cfg_gen = Ripple_workloads.Cfg_gen
+module Obs = Ripple_obs
+module Json = Ripple_util.Json
+
+type config = {
+  host : string;
+  port : int;
+  metrics_port : int;
+  window : int;
+  reemit_every : int;
+  options : Pipeline.Options.t;
+  lookup : string -> Program.t option;
+  ready_file : string option;
+}
+
+let builtin_lookup =
+  let cache : (string, Program.t) Hashtbl.t = Hashtbl.create 16 in
+  fun name ->
+    match Hashtbl.find_opt cache name with
+    | Some p -> Some p
+    | None ->
+      Apps.by_name name
+      |> Option.map (fun model ->
+             let program = (Cfg_gen.generate model).Cfg_gen.program in
+             Hashtbl.add cache name program;
+             program)
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    metrics_port = 0;
+    window = 400_000;
+    reemit_every = 0;
+    options = { Pipeline.Options.default with degrade = true };
+    lookup = builtin_lookup;
+    ready_file = None;
+  }
+
+type cells = {
+  sessions_gauge : Obs.Metric.gauge;
+  connections_gauge : Obs.Metric.gauge;
+  frames : Obs.Metric.counter;
+  scrapes : Obs.Metric.counter;
+}
+
+type t = {
+  config : config;
+  obs : Obs.Run.t;
+  mutable sessions : Session.t list;  (* name-sorted *)
+  cells : cells;
+}
+
+let create config =
+  let obs = Obs.Run.create () in
+  let reg = Obs.Run.registry obs in
+  (* The scrape endpoint must expose the full pinned vocabulary from the
+     first request, not just the families the traffic so far happened to
+     touch. *)
+  Pipeline.register_metrics reg;
+  let cells =
+    {
+      sessions_gauge = Obs.Registry.gauge reg ~help:"registered app sessions" "ripple_serve_sessions";
+      connections_gauge =
+        Obs.Registry.gauge reg ~help:"open protocol connections" "ripple_serve_connections";
+      frames = Obs.Registry.counter reg ~help:"protocol frames handled" "ripple_serve_frames";
+      scrapes = Obs.Registry.counter reg ~help:"metrics scrapes served" "ripple_serve_scrapes";
+    }
+  in
+  { config; obs; sessions = []; cells }
+
+let obs t = t.obs
+let sessions t = t.sessions
+let find_session t name = List.find_opt (fun s -> Session.name s = name) t.sessions
+
+let register_session t name program =
+  let s =
+    Session.create ~obs:t.obs ~options:t.config.options ~window:t.config.window
+      ~reemit_every:t.config.reemit_every ~name ~program
+  in
+  t.sessions <-
+    List.sort (fun a b -> compare (Session.name a) (Session.name b)) (s :: t.sessions);
+  Obs.Metric.set t.cells.sessions_gauge (Float.of_int (List.length t.sessions));
+  s
+
+module Conn = struct
+  type conn = { mutable session : Session.t option }
+
+  let create () = { session = None }
+
+  let handle t conn frame =
+    Obs.Metric.incr t.cells.frames;
+    Obs.Span.with_span (Obs.Run.spans t.obs)
+      ("serve/" ^ Protocol.frame_name frame)
+      (fun () ->
+        match frame with
+        | Protocol.Hello app -> begin
+          match find_session t app with
+          | Some s ->
+            conn.session <- Some s;
+            (Protocol.Ok (Session.status s), `Keep)
+          | None -> begin
+            match t.config.lookup app with
+            | Some program ->
+              let s = register_session t app program in
+              conn.session <- Some s;
+              (Protocol.Ok (Session.status s), `Keep)
+            | None -> (Protocol.Error (Printf.sprintf "unknown app %S" app), `Keep)
+          end
+        end
+        | Protocol.Chunk data -> begin
+          match conn.session with
+          | None -> (Protocol.Error "chunk before hello", `Keep)
+          | Some s ->
+            let decoded = Session.feed s data in
+            (Protocol.Ok (Json.Obj [ ("decoded", Json.Int decoded) ]), `Keep)
+        end
+        | Protocol.Flush -> begin
+          match conn.session with
+          | None -> (Protocol.Error "flush before hello", `Keep)
+          | Some s ->
+            Session.flush s;
+            (Protocol.Ok (Session.status s), `Keep)
+        end
+        | Protocol.Status -> begin
+          match conn.session with
+          | None -> (Protocol.Error "status before hello", `Keep)
+          | Some s -> (Protocol.Ok (Session.status s), `Keep)
+        end
+        | Protocol.Bye -> (Protocol.Ok (Json.Obj [ ("bye", Json.Bool true) ]), `Close))
+end
+
+let metrics_body t =
+  Obs.Metric.incr t.cells.scrapes;
+  Obs.Snapshot.to_openmetrics (Obs.Run.snapshot t.obs)
+
+(* ------------------------------------------------------------------ *)
+(* Socket plumbing                                                     *)
+
+let write_all fd s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write_substring fd s !pos (len - !pos)
+  done
+
+let listen_on host port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen fd 16;
+  let bound =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  (fd, bound)
+
+type live = {
+  fd : Unix.file_descr;
+  reader : Protocol.Reader.t;
+  conn : Conn.conn;
+}
+
+let http_response body =
+  Printf.sprintf
+    "HTTP/1.1 200 OK\r\n\
+     Content-Type: application/openmetrics-text; version=1.0.0; charset=utf-8\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    (String.length body) body
+
+(* One scrape per connection, handled synchronously: read the request
+   head, answer, close.  Plenty for a pull-based collector. *)
+let handle_scrape t fd =
+  let buf = Bytes.create 4096 in
+  (try ignore (Unix.read fd buf 0 (Bytes.length buf) : int) with Unix.Unix_error _ -> ());
+  (try write_all fd (http_response (metrics_body t)) with Unix.Unix_error _ -> ());
+  Unix.close fd
+
+let set_connections t n = Obs.Metric.set t.cells.connections_gauge (Float.of_int n)
+
+let serve_forever t =
+  let serve_fd, port = listen_on t.config.host t.config.port in
+  let metrics_fd, metrics_port = listen_on t.config.host t.config.metrics_port in
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Printf.fprintf oc "%d %d\n" port metrics_port;
+      close_out oc)
+    t.config.ready_file;
+  let conns = ref [] in
+  let close_conn c =
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    conns := List.filter (fun o -> o != c) !conns;
+    set_connections t (List.length !conns)
+  in
+  let buf = Bytes.create 65536 in
+  let pump c =
+    match Unix.read c.fd buf 0 (Bytes.length buf) with
+    | 0 -> close_conn c
+    | n ->
+      Protocol.Reader.add c.reader buf n;
+      let rec drain () =
+        match Protocol.Reader.pop_frame c.reader with
+        | `Awaiting -> ()
+        | `Corrupt msg ->
+          let out = Buffer.create 64 in
+          Protocol.write_reply out (Protocol.Error msg);
+          (try write_all c.fd (Buffer.contents out) with Unix.Unix_error _ -> ());
+          close_conn c
+        | `Frame frame ->
+          let reply, disposition = Conn.handle t c.conn frame in
+          let out = Buffer.create 256 in
+          Protocol.write_reply out reply;
+          (try write_all c.fd (Buffer.contents out) with Unix.Unix_error _ -> ());
+          if disposition = `Close then close_conn c else drain ()
+      in
+      drain ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_conn c
+  in
+  while true do
+    let fds = serve_fd :: metrics_fd :: List.map (fun c -> c.fd) !conns in
+    let readable, _, _ = Unix.select fds [] [] (-1.0) in
+    List.iter
+      (fun fd ->
+        if fd = serve_fd then begin
+          let cfd, _ = Unix.accept serve_fd in
+          conns := { fd = cfd; reader = Protocol.Reader.create (); conn = Conn.create () } :: !conns;
+          set_connections t (List.length !conns)
+        end
+        else if fd = metrics_fd then begin
+          let cfd, _ = Unix.accept metrics_fd in
+          handle_scrape t cfd
+        end
+        else
+          match List.find_opt (fun c -> c.fd = fd) !conns with
+          | Some c -> pump c
+          | None -> ())
+      readable
+  done

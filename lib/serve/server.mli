@@ -1,0 +1,75 @@
+(** The [ripple-sim serve] daemon: a select-loop server multiplexing
+    framed profiling connections ({!Protocol}) and an OpenMetrics scrape
+    endpoint over TCP.
+
+    One process holds one {!Ripple_obs.Run.t} and a registry of
+    {!Session}s keyed by app name.  Connections bind to a session with
+    [Hello] and stream [Chunk]s; sessions outlive connections, so a
+    fleet agent can reconnect and keep extending the same rolling
+    profile.  Every frame is handled under a [serve/<frame>] span; the
+    scrape endpoint renders the live snapshot, whose [# TYPE] lines are
+    the full pinned schema ([docs/metrics.schema]) because the pipeline
+    vocabulary is registered up front
+    ({!Ripple_core.Pipeline.register_metrics}).
+
+    The loop is single-threaded: frame handling (including pipeline
+    re-emission) serializes naturally, and sessions share the
+    observability context without locking. *)
+
+module Program := Ripple_isa.Program
+module Pipeline := Ripple_core.Pipeline
+module Obs := Ripple_obs
+
+type config = {
+  host : string;  (** bind address, e.g. "127.0.0.1" *)
+  port : int;  (** protocol listener; 0 picks an ephemeral port *)
+  metrics_port : int;  (** scrape listener; 0 picks an ephemeral port *)
+  window : int;  (** rolling-profile capacity in blocks, per session *)
+  reemit_every : int;  (** mid-capture re-emission cadence; 0 = flush-only *)
+  options : Pipeline.Options.t;  (** pipeline options for re-emissions *)
+  lookup : string -> Program.t option;  (** app name → program to serve *)
+  ready_file : string option;
+      (** when set, written as ["<port> <metrics_port>\n"] once both
+          listeners are bound — the startup handshake for scripts *)
+}
+
+val default_config : config
+(** Binds 127.0.0.1 on ephemeral ports; [options] is
+    {!Pipeline.Options.default} with [degrade = true]; [window] 400k
+    blocks; [reemit_every] 0; [lookup] resolves the nine built-in app
+    models ({!Ripple_workloads.Apps}) by generating their programs on
+    first use. *)
+
+val builtin_lookup : string -> Program.t option
+(** The default [lookup]: {!Ripple_workloads.Apps.by_name} →
+    {!Ripple_workloads.Cfg_gen.generate}, memoized. *)
+
+type t
+
+val create : config -> t
+val obs : t -> Obs.Run.t
+val sessions : t -> Session.t list
+(** Name-sorted. *)
+
+val find_session : t -> string -> Session.t option
+
+(** Per-connection protocol state: which session [Hello] bound. *)
+module Conn : sig
+  type conn
+
+  val create : unit -> conn
+
+  val handle : t -> conn -> Protocol.frame -> Protocol.reply * [ `Keep | `Close ]
+  (** Pure protocol logic — no sockets — so daemon behaviour is testable
+      in-process.  [`Close] is returned for [Bye] (and the reply is
+      still to be written first). *)
+end
+
+val metrics_body : t -> string
+(** The OpenMetrics exposition of the live snapshot (also bumps the
+    scrape counter, like an HTTP scrape does). *)
+
+val serve_forever : t -> unit
+(** Bind both listeners, write [ready_file], and run the select loop
+    until the process is killed.  Raises [Unix.Unix_error] if binding
+    fails. *)

@@ -1,0 +1,161 @@
+module Program = Ripple_isa.Program
+module Pt = Ripple_trace.Pt
+module Pipeline = Ripple_core.Pipeline
+module Obs = Ripple_obs
+module Json = Ripple_util.Json
+
+type cells = {
+  chunk_bytes : Obs.Metric.counter;
+  decoded_blocks : Obs.Metric.counter;
+  salvage : Obs.Metric.gauge;
+  drift : Obs.Metric.gauge;
+  ladder_level : Obs.Metric.gauge;
+  ladder_transitions : Obs.Metric.counter;
+  reemissions : Obs.Metric.counter;
+}
+
+type t = {
+  name : string;
+  source : Program.t;
+  obs : Obs.Run.t;
+  options : Pipeline.Options.t;
+  reemit_every : int;
+  rolling : Rolling.t;
+  mutable pt : Pt.Session.t;
+  mutable level : Pipeline.Degrade.level;
+  mutable transitions : int;
+  mutable emissions : int;
+  mutable last : Pipeline.outcome option;
+  mutable since_emit : int;  (** fresh blocks since the last re-emission *)
+  cells : cells;
+}
+
+let register_cells reg app =
+  let lbl name = Obs.Metric.labelled name [ ("app", app) ] in
+  let c name help = Obs.Registry.counter reg ~help (lbl name) in
+  let g name help = Obs.Registry.gauge reg ~help (lbl name) in
+  {
+    chunk_bytes = c "ripple_serve_chunk_bytes" "PT bytes received over the wire";
+    decoded_blocks = c "ripple_serve_decoded_blocks" "blocks decoded incrementally";
+    salvage = g "ripple_serve_session_salvage" "merged salvage of the rolling profile";
+    drift = g "ripple_serve_session_drift" "drift of the last re-emission";
+    ladder_level = g "ripple_serve_ladder_level" "ladder rung: 0 full, 1 safe-only, 2 off";
+    ladder_transitions = c "ripple_serve_ladder_transitions" "ladder level changes";
+    reemissions = c "ripple_serve_reemissions" "hint re-emissions performed";
+  }
+
+let create ~obs ~options ~window ~reemit_every ~name ~program =
+  let options = { options with Pipeline.Options.eval = None; search = [] } in
+  let cells = register_cells (Obs.Run.registry obs) name in
+  Obs.Metric.set cells.ladder_level 2.0;
+  {
+    name;
+    source = program;
+    obs;
+    options;
+    reemit_every;
+    rolling = Rolling.create ~window;
+    pt = Pt.Session.create program;
+    level = Pipeline.Degrade.Hints_off;
+    transitions = 0;
+    emissions = 0;
+    last = None;
+    since_emit = 0;
+    cells;
+  }
+
+let name t = t.name
+let level t = t.level
+let transitions t = t.transitions
+let emissions t = t.emissions
+let last_outcome t = t.last
+
+let program t =
+  match t.last with Some oc -> oc.Pipeline.program | None -> t.source
+
+let level_code = function
+  | Pipeline.Degrade.Full -> 0.0
+  | Pipeline.Degrade.Safe_only -> 1.0
+  | Pipeline.Degrade.Hints_off -> 2.0
+
+(* The merged profile right now: closed generations plus the in-flight
+   one.  The in-flight capture counts only what has already decoded
+   (expected := decoded), so a mid-capture re-emission is not punished
+   for the tail that simply has not arrived yet; truncation is judged
+   at flush, when the header's advertised count comes due. *)
+let profile_now t =
+  let partial = (Pt.Session.result t.pt).Pt.trace in
+  let trace = Array.append (Rolling.trace t.rolling) partial in
+  let decoded = Rolling.blocks t.rolling + Array.length partial in
+  let expected = Rolling.advertised t.rolling + Array.length partial in
+  let errors = Rolling.errors t.rolling + Pt.Session.errors t.pt in
+  let salvage =
+    if expected > 0 then Float.of_int decoded /. Float.of_int expected
+    else if (Rolling.generations t.rolling > 0 || Pt.Session.finished t.pt) && errors = 0
+    then 1.0
+    else 0.0
+  in
+  { Pipeline.trace; source = t.source; salvage; pt_errors = errors }
+
+let emit t =
+  let profile = profile_now t in
+  let oc = Pipeline.run ~obs:t.obs t.options ~source:t.source (Pipeline.Profile profile) in
+  let degrade = oc.Pipeline.analysis.Pipeline.degrade in
+  let level = degrade.Pipeline.Degrade.level in
+  if level <> t.level then begin
+    t.transitions <- t.transitions + 1;
+    Obs.Metric.incr t.cells.ladder_transitions
+  end;
+  t.level <- level;
+  t.last <- Some oc;
+  t.emissions <- t.emissions + 1;
+  t.since_emit <- 0;
+  Obs.Metric.set t.cells.ladder_level (level_code level);
+  Obs.Metric.set t.cells.salvage profile.Pipeline.salvage;
+  Obs.Metric.set t.cells.drift degrade.Pipeline.Degrade.drift;
+  Obs.Metric.incr t.cells.reemissions
+
+let feed t chunk =
+  Obs.Metric.add t.cells.chunk_bytes (Bytes.length chunk);
+  if not (Pt.Session.finished t.pt) then Pt.Session.feed t.pt chunk;
+  let fresh = Array.length (Pt.Session.drain t.pt) in
+  Obs.Metric.add t.cells.decoded_blocks fresh;
+  t.since_emit <- t.since_emit + fresh;
+  if t.reemit_every > 0 && t.since_emit >= t.reemit_every then emit t;
+  Pt.Session.decoded t.pt
+
+let flush t =
+  Pt.Session.finish t.pt;
+  let r = Pt.Session.result t.pt in
+  Rolling.add t.rolling ~blocks:r.Pt.trace ~expected:r.Pt.expected
+    ~errors:(List.length r.Pt.errors);
+  t.pt <- Pt.Session.create t.source;
+  t.since_emit <- 0;
+  emit t
+
+let status t =
+  let drift, salvage =
+    match t.last with
+    | Some oc ->
+      let d = oc.Pipeline.analysis.Pipeline.degrade in
+      (d.Pipeline.Degrade.drift, d.Pipeline.Degrade.salvage)
+    | None -> (0.0, 0.0)
+  in
+  Json.Obj
+    [
+      ("app", Json.String t.name);
+      ("level", Json.String (Pipeline.Degrade.level_name t.level));
+      ("generations", Json.Int (Rolling.generations t.rolling));
+      ("window_blocks", Json.Int (Rolling.blocks t.rolling));
+      ("inflight_blocks", Json.Int (Pt.Session.decoded t.pt));
+      ("salvage", Json.Float salvage);
+      ("drift", Json.Float drift);
+      ("pt_errors", Json.Int (Rolling.errors t.rolling + Pt.Session.errors t.pt));
+      ("transitions", Json.Int t.transitions);
+      ("emissions", Json.Int t.emissions);
+      ( "hints",
+        Json.Int
+          (match t.last with
+          | Some oc -> Program.static_hints oc.Pipeline.program
+          | None -> 0) );
+    ]

@@ -1,0 +1,61 @@
+(** One app's continuous-profiling session inside the daemon.
+
+    A session owns a live {!Ripple_trace.Pt.Session} (the in-flight
+    capture generation), a {!Rolling} window of closed generations, and
+    the latest instrumented binary.  Chunks feed the decoder
+    incrementally; a flush closes the generation and re-runs
+    {!Ripple_core.Pipeline.run} over the merged rolling profile with the
+    degradation ladder engaged, so hints follow the profile — full when
+    it is clean and current, safe-only under moderate drift or partial
+    salvage, off when the profile stops describing the binary — without
+    the daemon restarting.  With [reemit_every] set, re-emission also
+    triggers mid-capture every that many freshly decoded blocks (the
+    in-flight capture then counts only what has already decoded; its
+    missing tail is judged at flush).
+
+    All sessions share the daemon's {!Ripple_obs.Run.t}: pipeline metric
+    families aggregate across apps, while the [ripple_serve_*] per-app
+    families carry an [app] label ({!Ripple_obs.Metric.labelled}). *)
+
+module Program := Ripple_isa.Program
+module Pipeline := Ripple_core.Pipeline
+module Obs := Ripple_obs
+
+type t
+
+val create :
+  obs:Obs.Run.t ->
+  options:Pipeline.Options.t ->
+  window:int ->
+  reemit_every:int ->
+  name:string ->
+  program:Program.t ->
+  t
+(** [options] drives every re-emission ([eval]/[search] are cleared;
+    set [degrade] or the ladder never engages).  [window] is the rolling
+    capacity in blocks; [reemit_every] enables mid-capture re-emission
+    when positive.  The session starts at {!Pipeline.Degrade.Hints_off}
+    with the binary untouched — trust is earned by the first flush. *)
+
+val name : t -> string
+val program : t -> Program.t
+(** The current instrumented binary (the source program until a
+    re-emission first grants trust). *)
+
+val level : t -> Pipeline.Degrade.level
+val transitions : t -> int
+(** Ladder-level changes observed across re-emissions. *)
+
+val emissions : t -> int
+val last_outcome : t -> Pipeline.outcome option
+
+val feed : t -> bytes -> int
+(** Feed one chunk of PT bytes; returns blocks decoded so far in the
+    in-flight generation.  May re-emit per [reemit_every]. *)
+
+val flush : t -> unit
+(** Close the in-flight generation into the rolling window, start a
+    fresh decoder generation, and re-emit hints. *)
+
+val status : t -> Ripple_util.Json.t
+(** Deterministic state report (the [Status] frame's payload). *)

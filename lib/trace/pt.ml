@@ -121,159 +121,352 @@ let block_start_of_addr program addr =
   | Some b when b.Basic_block.addr = addr -> Some b.Basic_block.id
   | Some _ | None -> None
 
-(* Decoder state: a packet cursor plus a TNT bit cursor within the
-   current TNT packet. *)
-type cursor = {
-  data : bytes;
-  mutable pos : int;
-  mutable tnt : bool array;
-  mutable tnt_pos : int;
-}
+(* ------------------------- resumable sessions ------------------------ *)
 
-(* The recovering decoder.  Structure: [run] appends a block and walks
-   statically determined flow; on anything malformed it records a
-   structured error and [restart]s by scanning forward for the next TIP
-   packet that lands exactly on a block boundary (the role PSB packets
-   play for real PT decoders).  Every fault either consumes the
-   offending bytes or rescans from strictly past them, so the cursor
-   always advances and decoding terminates.  End-of-trace before the
-   advertised block count is terminal — there is nothing left to scan. *)
-let decode_result program data =
-  let len = Bytes.length data in
-  match read_header_opt data with
-  | None ->
+(* The recovering decoder as an explicit state machine, so it can park
+   at a chunk boundary and resume when more bytes arrive.  The states
+   are exactly the points where the one-shot decoder consumed input:
+
+     Header      the LEB128 block count is not yet complete
+     First       the opening TIP locating the initial block is due
+     Cond id     at a conditional with no buffered TNT bits: a packet
+                 is due
+     Indirect id at an indirect transfer: a TIP is due
+     Resync pos  scanning forward from [pos] for a TIP anchor after a
+                 recorded fault
+     Done        the advertised count was reached, or the stream ended
+
+   Statically determined flow (fall-throughs, direct jumps and calls,
+   conditionals whose TNT bits are already buffered) is walked eagerly
+   and never parks.  The equivalence with one-shot decoding rests on
+   one rule: a packet that runs past the currently available bytes is
+   "incomplete" — the session parks — until [finish] declares end of
+   stream, at which point it resolves exactly as the one-shot decoder's
+   out-of-bounds read would (a [Bad_packet] fault, or a failed header /
+   exhausted resync scan). *)
+module Session = struct
+  type state = Header | First | Cond of int | Indirect of int | Resync of int | Done
+
+  type t = {
+    program : Program.t;
+    mutable data : bytes;  (** every byte fed so far (positions are absolute) *)
+    mutable len : int;
+    mutable pos : int;  (** packet cursor *)
+    mutable tnt : bool array;  (** buffered TNT bits of the current packet *)
+    mutable tnt_pos : int;
+    mutable n : int;  (** advertised block count (valid past Header) *)
+    mutable state : state;
+    mutable blocks : int array;
+    mutable count : int;
+    mutable drained : int;
+    mutable errors_rev : decode_error list;
+    mutable n_errors : int;
+    mutable drained_errors : int;
+    mutable resyncs : int;
+    mutable eof : bool;
+  }
+
+  let create program =
     {
-      trace = [||];
-      expected = 0;
-      salvage = 0.0;
-      errors = [ { pos = 0; decoded = 0; kind = Bad_header } ];
+      program;
+      data = Bytes.create 4096;
+      len = 0;
+      pos = 0;
+      tnt = [||];
+      tnt_pos = 0;
+      n = 0;
+      state = Header;
+      blocks = Array.make 256 0;
+      count = 0;
+      drained = 0;
+      errors_rev = [];
+      n_errors = 0;
+      drained_errors = 0;
       resyncs = 0;
+      eof = false;
     }
-  | Some (n, start) ->
-    (* The advertised count is untrusted, so the output grows on demand
-       rather than being allocated up front. *)
-    let buf = ref (Array.make (max 16 (min n 65536)) 0) in
-    let count = ref 0 in
-    let push id =
-      if !count = Array.length !buf then begin
-        let grown = Array.make (2 * !count) 0 in
-        Array.blit !buf 0 grown 0 !count;
-        buf := grown
-      end;
-      !buf.(!count) <- id;
-      incr count
-    in
-    let errors = ref [] in
-    let resyncs = ref 0 in
-    let record pos kind = errors := { pos; decoded = !count; kind } :: !errors in
-    let c = { data; pos = start; tnt = [||]; tnt_pos = 0 } in
-    let rec resync pos =
-      if pos >= len then None
-      else if Char.code (Bytes.get data pos) <> Packet.tip_tag_byte then resync (pos + 1)
-      else begin
-        match Packet.read data ~pos with
-        | Packet.Tip addr, next -> begin
-          match block_start_of_addr program addr with
-          | Some id ->
-            c.pos <- next;
-            c.tnt <- [||];
-            c.tnt_pos <- 0;
-            incr resyncs;
-            Some id
-          | None -> resync (pos + 1)
+
+  let record t pos kind =
+    t.errors_rev <- { pos; decoded = t.count; kind } :: t.errors_rev;
+    t.n_errors <- t.n_errors + 1
+
+  let push t id =
+    if t.count = Array.length t.blocks then begin
+      let grown = Array.make (2 * t.count) 0 in
+      Array.blit t.blocks 0 grown 0 t.count;
+      t.blocks <- grown
+    end;
+    t.blocks.(t.count) <- id;
+    t.count <- t.count + 1
+
+  (* Bounds-checked packet read against the bytes fed so far.  The
+     distinction the one-shot decoder never needed: [`Incomplete] means
+     the packet may still be completed by a future chunk, [`Malformed]
+     means no amount of further input can repair it (mirroring the
+     [Invalid_argument] raises of {!Packet.read} on in-range bytes). *)
+  let read_packet t pos =
+    if pos >= t.len then `Incomplete
+    else begin
+      let byte = Char.code (Bytes.get t.data pos) in
+      let tag = byte lsr 6 in
+      if tag = 0b00 then begin
+        let payload = byte land 0x3F in
+        if payload <= 1 then `Malformed
+        else begin
+          let stop = ref 5 in
+          while payload land (1 lsl !stop) = 0 do
+            decr stop
+          done;
+          `Packet (Packet.Tnt (Array.init !stop (fun i -> payload land (1 lsl i) <> 0)), pos + 1)
         end
-        | (Packet.Tnt _ | Packet.End_of_trace), _ -> resync (pos + 1)
-        | exception Invalid_argument _ -> resync (pos + 1)
+      end
+      else if tag = 0b01 then begin
+        let rec take pos shift acc =
+          if pos >= t.len then `Incomplete
+          else begin
+            let byte = Char.code (Bytes.get t.data pos) in
+            let acc = acc lor ((byte land 0x7F) lsl shift) in
+            if byte land 0x80 <> 0 then take (pos + 1) (shift + 7) acc
+            else `Packet (Packet.Tip acc, pos + 1)
+          end
+        in
+        take (pos + 1) 0 0
+      end
+      else if tag = 0b10 then `Packet (Packet.End_of_trace, pos + 1)
+      else `Malformed
+    end
+
+  (* Incremental header read: [`Header] when complete, [`Incomplete]
+     while the LEB128 still wants bytes, [`Malformed] on overflow or an
+     absurd count — the cases [read_header_opt] folds into [None]. *)
+  let read_header t =
+    let rec take pos shift acc =
+      if shift > 56 then `Malformed
+      else if pos >= t.len then `Incomplete
+      else begin
+        let byte = Char.code (Bytes.get t.data pos) in
+        let acc = acc lor ((byte land 0x7F) lsl shift) in
+        if byte land 0x80 <> 0 then take (pos + 1) (shift + 7) acc
+        else if acc < 0 || acc > max_expected then `Malformed
+        else `Header (acc, pos + 1)
       end
     in
-    let rec run id =
-      push id;
-      if !count < n then step id
-    and step id =
-      let b = Program.block program id in
+    take 0 0 0
+
+  (* Drive the machine as far as the available bytes allow.  Each
+     iteration either consumes input, advances the resync scan, or
+     parks (returns).  [eof] converts every [`Incomplete] into the
+     one-shot decoder's terminal behaviour. *)
+  let rec advance t =
+    match t.state with
+    | Done -> ()
+    | Header -> begin
+      match read_header t with
+      | `Header (n, start) ->
+        t.n <- n;
+        t.pos <- start;
+        t.state <- (if n = 0 then Done else First);
+        advance t
+      | `Incomplete when not t.eof -> ()
+      | `Incomplete | `Malformed ->
+        record t 0 Bad_header;
+        t.state <- Done
+    end
+    | First -> expect_tip t ~first:true t.pos
+    | Indirect _ -> expect_tip t ~first:false t.pos
+    | Cond id -> begin
+      let b = Program.block t.program id in
+      let taken, fallthrough =
+        match b.Basic_block.term with
+        | Basic_block.Cond { taken; fallthrough } -> (taken, fallthrough)
+        | _ -> assert false
+      in
+      let pre = t.pos in
+      match read_packet t pre with
+      | `Packet (Packet.Tnt bits, next) ->
+        t.pos <- next;
+        t.tnt <- bits;
+        t.tnt_pos <- 1;
+        run t (if bits.(0) then taken else fallthrough)
+      | `Packet (Packet.Tip _, _) ->
+        (* A TIP where bits were due is itself a candidate restart
+           point, so rescan from [pre] rather than past it. *)
+        record t pre Unexpected_packet;
+        t.state <- Resync pre;
+        advance t
+      | `Packet (Packet.End_of_trace, _) ->
+        record t pre Truncated;
+        t.state <- Done
+      | `Incomplete when not t.eof -> ()
+      | `Incomplete | `Malformed ->
+        record t pre Bad_packet;
+        t.state <- Resync (pre + 1);
+        advance t
+    end
+    | Resync pos ->
+      if pos >= t.len then begin
+        if t.eof then t.state <- Done else t.state <- Resync pos
+      end
+      else if Char.code (Bytes.get t.data pos) <> Packet.tip_tag_byte then begin
+        t.state <- Resync (pos + 1);
+        advance t
+      end
+      else begin
+        match read_packet t pos with
+        | `Packet (Packet.Tip addr, next) -> begin
+          match block_start_of_addr t.program addr with
+          | Some id ->
+            t.pos <- next;
+            t.tnt <- [||];
+            t.tnt_pos <- 0;
+            t.resyncs <- t.resyncs + 1;
+            run t id
+          | None ->
+            t.state <- Resync (pos + 1);
+            advance t
+        end
+        | `Incomplete when not t.eof -> t.state <- Resync pos
+        | `Incomplete | `Malformed | `Packet _ ->
+          t.state <- Resync (pos + 1);
+          advance t
+      end
+
+  (* A TIP is due: the opening packet, or an indirect transfer's target. *)
+  and expect_tip t ~first pre =
+    match read_packet t pre with
+    | `Packet (Packet.Tip addr, next) -> begin
+      match block_start_of_addr t.program addr with
+      | Some id ->
+        t.pos <- next;
+        run t id
+      | None ->
+        record t pre Bad_tip;
+        t.state <- Resync next;
+        advance t
+    end
+    | `Packet (Packet.Tnt _, next) ->
+      record t pre Unexpected_packet;
+      t.state <- Resync next;
+      advance t
+    | `Packet (Packet.End_of_trace, _) ->
+      record t pre Truncated;
+      t.state <- Done
+    | `Incomplete when not t.eof -> t.state <- (if first then First else t.state)
+    | `Incomplete | `Malformed ->
+      record t pre Bad_packet;
+      t.state <- Resync (pre + 1);
+      advance t
+
+  (* Append a block and walk statically determined flow until the next
+     point that needs a packet (or the advertised count is reached). *)
+  and run t id =
+    push t id;
+    if t.count >= t.n then t.state <- Done
+    else begin
+      let b = Program.block t.program id in
       match b.Basic_block.term with
-      | Basic_block.Fallthrough next | Basic_block.Jump next -> run next
-      | Basic_block.Call { callee; return_to = _ } -> run callee
+      | Basic_block.Fallthrough next | Basic_block.Jump next -> run t next
+      | Basic_block.Call { callee; return_to = _ } -> run t callee
       | Basic_block.Cond { taken; fallthrough } ->
-        if c.tnt_pos < Array.length c.tnt then begin
-          let bit = c.tnt.(c.tnt_pos) in
-          c.tnt_pos <- c.tnt_pos + 1;
-          run (if bit then taken else fallthrough)
+        if t.tnt_pos < Array.length t.tnt then begin
+          let bit = t.tnt.(t.tnt_pos) in
+          t.tnt_pos <- t.tnt_pos + 1;
+          run t (if bit then taken else fallthrough)
         end
         else begin
-          let pre = c.pos in
-          match Packet.read data ~pos:pre with
-          | Packet.Tnt bits, next ->
-            c.pos <- next;
-            c.tnt <- bits;
-            c.tnt_pos <- 1;
-            run (if bits.(0) then taken else fallthrough)
-          | Packet.Tip _, _ ->
-            (* A TIP where bits were due is itself a candidate restart
-               point, so rescan from [pre] rather than past it. *)
-            record pre Unexpected_packet;
-            restart pre
-          | Packet.End_of_trace, _ -> record pre Truncated
-          | exception Invalid_argument _ ->
-            record pre Bad_packet;
-            restart (pre + 1)
+          t.state <- Cond id;
+          advance t
         end
       | Basic_block.Indirect _ | Basic_block.Indirect_call _ | Basic_block.Return ->
-        let pre = c.pos in
-        if c.tnt_pos < Array.length c.tnt then begin
+        if t.tnt_pos < Array.length t.tnt then begin
           (* Leftover conditional bits at an indirect transfer: the
              pending packet was garbage.  Drop the bits and rescan. *)
-          record pre Unexpected_packet;
-          c.tnt <- [||];
-          c.tnt_pos <- 0;
-          restart pre
+          record t t.pos Unexpected_packet;
+          t.tnt <- [||];
+          t.tnt_pos <- 0;
+          t.state <- Resync t.pos;
+          advance t
         end
         else begin
-          match Packet.read data ~pos:pre with
-          | Packet.Tip addr, next -> begin
-            match block_start_of_addr program addr with
-            | Some id ->
-              c.pos <- next;
-              run id
-            | None ->
-              record pre Bad_tip;
-              restart next
-          end
-          | Packet.Tnt _, next ->
-            record pre Unexpected_packet;
-            restart next
-          | Packet.End_of_trace, _ -> record pre Truncated
-          | exception Invalid_argument _ ->
-            record pre Bad_packet;
-            restart (pre + 1)
+          t.state <- Indirect id;
+          advance t
         end
       | Basic_block.Halt ->
-        record c.pos Past_halt;
-        restart c.pos
-    and restart pos = match resync pos with Some id -> run id | None -> () in
-    (if n > 0 then begin
-       let pre = c.pos in
-       match Packet.read data ~pos:pre with
-       | Packet.Tip addr, next -> begin
-         match block_start_of_addr program addr with
-         | Some id ->
-           c.pos <- next;
-           run id
-         | None ->
-           record pre Bad_tip;
-           restart next
-       end
-       | Packet.Tnt _, next ->
-         record pre Unexpected_packet;
-         restart next
-       | Packet.End_of_trace, _ -> record pre Truncated
-       | exception Invalid_argument _ ->
-         record pre Bad_packet;
-         restart (pre + 1)
-     end);
-    let trace = Array.sub !buf 0 !count in
-    let salvage = if n = 0 then 1.0 else Float.of_int !count /. Float.of_int n in
-    { trace; expected = n; salvage; errors = List.rev !errors; resyncs = !resyncs }
+        record t t.pos Past_halt;
+        t.state <- Resync t.pos;
+        advance t
+    end
+
+  let feed t chunk =
+    if t.eof then invalid_arg "Pt.Session.feed: session is finished";
+    let n = Bytes.length chunk in
+    if n > 0 then begin
+      if t.len + n > Bytes.length t.data then begin
+        let cap = ref (max 4096 (2 * Bytes.length t.data)) in
+        while t.len + n > !cap do
+          cap := 2 * !cap
+        done;
+        let grown = Bytes.create !cap in
+        Bytes.blit t.data 0 grown 0 t.len;
+        t.data <- grown
+      end;
+      Bytes.blit chunk 0 t.data t.len n;
+      t.len <- t.len + n
+    end;
+    advance t
+
+  let finish t =
+    if not t.eof then begin
+      t.eof <- true;
+      advance t
+    end
+
+  let drain t =
+    let fresh = Array.sub t.blocks t.drained (t.count - t.drained) in
+    t.drained <- t.count;
+    fresh
+
+  let drain_errors t =
+    let fresh = t.n_errors - t.drained_errors in
+    let rec take acc k rest =
+      if k = 0 then acc
+      else
+        match rest with
+        | e :: rest -> take (e :: acc) (k - 1) rest
+        | [] -> acc
+    in
+    t.drained_errors <- t.n_errors;
+    take [] fresh t.errors_rev
+
+  let decoded t = t.count
+  let expected t = t.n
+  let errors t = t.n_errors
+  let resyncs t = t.resyncs
+
+  let salvage t =
+    match t.state with
+    | Header -> 0.0
+    | _ ->
+      if t.n = 0 then if t.n_errors = 0 then 1.0 else 0.0
+      else Float.of_int t.count /. Float.of_int t.n
+
+  let finished t = t.state = Done
+
+  let result t =
+    {
+      trace = Array.sub t.blocks 0 t.count;
+      expected = t.n;
+      salvage = salvage t;
+      errors = List.rev t.errors_rev;
+      resyncs = t.resyncs;
+    }
+end
+
+let decode_result program data =
+  let s = Session.create program in
+  Session.feed s data;
+  Session.finish s;
+  Session.result s
 
 let decode program data =
   let r = decode_result program data in

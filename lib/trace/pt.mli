@@ -48,6 +48,70 @@ type recovery = {
   resyncs : int;  (** successful re-synchronizations at a TIP packet *)
 }
 
+(** Resumable decoding session: the incremental form of the recovering
+    decoder, for consumers that receive a capture in chunks (the
+    [ripple-sim serve] daemon).  Feed byte chunks as they arrive; the
+    session decodes as far as the available bytes allow and parks
+    mid-packet (or mid-TNT, or mid-resync-scan) until the next chunk.
+    The chunking is unobservable: for every split of a stream into
+    chunks, the final blocks, errors, salvage ratio and resync count are
+    identical to a one-shot {!decode_result} of the concatenation —
+    {!decode_result} is itself implemented as a one-chunk session.
+
+    A session never raises on malformed input; like the one-shot
+    decoder it records structured errors and resynchronizes at the next
+    TIP packet landing on a block boundary. *)
+module Session : sig
+  type t
+
+  val create : Program.t -> t
+
+  val feed : t -> bytes -> unit
+  (** Appends a chunk and decodes as far as it allows.  Raises
+      [Invalid_argument] if called after {!finish}. *)
+
+  val finish : t -> unit
+  (** Signals end of stream: pending partial state (an incomplete
+      packet, an unsatisfied resync scan, a half-read header) resolves
+      into the same terminal errors the one-shot decoder reports.
+      Idempotent. *)
+
+  val drain : t -> int array
+  (** Blocks decoded since the previous [drain] (or since [create]).
+      Draining does not affect {!result}, which always covers the whole
+      session. *)
+
+  val drain_errors : t -> decode_error list
+  (** Errors recorded since the previous [drain_errors], in stream
+      order. *)
+
+  val decoded : t -> int
+  (** Total blocks decoded so far. *)
+
+  val expected : t -> int
+  (** The header's advertised block count; 0 while the header is still
+      incomplete (or unreadable). *)
+
+  val errors : t -> int
+  (** Total decode errors recorded so far. *)
+
+  val resyncs : t -> int
+
+  val salvage : t -> float
+  (** [decoded / expected] so far; 0.0 while the header is unread, 1.0
+      for a completed empty capture. *)
+
+  val finished : t -> bool
+  (** The session is terminal: the advertised block count was reached,
+      or {!finish} resolved the tail.  Further [feed]s are ignored by a
+      count-complete session. *)
+
+  val result : t -> recovery
+  (** Snapshot of the whole session as a {!recovery} record (all blocks
+      since [create], independent of {!drain}).  Call after {!finish}
+      for the exact one-shot equivalent. *)
+end
+
 val decode_result : Program.t -> bytes -> recovery
 (** Recovering decode: never raises.  On a fault it records a
     {!decode_error} and scans forward for the next TIP packet whose
@@ -56,7 +120,8 @@ val decode_result : Program.t -> bytes -> recovery
     from that block with pending TNT state discarded.  On a clean stream
     the result is [decode program data] with [salvage = 1.0] and no
     errors.  Salvage is monotonically non-increasing under byte-prefix
-    truncation of the stream. *)
+    truncation of the stream.  One-shot wrapper over {!Session}: feed
+    the whole buffer, finish, snapshot. *)
 
 val decode : Program.t -> bytes -> int array
 (** Strict inverse of {!encode}: [decode program (encode program t) = t].

@@ -473,10 +473,11 @@ let test_nine_apps_no_errors () =
       let w = W.Cfg_gen.generate m in
       let program = w.W.Cfg_gen.program in
       let profile = W.Executor.run w ~input:W.Executor.train ~n_instrs:100_000 in
-      let _instrumented, analysis =
-        Pipeline.instrument_with
-          { Pipeline.Options.default with verify = true }
-          ~program ~profile_trace:profile ~prefetch:Pipeline.Fdip
+      let analysis =
+        (Pipeline.run
+           { Pipeline.Options.default with verify = true; prefetch = Pipeline.Fdip }
+           ~source:program (Pipeline.Trace profile))
+          .Pipeline.analysis
       in
       match analysis.Pipeline.lint with
       | None -> Alcotest.fail "verify = true must attach a lint summary"
@@ -592,10 +593,10 @@ let test_pipeline_verify_gate () =
   let program = w.W.Cfg_gen.program in
   let profile = W.Executor.run w ~input:W.Executor.train ~n_instrs:100_000 in
   let instrument verify =
-    snd
-      (Pipeline.instrument_with
-         { Pipeline.Options.default with verify }
-         ~program ~profile_trace:profile ~prefetch:Pipeline.No_prefetch)
+    (Pipeline.run
+       { Pipeline.Options.default with verify; prefetch = Pipeline.No_prefetch }
+       ~source:program (Pipeline.Trace profile))
+      .Pipeline.analysis
   in
   let off = instrument false in
   checkb "off by default" true (off.Pipeline.lint = None);

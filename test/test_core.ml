@@ -225,12 +225,23 @@ let mini_setup () =
   let eval = W.Executor.run w ~input:W.Executor.eval_inputs.(0) ~n_instrs:400_000 in
   (program, train, eval)
 
+(* Shared shape for the pipeline tests: one [Pipeline.run] call under
+   [No_prefetch], optionally with an evaluation request attached. *)
+let run_mini ?(options = Pipeline.Options.default) ?eval program train =
+  let eval =
+    Option.map
+      (fun (warmup, trace, policy) -> Pipeline.Eval.v ~warmup ~trace ~policy ())
+      eval
+  in
+  Pipeline.run
+    { options with prefetch = Pipeline.No_prefetch; eval }
+    ~source:program (Pipeline.Trace train)
+
 let test_pipeline_instrument_produces_hints () =
   let program, train, _ = mini_setup () in
-  let instrumented, analysis =
-    Pipeline.instrument_with Pipeline.Options.default ~program ~profile_trace:train
-      ~prefetch:Pipeline.No_prefetch
-  in
+  let oc = run_mini program train in
+  let instrumented = oc.Pipeline.program in
+  let analysis = oc.Pipeline.analysis in
   checkb "windows found" true (analysis.Pipeline.n_windows > 0);
   checkb "decisions made" true (analysis.Pipeline.n_decisions > 0);
   checkb "hints injected" true (Program.static_hints instrumented > 0);
@@ -240,18 +251,12 @@ let test_pipeline_instrument_produces_hints () =
 let test_pipeline_ripple_reduces_misses () =
   let program, train, eval = mini_setup () in
   let warmup = Array.length eval / 2 in
-  let instrumented, _ =
-    Pipeline.instrument_with Pipeline.Options.default ~program ~profile_trace:train
-      ~prefetch:Pipeline.No_prefetch
-  in
   let lru =
     Simulator.run ~warmup ~program ~trace:eval ~policy:Cache.Lru.make
       ~prefetcher:Simulator.prefetcher_none ()
   in
-  let ev =
-    Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval
-      ~policy:Cache.Lru.make ~prefetch:Pipeline.No_prefetch ()
-  in
+  let oc = run_mini program train ~eval:(warmup, eval, Cache.Lru.make) in
+  let ev = Option.get oc.Pipeline.evaluation in
   checkb "fewer misses than LRU" true
     (ev.Pipeline.result.Simulator.demand_misses < lru.Simulator.demand_misses);
   checkb "coverage positive" true (ev.Pipeline.coverage > 0.2);
@@ -265,59 +270,49 @@ let test_pipeline_ripple_reduces_misses () =
 let test_pipeline_ripple_random_works () =
   let program, train, eval = mini_setup () in
   let warmup = Array.length eval / 2 in
-  let instrumented, _ =
-    Pipeline.instrument_with Pipeline.Options.default ~program ~profile_trace:train
-      ~prefetch:Pipeline.No_prefetch
-  in
   let random_base =
     Simulator.run ~warmup ~program ~trace:eval ~policy:(Cache.Random_policy.make ~seed:8)
       ~prefetcher:Simulator.prefetcher_none ()
   in
-  let ev =
-    Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval
-      ~policy:(Cache.Random_policy.make ~seed:8) ~prefetch:Pipeline.No_prefetch ()
-  in
+  let oc = run_mini program train ~eval:(warmup, eval, Cache.Random_policy.make ~seed:8) in
+  let ev = Option.get oc.Pipeline.evaluation in
   checkb "ripple-random beats plain random" true
     (ev.Pipeline.result.Simulator.demand_misses < random_base.Simulator.demand_misses)
 
 let test_pipeline_demote_mode_runs () =
   let program, train, eval = mini_setup () in
   let warmup = Array.length eval / 2 in
-  let instrumented, _ =
-    Pipeline.instrument_with
-      { Pipeline.Options.default with mode = Injector.Demote }
-      ~program ~profile_trace:train ~prefetch:Pipeline.No_prefetch
-  in
   let lru =
     Simulator.run ~warmup ~program ~trace:eval ~policy:Cache.Lru.make
       ~prefetcher:Simulator.prefetcher_none ()
   in
-  let ev =
-    Pipeline.evaluate ~warmup ~original:program ~instrumented ~trace:eval
-      ~policy:Cache.Lru.make ~prefetch:Pipeline.No_prefetch ()
+  let oc =
+    run_mini program train
+      ~options:{ Pipeline.Options.default with mode = Injector.Demote }
+      ~eval:(warmup, eval, Cache.Lru.make)
   in
+  let ev = Option.get oc.Pipeline.evaluation in
   checkb "demote also reduces misses" true
     (ev.Pipeline.result.Simulator.demand_misses < lru.Simulator.demand_misses)
 
 let test_pipeline_threshold_monotone_decisions () =
   let program, train, _ = mini_setup () in
   let count threshold =
-    let _, analysis =
-      Pipeline.instrument_with
-        { Pipeline.Options.default with threshold }
-        ~program ~profile_trace:train ~prefetch:Pipeline.No_prefetch
-    in
-    analysis.Pipeline.n_decisions
+    let oc = run_mini program train ~options:{ Pipeline.Options.default with threshold } in
+    oc.Pipeline.analysis.Pipeline.n_decisions
   in
   checkb "higher threshold, fewer decisions" true (count 0.9 <= count 0.3)
 
 let test_pipeline_search_threshold () =
   let program, train, eval = mini_setup () in
   let warmup = Array.length eval / 2 in
-  let threshold, ev =
-    Pipeline.search_threshold ~warmup ~candidates:[ 0.45; 0.65 ] ~program ~profile_trace:train
-      ~eval_trace:eval ~policy:Cache.Lru.make ~prefetch:Pipeline.No_prefetch ()
+  let oc =
+    run_mini program train
+      ~options:{ Pipeline.Options.default with search = [ 0.45; 0.65 ] }
+      ~eval:(warmup, eval, Cache.Lru.make)
   in
+  let threshold = oc.Pipeline.analysis.Pipeline.threshold in
+  let ev = Option.get oc.Pipeline.evaluation in
   checkb "picked a candidate" true (threshold = 0.45 || threshold = 0.65);
   checkb "evaluation attached" true (ev.Pipeline.hint_execs >= 0)
 

@@ -163,13 +163,17 @@ let test_lbr_profile_feeds_pipeline () =
   let program, trace = lbr_setup () in
   let samples = Lbr.capture program ~trace ~period:150 ~depth:16 in
   let stitched = Lbr.stitched_trace samples in
-  let instrumented, analysis =
-    Pipeline.instrument_with
-      { Pipeline.Options.default with pt_roundtrip = false }
-      ~program ~profile_trace:stitched ~prefetch:Pipeline.No_prefetch
+  let oc =
+    Pipeline.run
+      {
+        Pipeline.Options.default with
+        pt_roundtrip = false;
+        prefetch = Pipeline.No_prefetch;
+      }
+      ~source:program (Pipeline.Trace stitched)
   in
-  checkb "analysis runs on stitched samples" true (analysis.Pipeline.n_windows > 0);
-  checkb "program valid" true (Program.static_hints instrumented >= 0)
+  checkb "analysis runs on stitched samples" true (oc.Pipeline.analysis.Pipeline.n_windows > 0);
+  checkb "program valid" true (Program.static_hints oc.Pipeline.program >= 0)
 
 let suites =
   [
@@ -218,15 +222,18 @@ let prop_pipeline_invariants =
       let program = w.W.Cfg_gen.program in
       let profile = W.Executor.run w ~input:W.Executor.train ~n_instrs:60_000 in
       let eval = W.Executor.run w ~input:W.Executor.eval_inputs.(1) ~n_instrs:60_000 in
-      let instrumented, analysis =
-        Pipeline.instrument_with
-          { Pipeline.Options.default with threshold = Float.of_int threshold_pct /. 100.0 }
-          ~program ~profile_trace:profile ~prefetch:Pipeline.Nlp
+      let oc =
+        Pipeline.run
+          {
+            Pipeline.Options.default with
+            threshold = Float.of_int threshold_pct /. 100.0;
+            prefetch = Pipeline.Nlp;
+            eval = Some (Pipeline.Eval.v ~trace:eval ~policy:Lru.make ());
+          }
+          ~source:program (Pipeline.Trace profile)
       in
-      let ev =
-        Pipeline.evaluate ~original:program ~instrumented ~trace:eval ~policy:Lru.make
-          ~prefetch:Pipeline.Nlp ()
-      in
+      let analysis = oc.Pipeline.analysis in
+      let ev = Option.get oc.Pipeline.evaluation in
       analysis.Pipeline.n_decisions >= 0
       && ev.Pipeline.coverage >= 0.0
       && ev.Pipeline.coverage <= 1.0

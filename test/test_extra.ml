@@ -76,14 +76,16 @@ let test_end_to_end_determinism () =
     let program = w.W.Cfg_gen.program in
     let profile = W.Executor.run w ~input:W.Executor.train ~n_instrs:200_000 in
     let eval = W.Executor.run w ~input:W.Executor.eval_inputs.(0) ~n_instrs:200_000 in
-    let instrumented, _ =
-      Pipeline.instrument_with Pipeline.Options.default ~program ~profile_trace:profile
-        ~prefetch:Pipeline.Fdip
+    let oc =
+      Pipeline.run
+        {
+          Pipeline.Options.default with
+          prefetch = Pipeline.Fdip;
+          eval = Some (Pipeline.Eval.v ~trace:eval ~policy:Lru.make ());
+        }
+        ~source:program (Pipeline.Trace profile)
     in
-    let ev =
-      Pipeline.evaluate ~original:program ~instrumented ~trace:eval
-        ~policy:Lru.make ~prefetch:Pipeline.Fdip ()
-    in
+    let ev = Option.get oc.Pipeline.evaluation in
     ( ev.Pipeline.result.Simulator.demand_misses,
       ev.Pipeline.hint_execs,
       ev.Pipeline.coverage,
@@ -202,10 +204,13 @@ let test_instrument_on_tiny_profile () =
   in
   let w = W.Cfg_gen.generate model in
   let profile = W.Executor.run w ~input:W.Executor.train ~n_instrs:2_000 in
-  let instrumented, analysis =
-    Pipeline.instrument_with Pipeline.Options.default ~program:w.W.Cfg_gen.program
-      ~profile_trace:profile ~prefetch:Pipeline.No_prefetch
+  let oc =
+    Pipeline.run
+      { Pipeline.Options.default with prefetch = Pipeline.No_prefetch }
+      ~source:w.W.Cfg_gen.program (Pipeline.Trace profile)
   in
+  let instrumented = oc.Pipeline.program in
+  let analysis = oc.Pipeline.analysis in
   checkb "decisions >= 0" true (analysis.Pipeline.n_decisions >= 0);
   checki "hints match decisions minus skips" analysis.Pipeline.injection.Ripple_core.Injector.injected
     (Program.static_hints instrumented)

@@ -218,17 +218,21 @@ let test_drift_zero_on_legal_trace () =
 let ladder_opts =
   { Core.Pipeline.Options.default with Core.Pipeline.Options.degrade = true }
 
-let instrument profile =
+let instrument ?(options = ladder_opts) profile =
   let program, _ = Lazy.force workload_fixture in
-  Core.Pipeline.instrument_profile ladder_opts ~program ~profile
-    ~prefetch:Core.Pipeline.No_prefetch
+  let oc =
+    Core.Pipeline.run
+      { options with Core.Pipeline.Options.prefetch = Core.Pipeline.No_prefetch }
+      ~source:program (Core.Pipeline.Profile profile)
+  in
+  (oc.Core.Pipeline.program, oc.Core.Pipeline.analysis)
 
 let level (analysis : Core.Pipeline.analysis) =
   analysis.Core.Pipeline.degrade.Core.Pipeline.Degrade.level
 
 let test_ladder_full_on_clean_profile () =
   let program, trace = Lazy.force workload_fixture in
-  let profile = Core.Pipeline.profile_of_trace ~source:program trace in
+  let profile = Core.Pipeline.profile_of ~source:program (Core.Pipeline.Trace trace) in
   let _, analysis = instrument profile in
   checkb "clean profile keeps full hints" true (level analysis = Core.Pipeline.Degrade.Full);
   checkb "fingerprint matches" true
@@ -237,7 +241,7 @@ let test_ladder_full_on_clean_profile () =
 let test_ladder_safe_only_on_layout_shift () =
   let program, trace = Lazy.force workload_fixture in
   let shifted = Program.relocate program ~line_shift:3 in
-  let profile = Core.Pipeline.profile_of_trace ~source:shifted trace in
+  let profile = Core.Pipeline.profile_of ~source:shifted (Core.Pipeline.Trace trace) in
   let _, analysis = instrument profile in
   checkb "fingerprint mismatch detected" false
     analysis.Core.Pipeline.degrade.Core.Pipeline.Degrade.fingerprint_ok;
@@ -246,7 +250,9 @@ let test_ladder_safe_only_on_layout_shift () =
 let test_ladder_off_on_low_salvage () =
   let program, trace = Lazy.force workload_fixture in
   let truncated = Fault.apply_trace ~seed:1 (Fault.Truncate_trace { keep = 0.3 }) trace in
-  let profile = Core.Pipeline.profile_of_trace ~salvage:0.3 ~source:program truncated in
+  let profile =
+    { Core.Pipeline.trace = truncated; source = program; salvage = 0.3; pt_errors = 0 }
+  in
   let instrumented, analysis = instrument profile in
   checkb "low salvage turns hints off" true
     (level analysis = Core.Pipeline.Degrade.Hints_off);
@@ -261,7 +267,7 @@ let test_ladder_off_on_heavy_drift () =
   let program, trace = Lazy.force workload_fixture in
   (* Scramble hard enough that drift clears the 0.15 shut-off. *)
   let scrambled = Fault.apply_trace ~seed:3 (Fault.Edge_reshuffle { fraction = 1.5 }) trace in
-  let profile = Core.Pipeline.profile_of_trace ~source:program scrambled in
+  let profile = Core.Pipeline.profile_of ~source:program (Core.Pipeline.Trace scrambled) in
   let _, analysis = instrument profile in
   let d = analysis.Core.Pipeline.degrade in
   checkb "drift measured" true (d.Core.Pipeline.Degrade.drift > 0.0);
@@ -270,12 +276,12 @@ let test_ladder_off_on_heavy_drift () =
 let test_ladder_disabled_by_default () =
   let program, trace = Lazy.force workload_fixture in
   let truncated = Fault.apply_trace ~seed:1 (Fault.Truncate_trace { keep = 0.3 }) trace in
-  let profile = Core.Pipeline.profile_of_trace ~salvage:0.3 ~source:program truncated in
-  let _, analysis =
-    Core.Pipeline.instrument_profile Core.Pipeline.Options.default ~program ~profile
-      ~prefetch:Core.Pipeline.No_prefetch
+  let profile =
+    { Core.Pipeline.trace = truncated; source = program; salvage = 0.3; pt_errors = 0 }
   in
-  checkb "legacy callers keep full trust" true (level analysis = Core.Pipeline.Degrade.Full)
+  let _, analysis = instrument ~options:Core.Pipeline.Options.default profile in
+  checkb "ladder off by default keeps full trust" true
+    (level analysis = Core.Pipeline.Degrade.Full)
 
 (* ---------------------------- chaos slice ---------------------------- *)
 

@@ -5,4 +5,5 @@ let () =
     (Test_util.suites @ Test_isa.suites @ Test_trace.suites @ Test_cache.suites
    @ Test_belady.suites @ Test_stream.suites @ Test_prefetch.suites @ Test_cpu.suites @ Test_workloads.suites
    @ Test_core.suites @ Test_analysis.suites @ Test_extra.suites @ Test_extensions.suites @ Test_regression.suites
-   @ Test_more.suites @ Test_exp.suites @ Test_fault.suites @ Test_obs.suites)
+   @ Test_more.suites @ Test_exp.suites @ Test_fault.suites @ Test_obs.suites
+   @ Test_serve.suites)

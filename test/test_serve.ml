@@ -1,0 +1,463 @@
+(* The continuous-profiling layer: incremental PT sessions (chunking
+   equivalence), the framed wire protocol, the rolling windowed profile,
+   and the daemon's drift-gated re-emission loop — all in-process, no
+   sockets. *)
+
+module Basic_block = Ripple_isa.Basic_block
+module Program = Ripple_isa.Program
+module Pt = Ripple_trace.Pt
+module W = Ripple_workloads
+module Core = Ripple_core
+module Obs = Ripple_obs
+module Fault = Ripple_fault.Fault
+module Json = Ripple_util.Json
+module Protocol = Ripple_serve.Protocol
+module Rolling = Ripple_serve.Rolling
+module Session = Ripple_serve.Session
+module Server = Ripple_serve.Server
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let checkf = check (Alcotest.float 1e-9)
+let checks = check Alcotest.string
+
+let workload_fixture =
+  lazy
+    (let w = W.Cfg_gen.generate { W.Apps.kafka with W.App_model.seed = 5 } in
+     let trace = W.Executor.run w ~input:W.Executor.train ~n_instrs:40_000 in
+     (w.W.Cfg_gen.program, trace))
+
+let clean_capture =
+  lazy
+    (let program, trace = Lazy.force workload_fixture in
+     (program, Pt.encode program trace))
+
+(* ------------------- chunking equivalence (tentpole) ------------------ *)
+
+let fault_menu =
+  [|
+    Fault.Clean;
+    Fault.Flip_tnt { flips = 32 };
+    Fault.Flip_tnt { flips = 256 };
+    Fault.Drop_tip { count = 8 };
+    Fault.Garbage_tip { count = 8 };
+    Fault.Truncate_pt { keep = 0.6 };
+    Fault.Truncate_pt { keep = 0.05 };
+  |]
+
+let capture_for fidx seed =
+  let program, clean = Lazy.force clean_capture in
+  let data =
+    match fault_menu.(fidx) with
+    | Fault.Clean -> clean
+    | fault -> Fault.corrupt_pt ~seed fault clean
+  in
+  (program, data)
+
+(* Feed [data] split at the given byte offsets (deduplicated, sorted)
+   and finish; the empty list is the one-chunk case. *)
+let session_of_cuts program data cuts =
+  let len = Bytes.length data in
+  let cuts = List.sort_uniq compare (List.filter (fun c -> c > 0 && c < len) cuts) in
+  let s = Pt.Session.create program in
+  let prev = ref 0 in
+  List.iter
+    (fun cut ->
+      Pt.Session.feed s (Bytes.sub data !prev (cut - !prev));
+      prev := cut)
+    (cuts @ [ len ]);
+  Pt.Session.finish s;
+  s
+
+let same_recovery label (a : Pt.recovery) (b : Pt.recovery) =
+  check (Alcotest.array Alcotest.int) (label ^ ": trace") a.Pt.trace b.Pt.trace;
+  checki (label ^ ": expected") a.Pt.expected b.Pt.expected;
+  checkf (label ^ ": salvage") a.Pt.salvage b.Pt.salvage;
+  checki (label ^ ": resyncs") a.Pt.resyncs b.Pt.resyncs;
+  checki (label ^ ": error count") (List.length a.Pt.errors) (List.length b.Pt.errors);
+  List.iter2
+    (fun (x : Pt.decode_error) (y : Pt.decode_error) ->
+      checki (label ^ ": error pos") x.Pt.pos y.Pt.pos;
+      checki (label ^ ": error decoded") x.Pt.decoded y.Pt.decoded;
+      checks (label ^ ": error kind") (Pt.error_kind_name x.Pt.kind) (Pt.error_kind_name y.Pt.kind))
+    a.Pt.errors b.Pt.errors
+
+let chunking_prop =
+  QCheck.Test.make ~count:60 ~name:"any chunking decodes identically to one-shot"
+    QCheck.(
+      triple (int_bound (Array.length fault_menu - 1)) small_int
+        (list_of_size Gen.(int_range 0 48) small_nat))
+    (fun (fidx, seed, raw_cuts) ->
+      let program, data = capture_for fidx seed in
+      let len = max 1 (Bytes.length data) in
+      (* Spread the raw offsets over the whole stream so cuts land
+         mid-packet, mid-TNT-byte-run and inside the header. *)
+      let cuts = List.map (fun c -> 1 + ((c * 7919) mod len)) raw_cuts in
+      let s = session_of_cuts program data cuts in
+      let one_shot = Pt.decode_result program data in
+      same_recovery (Printf.sprintf "fault %d" fidx) one_shot (Pt.Session.result s);
+      true)
+
+let test_byte_by_byte () =
+  let program, clean = Lazy.force clean_capture in
+  List.iter
+    (fun (label, data) ->
+      let s = Pt.Session.create program in
+      Bytes.iter (fun c -> Pt.Session.feed s (Bytes.make 1 c)) data;
+      Pt.Session.finish s;
+      same_recovery label (Pt.decode_result program data) (Pt.Session.result s))
+    [
+      ("clean 1-byte chunks", clean);
+      ("garbage 1-byte chunks", Fault.corrupt_pt ~seed:11 (Fault.Garbage_tip { count = 16 }) clean);
+      ("truncated 1-byte chunks", Fault.corrupt_pt ~seed:11 (Fault.Truncate_pt { keep = 0.4 }) clean);
+    ]
+
+let test_session_drain () =
+  let program, data = Lazy.force clean_capture in
+  let s = Pt.Session.create program in
+  let drained = ref 0 in
+  let half = Bytes.length data / 2 in
+  Pt.Session.feed s (Bytes.sub data 0 half);
+  drained := !drained + Array.length (Pt.Session.drain s);
+  checki "mid-stream drain matches decoded" !drained (Pt.Session.decoded s);
+  Pt.Session.feed s (Bytes.sub data half (Bytes.length data - half));
+  Pt.Session.finish s;
+  drained := !drained + Array.length (Pt.Session.drain s);
+  checki "drains cover the whole capture" (Array.length (Pt.Session.result s).Pt.trace) !drained;
+  checki "drain after exhaustion is empty" 0 (Array.length (Pt.Session.drain s))
+
+(* --------------------------- wire protocol --------------------------- *)
+
+let test_protocol_roundtrip () =
+  let frames =
+    [
+      Protocol.Hello "cassandra";
+      Protocol.Chunk (Bytes.of_string "\x00\x01\x02\xff");
+      Protocol.Flush;
+      Protocol.Status;
+      Protocol.Chunk Bytes.empty;
+      Protocol.Bye;
+    ]
+  in
+  let buf = Buffer.create 128 in
+  List.iter (Protocol.write_frame buf) frames;
+  let wire = Buffer.to_bytes buf in
+  (* Deliver in 3-byte pieces: every frame header straddles a chunk. *)
+  let reader = Protocol.Reader.create () in
+  let got = ref [] in
+  let pos = ref 0 in
+  while !pos < Bytes.length wire do
+    let n = min 3 (Bytes.length wire - !pos) in
+    Protocol.Reader.add reader (Bytes.sub wire !pos n) n;
+    pos := !pos + n;
+    let rec drain () =
+      match Protocol.Reader.pop_frame reader with
+      | `Frame f ->
+        got := f :: !got;
+        drain ()
+      | `Awaiting -> ()
+      | `Corrupt msg -> Alcotest.failf "unexpected corrupt: %s" msg
+    in
+    drain ()
+  done;
+  checki "all frames recovered" (List.length frames) (List.length !got);
+  List.iter2
+    (fun sent got ->
+      checks "frame kind" (Protocol.frame_name sent) (Protocol.frame_name got);
+      match (sent, got) with
+      | Protocol.Chunk a, Protocol.Chunk b -> checkb "chunk payload" true (Bytes.equal a b)
+      | Protocol.Hello a, Protocol.Hello b -> checks "hello payload" a b
+      | _ -> ())
+    frames (List.rev !got)
+
+let test_protocol_corrupt () =
+  let reader = Protocol.Reader.create () in
+  let junk = Bytes.of_string "Z\x00\x00\x00\x00" in
+  Protocol.Reader.add reader junk (Bytes.length junk);
+  (match Protocol.Reader.pop_frame reader with
+  | `Corrupt _ -> ()
+  | `Awaiting | `Frame _ -> Alcotest.fail "unknown tag must be corrupt");
+  let reader = Protocol.Reader.create () in
+  (* Length prefix far beyond the cap: rejected before buffering. *)
+  let oversized = Bytes.of_string "C\x7f\xff\xff\xff" in
+  Protocol.Reader.add reader oversized (Bytes.length oversized);
+  (match Protocol.Reader.pop_frame reader with
+  | `Corrupt _ -> ()
+  | `Awaiting | `Frame _ -> Alcotest.fail "oversized frame must be corrupt")
+
+let test_protocol_reply () =
+  let buf = Buffer.create 64 in
+  Protocol.write_reply buf (Protocol.Ok (Json.Obj [ ("decoded", Json.Int 7) ]));
+  Protocol.write_reply buf (Protocol.Error "nope");
+  let wire = Buffer.to_bytes buf in
+  let reader = Protocol.Reader.create () in
+  Protocol.Reader.add reader wire (Bytes.length wire);
+  (match Protocol.Reader.pop_reply reader with
+  | `Reply (Protocol.Ok json) -> checkb "ok payload" true (Json.member "decoded" json = Some (Json.Int 7))
+  | _ -> Alcotest.fail "expected ok reply");
+  match Protocol.Reader.pop_reply reader with
+  | `Reply (Protocol.Error msg) -> checks "error payload" "nope" msg
+  | _ -> Alcotest.fail "expected error reply"
+
+(* --------------------------- rolling window -------------------------- *)
+
+let test_rolling_empty () =
+  let r = Rolling.create ~window:100 in
+  checkf "empty window salvage is 0.0, not NaN" 0.0 (Rolling.salvage r);
+  checki "no blocks" 0 (Rolling.blocks r);
+  checki "no errors" 0 (Rolling.errors r);
+  checki "empty trace" 0 (Array.length (Rolling.trace r));
+  Alcotest.check_raises "non-positive window rejected"
+    (Invalid_argument "Rolling.create: window must be positive") (fun () ->
+      ignore (Rolling.create ~window:0 : Rolling.t))
+
+let test_rolling_clean_empty_generation () =
+  let r = Rolling.create ~window:100 in
+  Rolling.add r ~blocks:[||] ~expected:0 ~errors:0;
+  checkf "empty-but-clean capture is salvage 1.0" 1.0 (Rolling.salvage r);
+  Rolling.add r ~blocks:[||] ~expected:0 ~errors:1;
+  checkf "empty capture with errors is salvage 0.0" 0.0 (Rolling.salvage r)
+
+let test_rolling_eviction () =
+  let r = Rolling.create ~window:10 in
+  let gen tag n = Array.init n (fun i -> (tag * 100) + i) in
+  Rolling.add r ~blocks:(gen 1 6) ~expected:6 ~errors:0;
+  Rolling.add r ~blocks:(gen 2 6) ~expected:8 ~errors:1;
+  (* 12 > 10: the oldest generation goes, whole. *)
+  checki "oldest generation evicted" 6 (Rolling.blocks r);
+  checki "one generation left" 1 (Rolling.generations r);
+  checki "advertised follows eviction" 8 (Rolling.advertised r);
+  checki "errors follow eviction" 1 (Rolling.errors r);
+  checkf "salvage over retained generations" 0.75 (Rolling.salvage r);
+  check (Alcotest.array Alcotest.int) "trace is the retained generation" (gen 2 6) (Rolling.trace r)
+
+let test_rolling_oversized_generation_kept () =
+  let r = Rolling.create ~window:4 in
+  Rolling.add r ~blocks:(Array.init 9 Fun.id) ~expected:9 ~errors:0;
+  checki "sole oversized generation survives" 9 (Rolling.blocks r);
+  Rolling.add r ~blocks:[| 1; 2 |] ~expected:2 ~errors:0;
+  checki "next add evicts down to the newcomer" 2 (Rolling.blocks r);
+  checki "one generation" 1 (Rolling.generations r)
+
+let test_rolling_order () =
+  let r = Rolling.create ~window:100 in
+  Rolling.add r ~blocks:[| 1; 2 |] ~expected:2 ~errors:0;
+  Rolling.add r ~blocks:[| 3 |] ~expected:1 ~errors:0;
+  Rolling.add r ~blocks:[| 4; 5 |] ~expected:2 ~errors:0;
+  check (Alcotest.array Alcotest.int) "oldest-first concatenation" [| 1; 2; 3; 4; 5 |]
+    (Rolling.trace r)
+
+(* ------------------------ daemon sessions ---------------------------- *)
+
+let serve_options =
+  {
+    Core.Pipeline.Options.default with
+    Core.Pipeline.Options.degrade = true;
+    prefetch = Core.Pipeline.No_prefetch;
+  }
+
+let push_capture ?(chunk = 1500) session data =
+  let len = Bytes.length data in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = min chunk (len - !pos) in
+    ignore (Session.feed session (Bytes.sub data !pos n) : int);
+    pos := !pos + n
+  done;
+  Session.flush session
+
+(* The drift-gated ladder over a live session: trust is earned by a
+   clean flush, stepped down as corrupted captures take over the
+   window, and re-earned when clean captures evict them. *)
+let test_session_ladder () =
+  let program, clean = Lazy.force clean_capture in
+  let blocks = Array.length (snd (Lazy.force workload_fixture)) in
+  let obs = Obs.Run.create () in
+  (* Window sized so each flush's generation evicts the previous one:
+     the ladder then tracks the quality of the latest capture. *)
+  let s =
+    Session.create ~obs ~options:serve_options ~window:blocks ~reemit_every:0 ~name:"kafka"
+      ~program
+  in
+  checkb "starts with hints off" true (Session.level s = Core.Pipeline.Degrade.Hints_off);
+  push_capture s clean;
+  checkb "clean flush earns full hints" true (Session.level s = Core.Pipeline.Degrade.Full);
+  checki "hints-off -> full counts one transition" 1 (Session.transitions s);
+  push_capture s (Fault.corrupt_pt ~seed:3 (Fault.Truncate_pt { keep = 0.7 }) clean);
+  checkb "moderate salvage steps down to safe-only" true
+    (Session.level s = Core.Pipeline.Degrade.Safe_only);
+  push_capture s (Fault.corrupt_pt ~seed:3 (Fault.Truncate_pt { keep = 0.05 }) clean);
+  checkb "heavy loss turns hints off" true (Session.level s = Core.Pipeline.Degrade.Hints_off);
+  push_capture s clean;
+  checkb "clean capture re-earns full hints" true (Session.level s = Core.Pipeline.Degrade.Full);
+  checki "four ladder transitions" 4 (Session.transitions s);
+  checki "one emission per flush" 4 (Session.emissions s)
+
+(* Acceptance: a chunked session and a one-shot Pipeline.run over the
+   same capture produce byte-identical hint output. *)
+let test_session_matches_one_shot () =
+  let program, data = Lazy.force clean_capture in
+  let obs = Obs.Run.create () in
+  let s =
+    Session.create ~obs ~options:serve_options ~window:max_int ~reemit_every:0 ~name:"kafka"
+      ~program
+  in
+  push_capture ~chunk:777 s data;
+  let one_shot = Core.Pipeline.run serve_options ~source:program (Core.Pipeline.Pt_bytes data) in
+  let session_program = Session.program s in
+  checki "same hint count" (Program.static_hints one_shot.Core.Pipeline.program)
+    (Program.static_hints session_program);
+  Array.iteri
+    (fun i (b : Basic_block.t) ->
+      let b' = Program.block session_program i in
+      checkb "identical hints per block" true (b.Basic_block.hints = b'.Basic_block.hints))
+    (Program.blocks one_shot.Core.Pipeline.program);
+  let d level = level.Core.Pipeline.degrade.Core.Pipeline.Degrade.level in
+  checkb "same ladder level" true
+    (d one_shot.Core.Pipeline.analysis = d (Option.get (Session.last_outcome s)).Core.Pipeline.analysis)
+
+let test_session_reemit_mid_capture () =
+  let program, data = Lazy.force clean_capture in
+  let obs = Obs.Run.create () in
+  let s =
+    Session.create ~obs ~options:serve_options ~window:max_int ~reemit_every:500 ~name:"kafka"
+      ~program
+  in
+  let len = Bytes.length data in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = min 512 (len - !pos) in
+    ignore (Session.feed s (Bytes.sub data !pos n) : int);
+    pos := !pos + n
+  done;
+  checkb "re-emitted before any flush" true (Session.emissions s > 1);
+  checkb "mid-capture clean stream already earns trust" true
+    (Session.level s = Core.Pipeline.Degrade.Full);
+  Session.flush s;
+  checkb "flush still lands at full" true (Session.level s = Core.Pipeline.Degrade.Full)
+
+(* ------------------------ daemon, in-process ------------------------- *)
+
+let mini_program () = fst (Lazy.force workload_fixture)
+
+let mini_server () =
+  Server.create
+    {
+      Server.default_config with
+      Server.options = serve_options;
+      lookup =
+        (fun name ->
+          if name = "kafka" || name = "zippy" then Some (mini_program ()) else None);
+    }
+
+let expect_ok label = function
+  | Protocol.Ok json, disposition -> (json, disposition)
+  | Protocol.Error msg, _ -> Alcotest.failf "%s: unexpected error %s" label msg
+
+let expect_error label = function
+  | Protocol.Error _, `Keep -> ()
+  | Protocol.Error _, `Close -> Alcotest.failf "%s: error should keep the connection" label
+  | Protocol.Ok _, _ -> Alcotest.failf "%s: expected an error reply" label
+
+let test_server_frames () =
+  let t = mini_server () in
+  let conn = Server.Conn.create () in
+  expect_error "chunk before hello" (Server.Conn.handle t conn (Protocol.Chunk (Bytes.create 4)));
+  expect_error "flush before hello" (Server.Conn.handle t conn Protocol.Flush);
+  expect_error "unknown app" (Server.Conn.handle t conn (Protocol.Hello "nope"));
+  let json, _ = expect_ok "hello" (Server.Conn.handle t conn (Protocol.Hello "kafka")) in
+  checkb "hello returns status for the app" true
+    (Json.member "app" json = Some (Json.String "kafka"));
+  let _, data = Lazy.force clean_capture in
+  let json, _ = expect_ok "chunk" (Server.Conn.handle t conn (Protocol.Chunk data)) in
+  (match Json.member "decoded" json with
+  | Some (Json.Int n) -> checkb "chunk reports decoded blocks" true (n > 0)
+  | _ -> Alcotest.fail "chunk reply lacks decoded count");
+  let json, _ = expect_ok "flush" (Server.Conn.handle t conn Protocol.Flush) in
+  checkb "flush reports a generation" true (Json.member "generations" json = Some (Json.Int 1));
+  let _, disposition = expect_ok "bye" (Server.Conn.handle t conn Protocol.Bye) in
+  checkb "bye closes" true (disposition = `Close)
+
+let test_server_two_sessions () =
+  let t = mini_server () in
+  let a = Server.Conn.create () and b = Server.Conn.create () in
+  let _, data = Lazy.force clean_capture in
+  ignore (expect_ok "hello a" (Server.Conn.handle t a (Protocol.Hello "kafka")));
+  ignore (expect_ok "hello b" (Server.Conn.handle t b (Protocol.Hello "zippy")));
+  checki "two sessions registered" 2 (List.length (Server.sessions t));
+  (* Interleave the two apps on the same daemon. *)
+  let half = Bytes.length data / 2 in
+  ignore (expect_ok "a chunk" (Server.Conn.handle t a (Protocol.Chunk (Bytes.sub data 0 half))));
+  ignore (expect_ok "b chunk" (Server.Conn.handle t b (Protocol.Chunk data)));
+  ignore
+    (expect_ok "a chunk 2"
+       (Server.Conn.handle t a (Protocol.Chunk (Bytes.sub data half (Bytes.length data - half)))));
+  ignore (expect_ok "a flush" (Server.Conn.handle t a Protocol.Flush));
+  ignore (expect_ok "b flush" (Server.Conn.handle t b Protocol.Flush));
+  List.iter
+    (fun name ->
+      match Server.find_session t name with
+      | None -> Alcotest.failf "session %s missing" name
+      | Some s ->
+        checkb (name ^ " earned full hints") true (Session.level s = Core.Pipeline.Degrade.Full))
+    [ "kafka"; "zippy" ];
+  (* A second Hello for a known app rebinds to the same session. *)
+  let c = Server.Conn.create () in
+  ignore (expect_ok "hello c" (Server.Conn.handle t c (Protocol.Hello "kafka")));
+  checki "no duplicate session" 2 (List.length (Server.sessions t))
+
+(* The live scrape carries the complete pinned vocabulary: pipeline
+   families are pre-registered, serve families come from the daemon
+   itself. *)
+let test_server_scrape_schema () =
+  let t = mini_server () in
+  let conn = Server.Conn.create () in
+  let _, data = Lazy.force clean_capture in
+  ignore (expect_ok "hello" (Server.Conn.handle t conn (Protocol.Hello "kafka")));
+  ignore (expect_ok "chunk" (Server.Conn.handle t conn (Protocol.Chunk data)));
+  ignore (expect_ok "flush" (Server.Conn.handle t conn Protocol.Flush));
+  let type_lines =
+    List.filter_map
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; kind ] -> Some (name ^ " " ^ kind)
+        | _ -> None)
+      (String.split_on_char '\n' (Server.metrics_body t))
+  in
+  let ic = open_in "../docs/metrics.schema" in
+  let rec read acc =
+    match input_line ic with
+    | line -> read (if String.trim line = "" then acc else String.trim line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  check (Alcotest.list Alcotest.string) "scrape carries the full pinned schema" (read [])
+    type_lines
+
+let suites =
+  [
+    ( "serve",
+      [
+        QCheck_alcotest.to_alcotest chunking_prop;
+        Alcotest.test_case "byte-by-byte chunking" `Quick test_byte_by_byte;
+        Alcotest.test_case "session drain" `Quick test_session_drain;
+        Alcotest.test_case "protocol roundtrip" `Quick test_protocol_roundtrip;
+        Alcotest.test_case "protocol corrupt frames" `Quick test_protocol_corrupt;
+        Alcotest.test_case "protocol replies" `Quick test_protocol_reply;
+        Alcotest.test_case "rolling empty" `Quick test_rolling_empty;
+        Alcotest.test_case "rolling clean empty generation" `Quick
+          test_rolling_clean_empty_generation;
+        Alcotest.test_case "rolling eviction" `Quick test_rolling_eviction;
+        Alcotest.test_case "rolling oversized generation" `Quick
+          test_rolling_oversized_generation_kept;
+        Alcotest.test_case "rolling order" `Quick test_rolling_order;
+        Alcotest.test_case "session ladder transitions" `Slow test_session_ladder;
+        Alcotest.test_case "session matches one-shot run" `Slow test_session_matches_one_shot;
+        Alcotest.test_case "session mid-capture re-emission" `Slow test_session_reemit_mid_capture;
+        Alcotest.test_case "server frame handling" `Slow test_server_frames;
+        Alcotest.test_case "server two concurrent sessions" `Slow test_server_two_sessions;
+        Alcotest.test_case "server scrape schema" `Slow test_server_scrape_schema;
+      ] );
+  ]
