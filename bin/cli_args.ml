@@ -108,6 +108,65 @@ let metrics_arg =
           "Write the run's merged metric snapshot to $(docv) as OpenMetrics text \
            (deterministic: byte-identical across $(b,--jobs) values).")
 
+let backing_conv =
+  let parse s =
+    Result.map_error (fun m -> `Msg m) (Ripple_util.Int_stream.backing_of_string s)
+  in
+  let print fmt b = Format.fprintf fmt "%s" (Ripple_util.Int_stream.backing_name b) in
+  Arg.conv (parse, print)
+
+let backing_arg =
+  Arg.(
+    value
+    & opt backing_conv Ripple_util.Int_stream.Heap
+    & info [ "backing" ] ~docv:"BACKING"
+        ~doc:
+          "Access-stream storage: $(b,heap) keeps recorded streams and Belady tables in \
+           memory; $(b,mmap) writes them through to unlinked temp files so paper-scale \
+           traces run in bounded heap.  Results are byte-identical either way.")
+
+let sample_windows_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "sample-windows" ] ~docv:"K"
+        ~doc:
+          "Sampled simulation: after warm-up, measure $(docv) deterministic windows from a \
+           cache/BTB/FDIP checkpoint and splice IPC/MPKI from them (0: replay the full \
+           trace).  The JSONL row records the measured spans and coverage.")
+
+let sample_window_blocks_arg =
+  Arg.(
+    value
+    & opt int 50_000
+    & info [ "sample-window-blocks" ] ~docv:"N"
+        ~doc:"Blocks measured per sampled window.")
+
+let sample_seed_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "sample-seed" ] ~docv:"S"
+        ~doc:"Seed placing the sampled windows inside their strata.")
+
+(* [--sample-windows 0] (the default) means full replay; the bundle
+   yields the [Sampling.t option] the library layers take. *)
+let sampling_term =
+  Cmdliner.Term.(
+    const (fun windows window_blocks seed ->
+        if windows <= 0 then None
+        else Some (Ripple_cpu.Simulator.Sampling.v ~seed ~windows ~window_blocks ()))
+    $ sample_windows_arg $ sample_window_blocks_arg $ sample_seed_arg)
+
+let shards_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Partition each oracle cell's cache sets across $(docv) domains (set-sharded \
+           ideal replacement).  Results are byte-identical for every $(docv).")
+
 let threshold_arg =
   Arg.(
     value

@@ -194,7 +194,7 @@ let sweep_cmd =
              (skipped cells are recorded as such in the JSONL output).")
   in
   let run apps prefetches policies oracle ideal thresholds ripple_policy n_instrs jobs out
-      metrics seed quiet retries max_failures =
+      metrics seed quiet retries max_failures backing sampling shards =
     let specs =
       List.concat_map
         (fun (m : W.App_model.t) ->
@@ -211,7 +211,9 @@ let sweep_cmd =
             prefetches)
         apps
     in
-    let cells = Exp.Runner.run ?jobs ~quiet ~retries ?max_failures specs in
+    let cells =
+      Exp.Runner.run ~backing ?sampling ~shards ?jobs ~quiet ~retries ?max_failures specs
+    in
     Exp.Report.print_summary cells;
     (match out with
     | None -> ()
@@ -231,7 +233,8 @@ let sweep_cmd =
     Term.(
       const run $ Cli_args.apps_arg ~verb:"sweep" $ prefetches_arg $ policies_arg $ oracle_flag
       $ ideal_flag $ thresholds_arg $ ripple_policy_arg $ Cli_args.instrs_arg $ Cli_args.jobs_arg
-      $ out_arg $ Cli_args.metrics_arg $ seed_arg $ quiet_flag $ retries_arg $ max_failures_arg)
+      $ out_arg $ Cli_args.metrics_arg $ seed_arg $ quiet_flag $ retries_arg $ max_failures_arg
+      $ Cli_args.backing_arg $ Cli_args.sampling_term $ Cli_args.shards_arg)
 
 (* ------------------------------- lint ------------------------------- *)
 
@@ -491,7 +494,7 @@ let serve_cmd =
             "Write \"<port> <metrics-port>\" to $(docv) once both listeners are bound — the \
              startup handshake for scripts driving ephemeral ports.")
   in
-  let run host port metrics_port window reemit_every threshold prefetch ready_file =
+  let run host port metrics_port window reemit_every threshold prefetch backing ready_file =
     let config =
       {
         Server.default_config with
@@ -501,7 +504,7 @@ let serve_cmd =
         window;
         reemit_every;
         options =
-          { Pipeline.Options.default with degrade = true; threshold; prefetch };
+          { Pipeline.Options.default with degrade = true; threshold; prefetch; backing };
         ready_file;
       }
     in
@@ -518,7 +521,7 @@ let serve_cmd =
           OpenMetrics on a scrape endpoint.")
     Term.(
       const run $ host_arg $ port_arg $ metrics_port_arg $ window_arg $ reemit_arg
-      $ Cli_args.threshold_arg $ Cli_args.prefetch_arg $ ready_file_arg)
+      $ Cli_args.threshold_arg $ Cli_args.prefetch_arg $ Cli_args.backing_arg $ ready_file_arg)
 
 (* ------------------------------- push ------------------------------- *)
 

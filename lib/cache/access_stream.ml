@@ -1,136 +1,79 @@
-(* Chunked, re-iterable packed access streams.  See the .mli. *)
+(* Packed access streams over backing-polymorphic [Int_stream]s.  See
+   the .mli. *)
 
-let chunk_bits = 16
-let chunk_entries = 1 lsl chunk_bits
-let chunk_mask = chunk_entries - 1
+module Int_stream = Ripple_util.Int_stream
 
-type t = { chunks : int array array; length : int }
+type backing = Int_stream.backing = Heap | Spill of { dir : string option }
 
-let empty = { chunks = [||]; length = 0 }
-let length t = t.length
+type t = Int_stream.t
+
+let chunk_entries = Int_stream.chunk_entries
+let empty = Int_stream.empty
+let length = Int_stream.length
 
 let get t i =
-  if i < 0 || i >= t.length then
-    invalid_arg (Printf.sprintf "Access_stream.get: index %d out of bounds [0,%d)" i t.length);
-  Array.unsafe_get (Array.unsafe_get t.chunks (i lsr chunk_bits)) (i land chunk_mask)
+  if i < 0 || i >= Int_stream.length t then
+    invalid_arg
+      (Printf.sprintf "Access_stream.get: index %d out of bounds [0,%d)" i
+         (Int_stream.length t));
+  Int_stream.unsafe_get t i
 
 let get_access t i = Access.unpack (get t i)
 
-let iteri f t =
-  let i = ref 0 in
-  let n = t.length in
-  let n_chunks = Array.length t.chunks in
-  for c = 0 to n_chunks - 1 do
-    let chunk = Array.unsafe_get t.chunks c in
-    let stop = min (Array.length chunk) (n - !i) in
-    for k = 0 to stop - 1 do
-      f !i (Array.unsafe_get chunk k);
-      incr i
-    done
-  done
-
-let iter f t = iteri (fun _ p -> f p) t
-
-let iteri_rev f t =
-  for c = Array.length t.chunks - 1 downto 0 do
-    let chunk = Array.unsafe_get t.chunks c in
-    let base = c lsl chunk_bits in
-    let stop = min (Array.length chunk) (t.length - base) in
-    for k = stop - 1 downto 0 do
-      f (base + k) (Array.unsafe_get chunk k)
-    done
-  done
-
-let fold_left f init t =
-  let acc = ref init in
-  iter (fun p -> acc := f !acc p) t;
-  !acc
+let iter = Int_stream.iter
+let iteri = Int_stream.iteri
+let iteri_rev = Int_stream.iteri_rev
+let fold_left = Int_stream.fold_left
+let backing t = if Int_stream.is_spill t then Spill { dir = None } else Heap
+let is_spill = Int_stream.is_spill
+let byte_size = Int_stream.byte_size
+let close = Int_stream.close
+let raw t = t
+let of_raw t = t
 
 module Builder = struct
-  type stream = t
+  type _stream = t
+  type t = Int_stream.Builder.t
 
-  type t = {
-    mutable chunks : int array array; (* all but the last are full *)
-    mutable last : int array;
-    mutable last_len : int; (* filled entries of [last] *)
-    mutable full_len : int; (* total entries in [chunks] *)
-  }
-
-  let create () = { chunks = [||]; last = [||]; last_len = 0; full_len = 0 }
-  let length b = b.full_len + b.last_len
-
-  let add b p =
-    if b.last_len = Array.length b.last then begin
-      (* [last] is full (or the initial empty array): retire it. *)
-      if b.last_len > 0 then begin
-        let n = Array.length b.chunks in
-        let bigger = Array.make (n + 1) b.last in
-        Array.blit b.chunks 0 bigger 0 n;
-        b.chunks <- bigger;
-        b.full_len <- b.full_len + b.last_len
-      end;
-      b.last <- Array.make chunk_entries 0;
-      b.last_len <- 0
-    end;
-    Array.unsafe_set b.last b.last_len p;
-    b.last_len <- b.last_len + 1
-
+  let create ?backing () = Int_stream.Builder.create ?backing ()
+  let length = Int_stream.Builder.length
+  let add = Int_stream.Builder.add
   let add_access b acc = add b (Access.pack acc)
   let add_demand b ~line ~block = add b (Access.pack_demand ~line ~block)
   let add_prefetch b ~line ~block = add b (Access.pack_prefetch ~line ~block)
-
-  let finish b : stream =
-    let length = length b in
-    let chunks =
-      if b.last_len = 0 then b.chunks
-      else begin
-        let n = Array.length b.chunks in
-        let all = Array.make (n + 1) b.last in
-        Array.blit b.chunks 0 all 0 n;
-        (* Trim the tail chunk so the stream owns no slack. *)
-        all.(n) <- (if b.last_len = chunk_entries then b.last else Array.sub b.last 0 b.last_len);
-        all
-      end
-    in
-    (* Reset so reusing the builder cannot alias the frozen chunks. *)
-    b.chunks <- [||];
-    b.last <- [||];
-    b.last_len <- 0;
-    b.full_len <- 0;
-    { chunks; length }
+  let finish : t -> _stream = Int_stream.Builder.finish
+  let abort = Int_stream.Builder.abort
 end
 
-let of_array accesses =
-  let b = Builder.create () in
+let of_array ?backing accesses =
+  let b = Builder.create ?backing () in
   Array.iter (fun acc -> Builder.add_access b acc) accesses;
   Builder.finish b
 
-let of_list accesses =
-  let b = Builder.create () in
+let of_list ?backing accesses =
+  let b = Builder.create ?backing () in
   List.iter (fun acc -> Builder.add_access b acc) accesses;
   Builder.finish b
 
-let to_array t = Array.init t.length (fun i -> get_access t i)
+let to_array t = Array.init (length t) (fun i -> get_access t i)
 
 module Cursor = struct
-  type stream = t
-  type t = { stream : stream; mutable pos : int }
+  type _stream = t
+  type t = Int_stream.Cursor.t
 
-  let create stream = { stream; pos = 0 }
-  let pos c = c.pos
-  let length c = c.stream.length
-  let has_next c = c.pos < c.stream.length
-
-  let next c =
-    let p = get c.stream c.pos in
-    c.pos <- c.pos + 1;
-    p
-
-  let peek c = get c.stream c.pos
-  let rewind c = c.pos <- 0
+  let create = Int_stream.Cursor.create
+  let pos = Int_stream.Cursor.pos
+  let length = Int_stream.Cursor.length
+  let has_next = Int_stream.Cursor.has_next
+  let next = Int_stream.Cursor.next
+  let peek = Int_stream.Cursor.peek
+  let rewind = Int_stream.Cursor.rewind
 
   let seek c pos =
-    if pos < 0 || pos > c.stream.length then
-      invalid_arg (Printf.sprintf "Access_stream.Cursor.seek: %d out of [0,%d]" pos c.stream.length);
-    c.pos <- pos
+    let n = length c in
+    if pos < 0 || pos > n then
+      invalid_arg (Printf.sprintf "Access_stream.Cursor.seek: %d out of [0,%d]" pos n);
+    Int_stream.Cursor.seek c pos
+
+  let close = Int_stream.Cursor.close
 end

@@ -15,7 +15,18 @@
     stream repeatedly, or hold a {!Cursor} and {!Cursor.rewind} it.
     Iteration order is always stream order, so every pass over the same
     stream observes the identical access sequence — the determinism
-    contract of DESIGN.md is carried by construction. *)
+    contract of DESIGN.md is carried by construction.
+
+    Storage is backing-polymorphic (it delegates to
+    {!Ripple_util.Int_stream}): the default in-heap chunks, or an
+    mmap-backed spill file ({!backing}) so paper-scale captures never
+    have to live in the heap.  The two backings are observationally
+    identical — every accessor below behaves the same regardless of
+    where the words are stored. *)
+
+type backing = Ripple_util.Int_stream.backing =
+  | Heap
+  | Spill of { dir : string option }
 
 type t
 
@@ -44,12 +55,31 @@ val iteri_rev : (int -> Access.packed -> unit) -> t -> unit
 
 val fold_left : ('a -> Access.packed -> 'a) -> 'a -> t -> 'a
 
-val of_array : Access.t array -> t
-val of_list : Access.t list -> t
+val of_array : ?backing:backing -> Access.t array -> t
+val of_list : ?backing:backing -> Access.t list -> t
 
 val to_array : t -> Access.t array
 (** Materializes boxed records — intended for tests and small streams
     only; it reintroduces exactly the footprint this module removes. *)
+
+val backing : t -> backing
+(** The storage class this stream lives in. *)
+
+val is_spill : t -> bool
+
+val byte_size : t -> int
+(** Bytes of backing storage ([8 * length] for either backing). *)
+
+val close : t -> unit
+(** Unlinks the spill file backing this stream (idempotent; no-op for
+    heap streams).  Reads stay valid until the stream is collected —
+    only the directory entry goes away. *)
+
+val raw : t -> Ripple_util.Int_stream.t
+(** The underlying int stream (zero-cost; same packed words). *)
+
+val of_raw : Ripple_util.Int_stream.t -> t
+(** Wraps an int stream whose entries are packed accesses. *)
 
 (** Incremental producer.  [add] never inspects earlier entries, so
     producers stream straight from their source (block trace, simulator
@@ -58,7 +88,11 @@ module Builder : sig
   type stream := t
   type t
 
-  val create : unit -> t
+  val create : ?backing:backing -> unit -> t
+  (** [create ()] builds in the heap; [create ~backing:(Spill _) ()]
+      writes through to a spill file one chunk at a time, so building a
+      100 M-access stream never holds more than one chunk in memory. *)
+
   val length : t -> int
   val add : t -> Access.packed -> unit
   val add_access : t -> Access.t -> unit
@@ -68,6 +102,9 @@ module Builder : sig
   val finish : t -> stream
   (** Freezes the accumulated entries.  The builder is reset to empty
       (never aliasing the frozen stream), so it may be reused. *)
+
+  val abort : t -> unit
+  (** Discards accumulated entries, removing any partial spill file. *)
 end
 
 (** A mutable read position over an immutable stream.  Rewindable, so a
@@ -88,4 +125,7 @@ module Cursor : sig
   val peek : t -> Access.packed
   val rewind : t -> unit
   val seek : t -> int -> unit
+
+  val close : t -> unit
+  (** {!close} on the underlying stream — unlinks its spill file. *)
 end

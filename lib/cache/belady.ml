@@ -1,4 +1,5 @@
 module Addr = Ripple_isa.Addr
+module Scratch = Ripple_util.Int_stream.Scratch
 
 type mode = Min | Demand_min
 
@@ -13,38 +14,58 @@ type result = {
   demand_misses_cold : int;
   prefetch_accesses : int;
   prefetch_fills : int;
+  n_evictions : int;
   evictions : eviction array;
+  fills : int array;
 }
 
 let infinity_idx = max_int
 
 (* next_demand.(i) / next_prefetch.(i): index of the next demand/prefetch
    access to the same line, strictly after access i.  One backward pass
-   over the packed stream; no access is ever boxed. *)
-let next_use_tables (stream : Access_stream.t) =
+   over the packed stream; no access is ever boxed.  The tables are
+   2 words per access — at 100 M accesses they dominate peak memory, so
+   they can live in unlinked mmap scratch instead of the heap, and
+   set-sharded runs share one read-only copy across domains. *)
+type tables = { next_demand : Scratch.t; next_prefetch : Scratch.t }
+
+let prepare ?backing (stream : Access_stream.t) =
   let n = Access_stream.length stream in
-  let next_demand = Array.make (max n 1) infinity_idx in
-  let next_prefetch = Array.make (max n 1) infinity_idx in
+  let next_demand = Scratch.make ?backing (max n 1) infinity_idx in
+  let next_prefetch = Scratch.make ?backing (max n 1) infinity_idx in
   let last_demand = Hashtbl.create 65536 and last_prefetch = Hashtbl.create 65536 in
   Access_stream.iteri_rev
     (fun i acc ->
       let line = Access.packed_line acc in
       (match Hashtbl.find_opt last_demand line with
-      | Some j -> next_demand.(i) <- j
+      | Some j -> Scratch.set next_demand i j
       | None -> ());
       (match Hashtbl.find_opt last_prefetch line with
-      | Some j -> next_prefetch.(i) <- j
+      | Some j -> Scratch.set next_prefetch i j
       | None -> ());
       if Access.packed_is_demand acc then Hashtbl.replace last_demand line i
       else Hashtbl.replace last_prefetch line i)
     stream;
-  (next_demand, next_prefetch)
+  { next_demand; next_prefetch }
 
-let simulate ?(on_fill = fun ~index:_ _ -> ()) ?(count_from = 0) geometry ~mode
+let close_tables t =
+  Scratch.close t.next_demand;
+  Scratch.close t.next_prefetch
+
+let simulate ?tables ?sets:set_range ?(record_fills = false) ?(record_evictions = true)
+    ?(on_fill = fun ~index:_ _ -> ()) ?(count_from = 0) geometry ~mode
     (stream : Access_stream.t) =
-  let next_demand, next_prefetch = next_use_tables stream in
+  let owned_tables = match tables with None -> Some (prepare stream) | Some _ -> None in
+  let tbl = match tables with Some t -> t | None -> Option.get owned_tables in
+  let nd j = Scratch.get tbl.next_demand j and np j = Scratch.get tbl.next_prefetch j in
   let sets = Geometry.sets geometry and ways = geometry.Geometry.ways in
-  (* Per-slot resident line and its most recent access index. *)
+  let set_lo, set_hi = match set_range with None -> (0, sets) | Some r -> r in
+  if set_lo < 0 || set_hi > sets || set_lo > set_hi then
+    invalid_arg
+      (Printf.sprintf "Belady.simulate: set range [%d,%d) outside [0,%d)" set_lo set_hi sets);
+  (* Per-slot resident line and its most recent access index; only the
+     [set_lo, set_hi) slice is ever touched, so sharded runs could slim
+     this, but sets*ways words is negligible next to the tables. *)
   let tags = Array.make (sets * ways) (-1) in
   let last_idx = Array.make (sets * ways) (-1) in
   let seen = Hashtbl.create 65536 in
@@ -55,6 +76,19 @@ let simulate ?(on_fill = fun ~index:_ _ -> ()) ?(count_from = 0) geometry ~mode
   let prefetch_fills = ref 0 in
   let evictions = ref [] in
   let n_evictions = ref 0 in
+  let fills = ref [||] in
+  let fills_len = ref 0 in
+  let push_fill i =
+    if record_fills then begin
+      if !fills_len = Array.length !fills then begin
+        let bigger = Array.make (max 64 (2 * !fills_len)) 0 in
+        Array.blit !fills 0 bigger 0 !fills_len;
+        fills := bigger
+      end;
+      !fills.(!fills_len) <- i;
+      incr fills_len
+    end
+  in
   (* Way index or [-1]: option results would be the loop's only
      per-access allocation. *)
   let find_way set line =
@@ -81,7 +115,7 @@ let simulate ?(on_fill = fun ~index:_ _ -> ()) ?(count_from = 0) geometry ~mode
       let best_next = ref (-1) in
       for way = 0 to ways - 1 do
         let j = last_idx.((set * ways) + way) in
-        let next = min next_demand.(j) next_prefetch.(j) in
+        let next = min (nd j) (np j) in
         if next > !best_next then begin
           best_next := next;
           best_way := way
@@ -95,15 +129,15 @@ let simulate ?(on_fill = fun ~index:_ _ -> ()) ?(count_from = 0) geometry ~mode
       let best_b = ref (-1) and best_b_key = ref (-1) in
       for way = 0 to ways - 1 do
         let j = last_idx.((set * ways) + way) in
-        let nd = next_demand.(j) and np = next_prefetch.(j) in
-        if np < nd || (nd = infinity_idx && np = infinity_idx) then begin
-          if np > !best_a_key || !best_a < 0 then begin
-            best_a_key := np;
+        let ndj = nd j and npj = np j in
+        if npj < ndj || (ndj = infinity_idx && npj = infinity_idx) then begin
+          if npj > !best_a_key || !best_a < 0 then begin
+            best_a_key := npj;
             best_a := way
           end
         end
-        else if nd > !best_b_key then begin
-          best_b_key := nd;
+        else if ndj > !best_b_key then begin
+          best_b_key := ndj;
           best_b := way
         end
       done;
@@ -114,49 +148,54 @@ let simulate ?(on_fill = fun ~index:_ _ -> ()) ?(count_from = 0) geometry ~mode
     (fun i acc ->
       let line = Access.packed_line acc in
       let set = Geometry.set_of_line geometry line in
-      let counted = i >= count_from in
-      let is_demand = Access.packed_is_demand acc in
-      (if is_demand then (if counted then incr demand_accesses)
-       else if counted then incr prefetch_accesses);
-      let hit_way = find_way set line in
-      if hit_way >= 0 then last_idx.((set * ways) + hit_way) <- i
-      else begin
-        on_fill ~index:i acc;
-        (if is_demand then begin
-           if counted then incr demand_misses;
-           if not (Hashtbl.mem seen line) then begin
-             Hashtbl.add seen line ();
-             if counted then incr demand_misses_cold
+      if set >= set_lo && set < set_hi then begin
+        let counted = i >= count_from in
+        let is_demand = Access.packed_is_demand acc in
+        (if is_demand then (if counted then incr demand_accesses)
+         else if counted then incr prefetch_accesses);
+        let hit_way = find_way set line in
+        if hit_way >= 0 then last_idx.((set * ways) + hit_way) <- i
+        else begin
+          on_fill ~index:i acc;
+          push_fill i;
+          (if is_demand then begin
+             if counted then incr demand_misses;
+             if not (Hashtbl.mem seen line) then begin
+               Hashtbl.add seen line ();
+               if counted then incr demand_misses_cold
+             end
            end
-         end
-         else begin
-           Hashtbl.replace seen line ();
-           if counted then incr prefetch_fills
-         end);
-        let way =
-          let free = free_way set in
-          if free >= 0 then free
-          else begin
-            let way = choose_victim set in
-            let slot = (set * ways) + way in
-            let j = last_idx.(slot) in
-            let next =
-              let nd = next_demand.(j) and np = next_prefetch.(j) in
-              if nd = infinity_idx && np = infinity_idx then Never
-              else if np < nd then Next_prefetch
-              else Next_demand
-            in
-            evictions :=
-              { at = i; line = tags.(slot); set; last_use = j; next } :: !evictions;
-            incr n_evictions;
-            way
-          end
-        in
-        let slot = (set * ways) + way in
-        tags.(slot) <- line;
-        last_idx.(slot) <- i
+           else begin
+             Hashtbl.replace seen line ();
+             if counted then incr prefetch_fills
+           end);
+          let way =
+            let free = free_way set in
+            if free >= 0 then free
+            else begin
+              let way = choose_victim set in
+              let slot = (set * ways) + way in
+              let j = last_idx.(slot) in
+              let next =
+                let ndj = nd j and npj = np j in
+                if ndj = infinity_idx && npj = infinity_idx then Never
+                else if npj < ndj then Next_prefetch
+                else Next_demand
+              in
+              if record_evictions then
+                evictions :=
+                  { at = i; line = tags.(slot); set; last_use = j; next } :: !evictions;
+              incr n_evictions;
+              way
+            end
+          in
+          let slot = (set * ways) + way in
+          tags.(slot) <- line;
+          last_idx.(slot) <- i
+        end
       end)
     stream;
+  (match owned_tables with Some t -> close_tables t | None -> ());
   {
     mode;
     demand_accesses = !demand_accesses;
@@ -164,8 +203,38 @@ let simulate ?(on_fill = fun ~index:_ _ -> ()) ?(count_from = 0) geometry ~mode
     demand_misses_cold = !demand_misses_cold;
     prefetch_accesses = !prefetch_accesses;
     prefetch_fills = !prefetch_fills;
+    n_evictions = !n_evictions;
     evictions = Array.of_list (List.rev !evictions);
+    fills = Array.sub !fills 0 !fills_len;
   }
+
+let merge = function
+  | [] -> invalid_arg "Belady.merge: empty"
+  | first :: _ as results ->
+      let mode = first.mode in
+      List.iter
+        (fun r -> if r.mode <> mode then invalid_arg "Belady.merge: mixed modes")
+        results;
+      let evictions = Array.concat (List.map (fun r -> r.evictions) results) in
+      (* Each access index fills at most one set, so [at] / fill indices
+         are unique across shards and the merged order is exactly the
+         unsharded stream order. *)
+      Array.sort (fun a b -> compare a.at b.at) evictions;
+      let fills = Array.concat (List.map (fun r -> r.fills) results) in
+      Array.sort (fun (a : int) b -> compare a b) fills;
+      {
+        mode;
+        demand_accesses = List.fold_left (fun a r -> a + r.demand_accesses) 0 results;
+        demand_misses = List.fold_left (fun a r -> a + r.demand_misses) 0 results;
+        demand_misses_cold =
+          List.fold_left (fun a r -> a + r.demand_misses_cold) 0 results;
+        prefetch_accesses =
+          List.fold_left (fun a r -> a + r.prefetch_accesses) 0 results;
+        prefetch_fills = List.fold_left (fun a r -> a + r.prefetch_fills) 0 results;
+        n_evictions = List.fold_left (fun a r -> a + r.n_evictions) 0 results;
+        evictions;
+        fills;
+      }
 
 let mpki result ~instructions =
   if instructions = 0 then 0.0

@@ -39,10 +39,34 @@ type result = {
   demand_misses_cold : int;
   prefetch_accesses : int;
   prefetch_fills : int;
-  evictions : eviction array;  (** in increasing [at] order *)
+  n_evictions : int;
+      (** total evictions over the whole replay — always counted, even
+          when the boxed records were not kept *)
+  evictions : eviction array;
+      (** in increasing [at] order; empty when [record_evictions] was
+          [false] *)
+  fills : int array;
+      (** stream indices of every filling access (demand misses and
+          prefetch fills), increasing — empty unless [record_fills] was
+          set; sharded runs record them so a merged result can replay
+          the memory hierarchy in exact stream order. *)
 }
 
+type tables
+(** Precomputed next-use tables for one stream: 2 words per access, the
+    oracle's entire O(n) working set.  Prepared once, they are read-only
+    and safely shared across domains — every shard of a set-sharded run
+    reads the same copy — and with a [Spill] backing they live in
+    unlinked mmap scratch instead of the heap. *)
+
+val prepare : ?backing:Access_stream.backing -> Access_stream.t -> tables
+val close_tables : tables -> unit
+
 val simulate :
+  ?tables:tables ->
+  ?sets:int * int ->
+  ?record_fills:bool ->
+  ?record_evictions:bool ->
   ?on_fill:(index:int -> Access.packed -> unit) ->
   ?count_from:int ->
   Geometry.t ->
@@ -57,6 +81,24 @@ val simulate :
     model uses it to drive the L2/L3 hierarchy under the oracle
     policies.  [count_from] restricts the counters (not the simulation,
     and not the recorded evictions) to accesses at or beyond that stream
-    index — steady-state measurement after a cache warm-up. *)
+    index — steady-state measurement after a cache warm-up.
+
+    [tables] reuses next-use tables from {!prepare} (they are left open);
+    without it the tables are built and released internally.  [sets]
+    restricts the replay to cache sets in [\[lo, hi)]: lines partition
+    by set, so counters, evictions and fills of disjoint ranges are
+    disjoint and {!merge} reassembles the exact unsharded result.
+    [record_fills] captures the fill indices in [result.fills].
+    [record_evictions] (default [true]) keeps the boxed eviction
+    records; callers that only need counters and fills — the oracle
+    timing replay, set-sharded runs — pass [false] so the replay's heap
+    stays O(1) in the stream length ([result.n_evictions] still carries
+    the tally). *)
+
+val merge : result list -> result
+(** Reassembles per-set-range shard results (counters summed, evictions
+    and fills re-sorted into stream order).  Because every access lands
+    in exactly one set, merging the shards of a partition of [\[0,
+    sets)] is byte-identical to the unsharded replay. *)
 
 val mpki : result -> instructions:int -> float

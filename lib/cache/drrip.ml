@@ -47,5 +47,13 @@ let make ~sets ~ways =
     on_eviction = Policy.nop_evict;
     on_invalidate = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
     demote = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
+    save =
+      (fun () ->
+        let rrpv' = Array.copy rrpv in
+        let psel' = !psel and brrip_counter' = !brrip_counter in
+        fun () ->
+          Array.blit rrpv' 0 rrpv 0 (Array.length rrpv);
+          psel := psel';
+          brrip_counter := brrip_counter');
     storage_bits = (sets * ways * Srrip.rrpv_bits) + psel_bits;
   }

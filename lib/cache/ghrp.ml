@@ -108,5 +108,26 @@ let make ?(fixed = true) () ~sets ~ways =
     on_eviction;
     on_invalidate = Policy.nop_way;
     demote = (fun ~set ~way -> dead.((set * ways) + way) <- true);
+    save =
+      (fun () ->
+        let history' = !history in
+        let tables' = Array.map Array.copy tables in
+        let signature' = Array.copy signature in
+        let dead' = Array.copy dead in
+        let stamp' = Array.copy stamp in
+        let clock' = !clock in
+        let victims_line' = Array.copy victims_line in
+        let victims_sig' = Array.copy victims_sig in
+        let victims_head' = !victims_head in
+        fun () ->
+          history := history';
+          Array.iteri (fun t src -> Array.blit src 0 tables.(t) 0 table_entries) tables';
+          Array.blit signature' 0 signature 0 (Array.length signature);
+          Array.blit dead' 0 dead 0 (Array.length dead);
+          Array.blit stamp' 0 stamp 0 (Array.length stamp);
+          clock := clock';
+          Array.blit victims_line' 0 victims_line 0 victim_buffer_size;
+          Array.blit victims_sig' 0 victims_sig 0 victim_buffer_size;
+          victims_head := victims_head');
     storage_bits;
   }

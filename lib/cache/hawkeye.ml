@@ -177,5 +177,37 @@ let make ?(harmony = true) () ~sets ~ways =
     on_eviction;
     on_invalidate = Policy.nop_way;
     demote = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
+    save =
+      (fun () ->
+        (* [friendly_lookups]/[total_lookups] are module-level
+           diagnostics, deliberately not part of the checkpoint. *)
+        let predictor' = Array.copy predictor in
+        let rrpv' = Array.copy rrpv in
+        let last_pc' = Array.copy last_pc in
+        let samplers' =
+          Array.map
+            (fun s ->
+              {
+                lines = Array.copy s.lines;
+                pcs = Array.copy s.pcs;
+                times = Array.copy s.times;
+                clock = s.clock;
+                occupancy = Array.copy s.occupancy;
+              })
+            samplers
+        in
+        fun () ->
+          Array.blit predictor' 0 predictor 0 predictor_entries;
+          Array.blit rrpv' 0 rrpv 0 (Array.length rrpv);
+          Array.blit last_pc' 0 last_pc 0 (Array.length last_pc);
+          Array.iteri
+            (fun i s' ->
+              let s = samplers.(i) in
+              Array.blit s'.lines 0 s.lines 0 sampler_associativity;
+              Array.blit s'.pcs 0 s.pcs 0 sampler_associativity;
+              Array.blit s'.times 0 s.times 0 sampler_associativity;
+              s.clock <- s'.clock;
+              Array.blit s'.occupancy 0 s.occupancy 0 sampler_associativity)
+            samplers');
     storage_bits;
   }

@@ -33,5 +33,13 @@ let make ~sets ~ways =
       (fun ~set ~way ->
         stamp.((set * ways) + way) <- !demote_clock;
         decr demote_clock);
+    save =
+      (fun () ->
+        let stamp' = Array.copy stamp in
+        let clock' = !clock and demote_clock' = !demote_clock in
+        fun () ->
+          Array.blit stamp' 0 stamp 0 (Array.length stamp);
+          clock := clock';
+          demote_clock := demote_clock');
     storage_bits = storage_bits ~sets ~ways;
   }

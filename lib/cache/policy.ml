@@ -6,6 +6,7 @@ type t = {
   on_eviction : set:int -> way:int -> line:Ripple_isa.Addr.line -> unit;
   on_invalidate : set:int -> way:int -> unit;
   demote : set:int -> way:int -> unit;
+  save : unit -> unit -> unit;
   storage_bits : int;
 }
 
@@ -14,3 +15,4 @@ type factory = sets:int -> ways:int -> t
 let nop_access ~set:_ ~way:_ _ = ()
 let nop_way ~set:_ ~way:_ = ()
 let nop_evict ~set:_ ~way:_ ~line:_ = ()
+let nop_save () () = ()

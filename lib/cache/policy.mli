@@ -26,6 +26,11 @@ type t = {
       (** A Ripple [Demote] hint: make [way] the preferred next victim
           without invalidating it (§IV, "Invalidation vs. reducing LRU
           priority"). *)
+  save : unit -> unit -> unit;
+      (** [save ()] captures a deep copy of the policy's replacement
+          state; the returned thunk restores it.  Checkpointed warm-up
+          (sampled simulation) snapshots the cache after the warm-up
+          prefix and rewinds to it before each sample window. *)
   storage_bits : int;
 }
 
@@ -37,3 +42,6 @@ val nop_access : set:int -> way:int -> Access.packed -> unit
 
 val nop_way : set:int -> way:int -> unit
 val nop_evict : set:int -> way:int -> line:Ripple_isa.Addr.line -> unit
+
+val nop_save : unit -> unit -> unit
+(** For stateless policies: capturing and restoring are both no-ops. *)

@@ -21,5 +21,12 @@ let make ~seed ~sets ~ways =
     on_eviction = Policy.nop_evict;
     on_invalidate = (fun ~set ~way -> if demoted.(set) = way then demoted.(set) <- -1);
     demote = (fun ~set ~way -> demoted.(set) <- way);
+    save =
+      (fun () ->
+        let rng' = Prng.copy rng in
+        let demoted' = Array.copy demoted in
+        fun () ->
+          Prng.copy_into ~src:rng' ~dst:rng;
+          Array.blit demoted' 0 demoted 0 (Array.length demoted));
     storage_bits = 0;
   }

@@ -47,6 +47,17 @@ let make ~sets ~ways =
     on_eviction;
     on_invalidate = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
     demote = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
+    save =
+      (fun () ->
+        let rrpv' = Array.copy rrpv in
+        let shct' = Array.copy shct in
+        let fill_sig' = Array.copy fill_sig in
+        let reused' = Array.copy reused in
+        fun () ->
+          Array.blit rrpv' 0 rrpv 0 (Array.length rrpv);
+          Array.blit shct' 0 shct 0 (Array.length shct);
+          Array.blit fill_sig' 0 fill_sig 0 (Array.length fill_sig);
+          Array.blit reused' 0 reused 0 (Array.length reused));
     storage_bits =
       (sets * ways * Srrip.rrpv_bits) (* RRPV *)
       + (table_entries * 2) (* SHCT *)

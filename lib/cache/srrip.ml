@@ -34,5 +34,9 @@ let make ~sets ~ways =
     on_eviction = Policy.nop_evict;
     on_invalidate = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
     demote = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
+    save =
+      (fun () ->
+        let rrpv' = Array.copy rrpv in
+        fun () -> Array.blit rrpv' 0 rrpv 0 (Array.length rrpv));
     storage_bits = sets * ways * rrpv_bits;
   }

@@ -13,10 +13,10 @@ let of_evictions ?(demand_covered_only = false) evictions =
       { victim = e.Belady.line; start = e.Belady.last_use; stop = e.Belady.at })
     kept
 
-let to_trace_coords windows ~stream_pos =
-  Array.map
-    (fun w -> { w with start = stream_pos.(w.start); stop = stream_pos.(w.stop) })
-    windows
+let to_trace_coords_with windows ~pos =
+  Array.map (fun w -> { w with start = pos w.start; stop = pos w.stop }) windows
+
+let to_trace_coords windows ~stream_pos = to_trace_coords_with windows ~pos:(Array.get stream_pos)
 
 let count_for windows ~line =
   Array.fold_left (fun acc w -> if w.victim = line then acc + 1 else acc) 0 windows

@@ -30,6 +30,11 @@ val to_trace_coords : t array -> stream_pos:int array -> t array
 (** Re-expresses each window using [stream_pos], the per-stream-entry
     trace index from {!Ripple_cpu.Simulator.record_stream_indexed}. *)
 
+val to_trace_coords_with : t array -> pos:(int -> int) -> t array
+(** {!to_trace_coords} over an arbitrary position lookup — e.g. a
+    spill-backed {!Ripple_util.Int_stream} index, which this way never
+    has to materialize in the heap. *)
+
 val count_for : t array -> line:Addr.line -> int
 
 (** Per-line interval membership with monotone queries: build once, then

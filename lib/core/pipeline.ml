@@ -22,6 +22,8 @@ let belady_mode_of = function No_prefetch -> Belady.Min | Nlp | Fdip -> Belady.D
 module Lint = Ripple_analysis.Lint
 module Invalidation_check = Ripple_analysis.Invalidation_check
 module Json = Ripple_util.Json
+module Access_stream = Ripple_cache.Access_stream
+module Int_stream = Ripple_util.Int_stream
 
 module Degrade = struct
   type level = Full | Safe_only | Hints_off
@@ -61,12 +63,15 @@ type analysis = {
 
 module Eval = struct
   type t = {
-    trace : int array;
+    trace : Simulator.Trace.t;
     policy : Ripple_cache.Policy.factory;
     warmup : int;
   }
 
-  let v ?(warmup = 0) ~trace ~policy () = { trace; policy; warmup }
+  let v_trace ?(warmup = 0) ~trace ~policy () = { trace; policy; warmup }
+
+  let v ?warmup ~trace ~policy () =
+    v_trace ?warmup ~trace:(Simulator.Trace.Blocks trace) ~policy ()
 end
 
 module Options = struct
@@ -88,6 +93,8 @@ module Options = struct
     prefetch : prefetch;
     eval : Eval.t option;
     search : float list;
+    backing : Access_stream.backing;
+    sampling : Simulator.Sampling.t option;
   }
 
   let default =
@@ -109,6 +116,8 @@ module Options = struct
       prefetch = Fdip;
       eval = None;
       search = [];
+      backing = Access_stream.Heap;
+      sampling = None;
     }
 end
 
@@ -196,6 +205,11 @@ module Metrics = struct
     eval_coverage : Obs.Metric.gauge;
     eval_accuracy : Obs.Metric.gauge;
     eval_hint_execs : Obs.Metric.counter;
+    sample_windows : Obs.Metric.counter;
+    sample_measured_blocks : Obs.Metric.counter;
+    sample_coverage : Obs.Metric.gauge;
+    stream_backing : Obs.Metric.gauge;
+    stream_spill_bytes : Obs.Metric.counter;
   }
 
   let register reg =
@@ -236,6 +250,12 @@ module Metrics = struct
       eval_coverage = g "ripple_eval_coverage" "replacement coverage of the evaluated run";
       eval_accuracy = g "ripple_eval_accuracy" "replacement accuracy of the evaluated run";
       eval_hint_execs = c "ripple_eval_hint_execs" "dynamic hint executions while evaluated";
+      sample_windows = c "ripple_sample_windows" "measurement windows of a sampled run";
+      sample_measured_blocks =
+        c "ripple_sample_measured_blocks" "trace blocks inside measured windows";
+      sample_coverage = g "ripple_sample_coverage" "measured fraction of the steady state";
+      stream_backing = g "ripple_stream_backing" "access-stream backing: 0 heap, 1 mmap";
+      stream_spill_bytes = c "ripple_stream_spill_bytes" "bytes written to stream spill files";
     }
 end
 
@@ -301,18 +321,23 @@ type evaluation = {
   hint_execs : int;
   static_overhead : float;
   dynamic_overhead : float;
+  sample : Simulator.Sampling.report option;
 }
 
 let evaluation_to_json (ev : evaluation) =
   Json.Obj
-    [
-      ("result", Simulator.result_to_json ev.result);
-      ("coverage", Json.Float ev.coverage);
-      ("accuracy", Json.Float ev.accuracy);
-      ("hint_execs", Json.Int ev.hint_execs);
-      ("static_overhead", Json.Float ev.static_overhead);
-      ("dynamic_overhead", Json.Float ev.dynamic_overhead);
-    ]
+    ([
+       ("result", Simulator.result_to_json ev.result);
+       ("coverage", Json.Float ev.coverage);
+       ("accuracy", Json.Float ev.accuracy);
+       ("hint_execs", Json.Int ev.hint_execs);
+       ("static_overhead", Json.Float ev.static_overhead);
+       ("dynamic_overhead", Json.Float ev.dynamic_overhead);
+     ]
+    @
+    match ev.sample with
+    | None -> []
+    | Some r -> [ ("sample", Simulator.Sampling.report_to_json r) ])
 
 let overhead ~extra ~base = if base = 0 then 0.0 else Float.of_int extra /. Float.of_int base
 
@@ -320,20 +345,31 @@ let overhead ~extra ~base = if base = 0 then 0.0 else Float.of_int extra /. Floa
    legacy [evaluate] entry point, shared with [run]'s simulate stage;
    [obs], when present, routes the timing simulation's counters and the
    Ripple accuracy/coverage gauges into the run's registry. *)
-let eval_core ?obs ~(config : Config.t) ~warmup ~original ~instrumented ~trace ~policy
-    ~prefetch () =
+let eval_core ?obs ?(backing = Access_stream.Heap) ?sampling ~(config : Config.t) ~warmup
+    ~original ~instrumented ~(trace : Simulator.Trace.t) ~policy ~prefetch () =
   (* Ideal eviction windows on the evaluation stream of the instrumented
-     binary, in trace coordinates: the accuracy yardstick. *)
+     binary, in trace coordinates: the accuracy yardstick.  With a spill
+     backing, the stream, its position index and the Belady working
+     tables all live in mmap files — the heap cost of this stage stays
+     O(windows), not O(trace). *)
   let stream, stream_pos =
-    Simulator.record_stream_indexed ~config ~program:instrumented ~trace
+    Simulator.record_stream_indexed_trace ~config ~backing ~program:instrumented ~trace
       ~prefetcher:(prefetcher_of ~config prefetch)
       ()
   in
-  let replay = Belady.simulate config.Config.l1i ~mode:(belady_mode_of prefetch) stream in
   let windows =
-    Eviction_window.to_trace_coords (Eviction_window.of_evictions replay.Belady.evictions)
-      ~stream_pos
+    let tables = Belady.prepare ~backing stream in
+    let replay =
+      Fun.protect
+        ~finally:(fun () -> Belady.close_tables tables)
+        (fun () -> Belady.simulate ~tables config.Config.l1i ~mode:(belady_mode_of prefetch) stream)
+    in
+    Eviction_window.to_trace_coords_with
+      (Eviction_window.of_evictions replay.Belady.evictions)
+      ~pos:(Int_stream.get stream_pos)
   in
+  Access_stream.close stream;
+  Int_stream.close stream_pos;
   let index = Eviction_window.Index.create windows in
   let hint_execs = ref 0 in
   let accurate = ref 0 in
@@ -347,8 +383,9 @@ let eval_core ?obs ~(config : Config.t) ~warmup ~original ~instrumented ~trace ~
       if (not resident) || Eviction_window.Index.mem index ~line ~at then incr accurate
     end
   in
-  let result =
-    Simulator.run ~config ~warmup ?obs ~on_hint ~program:instrumented ~trace ~policy
+  let result, sample =
+    Simulator.run_trace ~config ~warmup ?obs ~on_hint ?sampling ~program:instrumented ~trace
+      ~policy
       ~prefetcher:(prefetcher_of ~config prefetch)
       ()
   in
@@ -368,6 +405,7 @@ let eval_core ?obs ~(config : Config.t) ~warmup ~original ~instrumented ~trace ~
       dynamic_overhead =
         overhead ~extra:result.Simulator.hint_instructions
           ~base:(result.Simulator.instructions - result.Simulator.hint_instructions);
+      sample;
     }
   in
   (match obs with
@@ -376,7 +414,13 @@ let eval_core ?obs ~(config : Config.t) ~warmup ~original ~instrumented ~trace ~
     let m = Metrics.register (Obs.Run.registry obs) in
     Obs.Metric.set m.Metrics.eval_coverage ev.coverage;
     Obs.Metric.set m.Metrics.eval_accuracy ev.accuracy;
-    Obs.Metric.add m.Metrics.eval_hint_execs ev.hint_execs);
+    Obs.Metric.add m.Metrics.eval_hint_execs ev.hint_execs;
+    match sample with
+    | None -> ()
+    | Some (r : Simulator.Sampling.report) ->
+      Obs.Metric.add m.Metrics.sample_windows (Array.length r.Simulator.Sampling.spans);
+      Obs.Metric.add m.Metrics.sample_measured_blocks r.Simulator.Sampling.measured_blocks;
+      Obs.Metric.set m.Metrics.sample_coverage r.Simulator.Sampling.coverage);
   ev
 
 type outcome = {
@@ -452,15 +496,26 @@ let run_one ~obs ~(m : Metrics.t) (o : Options.t) ~source input =
          windows. *)
       let stream =
         stage obs "profile" (fun () ->
-            Simulator.record_stream ~config ~program:profile.source ~trace:profile.trace
-              ~prefetcher:(prefetcher_of ~config prefetch)
-              ())
+            let stream, pos =
+              Simulator.record_stream_indexed_trace ~config ~backing:o.Options.backing
+                ~program:profile.source
+                ~trace:(Simulator.Trace.Blocks profile.trace)
+                ~prefetcher:(prefetcher_of ~config prefetch)
+                ()
+            in
+            Int_stream.close pos;
+            stream)
       in
-      Obs.Metric.add m.Metrics.profile_accesses (Ripple_cache.Access_stream.length stream);
+      Obs.Metric.add m.Metrics.profile_accesses (Access_stream.length stream);
       let windows =
         stage obs "belady" (fun () ->
+            let tables = Belady.prepare ~backing:o.Options.backing stream in
             let replay =
-              Belady.simulate config.Config.l1i ~mode:(belady_mode_of prefetch) stream
+              Fun.protect
+                ~finally:(fun () -> Belady.close_tables tables)
+                (fun () ->
+                  Belady.simulate ~tables config.Config.l1i ~mode:(belady_mode_of prefetch)
+                    stream)
             in
             Eviction_window.of_evictions
               ~demand_covered_only:o.Options.exclude_prefetch_covered replay.Belady.evictions)
@@ -488,6 +543,9 @@ let run_one ~obs ~(m : Metrics.t) (o : Options.t) ~source input =
                 decisions,
               drops ))
       in
+      (* The profile stream (possibly spill-backed) is not needed past
+         cue selection: release it — and unlink its spill file — now. *)
+      Access_stream.close stream;
       Obs.Metric.add m.Metrics.cue_no_candidate drops.Cue_block.no_candidate;
       Obs.Metric.add m.Metrics.cue_below_support drops.Cue_block.below_support;
       Obs.Metric.add m.Metrics.cue_below_threshold drops.Cue_block.below_threshold;
@@ -544,8 +602,9 @@ let run_one ~obs ~(m : Metrics.t) (o : Options.t) ~source input =
     | Some (e : Eval.t) ->
       Some
         (stage obs "simulate" (fun () ->
-             eval_core ~obs ~config ~warmup:e.Eval.warmup ~original:source ~instrumented
-               ~trace:e.Eval.trace ~policy:e.Eval.policy ~prefetch ()))
+             eval_core ~obs ~backing:o.Options.backing ?sampling:o.Options.sampling ~config
+               ~warmup:e.Eval.warmup ~original:source ~instrumented ~trace:e.Eval.trace
+               ~policy:e.Eval.policy ~prefetch ()))
   in
   { program = instrumented; analysis; evaluation; obs; metrics = Obs.Snapshot.empty }
 

@@ -73,10 +73,14 @@ type analysis = {
     Attached to {!Options.t.eval} to make {!run} produce an
     {!outcome.evaluation}. *)
 module Eval : sig
-  type t = { trace : int array; policy : Policy.factory; warmup : int }
+  type t = { trace : Simulator.Trace.t; policy : Policy.factory; warmup : int }
 
   val v : ?warmup:int -> trace:int array -> policy:Policy.factory -> unit -> t
   (** [warmup] defaults to 0. *)
+
+  val v_trace : ?warmup:int -> trace:Simulator.Trace.t -> policy:Policy.factory -> unit -> t
+  (** Like {!v} over either trace representation — the out-of-core entry
+      point for spill-backed ({!Ripple_util.Int_stream}) traces. *)
 end
 
 (** Instrumentation knobs, gathered into one plain record.  Build a
@@ -139,6 +143,17 @@ module Options : sig
         (** per-application threshold candidates (§III-C): when
             non-empty, {!run} runs the pipeline once per candidate and
             keeps the best-IPC outcome (requires [eval]); default [[]] *)
+    backing : Ripple_cache.Access_stream.backing;
+        (** where recorded access streams (and the Belady working
+            tables) live: [Heap] (default) or [Spill], which writes
+            through to unlinked mmap files so the analysis heap stays
+            O(windows) even on 100 M-block profiles.  Results are
+            byte-identical across backings *)
+    sampling : Simulator.Sampling.t option;
+        (** when set, the evaluation run is sampled
+            ({!Ripple_cpu.Simulator.run_trace}): checkpointed warm-up
+            plus K measured windows, with the coverage report attached
+            to {!evaluation}; default [None] (full replay) *)
   }
 
   val default : t
@@ -190,6 +205,9 @@ type evaluation = {
   hint_execs : int;  (** dynamic hint executions *)
   static_overhead : float;  (** extra static instructions, fraction *)
   dynamic_overhead : float;  (** extra dynamic instructions, fraction *)
+  sample : Simulator.Sampling.report option;
+      (** coverage report of a sampled evaluation; [Some] iff
+          {!Options.t.sampling} was set *)
 }
 
 val evaluation_to_json : evaluation -> Ripple_util.Json.t

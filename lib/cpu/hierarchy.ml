@@ -26,3 +26,9 @@ let penalty config = function
 
 let l2_stats t = Cache.stats t.l2
 let l3_stats t = Cache.stats t.l3
+
+let save t =
+  let restore_l2 = Cache.save t.l2 and restore_l3 = Cache.save t.l3 in
+  fun () ->
+    restore_l2 ();
+    restore_l3 ()

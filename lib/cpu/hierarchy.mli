@@ -23,3 +23,7 @@ val penalty : Config.t -> served -> int
 
 val l2_stats : t -> Ripple_cache.Stats.t
 val l3_stats : t -> Ripple_cache.Stats.t
+
+val save : t -> unit -> unit
+(** Deep-copies both levels' state; the thunk restores it (see
+    {!Ripple_cache.Cache.save}). *)

@@ -9,6 +9,8 @@ module Lru = Ripple_cache.Lru
 module Prefetcher = Ripple_prefetch.Prefetcher
 module Nlp = Ripple_prefetch.Nlp
 module Fdip = Ripple_prefetch.Fdip
+module Int_stream = Ripple_util.Int_stream
+module Prng = Ripple_util.Prng
 
 type result = {
   instructions : int;
@@ -54,6 +56,90 @@ let result_to_json (r : result) =
             ("demotes", Json.Int l1i.Stats.demotes);
           ] );
     ]
+
+(* A basic-block trace by index: the materialized [int array] the tests
+   and small drivers use, or an [Int_stream] so a 100 M-block trace can
+   live in an mmap spill file instead of the heap. *)
+module Trace = struct
+  type t = Blocks of int array | Stream of Int_stream.t
+
+  let of_blocks a = Blocks a
+  let of_stream s = Stream s
+  let length = function Blocks a -> Array.length a | Stream s -> Int_stream.length s
+
+  (* Loop-bounded callers only: no bounds check on the array case. *)
+  let get t i =
+    match t with
+    | Blocks a -> Array.unsafe_get a i
+    | Stream s -> Int_stream.unsafe_get s i
+
+  let to_blocks = function Blocks a -> a | Stream s -> Int_stream.to_array s
+  let close = function Blocks _ -> () | Stream s -> Int_stream.close s
+end
+
+(* SimPoint-style sampled simulation: K measurement windows chosen
+   deterministically from a seed, one per equal segment of the
+   steady-state region, each replayed from the warm-up checkpoint after
+   an uncounted ramp. *)
+module Sampling = struct
+  type t = { windows : int; window_blocks : int; warm_blocks : int; seed : int }
+
+  let v ?(warm_blocks = 0) ?(seed = 1) ~windows ~window_blocks () =
+    if windows <= 0 then invalid_arg "Sampling.v: windows must be positive";
+    if window_blocks <= 0 then invalid_arg "Sampling.v: window_blocks must be positive";
+    if warm_blocks < 0 then invalid_arg "Sampling.v: warm_blocks must be non-negative";
+    { windows; window_blocks; warm_blocks; seed }
+
+  type report = {
+    spans : (int * int) array;
+    measured_blocks : int;
+    total_blocks : int;
+    coverage : float;
+  }
+
+  (* Stratified selection: one window per equal segment of [warmup, n),
+     offset uniformly within its segment.  When the requested windows
+     cover the whole region the answer degenerates to the full region —
+     and the sampled run is then exactly the full run. *)
+  let select ~warmup ~n t =
+    let span = n - warmup in
+    if span <= 0 then [||]
+    else if t.windows * t.window_blocks >= span then [| (warmup, n) |]
+    else begin
+      let seg = span / t.windows in
+      let w = min t.window_blocks seg in
+      let rng = Prng.create ~seed:t.seed in
+      Array.init t.windows (fun i ->
+          let base = warmup + (i * seg) in
+          let slack = seg - w in
+          let off = if slack > 0 then Prng.int rng (slack + 1) else 0 in
+          (base + off, base + off + w))
+    end
+
+  let report_of_spans ~warmup ~n spans =
+    let measured = Array.fold_left (fun acc (s, e) -> acc + e - s) 0 spans in
+    let total = max 0 (n - warmup) in
+    {
+      spans;
+      measured_blocks = measured;
+      total_blocks = total;
+      coverage = (if total = 0 then 1.0 else Float.of_int measured /. Float.of_int total);
+    }
+
+  let report_to_json r =
+    Json.Obj
+      [
+        ("windows", Json.Int (Array.length r.spans));
+        ( "spans",
+          Json.List
+            (Array.to_list
+               (Array.map (fun (s, e) -> Json.List [ Json.Int s; Json.Int e ]) r.spans))
+        );
+        ("measured_blocks", Json.Int r.measured_blocks);
+        ("total_blocks", Json.Int r.total_blocks);
+        ("coverage", Json.Float r.coverage);
+      ]
+end
 
 module Obs = Ripple_obs
 
@@ -132,8 +218,10 @@ let finish ~(config : Config.t) ~instructions ~hint_instructions ~miss_cycles ~l
     served_memory = mem_served;
   }
 
-let run ?(config = Config.default) ?(warmup = 0) ?obs
-    ?(on_hint = fun ~at:_ _ ~resident:_ -> ()) ~program ~trace ~policy ~prefetcher () =
+let run_trace ?(config = Config.default) ?(warmup = 0) ?obs
+    ?(on_hint = fun ~at:_ _ ~resident:_ -> ()) ?sampling ~program ~(trace : Trace.t) ~policy
+    ~prefetcher () =
+  let n = Trace.length trace in
   let l1 = Cache.create ~geometry:config.Config.l1i ~policy () in
   let hierarchy = Hierarchy.create config in
   let pf = prefetcher program in
@@ -146,6 +234,9 @@ let run ?(config = Config.default) ?(warmup = 0) ?obs
      float accumulation: every partial sum is far below 2^53.) *)
   let miss_cycles = ref 0 in
   let l2_served = ref 0 and l3_served = ref 0 and mem_served = ref 0 in
+  (* Sampled runs silence [on_hint] on uncounted ramp blocks so callers'
+     accuracy counters line up with the measured windows. *)
+  let hints_observed = ref true in
   let complete_prefetch (acc : Access.packed) =
     match Cache.access_packed l1 acc with
     | Cache.Hit -> ()
@@ -191,108 +282,173 @@ let run ?(config = Config.default) ?(warmup = 0) ?obs
       miss_cycles := !miss_cycles + Hierarchy.penalty config served;
       true
   in
-  (* Periodic IPC/MPKI samples in *virtual* time (the trace index), so
-     the series is a pure function of the run — identical at any pool
-     size.  At most ~16 samples per run; the per-block cost without a
-     sampler is one match. *)
-  let sampler =
-    match obs with
-    | None -> None
-    | Some obs ->
-      let reg = Obs.Run.registry obs in
-      register_obs reg;
-      let ipc_series = Obs.Registry.series reg "ripple_sim_ipc" in
-      let mpki_series = Obs.Registry.series reg "ripple_sim_mpki" in
-      let every = max 1 (Array.length trace / 16) in
-      Some
-        (fun at ->
-          if (at + 1) mod every = 0 then begin
-            let original = !instructions - !hint_instructions in
-            if original > 0 then begin
-              let cycles =
-                (config.Config.cpi_base *. Float.of_int original)
-                +. (config.Config.hint_cpi *. Float.of_int !hint_instructions)
-                +. (config.Config.miss_exposure *. Float.of_int !miss_cycles)
-              in
-              Obs.Metric.sample ipc_series ~at
-                (if cycles > 0.0 then Float.of_int original /. cycles else 0.0);
-              Obs.Metric.sample mpki_series ~at
-                (Stats.mpki (Cache.stats l1) ~instructions:original)
-            end
-          end)
+  let reset_counters () =
+    Stats.reset (Cache.stats l1);
+    miss_cycles := 0;
+    instructions := 0;
+    hint_instructions := 0;
+    l2_served := 0;
+    l3_served := 0;
+    mem_served := 0
   in
-  Array.iteri
-    (fun at id ->
+  let step at =
+    let id = Trace.get trace at in
+    let b = blocks.(id) in
+    flush_due ~at;
+    issue_all ~at (pf.Prefetcher.on_block b);
+    let bl = lines.(id) in
+    for i = 0 to Array.length bl - 1 do
+      let missed = demand ~block:id bl.(i) in
+      issue_all ~at (pf.Prefetcher.on_demand ~line:bl.(i) ~missed)
+    done;
+    let hints = b.Basic_block.hints in
+    for i = 0 to Array.length hints - 1 do
+      let hint = hints.(i) in
+      let line = Basic_block.hint_line hint in
+      if !hints_observed then on_hint ~at hint ~resident:(Cache.contains l1 line);
+      (match hint with
+      | Basic_block.Invalidate line -> Cache.invalidate l1 line
+      | Basic_block.Demote line -> Cache.demote l1 line);
+      incr hint_instructions
+    done;
+    instructions := !instructions + Basic_block.total_instrs b
+  in
+  match sampling with
+  | None ->
+    (* Periodic IPC/MPKI samples in *virtual* time (the trace index), so
+       the series is a pure function of the run — identical at any pool
+       size.  At most ~16 samples per run; the per-block cost without a
+       sampler is one match. *)
+    let sampler =
+      match obs with
+      | None -> None
+      | Some obs ->
+        let reg = Obs.Run.registry obs in
+        register_obs reg;
+        let ipc_series = Obs.Registry.series reg "ripple_sim_ipc" in
+        let mpki_series = Obs.Registry.series reg "ripple_sim_mpki" in
+        let every = max 1 (n / 16) in
+        Some
+          (fun at ->
+            if (at + 1) mod every = 0 then begin
+              let original = !instructions - !hint_instructions in
+              if original > 0 then begin
+                let cycles =
+                  (config.Config.cpi_base *. Float.of_int original)
+                  +. (config.Config.hint_cpi *. Float.of_int !hint_instructions)
+                  +. (config.Config.miss_exposure *. Float.of_int !miss_cycles)
+                in
+                Obs.Metric.sample ipc_series ~at
+                  (if cycles > 0.0 then Float.of_int original /. cycles else 0.0);
+                Obs.Metric.sample mpki_series ~at
+                  (Stats.mpki (Cache.stats l1) ~instructions:original)
+              end
+            end)
+    in
+    for at = 0 to n - 1 do
       (* Steady state: warm the caches and predictors, then zero the
          counters at the warm-up boundary. *)
-      if at = warmup && warmup > 0 then begin
-        Stats.reset (Cache.stats l1);
-        miss_cycles := 0;
-        instructions := 0;
-        hint_instructions := 0;
-        l2_served := 0;
-        l3_served := 0;
-        mem_served := 0
-      end;
-      let b = blocks.(id) in
-      flush_due ~at;
-      issue_all ~at (pf.Prefetcher.on_block b);
-      let bl = lines.(id) in
-      for i = 0 to Array.length bl - 1 do
-        let missed = demand ~block:id bl.(i) in
-        issue_all ~at (pf.Prefetcher.on_demand ~line:bl.(i) ~missed)
-      done;
-      let hints = b.Basic_block.hints in
-      for i = 0 to Array.length hints - 1 do
-        let hint = hints.(i) in
-        let line = Basic_block.hint_line hint in
-        on_hint ~at hint ~resident:(Cache.contains l1 line);
-        (match hint with
-        | Basic_block.Invalidate line -> Cache.invalidate l1 line
-        | Basic_block.Demote line -> Cache.demote l1 line);
-        incr hint_instructions
-      done;
-      instructions := !instructions + Basic_block.total_instrs b;
-      match sampler with Some f -> f at | None -> ())
-    trace;
-  let result =
-    finish ~config ~instructions:!instructions ~hint_instructions:!hint_instructions
-      ~miss_cycles:(Float.of_int !miss_cycles) ~l1i:(Cache.stats l1) ~l2_served:!l2_served
-      ~l3_served:!l3_served ~mem_served:!mem_served
-  in
-  (match obs with Some o -> observe_result o result | None -> ());
-  result
+      if at = warmup && warmup > 0 then reset_counters ();
+      step at;
+      match sampler with Some f -> f at | None -> ()
+    done;
+    let result =
+      finish ~config ~instructions:!instructions ~hint_instructions:!hint_instructions
+        ~miss_cycles:(Float.of_int !miss_cycles) ~l1i:(Cache.stats l1)
+        ~l2_served:!l2_served ~l3_served:!l3_served ~mem_served:!mem_served
+    in
+    (match obs with Some o -> observe_result o result | None -> ());
+    (result, None)
+  | Some (sampling : Sampling.t) ->
+    let spans = Sampling.select ~warmup ~n sampling in
+    (* Warm phase, then checkpoint: cache + hierarchy + prefetcher +
+       in-flight prefetches, restored before every window. *)
+    for at = 0 to min warmup n - 1 do
+      step at
+    done;
+    reset_counters ();
+    let restore =
+      let restore_l1 = Cache.save l1 in
+      let restore_hierarchy = Hierarchy.save hierarchy in
+      let restore_pf = pf.Prefetcher.save () in
+      let in_flight' = Array.copy in_flight in
+      fun () ->
+        restore_l1 ();
+        restore_hierarchy ();
+        restore_pf ();
+        Array.blit in_flight' 0 in_flight 0 slots
+    in
+    let total_stats = Stats.create () in
+    let t_instr = ref 0 and t_hint = ref 0 and t_miss = ref 0 in
+    let t_l2 = ref 0 and t_l3 = ref 0 and t_mem = ref 0 in
+    Array.iter
+      (fun (w_start, w_end) ->
+        restore ();
+        (* Uncounted ramp from the checkpoint to the window, detraining
+           the checkpoint bias before measurement starts. *)
+        hints_observed := false;
+        for at = max warmup (w_start - sampling.Sampling.warm_blocks) to w_start - 1 do
+          step at
+        done;
+        hints_observed := true;
+        let snap = Stats.copy (Cache.stats l1) in
+        let s_instr = !instructions and s_hint = !hint_instructions in
+        let s_miss = !miss_cycles in
+        let s_l2 = !l2_served and s_l3 = !l3_served and s_mem = !mem_served in
+        for at = w_start to w_end - 1 do
+          step at
+        done;
+        t_instr := !t_instr + !instructions - s_instr;
+        t_hint := !t_hint + !hint_instructions - s_hint;
+        t_miss := !t_miss + !miss_cycles - s_miss;
+        t_l2 := !t_l2 + !l2_served - s_l2;
+        t_l3 := !t_l3 + !l3_served - s_l3;
+        t_mem := !t_mem + !mem_served - s_mem;
+        Stats.accumulate_delta ~into:total_stats ~before:snap ~after:(Cache.stats l1))
+      spans;
+    let result =
+      finish ~config ~instructions:!t_instr ~hint_instructions:!t_hint
+        ~miss_cycles:(Float.of_int !t_miss) ~l1i:total_stats ~l2_served:!t_l2
+        ~l3_served:!t_l3 ~mem_served:!t_mem
+    in
+    (match obs with Some o -> observe_result o result | None -> ());
+    (result, Some (Sampling.report_of_spans ~warmup ~n spans))
 
-let instructions_from ~program ~trace ~warmup =
+let run ?config ?warmup ?obs ?on_hint ~program ~trace ~policy ~prefetcher () =
+  fst
+    (run_trace ?config ?warmup ?obs ?on_hint ~program ~trace:(Trace.Blocks trace) ~policy
+       ~prefetcher ())
+
+let instructions_from_trace ~program ~(trace : Trace.t) ~warmup =
   let per_block = Array.map Basic_block.total_instrs (Program.blocks program) in
   let total = ref 0 in
-  for i = warmup to Array.length trace - 1 do
-    total := !total + per_block.(trace.(i))
+  for i = warmup to Trace.length trace - 1 do
+    total := !total + per_block.(Trace.get trace i)
   done;
   !total
 
-let ideal_cache ?(config = Config.default) ?(warmup = 0) ~program ~trace () =
-  let instructions = instructions_from ~program ~trace ~warmup in
+let instructions_from ~program ~trace ~warmup =
+  instructions_from_trace ~program ~trace:(Trace.Blocks trace) ~warmup
+
+let ideal_cache_trace ?(config = Config.default) ?(warmup = 0) ~program ~trace () =
+  let instructions = instructions_from_trace ~program ~trace ~warmup in
   finish ~config ~instructions ~hint_instructions:0 ~miss_cycles:0.0 ~l1i:(Stats.create ())
     ~l2_served:0 ~l3_served:0 ~mem_served:0
 
-let record_stream_indexed ?(config = Config.default) ~program ~trace ~prefetcher () =
+let ideal_cache ?config ?warmup ~program ~trace () =
+  ideal_cache_trace ?config ?warmup ~program ~trace:(Trace.Blocks trace) ()
+
+let record_stream_indexed_trace ?(config = Config.default) ?backing ~program
+    ~(trace : Trace.t) ~prefetcher () =
   let l1 = Cache.create ~geometry:config.Config.l1i ~policy:Lru.make () in
   let pf = prefetcher program in
   let lines = block_lines program in
   let blocks = Program.blocks program in
-  let builder = Access_stream.Builder.create () in
-  let pos = ref (Array.make 65536 0) in
-  let len = ref 0 in
+  let builder = Access_stream.Builder.create ?backing () in
+  let pos = Int_stream.Builder.create ?backing () in
   let emit (acc : Access.packed) ~at =
-    if !len = Array.length !pos then begin
-      let bigger_pos = Array.make (2 * !len) 0 in
-      Array.blit !pos 0 bigger_pos 0 !len;
-      pos := bigger_pos
-    end;
     Access_stream.Builder.add builder acc;
-    !pos.(!len) <- at;
-    incr len
+    Int_stream.Builder.add pos at
   in
   let delay = max 0 config.Config.prefetch_latency_blocks in
   let slots = delay + 1 in
@@ -311,61 +467,115 @@ let record_stream_indexed ?(config = Config.default) ~program ~trace ~prefetcher
       in_flight.(slot) <- acc :: in_flight.(slot);
       issue_all ~at rest
   in
-  Array.iteri
-    (fun at id ->
-      let slot = at mod slots in
-      complete_all ~at in_flight.(slot);
-      in_flight.(slot) <- [];
-      let b = blocks.(id) in
-      issue_all ~at (pf.Prefetcher.on_block b);
-      let bl = lines.(id) in
-      for i = 0 to Array.length bl - 1 do
-        let acc = Access.pack_demand ~line:bl.(i) ~block:id in
-        emit acc ~at;
-        let missed = Cache.access_packed l1 acc = Cache.Miss in
-        issue_all ~at (pf.Prefetcher.on_demand ~line:bl.(i) ~missed)
-      done)
-    trace;
-  (Access_stream.Builder.finish builder, Array.sub !pos 0 !len)
+  let n = Trace.length trace in
+  for at = 0 to n - 1 do
+    let id = Trace.get trace at in
+    let slot = at mod slots in
+    complete_all ~at in_flight.(slot);
+    in_flight.(slot) <- [];
+    let b = blocks.(id) in
+    issue_all ~at (pf.Prefetcher.on_block b);
+    let bl = lines.(id) in
+    for i = 0 to Array.length bl - 1 do
+      let acc = Access.pack_demand ~line:bl.(i) ~block:id in
+      emit acc ~at;
+      let missed = Cache.access_packed l1 acc = Cache.Miss in
+      issue_all ~at (pf.Prefetcher.on_demand ~line:bl.(i) ~missed)
+    done
+  done;
+  (Access_stream.Builder.finish builder, Int_stream.Builder.finish pos)
+
+let record_stream_indexed ?config ~program ~trace ~prefetcher () =
+  let stream, pos =
+    record_stream_indexed_trace ?config ~program ~trace:(Trace.Blocks trace) ~prefetcher ()
+  in
+  (stream, Int_stream.to_array pos)
 
 let record_stream ?config ~program ~trace ~prefetcher () =
   fst (record_stream_indexed ?config ~program ~trace ~prefetcher ())
 
-let oracle ?(config = Config.default) ?(warmup = 0) ?stream ~mode ~program ~trace ~prefetcher
-    () =
-  let stream, stream_pos =
-    match stream with
-    | Some s -> s
-    | None -> record_stream_indexed ~config ~program ~trace ~prefetcher ()
-  in
-  (* First stream index belonging to the measured region. *)
-  let count_from =
-    let n = Array.length stream_pos in
-    let rec find i = if i >= n then n else if stream_pos.(i) >= warmup then i else find (i + 1) in
-    if warmup = 0 then 0 else find 0
-  in
+(* Assemble an oracle result from a finished Belady replay: drive the
+   L2/L3 hierarchy with the recorded fill sequence (in stream order, as
+   [on_fill] would have during the replay) and charge the demand-fill
+   penalties of the measured region. *)
+let oracle_result ?(config = Config.default) ~instructions ~count_from ~stream
+    (res : Belady.result) =
   let hierarchy = Hierarchy.create config in
   let miss_cycles = ref 0 in
   let l2_served = ref 0 and l3_served = ref 0 and mem_served = ref 0 in
-  let on_fill ~index (acc : Access.packed) =
-    let served = Hierarchy.fetch hierarchy (Access.packed_line acc) in
-    if Access.packed_is_demand acc && index >= count_from then begin
-      (match served with
-      | Hierarchy.L2 -> incr l2_served
-      | Hierarchy.L3 -> incr l3_served
-      | Hierarchy.Memory -> incr mem_served);
-      miss_cycles := !miss_cycles + Hierarchy.penalty config served
-    end
-  in
-  let res = Belady.simulate ~on_fill ~count_from config.Config.l1i ~mode stream in
-  let instructions = instructions_from ~program ~trace ~warmup in
+  Array.iter
+    (fun index ->
+      let acc = Access_stream.get stream index in
+      let served = Hierarchy.fetch hierarchy (Access.packed_line acc) in
+      if Access.packed_is_demand acc && index >= count_from then begin
+        (match served with
+        | Hierarchy.L2 -> incr l2_served
+        | Hierarchy.L3 -> incr l3_served
+        | Hierarchy.Memory -> incr mem_served);
+        miss_cycles := !miss_cycles + Hierarchy.penalty config served
+      end)
+    res.Belady.fills;
   let stats = Stats.create () in
   stats.Stats.demand_accesses <- res.Belady.demand_accesses;
   stats.Stats.demand_misses <- res.Belady.demand_misses;
   stats.Stats.demand_misses_cold <- res.Belady.demand_misses_cold;
   stats.Stats.prefetch_accesses <- res.Belady.prefetch_accesses;
   stats.Stats.prefetch_fills <- res.Belady.prefetch_fills;
-  stats.Stats.evictions <- Array.length res.Belady.evictions;
-  stats.Stats.replacement_decisions <- Array.length res.Belady.evictions;
+  stats.Stats.evictions <- res.Belady.n_evictions;
+  stats.Stats.replacement_decisions <- res.Belady.n_evictions;
   finish ~config ~instructions ~hint_instructions:0 ~miss_cycles:(Float.of_int !miss_cycles)
     ~l1i:stats ~l2_served:!l2_served ~l3_served:!l3_served ~mem_served:!mem_served
+
+let stream_count_from ~stream_pos ~warmup =
+  (* First stream index belonging to the measured region. *)
+  let n = Array.length stream_pos in
+  let rec find i = if i >= n then n else if stream_pos.(i) >= warmup then i else find (i + 1) in
+  if warmup = 0 then 0 else find 0
+
+let oracle ?(config = Config.default) ?(warmup = 0) ?stream ?replay ~mode ~program ~trace
+    ~prefetcher () =
+  let stream, stream_pos =
+    match stream with
+    | Some s -> s
+    | None -> record_stream_indexed ~config ~program ~trace ~prefetcher ()
+  in
+  let count_from = stream_count_from ~stream_pos ~warmup in
+  let instructions = instructions_from ~program ~trace ~warmup in
+  match replay with
+  | Some (res : Belady.result) ->
+    (* A sharded (or otherwise precomputed) Belady replay: the recorded
+       fill sequence substitutes for the inline [on_fill] hierarchy
+       drive, byte-identically. *)
+    oracle_result ~config ~instructions ~count_from ~stream res
+  | None ->
+    let hierarchy = Hierarchy.create config in
+    let miss_cycles = ref 0 in
+    let l2_served = ref 0 and l3_served = ref 0 and mem_served = ref 0 in
+    let on_fill ~index (acc : Access.packed) =
+      let served = Hierarchy.fetch hierarchy (Access.packed_line acc) in
+      if Access.packed_is_demand acc && index >= count_from then begin
+        (match served with
+        | Hierarchy.L2 -> incr l2_served
+        | Hierarchy.L3 -> incr l3_served
+        | Hierarchy.Memory -> incr mem_served);
+        miss_cycles := !miss_cycles + Hierarchy.penalty config served
+      end
+    in
+    (* The timing replay only needs counters and the fill callback — not
+       the boxed eviction records, which would otherwise be the last
+       O(n)-in-the-heap structure on the paper-scale oracle path. *)
+    let res =
+      Belady.simulate ~record_evictions:false ~on_fill ~count_from config.Config.l1i ~mode
+        stream
+    in
+    let stats = Stats.create () in
+    stats.Stats.demand_accesses <- res.Belady.demand_accesses;
+    stats.Stats.demand_misses <- res.Belady.demand_misses;
+    stats.Stats.demand_misses_cold <- res.Belady.demand_misses_cold;
+    stats.Stats.prefetch_accesses <- res.Belady.prefetch_accesses;
+    stats.Stats.prefetch_fills <- res.Belady.prefetch_fills;
+    stats.Stats.evictions <- res.Belady.n_evictions;
+    stats.Stats.replacement_decisions <- res.Belady.n_evictions;
+    finish ~config ~instructions ~hint_instructions:0
+      ~miss_cycles:(Float.of_int !miss_cycles) ~l1i:stats ~l2_served:!l2_served
+      ~l3_served:!l3_served ~mem_served:!mem_served

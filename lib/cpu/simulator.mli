@@ -18,6 +18,7 @@ module Access_stream := Ripple_cache.Access_stream
 module Belady := Ripple_cache.Belady
 module Policy := Ripple_cache.Policy
 module Prefetcher := Ripple_prefetch.Prefetcher
+module Int_stream := Ripple_util.Int_stream
 
 type result = {
   instructions : int;  (** retired, including hint instructions *)
@@ -36,6 +37,66 @@ val result_to_json : result -> Ripple_util.Json.t
 (** Machine-readable form of a result (all counters plus the L1I stats
     as a nested object) — the payload of the experiment runner's JSONL
     output.  Deterministic: equal results render byte-identically. *)
+
+(** A basic-block trace by index.  [Blocks] is the materialized
+    [int array] every small driver uses; [Stream] reads block ids out of
+    an {!Ripple_util.Int_stream} — which, spill-backed, keeps a
+    100 M-block trace out of the heap entirely.  The simulator is
+    agnostic: both replay identically. *)
+module Trace : sig
+  type t = Blocks of int array | Stream of Int_stream.t
+
+  val of_blocks : int array -> t
+  val of_stream : Int_stream.t -> t
+  val length : t -> int
+
+  val get : t -> int -> int
+  (** Unchecked on the [Blocks] case — for loop-bounded callers. *)
+
+  val to_blocks : t -> int array
+  (** Materializes a [Stream] trace; the identity on [Blocks]. *)
+
+  val close : t -> unit
+  (** Releases a [Stream] trace's backing (unlinking its spill file);
+      no-op on [Blocks]. *)
+end
+
+(** SimPoint-style sampled simulation: [windows] measurement windows of
+    [window_blocks] trace blocks each, placed deterministically from
+    [seed] — one per equal segment of the steady-state region
+    (stratified, so coverage is spread across phases).  Each window
+    replays from the warm-up checkpoint: [warm_blocks] of uncounted ramp
+    detrain the checkpoint bias, then the window is measured and its
+    counter deltas spliced into the totals.  When the windows cover the
+    whole steady-state region, the sampled run degenerates to — and is
+    exactly equal to — the full run. *)
+module Sampling : sig
+  type t = {
+    windows : int;
+    window_blocks : int;
+    warm_blocks : int;
+    seed : int;
+  }
+
+  val v : ?warm_blocks:int -> ?seed:int -> windows:int -> window_blocks:int -> unit -> t
+  (** Defaults: [warm_blocks = 0], [seed = 1].  Raises [Invalid_argument]
+      on non-positive [windows] / [window_blocks] or negative
+      [warm_blocks]. *)
+
+  type report = {
+    spans : (int * int) array;  (** measured [start, end) trace windows *)
+    measured_blocks : int;
+    total_blocks : int;  (** steady-state blocks, [warmup..n) *)
+    coverage : float;  (** measured / total; 1.0 when degenerate *)
+  }
+
+  val select : warmup:int -> n:int -> t -> (int * int) array
+  (** The window placement itself — deterministic in [(t, warmup, n)];
+      exposed so reports and tests can reproduce it. *)
+
+  val report_of_spans : warmup:int -> n:int -> (int * int) array -> report
+  val report_to_json : report -> Ripple_util.Json.t
+end
 
 val run :
   ?config:Config.t ->
@@ -63,6 +124,28 @@ val run :
     index) so the series — like every counter — is byte-identical across
     pool sizes. *)
 
+val run_trace :
+  ?config:Config.t ->
+  ?warmup:int ->
+  ?obs:Ripple_obs.Run.t ->
+  ?on_hint:(at:int -> Ripple_isa.Basic_block.hint -> resident:bool -> unit) ->
+  ?sampling:Sampling.t ->
+  program:Program.t ->
+  trace:Trace.t ->
+  policy:Policy.factory ->
+  prefetcher:(Program.t -> Prefetcher.t) ->
+  unit ->
+  result * Sampling.report option
+(** {!run} generalized over the trace representation, with optional
+    sampled execution.  Without [sampling] this is exactly [run] (report
+    is [None]).  With [sampling], the run warms to [warmup], checkpoints
+    the full microarchitectural state (L1I + policy, L2/L3, prefetcher
+    and branch predictors, in-flight prefetches), then measures only the
+    selected windows, splicing their counter deltas; [on_hint] fires only
+    inside measured windows, and the periodic IPC/MPKI series is not
+    emitted.  A degenerate sampling (windows covering the whole
+    steady-state region) reproduces the full run's result exactly. *)
+
 val register_obs : Ripple_obs.Registry.t -> unit
 (** Pre-registers the simulator's whole metric vocabulary
     ([ripple_sim_*] counters plus the IPC/MPKI series), fixing the
@@ -79,10 +162,15 @@ val ideal_cache :
   ?config:Config.t -> ?warmup:int -> program:Program.t -> trace:int array -> unit -> result
 (** The Fig. 1 limit: an I-cache that never misses. *)
 
+val ideal_cache_trace :
+  ?config:Config.t -> ?warmup:int -> program:Program.t -> trace:Trace.t -> unit -> result
+(** {!ideal_cache} over either trace representation. *)
+
 val oracle :
   ?config:Config.t ->
   ?warmup:int ->
   ?stream:Access_stream.t * int array ->
+  ?replay:Belady.result ->
   mode:Belady.mode ->
   program:Program.t ->
   trace:int array ->
@@ -98,7 +186,30 @@ val oracle :
     {!record_stream_indexed} for the same config/trace/prefetcher),
     letting callers that run several oracles over one stream — or memo
     it across cells — skip the re-recording; recording is
-    deterministic, so the result is identical either way. *)
+    deterministic, so the result is identical either way.
+
+    [replay] supplies a finished Belady replay (recorded with
+    [~record_fills:true], possibly assembled from per-set shards with
+    {!Belady.merge}); the Belady pass is then skipped and the recorded
+    fill sequence drives the L2/L3 hierarchy instead — byte-identical to
+    the inline pass, since fills are replayed in stream order. *)
+
+val oracle_result :
+  ?config:Config.t ->
+  instructions:int ->
+  count_from:int ->
+  stream:Access_stream.t ->
+  Belady.result ->
+  result
+(** The assembly step of {!oracle}[ ~replay] on its own: replays the
+    recorded fills through a fresh L2/L3 hierarchy and packages the
+    Belady counters as a simulation result.  [instructions] is the
+    steady-state instruction count of the underlying trace;
+    [count_from] the first measured stream index. *)
+
+val stream_count_from : stream_pos:int array -> warmup:int -> int
+(** First stream index whose recorded trace position is [>= warmup] —
+    the [count_from] boundary shared by {!oracle} and sharded callers. *)
 
 val record_stream :
   ?config:Config.t ->
@@ -123,6 +234,20 @@ val record_stream_indexed :
     index into [trace] of the block being executed when the access was
     issued — the coordinate change Ripple's analysis uses to express
     eviction windows over the basic-block trace. *)
+
+val record_stream_indexed_trace :
+  ?config:Config.t ->
+  ?backing:Int_stream.backing ->
+  program:Program.t ->
+  trace:Trace.t ->
+  prefetcher:(Program.t -> Prefetcher.t) ->
+  unit ->
+  Access_stream.t * Int_stream.t
+(** {!record_stream_indexed} generalized over the trace representation
+    and the stream backing: with [~backing:(Spill _)] both the access
+    stream and its position index are written through to mmap-backed
+    spill files, so recording a 100 M-block trace leaves O(1) heap
+    behind. *)
 
 val prefetcher_none : Program.t -> Prefetcher.t
 val prefetcher_nlp : ?config:Config.t -> Program.t -> Prefetcher.t

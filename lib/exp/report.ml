@@ -123,6 +123,10 @@ let write_jsonl ?gc path cells =
      Sys.rename tmp path
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());
+     (* A failed report often means the sweep is about to die: reclaim
+        any stream spill files too.  Unlinking is safe even for streams
+        still mapped — reads survive the unlink; only the names go. *)
+     ignore (Ripple_util.Int_stream.Spill.sweep () : int);
      raise e)
 
 let print_summary cells =

@@ -51,7 +51,7 @@ type memo = {
   workloads : (string, W.Cfg_gen.t) Hashtbl.t;
   traces : (string * int * string, int array) Hashtbl.t;
   streams :
-    ( string * int * string * string * Config.t,
+    ( string * int * string * string * string * Config.t,
       Ripple_cache.Access_stream.t * int array )
     Hashtbl.t;
       (* Recorded access streams in their compact packed form — one word
@@ -102,7 +102,7 @@ let trace_of app ~n_instrs (input : Spec.input) =
    Deterministic in its key (recording replays an LRU reference run), so
    several oracle cells over the same (app, input, length, prefetcher,
    config) share one recording. *)
-let stream_of ~config (spec : Spec.t) ~trace ~program =
+let stream_of ~config ~backing (spec : Spec.t) ~trace ~program =
   let memo = Domain.DLS.get memo_key in
   let input = executor_input spec.Spec.input in
   let key =
@@ -110,22 +110,30 @@ let stream_of ~config (spec : Spec.t) ~trace ~program =
       spec.Spec.n_instrs,
       input.W.Executor.label,
       Pipeline.prefetch_name spec.Spec.prefetch,
+      Ripple_util.Int_stream.backing_name backing,
       config )
   in
   match Hashtbl.find_opt memo.streams key with
   | Some s -> s
   | None ->
-    let s =
-      Simulator.record_stream_indexed ~config ~program ~trace
+    let stream, pos =
+      Simulator.record_stream_indexed_trace ~config ~backing ~program
+        ~trace:(Simulator.Trace.Blocks trace)
         ~prefetcher:(Pipeline.prefetcher_of ~config spec.Spec.prefetch)
         ()
     in
+    (* The position index is consulted only for the warm-up boundary
+       search, so it is materialized; the stream itself — the big half —
+       keeps whatever backing the caller chose. *)
+    let s = (stream, Ripple_util.Int_stream.to_array pos) in
+    Ripple_util.Int_stream.close pos;
     Hashtbl.add memo.streams key s;
     s
 
 (* ----------------------------- one cell ------------------------------ *)
 
-let run_spec ?(config = Config.default) (spec : Spec.t) =
+let run_spec ?(config = Config.default) ?(backing = Ripple_cache.Access_stream.Heap)
+    ?sampling ?(shards = 1) (spec : Spec.t) =
   let workload = workload_of spec.Spec.app in
   let program = workload.W.Cfg_gen.program in
   let eval = trace_of spec.Spec.app ~n_instrs:spec.Spec.n_instrs spec.Spec.input in
@@ -141,8 +149,9 @@ let run_spec ?(config = Config.default) (spec : Spec.t) =
   | Spec.Policy name ->
     let result =
       Obs.Span.with_span (Obs.Run.spans obs) "simulate" (fun () ->
-          Simulator.run ~config ~warmup ~obs ~program ~trace:eval ~policy:(policy_of name)
-            ~prefetcher ())
+          fst
+            (Simulator.run_trace ~config ~warmup ~obs ?sampling ~program
+               ~trace:(Simulator.Trace.Blocks eval) ~policy:(policy_of name) ~prefetcher ()))
     in
     { result; evaluation = None; analysis = None; metrics = Obs.Run.snapshot obs }
   | Spec.Ideal_cache ->
@@ -153,11 +162,15 @@ let run_spec ?(config = Config.default) (spec : Spec.t) =
     Simulator.observe_result obs result;
     { result; evaluation = None; analysis = None; metrics = Obs.Run.snapshot obs }
   | Spec.Oracle ->
-    let stream = stream_of ~config spec ~trace:eval ~program in
+    let stream = stream_of ~config ~backing spec ~trace:eval ~program in
     let result =
       Obs.Span.with_span (Obs.Run.spans obs) "simulate" (fun () ->
-          Simulator.oracle ~config ~warmup ~stream ~mode:(Pipeline.belady_mode_of prefetch)
-            ~program ~trace:eval ~prefetcher ())
+          if shards > 1 then
+            Shard.oracle ~config ~shards ~backing ~warmup ~stream
+              ~mode:(Pipeline.belady_mode_of prefetch) ~program ~trace:eval ~prefetcher ()
+          else
+            Simulator.oracle ~config ~warmup ~stream ~mode:(Pipeline.belady_mode_of prefetch)
+              ~program ~trace:eval ~prefetcher ())
     in
     Simulator.observe_result obs result;
     { result; evaluation = None; analysis = None; metrics = Obs.Run.snapshot obs }
@@ -170,6 +183,8 @@ let run_spec ?(config = Config.default) (spec : Spec.t) =
           config;
           threshold;
           prefetch;
+          backing;
+          sampling;
           eval = Some (Pipeline.Eval.v ~warmup ~trace:eval ~policy:(policy_of policy) ());
         }
         ~source:program (Pipeline.Trace train)
@@ -188,7 +203,8 @@ let progress_lock = Mutex.create ()
 
 let breaker_reason = "circuit breaker: failure budget exhausted"
 
-let run ?config ?jobs ?(quiet = false) ?(retries = 0) ?max_failures specs =
+let run ?config ?backing ?sampling ?shards ?jobs ?(quiet = false) ?(retries = 0)
+    ?max_failures specs =
   let specs = Array.of_list specs in
   let total = Array.length specs in
   let done_count = Atomic.make 0 in
@@ -214,7 +230,7 @@ let run ?config ?jobs ?(quiet = false) ?(retries = 0) ?max_failures specs =
         if k = 0 then spec
         else { spec with Spec.seed = Spec.perturb_seed spec.Spec.seed ~attempt:k }
       in
-      match run_spec ?config spec_k with
+      match run_spec ?config ?backing ?sampling ?shards spec_k with
       | outcome -> (Done outcome, k + 1)
       | exception e ->
         let backtrace = String.trim (Printexc.get_backtrace ()) in

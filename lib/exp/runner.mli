@@ -68,12 +68,31 @@ val result : cell -> (outcome, string) result
 (** The cell's outcome as a result: [Failed] and [Skipped] collapse to
     [Error] with a printable reason. *)
 
-val run_spec : ?config:Config.t -> Spec.t -> outcome
+val run_spec :
+  ?config:Config.t ->
+  ?backing:Ripple_util.Int_stream.backing ->
+  ?sampling:Simulator.Sampling.t ->
+  ?shards:int ->
+  Spec.t ->
+  outcome
 (** Executes one cell in the calling domain.
+
+    [backing] (default [Heap]) places recorded access streams and Belady
+    working tables; [Spill] keeps them in unlinked mmap files, shrinking
+    the heap of oracle and Ripple cells to O(windows).  [sampling]
+    switches policy and Ripple evaluation runs to sampled execution
+    ({!Ripple_cpu.Simulator.Sampling}).  [shards > 1] runs oracle cells'
+    Belady replay sharded by cache set ({!Shard}).  All three knobs are
+    representation/execution choices, not experiment parameters: results
+    are byte-identical across backings and shard counts, and
+    deterministic in the sampling spec.
     @raise Invalid_argument on an unknown app or policy name. *)
 
 val run :
   ?config:Config.t ->
+  ?backing:Ripple_util.Int_stream.backing ->
+  ?sampling:Simulator.Sampling.t ->
+  ?shards:int ->
   ?jobs:int ->
   ?quiet:bool ->
   ?retries:int ->

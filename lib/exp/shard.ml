@@ -1,0 +1,51 @@
+module Config = Ripple_cpu.Config
+module Simulator = Ripple_cpu.Simulator
+module Belady = Ripple_cache.Belady
+module Geometry = Ripple_cache.Geometry
+
+let ranges ~sets ~shards =
+  let shards = max 1 (min shards sets) in
+  Array.init shards (fun i -> (i * sets / shards, (i + 1) * sets / shards))
+
+let replay ?(config = Config.default) ?(shards = 2) ?backing ?count_from
+    ?(record_evictions = true) ~mode stream =
+  let sets = Geometry.sets config.Config.l1i in
+  (* The demand/prefetch lookahead tables are built once and shared
+     read-only by every shard — per-set replays read disjoint slices of
+     the same stream, so the O(n) working set is paid a single time
+     (and, spill-backed, not in the heap at all). *)
+  let tables = Belady.prepare ?backing stream in
+  let parts =
+    Fun.protect
+      ~finally:(fun () -> Belady.close_tables tables)
+      (fun () ->
+        let rs = ranges ~sets ~shards in
+        let out =
+          Pool.run ~jobs:(Array.length rs)
+            ~f:(fun (lo, hi) ->
+              Belady.simulate ~tables ~sets:(lo, hi) ~record_fills:true ~record_evictions
+                ?count_from config.Config.l1i ~mode stream)
+            rs
+        in
+        Array.to_list
+          (Array.map
+             (function
+               | Some (Ok r) -> r
+               | Some (Error e) -> failwith ("Shard.replay: " ^ e)
+               | None -> assert false)
+             out))
+  in
+  Belady.merge parts
+
+let oracle ?(config = Config.default) ?shards ?backing ?(warmup = 0) ~stream ~mode ~program
+    ~trace ~prefetcher () =
+  (* Shard counters must start at the same measured-region boundary the
+     unsharded oracle uses, or the merged tallies cover the warm-up. *)
+  let count_from = Simulator.stream_count_from ~stream_pos:(snd stream) ~warmup in
+  (* The timing replay consumes fills and counters only, so the boxed
+     eviction records are dropped — same O(1)-heap guarantee as the
+     unsharded oracle. *)
+  let merged =
+    replay ~config ?shards ?backing ~count_from ~record_evictions:false ~mode (fst stream)
+  in
+  Simulator.oracle ~config ~warmup ~stream ~replay:merged ~mode ~program ~trace ~prefetcher ()

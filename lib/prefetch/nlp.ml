@@ -20,4 +20,11 @@ let create ?(degree = 1) ?(on_miss_only = false) () =
     end
     else []
   in
-  { Prefetcher.name = "nlp"; on_block = (fun _ -> []); on_demand }
+  let save () =
+    let recent' = Array.copy recent in
+    let head' = !head in
+    fun () ->
+      Array.blit recent' 0 recent 0 filter_size;
+      head := head'
+  in
+  { Prefetcher.name = "nlp"; on_block = (fun _ -> []); on_demand; save }

@@ -2,6 +2,15 @@ type t = {
   name : string;
   on_block : Ripple_isa.Basic_block.t -> Ripple_cache.Access.packed list;
   on_demand : line:Ripple_isa.Addr.line -> missed:bool -> Ripple_cache.Access.packed list;
+  save : unit -> unit -> unit;
 }
 
-let none = { name = "none"; on_block = (fun _ -> []); on_demand = (fun ~line:_ ~missed:_ -> []) }
+let nop_save () () = ()
+
+let none =
+  {
+    name = "none";
+    on_block = (fun _ -> []);
+    on_demand = (fun ~line:_ ~missed:_ -> []);
+    save = nop_save;
+  }

@@ -22,7 +22,15 @@ type t = {
           prefetch and nothing more. *)
   on_demand : line:Addr.line -> missed:bool -> Access.packed list;
       (** Called after each demand access with its hit/miss outcome. *)
+  save : unit -> unit -> unit;
+      (** [save ()] captures a deep copy of the prefetcher's training
+          state (history, BTB, RAS, queues); the thunk restores it.
+          Checkpointed warm-up rewinds to it before each sampled
+          window. *)
 }
+
+val nop_save : unit -> unit -> unit
+(** For stateless prefetchers. *)
 
 val none : t
 (** The no-prefetching baseline. *)

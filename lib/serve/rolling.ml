@@ -1,14 +1,27 @@
-type generation = { g_blocks : int array; g_expected : int; g_errors : int }
+module Int_stream = Ripple_util.Int_stream
 
-type t = { window : int; mutable gens : generation list (* newest first *); mutable total : int }
+type generation = { g_blocks : Int_stream.t; g_expected : int; g_errors : int }
 
-let create ~window =
+type t = {
+  window : int;
+  backing : Int_stream.backing;
+  mutable gens : generation list; (* newest first *)
+  mutable total : int;
+}
+
+let create ?(backing = Int_stream.Heap) ~window () =
   if window <= 0 then invalid_arg "Rolling.create: window must be positive";
-  { window; gens = []; total = 0 }
+  { window; backing; gens = []; total = 0 }
+
+let backing t = t.backing
 
 let add t ~blocks ~expected ~errors =
-  t.gens <- { g_blocks = blocks; g_expected = expected; g_errors = errors } :: t.gens;
-  t.total <- t.total + Array.length blocks;
+  (* Write-through: the capture lands in the window's backing — with a
+     spill backing a generation costs the daemon no heap beyond this
+     record. *)
+  let g_blocks = Int_stream.of_array ~backing:t.backing blocks in
+  t.gens <- { g_blocks; g_expected = expected; g_errors = errors } :: t.gens;
+  t.total <- t.total + Int_stream.length g_blocks;
   (* Evict oldest-first while over capacity, but never the sole
      generation: one oversized capture still counts as the profile. *)
   let rec evict () =
@@ -20,7 +33,8 @@ let add t ~blocks ~expected ~errors =
       in
       let keep, oldest = split [] t.gens in
       t.gens <- keep;
-      t.total <- t.total - Array.length oldest.g_blocks;
+      t.total <- t.total - Int_stream.length oldest.g_blocks;
+      Int_stream.close oldest.g_blocks;
       evict ()
     end
   in
@@ -35,9 +49,10 @@ let trace t =
   let pos = ref t.total in
   List.iter
     (fun g ->
-      let n = Array.length g.g_blocks in
+      let n = Int_stream.length g.g_blocks in
       pos := !pos - n;
-      Array.blit g.g_blocks 0 out !pos n)
+      let base = !pos in
+      Int_stream.iteri (fun i v -> out.(base + i) <- v) g.g_blocks)
     t.gens;
   out
 
@@ -50,3 +65,14 @@ let salvage t =
   else 0.0
 
 let errors t = List.fold_left (fun acc g -> acc + g.g_errors) 0 t.gens
+
+let spill_bytes t =
+  List.fold_left
+    (fun acc g ->
+      if Int_stream.is_spill g.g_blocks then acc + Int_stream.byte_size g.g_blocks else acc)
+    0 t.gens
+
+let close t =
+  List.iter (fun g -> Int_stream.close g.g_blocks) t.gens;
+  t.gens <- [];
+  t.total <- 0

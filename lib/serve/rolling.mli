@@ -14,12 +14,18 @@
 
 type t
 
-val create : window:int -> t
-(** [window] is the capacity in decoded blocks.  Raises
-    [Invalid_argument] if non-positive. *)
+val create : ?backing:Ripple_util.Int_stream.backing -> window:int -> unit -> t
+(** [window] is the capacity in decoded blocks.  [backing] (default
+    [Heap]) is where generations live: with [Spill], every capture is
+    written through to an mmap-backed spill file, so the daemon's
+    retained profile costs no heap.  Raises [Invalid_argument] if
+    [window] is non-positive. *)
+
+val backing : t -> Ripple_util.Int_stream.backing
 
 val add : t -> blocks:int array -> expected:int -> errors:int -> unit
-(** Close a generation and evict old ones past the window. *)
+(** Close a generation (written through to the window's backing) and
+    evict — and release — old ones past the window. *)
 
 val trace : t -> int array
 (** Concatenation of the retained generations, oldest first. *)
@@ -39,3 +45,12 @@ val salvage : t -> float
 
 val errors : t -> int
 (** Total decode errors across retained generations. *)
+
+val spill_bytes : t -> int
+(** Bytes of retained generations held in spill files (0 under the heap
+    backing). *)
+
+val close : t -> unit
+(** Releases every retained generation — unlinking spill files — and
+    empties the window.  Session-teardown hook; the window remains
+    usable afterwards. *)

@@ -56,6 +56,9 @@ type t = {
 
 let create config =
   let obs = Obs.Run.create () in
+  (* Daemon teardown: whatever spill-backed windows are still live when
+     the process exits, their files go with it. *)
+  at_exit (fun () -> ignore (Ripple_util.Int_stream.Spill.sweep () : int));
   let reg = Obs.Run.registry obs in
   (* The scrape endpoint must expose the full pinned vocabulary from the
      first request, not just the families the traffic so far happened to

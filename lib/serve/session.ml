@@ -12,6 +12,7 @@ type cells = {
   ladder_level : Obs.Metric.gauge;
   ladder_transitions : Obs.Metric.counter;
   reemissions : Obs.Metric.counter;
+  stream_spill_bytes : Obs.Metric.counter;  (** shared (unlabelled) family *)
 }
 
 type t = {
@@ -42,19 +43,28 @@ let register_cells reg app =
     ladder_level = g "ripple_serve_ladder_level" "ladder rung: 0 full, 1 safe-only, 2 off";
     ladder_transitions = c "ripple_serve_ladder_transitions" "ladder level changes";
     reemissions = c "ripple_serve_reemissions" "hint re-emissions performed";
+    stream_spill_bytes =
+      Obs.Registry.counter reg ~help:"bytes written to stream spill files"
+        "ripple_stream_spill_bytes";
   }
 
 let create ~obs ~options ~window ~reemit_every ~name ~program =
   let options = { options with Pipeline.Options.eval = None; search = [] } in
-  let cells = register_cells (Obs.Run.registry obs) name in
+  let backing = options.Pipeline.Options.backing in
+  let reg = Obs.Run.registry obs in
+  let cells = register_cells reg name in
   Obs.Metric.set cells.ladder_level 2.0;
+  Obs.Metric.set
+    (Obs.Registry.gauge reg ~help:"access-stream backing: 0 heap, 1 mmap"
+       "ripple_stream_backing")
+    (match backing with Ripple_util.Int_stream.Heap -> 0.0 | Ripple_util.Int_stream.Spill _ -> 1.0);
   {
     name;
     source = program;
     obs;
     options;
     reemit_every;
-    rolling = Rolling.create ~window;
+    rolling = Rolling.create ~backing ~window ();
     pt = Pt.Session.create program;
     level = Pipeline.Degrade.Hints_off;
     transitions = 0;
@@ -129,9 +139,15 @@ let flush t =
   let r = Pt.Session.result t.pt in
   Rolling.add t.rolling ~blocks:r.Pt.trace ~expected:r.Pt.expected
     ~errors:(List.length r.Pt.errors);
+  (match Rolling.backing t.rolling with
+  | Ripple_util.Int_stream.Heap -> ()
+  | Ripple_util.Int_stream.Spill _ ->
+    Obs.Metric.add t.cells.stream_spill_bytes (8 * Array.length r.Pt.trace));
   t.pt <- Pt.Session.create t.source;
   t.since_emit <- 0;
   emit t
+
+let close t = Rolling.close t.rolling
 
 let status t =
   let drift, salvage =

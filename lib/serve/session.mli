@@ -59,3 +59,9 @@ val flush : t -> unit
 
 val status : t -> Ripple_util.Json.t
 (** Deterministic state report (the [Status] frame's payload). *)
+
+val close : t -> unit
+(** Releases the rolling window's generations — unlinking their spill
+    files when the session's backing ({!Pipeline.Options.t.backing})
+    is [Spill].  Teardown hook; the daemon also sweeps leftover spill
+    files at process exit. *)

@@ -45,3 +45,11 @@ val iter : ('a -> unit) -> 'a t -> unit
 
 val to_list : 'a t -> 'a list
 (** Front-to-back contents. *)
+
+val copy : 'a t -> 'a t
+(** Independent snapshot (shallow: elements are shared). *)
+
+val copy_into : src:'a t -> dst:'a t -> unit
+(** Overwrites [dst]'s contents and position with [src]'s — the restore
+    half of a checkpoint taken with {!copy}.  Requires equal
+    capacities. *)

@@ -26,7 +26,7 @@ let eval_inputs =
 let phase_stride = 3
 let max_stack = 512
 
-let run (w : Cfg_gen.t) ~input ~n_instrs =
+let exec (w : Cfg_gen.t) ~input ~n_instrs ~emit =
   let model = w.Cfg_gen.model in
   let program = w.Cfg_gen.program in
   let rng = Prng.create ~seed:(model.App_model.seed lxor (input.exec_seed * 0x1F3F)) in
@@ -68,17 +68,6 @@ let run (w : Cfg_gen.t) ~input ~n_instrs =
   let sp = ref 0 in
   let push x = if !sp < max_stack then begin stack.(!sp) <- x; incr sp end in
   let pop () = if !sp = 0 then None else begin decr sp; Some stack.(!sp) end in
-  let trace = ref (Array.make 65536 0) in
-  let len = ref 0 in
-  let emit id =
-    if !len = Array.length !trace then begin
-      let bigger = Array.make (2 * !len) 0 in
-      Array.blit !trace 0 bigger 0 !len;
-      trace := bigger
-    end;
-    !trace.(!len) <- id;
-    incr len
-  in
   let instrs = ref 0 in
   let current = ref (Program.entry program) in
   while !instrs < n_instrs do
@@ -105,5 +94,28 @@ let run (w : Cfg_gen.t) ~input ~n_instrs =
       | Basic_block.Halt -> w.Cfg_gen.dispatcher
     in
     current := next
-  done;
+  done
+
+let run (w : Cfg_gen.t) ~input ~n_instrs =
+  let trace = ref (Array.make 65536 0) in
+  let len = ref 0 in
+  let emit id =
+    if !len = Array.length !trace then begin
+      let bigger = Array.make (2 * !len) 0 in
+      Array.blit !trace 0 bigger 0 !len;
+      trace := bigger
+    end;
+    !trace.(!len) <- id;
+    incr len
+  in
+  exec w ~input ~n_instrs ~emit;
   Array.sub !trace 0 !len
+
+let run_stream ?backing (w : Cfg_gen.t) ~input ~n_instrs =
+  let builder = Ripple_util.Int_stream.Builder.create ?backing () in
+  (match exec w ~input ~n_instrs ~emit:(Ripple_util.Int_stream.Builder.add builder) with
+  | () -> ()
+  | exception e ->
+    Ripple_util.Int_stream.Builder.abort builder;
+    raise e);
+  Ripple_util.Int_stream.Builder.finish builder

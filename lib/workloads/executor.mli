@@ -30,3 +30,12 @@ val run : Cfg_gen.t -> input:input -> n_instrs:int -> int array
 (** Executes until at least [n_instrs] original (pre-injection)
     instructions have retired, returning the block trace.  Deterministic
     in [(workload, input)]. *)
+
+val run_stream :
+  ?backing:Ripple_util.Int_stream.backing -> Cfg_gen.t -> input:input -> n_instrs:int ->
+  Ripple_util.Int_stream.t
+(** {!run} writing straight into an {!Ripple_util.Int_stream} builder:
+    with [~backing:(Spill _)] the block trace streams through a
+    fixed-size buffer to an mmap-backed spill file, so a paper-scale
+    (100 M-instruction) trace never materializes in the heap.  Entry
+    [i] equals [(run w ~input ~n_instrs).(i)]. *)

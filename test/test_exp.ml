@@ -223,6 +223,107 @@ let test_prng_seed_distinct () =
     (Exp.Spec.prng_seed s1 <> Exp.Spec.prng_seed s3);
   Alcotest.(check int) "prng_seed stable" (Exp.Spec.prng_seed s1) (Exp.Spec.prng_seed s1)
 
+(* Shard ranges tile [0, sets) exactly: contiguous, disjoint, in order,
+   clamped when there are more shards than sets. *)
+let test_shard_ranges () =
+  List.iter
+    (fun (sets, shards) ->
+      let rs = Exp.Shard.ranges ~sets ~shards in
+      Alcotest.(check bool) "non-empty" true (Array.length rs > 0);
+      Alcotest.(check int) "starts at 0" 0 (fst rs.(0));
+      Alcotest.(check int) "ends at sets" sets (snd rs.(Array.length rs - 1));
+      Array.iteri
+        (fun i (lo, hi) ->
+          Alcotest.(check bool) "non-empty range" true (lo < hi);
+          if i > 0 then Alcotest.(check int) "contiguous" lo (snd rs.(i - 1)))
+        rs)
+    [ (64, 1); (64, 4); (64, 7); (3, 8); (1, 5) ]
+
+(* Set-sharded ideal replacement is an execution strategy, not a model
+   change: the merged result equals the unsharded oracle exactly, at
+   any shard count. *)
+let test_sharded_oracle_identity () =
+  let module W = Ripple_workloads in
+  let module Simulator = Cpu.Simulator in
+  let w = W.Cfg_gen.generate W.Apps.kafka in
+  let trace = W.Executor.run w ~input:W.Executor.train ~n_instrs:80_000 in
+  let program = w.W.Cfg_gen.program in
+  let warmup = Array.length trace / 2 in
+  let prefetcher = Simulator.prefetcher_fdip in
+  let stream = Simulator.record_stream_indexed ~program ~trace ~prefetcher () in
+  let unsharded =
+    Simulator.oracle ~warmup ~stream ~mode:Cache.Belady.Demand_min ~program ~trace
+      ~prefetcher ()
+  in
+  List.iter
+    (fun shards ->
+      let sharded =
+        Exp.Shard.oracle ~shards ~warmup ~stream ~mode:Cache.Belady.Demand_min ~program
+          ~trace ~prefetcher ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "shards=%d equals unsharded" shards)
+        true (sharded = unsharded))
+    [ 2; 5 ]
+
+(* Backing, sampling and sharding are representation/execution choices:
+   the sweep JSONL must not change when any of them does (sampling only
+   for cells it does not apply to — here Oracle/Ideal cells — while
+   Policy/Ripple cells record their sampled rows deterministically). *)
+let test_backing_shard_jsonl_identity () =
+  let open Exp.Spec in
+  let specs =
+    [
+      v ~n_instrs ~app:"finagle-http" (Policy "lru");
+      v ~n_instrs ~app:"finagle-http" ~prefetch:Core.Pipeline.Fdip Oracle;
+      v ~n_instrs ~app:"finagle-http" (Ripple { policy = "lru"; threshold = 0.5 });
+    ]
+  in
+  let baseline = Exp.Report.to_jsonl (Exp.Runner.run ~jobs:2 ~quiet:true specs) in
+  let spill =
+    Exp.Report.to_jsonl
+      (Exp.Runner.run ~backing:(Ripple_util.Int_stream.spill ()) ~jobs:2 ~quiet:true specs)
+  in
+  Alcotest.(check string) "mmap backing JSONL byte-identical" baseline spill;
+  let sharded = Exp.Report.to_jsonl (Exp.Runner.run ~shards:3 ~jobs:1 ~quiet:true specs) in
+  Alcotest.(check string) "sharded oracle JSONL byte-identical" baseline sharded;
+  Alcotest.(check int)
+    "no spill files leaked" 0
+    (List.length (Ripple_util.Int_stream.Spill.live ()))
+
+(* A sampled sweep is deterministic in the sampling spec — identical
+   across reruns and job counts — and its rows carry the sample report. *)
+let test_sampled_sweep_deterministic () =
+  let open Exp.Spec in
+  let sampling = Cpu.Simulator.Sampling.v ~windows:3 ~window_blocks:500 () in
+  let specs =
+    [
+      v ~n_instrs ~app:"finagle-http" (Ripple { policy = "lru"; threshold = 0.5 });
+      v ~n_instrs ~app:"verilator" (Ripple { policy = "lru"; threshold = 0.5 });
+    ]
+  in
+  let a = Exp.Runner.run ~sampling ~jobs:1 ~quiet:true specs in
+  let b = Exp.Runner.run ~sampling ~jobs:2 ~quiet:true specs in
+  Alcotest.(check string)
+    "sampled sweep byte-identical across jobs" (Exp.Report.to_jsonl a)
+    (Exp.Report.to_jsonl b);
+  List.iter
+    (fun (c : Exp.Runner.cell) ->
+      match Exp.Runner.result c with
+      | Ok { Exp.Runner.evaluation = Some ev; _ } ->
+        (match ev.Core.Pipeline.sample with
+        | Some r ->
+          Alcotest.(check bool)
+            "partial coverage" true
+            (r.Cpu.Simulator.Sampling.coverage < 1.0)
+        | None -> Alcotest.fail "sampled cell should carry a sample report");
+        Alcotest.(check bool)
+          "sample report rendered" true
+          (Json.member "sample" (Core.Pipeline.evaluation_to_json ev) <> None)
+      | Ok _ -> Alcotest.fail "ripple cell should carry an evaluation"
+      | Error e -> Alcotest.fail e)
+    a
+
 (* Every registry entry must construct a live policy at the paper's
    Table II L1I geometry and report a sane storage budget. *)
 let test_registry_complete () =
@@ -289,6 +390,11 @@ let suites =
         Alcotest.test_case "circuit breaker skips remainder" `Slow test_circuit_breaker;
         Alcotest.test_case "parity with failed/retried cells" `Slow test_parity_with_failures;
         Alcotest.test_case "prng seeds distinct" `Quick test_prng_seed_distinct;
+        Alcotest.test_case "shard ranges tile the sets" `Quick test_shard_ranges;
+        Alcotest.test_case "sharded oracle = unsharded" `Slow test_sharded_oracle_identity;
+        Alcotest.test_case "backing/shards leave JSONL unchanged" `Slow
+          test_backing_shard_jsonl_identity;
+        Alcotest.test_case "sampled sweep deterministic" `Slow test_sampled_sweep_deterministic;
         Alcotest.test_case "registry complete at Table II geometry" `Quick
           test_registry_complete;
         Alcotest.test_case "json round-trip" `Slow test_json_roundtrip;

@@ -203,24 +203,24 @@ let test_protocol_reply () =
 (* --------------------------- rolling window -------------------------- *)
 
 let test_rolling_empty () =
-  let r = Rolling.create ~window:100 in
+  let r = Rolling.create ~window:100 () in
   checkf "empty window salvage is 0.0, not NaN" 0.0 (Rolling.salvage r);
   checki "no blocks" 0 (Rolling.blocks r);
   checki "no errors" 0 (Rolling.errors r);
   checki "empty trace" 0 (Array.length (Rolling.trace r));
   Alcotest.check_raises "non-positive window rejected"
     (Invalid_argument "Rolling.create: window must be positive") (fun () ->
-      ignore (Rolling.create ~window:0 : Rolling.t))
+      ignore (Rolling.create ~window:0 () : Rolling.t))
 
 let test_rolling_clean_empty_generation () =
-  let r = Rolling.create ~window:100 in
+  let r = Rolling.create ~window:100 () in
   Rolling.add r ~blocks:[||] ~expected:0 ~errors:0;
   checkf "empty-but-clean capture is salvage 1.0" 1.0 (Rolling.salvage r);
   Rolling.add r ~blocks:[||] ~expected:0 ~errors:1;
   checkf "empty capture with errors is salvage 0.0" 0.0 (Rolling.salvage r)
 
 let test_rolling_eviction () =
-  let r = Rolling.create ~window:10 in
+  let r = Rolling.create ~window:10 () in
   let gen tag n = Array.init n (fun i -> (tag * 100) + i) in
   Rolling.add r ~blocks:(gen 1 6) ~expected:6 ~errors:0;
   Rolling.add r ~blocks:(gen 2 6) ~expected:8 ~errors:1;
@@ -233,7 +233,7 @@ let test_rolling_eviction () =
   check (Alcotest.array Alcotest.int) "trace is the retained generation" (gen 2 6) (Rolling.trace r)
 
 let test_rolling_oversized_generation_kept () =
-  let r = Rolling.create ~window:4 in
+  let r = Rolling.create ~window:4 () in
   Rolling.add r ~blocks:(Array.init 9 Fun.id) ~expected:9 ~errors:0;
   checki "sole oversized generation survives" 9 (Rolling.blocks r);
   Rolling.add r ~blocks:[| 1; 2 |] ~expected:2 ~errors:0;
@@ -241,7 +241,7 @@ let test_rolling_oversized_generation_kept () =
   checki "one generation" 1 (Rolling.generations r)
 
 let test_rolling_order () =
-  let r = Rolling.create ~window:100 in
+  let r = Rolling.create ~window:100 () in
   Rolling.add r ~blocks:[| 1; 2 |] ~expected:2 ~errors:0;
   Rolling.add r ~blocks:[| 3 |] ~expected:1 ~errors:0;
   Rolling.add r ~blocks:[| 4; 5 |] ~expected:2 ~errors:0;

@@ -96,11 +96,136 @@ let prop_builder_chunking =
       Access_stream.length incremental = n
       && Access_stream.to_array incremental = Access_stream.to_array bulk)
 
-(* ----------------- streaming vs materialized oracle ----------------- *)
+(* ----------------- heap vs mmap spill backing ----------------------- *)
 
 let tiny = Geometry.v ~size_bytes:(4 * 2 * 64) ~ways:2
-
 let belady_equal (a : Belady.result) (b : Belady.result) = a = b
+
+module Int_stream = Ripple_util.Int_stream
+
+let spill_backing = Access_stream.Spill { dir = None }
+
+let prop_spill_backing_unobservable =
+  (* Every accessor observes the identical sequence whether the words
+     live in heap chunks or in an mmap-backed spill file. *)
+  QCheck.Test.make ~count:60 ~name:"mmap backing is unobservable" arb_accesses
+    (fun accs ->
+      let heap = Access_stream.of_list accs in
+      let spill = Access_stream.of_list ~backing:spill_backing accs in
+      let n = Access_stream.length heap in
+      let same_forward =
+        Access_stream.length spill = n
+        && Array.init n (Access_stream.get heap) = Array.init n (Access_stream.get spill)
+        && Access_stream.to_array heap = Access_stream.to_array spill
+      in
+      let rev_h = ref [] and rev_s = ref [] in
+      Access_stream.iteri_rev (fun i p -> rev_h := (i, p) :: !rev_h) heap;
+      Access_stream.iteri_rev (fun i p -> rev_s := (i, p) :: !rev_s) spill;
+      let spilled = n = 0 || Access_stream.is_spill spill in
+      Access_stream.close spill;
+      same_forward && spilled && !rev_h = !rev_s)
+
+let prop_spill_chunk_edges =
+  (* Write-through buffering around the chunk boundary: spill streams
+     whose lengths straddle the Builder's flush size equal their heap
+     twins entry for entry. *)
+  QCheck.Test.make ~count:8 ~name:"spill builder equals heap around chunk edges"
+    QCheck.(int_range 0 4)
+    (fun delta ->
+      let n = Access_stream.chunk_entries + delta - 2 in
+      let accs = List.init n (fun i -> Access.demand ~line:(i land 1023) ~block:(-1)) in
+      let heap = Access_stream.of_list accs in
+      let spill = Access_stream.of_list ~backing:spill_backing accs in
+      let equal =
+        Access_stream.length spill = n
+        && Access_stream.to_array spill = Access_stream.to_array heap
+      in
+      Access_stream.close spill;
+      equal)
+
+let prop_belady_backing_equivalence =
+  (* The oracle is backing-blind: identical result records (counters and
+     the full eviction log) over heap and spill streams, in both modes. *)
+  QCheck.Test.make ~count:20 ~name:"belady: heap backing = mmap backing" arb_accesses
+    (fun accs ->
+      let heap = Access_stream.of_list accs in
+      let spill = Access_stream.of_list ~backing:spill_backing accs in
+      let equal =
+        belady_equal
+          (Belady.simulate tiny ~mode:Belady.Min heap)
+          (Belady.simulate tiny ~mode:Belady.Min spill)
+        && belady_equal
+             (Belady.simulate tiny ~mode:Belady.Demand_min heap)
+             (Belady.simulate tiny ~mode:Belady.Demand_min spill)
+      in
+      Access_stream.close spill;
+      equal)
+
+let test_spill_lifecycle () =
+  (* Spill files are registered while live, unlinked exactly once by
+     Cursor.close / close, and reads survive the unlink. *)
+  let accs = List.init 1000 (fun i -> Access.demand ~line:(i land 63) ~block:(-1)) in
+  let s = Access_stream.of_list ~backing:spill_backing accs in
+  let path =
+    match Int_stream.spill_path (Access_stream.raw s) with
+    | Some p -> p
+    | None -> Alcotest.fail "spill stream has no backing file"
+  in
+  Alcotest.(check bool) "file exists while live" true (Sys.file_exists path);
+  Alcotest.(check bool) "registry lists it" true (List.mem path (Int_stream.Spill.live ()));
+  let cursor = Access_stream.Cursor.create s in
+  Access_stream.Cursor.close cursor;
+  Alcotest.(check bool) "file unlinked on cursor close" false (Sys.file_exists path);
+  Alcotest.(check bool) "registry dropped it" false
+    (List.mem path (Int_stream.Spill.live ()));
+  Access_stream.close s;
+  (* Reads stay valid after the unlink: the mapping outlives the name. *)
+  Alcotest.(check int) "reads survive unlink" (List.length accs) (Access_stream.length s);
+  Alcotest.(check bool) "contents survive unlink" true
+    (Access_stream.to_array s = Array.of_list accs)
+
+let test_spill_sweep () =
+  (* The failure-path hook unlinks every still-registered spill file. *)
+  let mk () =
+    Access_stream.of_list ~backing:spill_backing
+      (List.init 100 (fun i -> Access.demand ~line:i ~block:(-1)))
+  in
+  let a = mk () and b = mk () in
+  let live = Int_stream.Spill.live () in
+  Alcotest.(check bool) "at least two live spill files" true (List.length live >= 2);
+  let swept = Int_stream.Spill.sweep () in
+  Alcotest.(check bool) "sweep removed them" true (swept >= 2);
+  Alcotest.(check (list string)) "registry empty" [] (Int_stream.Spill.live ());
+  List.iter
+    (fun p -> Alcotest.(check bool) ("gone: " ^ p) false (Sys.file_exists p))
+    live;
+  (* Idempotent: closing after a sweep is a no-op. *)
+  Access_stream.close a;
+  Access_stream.close b
+
+let prop_scratch_backing_equivalence =
+  (* Read-write scratch tables behave like int arrays on both backings. *)
+  QCheck.Test.make ~count:40 ~name:"scratch: heap = mmap"
+    QCheck.(pair (int_range 1 5000) (list_of_size (Gen.int_range 0 200) (pair small_nat int)))
+    (fun (n, writes) ->
+      let heap = Int_stream.Scratch.make n (-1) in
+      let spill = Int_stream.Scratch.make ~backing:(Int_stream.spill ()) n (-1) in
+      List.iter
+        (fun (i, x) ->
+          let i = i mod n in
+          Int_stream.Scratch.set heap i x;
+          Int_stream.Scratch.set spill i x)
+        writes;
+      let equal =
+        Int_stream.Scratch.length spill = n
+        && Array.init n (Int_stream.Scratch.get heap)
+           = Array.init n (Int_stream.Scratch.get spill)
+      in
+      Int_stream.Scratch.close heap;
+      Int_stream.Scratch.close spill;
+      equal)
+
+(* ----------------- streaming vs materialized oracle ----------------- *)
 
 let prop_belady_stream_equivalence =
   (* Belady over the chunked stream vs over a stream rebuilt from the
@@ -152,5 +277,16 @@ let suites =
           prop_builder_chunking;
           prop_belady_stream_equivalence;
           prop_oracle_recorded_stream_equivalence;
+        ]
+      @ List.map QCheck_alcotest.to_alcotest
+          [
+            prop_spill_backing_unobservable;
+            prop_spill_chunk_edges;
+            prop_belady_backing_equivalence;
+            prop_scratch_backing_equivalence;
+          ]
+      @ [
+          Alcotest.test_case "spill lifecycle (close/unlink)" `Quick test_spill_lifecycle;
+          Alcotest.test_case "spill sweep (failure-path cleanup)" `Quick test_spill_sweep;
         ] );
   ]

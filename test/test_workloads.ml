@@ -81,6 +81,22 @@ let test_executor_deterministic () =
   let b = W.Executor.run w ~input:W.Executor.train ~n_instrs:50_000 in
   check (Alcotest.array Alcotest.int) "same trace" a b
 
+(* run_stream is run with the trace written through a backing instead of
+   a doubling array — entry for entry the same, under both backings. *)
+let test_executor_run_stream_equals_run () =
+  let module Int_stream = Ripple_util.Int_stream in
+  let w = W.Cfg_gen.generate small_model in
+  let arr = W.Executor.run w ~input:W.Executor.train ~n_instrs:50_000 in
+  List.iter
+    (fun backing ->
+      let s = W.Executor.run_stream ~backing w ~input:W.Executor.train ~n_instrs:50_000 in
+      check (Alcotest.array Alcotest.int)
+        (Int_stream.backing_name backing ^ " stream equals array")
+        arr (Int_stream.to_array s);
+      Int_stream.close s)
+    [ Int_stream.Heap; Int_stream.spill () ];
+  checki "no spill files leaked" 0 (List.length (Int_stream.Spill.live ()))
+
 let test_executor_inputs_differ () =
   let w = W.Cfg_gen.generate small_model in
   let a = W.Executor.run w ~input:W.Executor.eval_inputs.(0) ~n_instrs:50_000 in
@@ -176,6 +192,7 @@ let suites =
     ( "workloads.executor",
       [
         Alcotest.test_case "deterministic" `Quick test_executor_deterministic;
+        Alcotest.test_case "run_stream equals run" `Quick test_executor_run_stream_equals_run;
         Alcotest.test_case "inputs differ" `Quick test_executor_inputs_differ;
         Alcotest.test_case "reaches target" `Quick test_executor_reaches_target;
         Alcotest.test_case "pt encodable" `Quick test_executor_trace_is_pt_encodable;
