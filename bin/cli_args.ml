@@ -167,6 +167,49 @@ let shards_arg =
           "Partition each oracle cell's cache sets across $(docv) domains (set-sharded \
            ideal replacement).  Results are byte-identical for every $(docv).")
 
+(* Geometry bundle: one --sets/--ways/--line vocabulary for every
+   subcommand that analyses or simulates a cache, defaulting to
+   {!Ripple_cache.Geometry.l1i} (64 sets, 8 ways, 64-byte lines —
+   32 KiB).  The line size is fixed by the ISA's address arithmetic
+   ({!Ripple_isa.Addr.line_size}); the flag exists so scripts state
+   their assumption explicitly and get a hard error if it drifts. *)
+let sets_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "sets" ] ~docv:"N" ~doc:"Cache set count (positive power of two; default 64).")
+
+let ways_arg =
+  Arg.(
+    value & opt int 8 & info [ "ways" ] ~docv:"N" ~doc:"Cache associativity (default 8).")
+
+let line_arg =
+  Arg.(
+    value
+    & opt int Ripple_isa.Addr.line_size
+    & info [ "line" ] ~docv:"BYTES"
+        ~doc:
+          (Printf.sprintf "Cache-line size in bytes (the ISA fixes this at %d)."
+             Ripple_isa.Addr.line_size))
+
+let geometry_term =
+  Term.term_result
+    Term.(
+      const (fun sets ways line ->
+          if line <> Ripple_isa.Addr.line_size then
+            Error
+              (`Msg
+                (Printf.sprintf "--line must be %d: the ISA's address arithmetic fixes the \
+                                 line size" Ripple_isa.Addr.line_size))
+          else if ways <= 0 then Error (`Msg "--ways must be positive")
+          else if sets <= 0 || sets land (sets - 1) <> 0 then
+            Error (`Msg "--sets must be a positive power of two")
+          else
+            match Ripple_cache.Geometry.v ~size_bytes:(sets * ways * line) ~ways with
+            | g -> Ok g
+            | exception Invalid_argument m -> Error (`Msg m))
+      $ sets_arg $ ways_arg $ line_arg)
+
 let threshold_arg =
   Arg.(
     value

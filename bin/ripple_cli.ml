@@ -194,7 +194,8 @@ let sweep_cmd =
              (skipped cells are recorded as such in the JSONL output).")
   in
   let run apps prefetches policies oracle ideal thresholds ripple_policy n_instrs jobs out
-      metrics seed quiet retries max_failures backing sampling shards =
+      metrics seed quiet retries max_failures backing sampling shards geometry =
+    let config = { Ripple_cpu.Config.default with Ripple_cpu.Config.l1i = geometry } in
     let specs =
       List.concat_map
         (fun (m : W.App_model.t) ->
@@ -212,7 +213,8 @@ let sweep_cmd =
         apps
     in
     let cells =
-      Exp.Runner.run ~backing ?sampling ~shards ?jobs ~quiet ~retries ?max_failures specs
+      Exp.Runner.run ~config ~backing ?sampling ~shards ?jobs ~quiet ~retries ?max_failures
+        specs
     in
     Exp.Report.print_summary cells;
     (match out with
@@ -234,7 +236,8 @@ let sweep_cmd =
       const run $ Cli_args.apps_arg ~verb:"sweep" $ prefetches_arg $ policies_arg $ oracle_flag
       $ ideal_flag $ thresholds_arg $ ripple_policy_arg $ Cli_args.instrs_arg $ Cli_args.jobs_arg
       $ out_arg $ Cli_args.metrics_arg $ seed_arg $ quiet_flag $ retries_arg $ max_failures_arg
-      $ Cli_args.backing_arg $ Cli_args.sampling_term $ Cli_args.shards_arg)
+      $ Cli_args.backing_arg $ Cli_args.sampling_term $ Cli_args.shards_arg
+      $ Cli_args.geometry_term)
 
 (* ------------------------------- lint ------------------------------- *)
 
@@ -256,8 +259,13 @@ let lint_cmd =
       & opt int 500_000
       & info [ "n"; "instrs" ] ~docv:"N" ~doc:"Profile-trace length in instructions.")
   in
-  let run apps prefetch threshold demote json n_instrs =
+  let run apps prefetch threshold demote json n_instrs geometry metrics =
     let mode = if demote then Ripple_core.Injector.Demote else Ripple_core.Injector.Invalidate in
+    let config = { Ripple_cpu.Config.default with Ripple_cpu.Config.l1i = geometry } in
+    (* One observed run across all apps: a "lint" span per app (the
+       verifier's per-layer child spans hang off it via the pipeline)
+       and one merged metric snapshot for --metrics. *)
+    let obs = Obs.Run.create () in
     let results =
       List.map
         (fun (app : W.App_model.t) ->
@@ -265,9 +273,10 @@ let lint_cmd =
           let program = workload.W.Cfg_gen.program in
           let profile = W.Executor.run workload ~input:W.Executor.train ~n_instrs in
           let oc =
-            Pipeline.run
-              { Pipeline.Options.default with threshold; mode; verify = true; prefetch }
-              ~source:program (Pipeline.Trace profile)
+            Obs.Span.with_span (Obs.Run.spans obs) "lint" (fun () ->
+                Pipeline.run ~obs
+                  { Pipeline.Options.default with config; threshold; mode; verify = true; prefetch }
+                  ~source:program (Pipeline.Trace profile))
           in
           (app.W.App_model.name, Option.get oc.Pipeline.analysis.Pipeline.lint))
         apps
@@ -280,6 +289,9 @@ let lint_cmd =
         results
     else
       List.iter (fun (name, s) -> Format.printf "@[<v>== %s ==@,%a@]@." name Lint.pp s) results;
+    (match metrics with
+    | None -> ()
+    | Some path -> write_metrics path (Obs.Run.snapshot obs));
     let code = List.fold_left (fun acc (_, s) -> max acc (Lint.exit_code s)) 0 results in
     if code <> 0 then exit code
   in
@@ -287,11 +299,14 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Statically verify application CFGs and the hints Ripple injects: structural checks, \
-          reachability, and safe/harmful/redundant classification of every injected \
-          invalidation.  Exit status: 0 clean, 1 warnings, 2 errors.")
+          reachability, safe/harmful/redundant classification of every injected invalidation, \
+          and an abstract cache interpretation (must/may/persistence) that proves hints safe \
+          or harmful, bounds the static MPKI, and cross-checks the classifiers.  Exit status: \
+          0 clean, 1 warnings, 2 errors.")
     Term.(
       const run $ Cli_args.apps_arg ~verb:"lint" $ Cli_args.prefetch_arg $ Cli_args.threshold_arg
-      $ demote_flag $ json_flag $ lint_instrs_arg)
+      $ demote_flag $ json_flag $ lint_instrs_arg $ Cli_args.geometry_term
+      $ Cli_args.metrics_arg)
 
 (* ------------------------------- trace ------------------------------ *)
 
@@ -494,7 +509,18 @@ let serve_cmd =
             "Write \"<port> <metrics-port>\" to $(docv) once both listeners are bound — the \
              startup handshake for scripts driving ephemeral ports.")
   in
-  let run host port metrics_port window reemit_every threshold prefetch backing ready_file =
+  let proven_safe_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "proven-safe" ]
+          ~doc:
+            "Harden the degradation ladder's safe-only rung: keep only hints the abstract \
+             cache analysis positively proves safe, instead of merely stripping the ones the \
+             path-search classifier flags.")
+  in
+  let run host port metrics_port window reemit_every threshold prefetch backing proven_safe
+      ready_file =
     let config =
       {
         Server.default_config with
@@ -504,7 +530,14 @@ let serve_cmd =
         window;
         reemit_every;
         options =
-          { Pipeline.Options.default with degrade = true; threshold; prefetch; backing };
+          {
+            Pipeline.Options.default with
+            degrade = true;
+            proven_safe;
+            threshold;
+            prefetch;
+            backing;
+          };
         ready_file;
       }
     in
@@ -521,7 +554,8 @@ let serve_cmd =
           OpenMetrics on a scrape endpoint.")
     Term.(
       const run $ host_arg $ port_arg $ metrics_port_arg $ window_arg $ reemit_arg
-      $ Cli_args.threshold_arg $ Cli_args.prefetch_arg $ Cli_args.backing_arg $ ready_file_arg)
+      $ Cli_args.threshold_arg $ Cli_args.prefetch_arg $ Cli_args.backing_arg
+      $ proven_safe_flag $ ready_file_arg)
 
 (* ------------------------------- push ------------------------------- *)
 

@@ -19,6 +19,7 @@ type code =
   | Hint_outside_footprint
   | Harmful_invalidation
   | Redundant_invalidation
+  | Classifier_disagreement
 
 let code_name = function
   | Entry_out_of_range -> "entry_out_of_range"
@@ -33,6 +34,7 @@ let code_name = function
   | Hint_outside_footprint -> "hint_outside_footprint"
   | Harmful_invalidation -> "harmful_invalidation"
   | Redundant_invalidation -> "redundant_invalidation"
+  | Classifier_disagreement -> "classifier_disagreement"
 
 type t = {
   severity : severity;

@@ -39,6 +39,10 @@ type code =
   | Hint_outside_footprint  (** hint operand line never part of the text *)
   | Harmful_invalidation
   | Redundant_invalidation
+  | Classifier_disagreement
+      (** the path-search classifier and the abstract-interpretation
+          proofs contradict each other on one hint — one of them is
+          unsound, so the result cannot be trusted *)
 
 val code_name : code -> string
 

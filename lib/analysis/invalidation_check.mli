@@ -59,3 +59,29 @@ val classify : geometry:Geometry.t -> entry:int -> Basic_block.t array -> (site 
     its classification.  [geometry] supplies the set mapping and
     associativity of the target I-cache.  Requires a structurally valid
     program (run {!Cfg.check} first). *)
+
+val classify_proved :
+  geometry:Geometry.t ->
+  entry:int ->
+  Basic_block.t array ->
+  (site * classification * Abs_cache.verdict) list
+(** {!classify}, with each site additionally judged by the
+    abstract-interpretation proofs of {!Abs_cache} (one shared
+    {!Abs_cache.analyze} per call).  The two classifiers reason over
+    different path sets — this one over the bare flow graph, the
+    abstract one over the return-closed graph — so the abstract verdict
+    can be strictly more conservative; genuinely contradictory pairs
+    are the {!Lint} cross-check's business. *)
+
+val disagreement : classification -> Abs_cache.verdict -> bool
+(** The cross-check tripwire.  Two pairs count as disagreement:
+    [Proved_dead]/[Proved_pressure] against a [Harmful] path witness —
+    impossible by construction (the proofs quantify over a {e
+    superset} of the paths the search explores), so firing means one
+    side has a bug — and [Proved_harmful] against
+    [Safe_dead]/[Safe_pressure] on an invalidation, which means the
+    path search blessed a hint that provably costs a miss on a real
+    execution path (reuse flowing through a return edge it chose not
+    to model).  [Proved_persistent] and [Proved_noop] never disagree:
+    they reason about residency and victim consultation, which the
+    path search does not model at all. *)

@@ -16,12 +16,37 @@ type hint_counts = {
 
 let no_hints = { total = 0; safe_dead = 0; safe_pressure = 0; harmful = 0; redundant = 0 }
 
+type proof_counts = {
+  proved_noop : int;
+  proved_dead : int;
+  proved_persistent : int;
+  proved_pressure : int;
+  proved_harmful : int;
+  unproved : int;
+  disagreements : int;
+}
+
+let no_proofs =
+  {
+    proved_noop = 0;
+    proved_dead = 0;
+    proved_persistent = 0;
+    proved_pressure = 0;
+    proved_harmful = 0;
+    unproved = 0;
+    disagreements = 0;
+  }
+
+let proved_safe p = p.proved_dead + p.proved_persistent + p.proved_pressure
+
 type summary = {
   findings : Finding.t list;
   errors : int;
   warnings : int;
   infos : int;
   hints : hint_counts;
+  proofs : proof_counts;
+  abstract : Abs_cache.summary option;
   structural_gate : bool;
 }
 
@@ -40,13 +65,40 @@ let provenance_clause = function
     Printf.sprintf " (injected at P=%.2f over %d windows)" p.probability p.windows
   | None -> ""
 
-let hint_findings ~geometry ~provenance ~entry blocks =
+let hint_findings ~geometry ~provenance ~entry ~abs blocks =
   let footprint = footprint_lines blocks in
   let classified = Invalidation_check.classify ~geometry ~entry blocks in
   let counts = ref no_hints in
+  let proofs = ref no_proofs in
   let findings = ref [] in
   List.iter
     (fun ((s : Invalidation_check.site), c) ->
+      let verdict =
+        Abs_cache.prove abs ~block:s.Invalidation_check.block
+          ~index:s.Invalidation_check.index
+      in
+      (proofs :=
+         (let p = !proofs in
+          match verdict with
+          | Abs_cache.Proved_noop -> { p with proved_noop = p.proved_noop + 1 }
+          | Abs_cache.Proved_dead -> { p with proved_dead = p.proved_dead + 1 }
+          | Abs_cache.Proved_persistent ->
+            { p with proved_persistent = p.proved_persistent + 1 }
+          | Abs_cache.Proved_pressure -> { p with proved_pressure = p.proved_pressure + 1 }
+          | Abs_cache.Proved_harmful -> { p with proved_harmful = p.proved_harmful + 1 }
+          | Abs_cache.Unproved -> { p with unproved = p.unproved + 1 }));
+      if Invalidation_check.disagreement c verdict then begin
+        proofs := { !proofs with disagreements = !proofs.disagreements + 1 };
+        findings :=
+          Finding.v Finding.Error Finding.Classifier_disagreement
+            ~block:s.Invalidation_check.block ~line:s.Invalidation_check.line
+            (Printf.sprintf
+               "classifier disagreement: path search says %s but the abstract proof says \
+                %s — one of the two analyses is wrong about this hint"
+               (Invalidation_check.classification_name c)
+               (Abs_cache.verdict_name verdict))
+          :: !findings
+      end;
       let prov =
         provenance_of provenance ~block:s.Invalidation_check.block
           ~line:s.Invalidation_check.line
@@ -96,7 +148,7 @@ let hint_findings ~geometry ~provenance ~entry blocks =
             (Printf.sprintf "%s operand is not a line of the program text%s" verb why)
           :: !findings)
     classified;
-  (List.rev !findings, !counts)
+  (List.rev !findings, !counts, !proofs)
 
 let order findings =
   (* Severity-descending, then by anchor block, stable within. *)
@@ -110,7 +162,7 @@ let order findings =
       | c -> c)
     findings
 
-let summarize ~hints ~structural_gate findings =
+let summarize ~hints ~proofs ~abstract ~structural_gate findings =
   let findings = order findings in
   let count sev =
     List.length (List.filter (fun f -> f.Finding.severity = sev) findings)
@@ -121,22 +173,36 @@ let summarize ~hints ~structural_gate findings =
     warnings = count Finding.Warning;
     infos = count Finding.Info;
     hints;
+    proofs;
+    abstract;
     structural_gate;
   }
 
-let check_blocks ?(geometry = Geometry.l1i) ?aligned ?(provenance = []) ~entry blocks =
-  let structural = Cfg.check ~entry ?aligned blocks in
+let check_blocks ?(geometry = Geometry.l1i) ?aligned ?(provenance = []) ?exec_counts ?obs
+    ~entry blocks =
+  let layer name f =
+    match obs with
+    | None -> f ()
+    | Some o -> Ripple_obs.Span.with_span (Ripple_obs.Run.spans o) name f
+  in
+  let structural = layer "structural" (fun () -> Cfg.check ~entry ?aligned blocks) in
   let structural_errors =
     List.exists (fun f -> f.Finding.severity = Finding.Error) structural
   in
-  if structural_errors then summarize ~hints:no_hints ~structural_gate:true structural
+  if structural_errors then
+    summarize ~hints:no_hints ~proofs:no_proofs ~abstract:None ~structural_gate:true
+      structural
   else begin
-    let hint_fs, hints = hint_findings ~geometry ~provenance ~entry blocks in
-    summarize ~hints ~structural_gate:false (structural @ hint_fs)
+    let abs = layer "abstract" (fun () -> Abs_cache.analyze ~geometry ~entry blocks) in
+    let abstract = Some (Abs_cache.summarize ?exec_counts abs) in
+    let hint_fs, hints, proofs =
+      layer "hints" (fun () -> hint_findings ~geometry ~provenance ~entry ~abs blocks)
+    in
+    summarize ~hints ~proofs ~abstract ~structural_gate:false (structural @ hint_fs)
   end
 
-let check_program ?geometry ?provenance program =
-  check_blocks ?geometry ~aligned:(Program.aligned program) ?provenance
+let check_program ?geometry ?provenance ?exec_counts ?obs program =
+  check_blocks ?geometry ~aligned:(Program.aligned program) ?provenance ?exec_counts ?obs
     ~entry:(Program.entry program) (Program.blocks program)
 
 let max_severity t = Finding.max_severity t.findings
@@ -157,6 +223,18 @@ let hints_to_json h =
       ("redundant", Json.Int h.redundant);
     ]
 
+let proofs_to_json p =
+  Json.Obj
+    [
+      ("proved_noop", Json.Int p.proved_noop);
+      ("proved_dead", Json.Int p.proved_dead);
+      ("proved_persistent", Json.Int p.proved_persistent);
+      ("proved_pressure", Json.Int p.proved_pressure);
+      ("proved_harmful", Json.Int p.proved_harmful);
+      ("unproved", Json.Int p.unproved);
+      ("disagreements", Json.Int p.disagreements);
+    ]
+
 let to_json t =
   Json.Obj
     [
@@ -164,7 +242,12 @@ let to_json t =
       ("warnings", Json.Int t.warnings);
       ("infos", Json.Int t.infos);
       ("hints", hints_to_json t.hints);
+      ("proofs", proofs_to_json t.proofs);
       ("structural_gate", Json.Bool t.structural_gate);
+      ( "abstract",
+        match t.abstract with
+        | Some a -> Abs_cache.summary_to_json a
+        | None -> Json.Null );
       ("findings", Json.List (List.map Finding.to_json t.findings));
     ]
 
@@ -178,7 +261,9 @@ let pp fmt t =
     t.findings;
   Format.fprintf fmt
     "@[%d error(s), %d warning(s), %d info(s); hints: %d total, %d safe (dead), %d safe \
-     (pressure), %d harmful, %d redundant%s@]"
+     (pressure), %d harmful, %d redundant; proofs: %d safe, %d noop, %d harmful, %d \
+     unproved, %d disagreement(s)%s@]"
     t.errors t.warnings t.infos t.hints.total t.hints.safe_dead t.hints.safe_pressure
-    t.hints.harmful t.hints.redundant
+    t.hints.harmful t.hints.redundant (proved_safe t.proofs) t.proofs.proved_noop
+    t.proofs.proved_harmful t.proofs.unproved t.proofs.disagreements
     (if t.structural_gate then " [semantic layers skipped: structural errors]" else "")

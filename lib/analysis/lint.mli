@@ -1,7 +1,8 @@
 (** The static verifier's front door: run every layer, aggregate
     findings, render them for humans and machines.
 
-    Three layers (DESIGN.md "Static verification"):
+    Four layers (DESIGN.md "Static verification" and "Abstract cache
+    analysis"):
 
     + structural CFG checks ({!Cfg.check}) — [Error]s here gate the
       rest: semantic passes over a graph with dangling edges or bogus
@@ -10,7 +11,14 @@
       hint classification (redundancy witnesses);
     + cache-line liveness and hint classification ({!Liveness},
       {!Invalidation_check}) — every injected hint is classified
-      safe/harmful/redundant.
+      safe/harmful/redundant;
+    + abstract cache interpretation ({!Abs_cache}) — must/may/
+      persistence facts, a proof verdict per hint, static MPKI bounds,
+      and a cross-check: whenever the path-search classification and
+      the abstract verdict contradict each other
+      ({!Invalidation_check.disagreement}), a [Classifier_disagreement]
+      [Error] fires — disagreement means one analysis is unsound, so
+      nothing downstream should be trusted.
 
     Severity mapping for hint classifications: a harmful {e
     invalidation} with no profile {!provenance} is an [Error] — nothing
@@ -48,12 +56,32 @@ type hint_counts = {
   redundant : int;
 }
 
+(** Abstract-proof verdict counters over all hint sites (zero when the
+    structural gate fired). *)
+type proof_counts = {
+  proved_noop : int;
+  proved_dead : int;
+  proved_persistent : int;
+  proved_pressure : int;
+  proved_harmful : int;
+  unproved : int;
+  disagreements : int;  (** cross-check findings fired *)
+}
+
+val proved_safe : proof_counts -> int
+(** [proved_dead + proved_persistent + proved_pressure] — the sites
+    {!Abs_cache.proved_safe} accepts. *)
+
 type summary = {
   findings : Finding.t list;  (** severity-descending, then block order *)
   errors : int;
   warnings : int;
   infos : int;
   hints : hint_counts;
+  proofs : proof_counts;
+  abstract : Abs_cache.summary option;
+      (** [None] when the structural gate suppressed the semantic
+          layers *)
   structural_gate : bool;
       (** [true] when structural errors suppressed the semantic layers *)
 }
@@ -62,14 +90,26 @@ val check_blocks :
   ?geometry:Geometry.t ->
   ?aligned:bool array ->
   ?provenance:provenance list ->
+  ?exec_counts:int array ->
+  ?obs:Ripple_obs.Run.t ->
   entry:int ->
   Basic_block.t array ->
   summary
 (** Lint a raw block array ([geometry] defaults to {!Geometry.l1i}).
-    Exposed separately from {!check_program} so corrupted inputs that
+    [exec_counts] (per-block execution counts from a profile) enables
+    the static MPKI bounds and minimal-geometry estimate in
+    [abstract]; [obs] records one child span per layer ([structural],
+    [abstract], [hints]) on the caller's open span.  Exposed separately
+    from {!check_program} so corrupted inputs that
     {!Ripple_isa.Program.v} would refuse can be probed in tests. *)
 
-val check_program : ?geometry:Geometry.t -> ?provenance:provenance list -> Program.t -> summary
+val check_program :
+  ?geometry:Geometry.t ->
+  ?provenance:provenance list ->
+  ?exec_counts:int array ->
+  ?obs:Ripple_obs.Run.t ->
+  Program.t ->
+  summary
 (** {!check_blocks} over a laid-out program, with its entry and
     alignment requests. *)
 
@@ -81,7 +121,8 @@ val exit_code : summary -> int
 
 val to_json : summary -> Ripple_util.Json.t
 (** Deterministic: [{"errors", "warnings", "infos", "hints": {...},
-    "structural_gate", "findings": [...]}]. *)
+    "proofs": {...}, "structural_gate", "abstract": {...}|null,
+    "findings": [...]}]. *)
 
 val pp : Format.formatter -> summary -> unit
 (** Human rendering: one line per [Warning]/[Error] finding plus a count

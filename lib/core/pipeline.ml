@@ -21,6 +21,7 @@ let belady_mode_of = function No_prefetch -> Belady.Min | Nlp | Fdip -> Belady.D
 
 module Lint = Ripple_analysis.Lint
 module Invalidation_check = Ripple_analysis.Invalidation_check
+module Abs_cache = Ripple_analysis.Abs_cache
 module Json = Ripple_util.Json
 module Access_stream = Ripple_cache.Access_stream
 module Int_stream = Ripple_util.Int_stream
@@ -87,6 +88,7 @@ module Options = struct
     pt_roundtrip : bool;
     verify : bool;
     degrade : bool;
+    proven_safe : bool;
     min_salvage : float;
     drift_safe : float;
     drift_off : float;
@@ -110,6 +112,7 @@ module Options = struct
       pt_roundtrip = true;
       verify = false;
       degrade = false;
+      proven_safe = false;
       min_salvage = 0.5;
       drift_safe = 0.02;
       drift_off = 0.15;
@@ -202,6 +205,16 @@ module Metrics = struct
     lint_errors : Obs.Metric.counter;
     lint_warnings : Obs.Metric.counter;
     lint_infos : Obs.Metric.counter;
+    lint_must_hit_sites : Obs.Metric.counter;
+    lint_always_miss_sites : Obs.Metric.counter;
+    lint_first_miss_lines : Obs.Metric.counter;
+    lint_persistent_sets : Obs.Metric.counter;
+    lint_proved_safe_hints : Obs.Metric.counter;
+    lint_proved_harmful_hints : Obs.Metric.counter;
+    lint_disagreements : Obs.Metric.counter;
+    lint_mpki_lower : Obs.Metric.gauge;
+    lint_mpki_upper : Obs.Metric.gauge;
+    lint_min_ways : Obs.Metric.gauge;
     eval_coverage : Obs.Metric.gauge;
     eval_accuracy : Obs.Metric.gauge;
     eval_hint_execs : Obs.Metric.counter;
@@ -247,6 +260,24 @@ module Metrics = struct
       lint_errors = c "ripple_lint_errors" "static-verifier errors on the shipped binary";
       lint_warnings = c "ripple_lint_warnings" "static-verifier warnings";
       lint_infos = c "ripple_lint_infos" "static-verifier infos";
+      lint_must_hit_sites =
+        c "ripple_lint_must_hit_sites" "access sites the abstract analysis proves always hit";
+      lint_always_miss_sites =
+        c "ripple_lint_always_miss_sites" "access sites proved to always miss from a cold start";
+      lint_first_miss_lines =
+        c "ripple_lint_first_miss_lines" "lines proved to miss at most once";
+      lint_persistent_sets =
+        c "ripple_lint_persistent_sets" "cache sets whose reachable lines all fit";
+      lint_proved_safe_hints =
+        c "ripple_lint_proved_safe_hints" "hints with a positive abstract safety proof";
+      lint_proved_harmful_hints =
+        c "ripple_lint_proved_harmful_hints" "hints proved to convert a hit to a miss";
+      lint_disagreements =
+        c "ripple_lint_disagreements" "classifier cross-check contradictions";
+      lint_mpki_lower = g "ripple_lint_mpki_lower" "static lower bound on demand MPKI";
+      lint_mpki_upper = g "ripple_lint_mpki_upper" "static upper bound on demand MPKI";
+      lint_min_ways =
+        g "ripple_lint_min_ways" "minimal associativity covering the dominant blocks";
       eval_coverage = g "ripple_eval_coverage" "replacement coverage of the evaluated run";
       eval_accuracy = g "ripple_eval_accuracy" "replacement accuracy of the evaluated run";
       eval_hint_execs = c "ripple_eval_hint_execs" "dynamic hint executions while evaluated";
@@ -264,22 +295,31 @@ let stage obs name f = Obs.Span.with_span (Obs.Run.spans obs) name f
 (* Safe-only mode: classify every injected hint on the instrumented
    binary and strip the ones the static analysis cannot prove harmless
    (Harmful or Redundant), keeping injection stats and provenance in
-   step.  Placements are ordered block-ascending then by within-block
-   injection order, matching each block's hint array — so the
-   (block, hint-index) key filters both consistently. *)
-let strip_unsafe ~(config : Config.t) instrumented (injection : Injector.stats) =
-  let classified =
-    Invalidation_check.classify ~geometry:config.Config.l1i
-      ~entry:(Program.entry instrumented) (Program.blocks instrumented)
-  in
+   step.  With [proven_safe] the gate inverts from a denylist to an
+   allowlist: only hints the abstract interpretation *positively
+   proves* safe (dead, persistent-set, or pressure verdicts) survive —
+   not-flagged is no longer good enough.  Placements are ordered
+   block-ascending then by within-block injection order, matching each
+   block's hint array — so the (block, hint-index) key filters both
+   consistently. *)
+let strip_unsafe ~(config : Config.t) ~proven_safe instrumented (injection : Injector.stats) =
   let unsafe = Hashtbl.create 16 in
-  List.iter
-    (fun ((site : Invalidation_check.site), cls) ->
-      match cls with
-      | Invalidation_check.Harmful _ | Invalidation_check.Redundant _ ->
-        Hashtbl.replace unsafe (site.Invalidation_check.block, site.Invalidation_check.index) ()
-      | Invalidation_check.Safe_dead | Invalidation_check.Safe_pressure -> ())
-    classified;
+  if proven_safe then
+    List.iter
+      (fun ((site : Invalidation_check.site), _cls, verdict) ->
+        if not (Abs_cache.proved_safe verdict) then
+          Hashtbl.replace unsafe (site.Invalidation_check.block, site.Invalidation_check.index) ())
+      (Invalidation_check.classify_proved ~geometry:config.Config.l1i
+         ~entry:(Program.entry instrumented) (Program.blocks instrumented))
+  else
+    List.iter
+      (fun ((site : Invalidation_check.site), cls) ->
+        match cls with
+        | Invalidation_check.Harmful _ | Invalidation_check.Redundant _ ->
+          Hashtbl.replace unsafe (site.Invalidation_check.block, site.Invalidation_check.index) ()
+        | Invalidation_check.Safe_dead | Invalidation_check.Safe_pressure -> ())
+      (Invalidation_check.classify ~geometry:config.Config.l1i
+         ~entry:(Program.entry instrumented) (Program.blocks instrumented));
   if Hashtbl.length unsafe = 0 then (instrumented, injection, 0)
   else begin
     let stripped = Hashtbl.length unsafe in
@@ -526,9 +566,11 @@ let run_one ~obs ~(m : Metrics.t) (o : Options.t) ~source input =
           Obs.Metric.observe m.Metrics.belady_window_blocks
             (Float.of_int (w.Eviction_window.stop - w.Eviction_window.start)))
         windows;
+      (* Per-block execution counts from the profile, shared by cue
+         selection and the lint gate's static MPKI bounds. *)
+      let exec_counts = Bb_trace.exec_counts profile.source profile.trace in
       let decisions, drops =
         stage obs "cue-select" (fun () ->
-            let exec_counts = Bb_trace.exec_counts profile.source profile.trace in
             let decisions, drops =
               Cue_block.analyze_report ~scan_limit:o.Options.scan_limit
                 ~min_support:o.Options.min_support ~stream ~windows ~exec_counts
@@ -564,14 +606,15 @@ let run_one ~obs ~(m : Metrics.t) (o : Options.t) ~source input =
           in
           let instrumented, injection, stripped =
             match level with
-            | Degrade.Safe_only -> strip_unsafe ~config instrumented injection
+            | Degrade.Safe_only ->
+              strip_unsafe ~config ~proven_safe:o.Options.proven_safe instrumented injection
             | Degrade.Full | Degrade.Hints_off -> (instrumented, injection, 0)
           in
           let lint =
             if o.Options.verify then
               Some
                 (Lint.check_program ~geometry:config.Config.l1i
-                   ~provenance:(provenance_of_stats injection) instrumented)
+                   ~provenance:(provenance_of_stats injection) ~exec_counts ~obs instrumented)
             else None
           in
           Obs.Metric.add m.Metrics.inject_hints injection.Injector.injected;
@@ -584,7 +627,27 @@ let run_one ~obs ~(m : Metrics.t) (o : Options.t) ~source input =
           | Some s ->
             Obs.Metric.add m.Metrics.lint_errors s.Lint.errors;
             Obs.Metric.add m.Metrics.lint_warnings s.Lint.warnings;
-            Obs.Metric.add m.Metrics.lint_infos s.Lint.infos);
+            Obs.Metric.add m.Metrics.lint_infos s.Lint.infos;
+            Obs.Metric.add m.Metrics.lint_proved_safe_hints (Lint.proved_safe s.Lint.proofs);
+            Obs.Metric.add m.Metrics.lint_proved_harmful_hints
+              s.Lint.proofs.Lint.proved_harmful;
+            Obs.Metric.add m.Metrics.lint_disagreements s.Lint.proofs.Lint.disagreements;
+            (match s.Lint.abstract with
+            | None -> ()
+            | Some a ->
+              Obs.Metric.add m.Metrics.lint_must_hit_sites a.Abs_cache.must_hit_sites;
+              Obs.Metric.add m.Metrics.lint_always_miss_sites a.Abs_cache.always_miss_sites;
+              Obs.Metric.add m.Metrics.lint_first_miss_lines a.Abs_cache.first_miss_lines;
+              Obs.Metric.add m.Metrics.lint_persistent_sets a.Abs_cache.persistent_sets;
+              (match a.Abs_cache.bounds with
+              | None -> ()
+              | Some (b : Abs_cache.bounds) ->
+                Obs.Metric.set m.Metrics.lint_mpki_lower b.Abs_cache.mpki_lower;
+                Obs.Metric.set m.Metrics.lint_mpki_upper b.Abs_cache.mpki_upper);
+              (match a.Abs_cache.min_geometry with
+              | None -> ()
+              | Some (mg : Abs_cache.min_geometry) ->
+                Obs.Metric.set m.Metrics.lint_min_ways (Float.of_int mg.Abs_cache.min_ways))));
           ( instrumented,
             {
               threshold = o.Options.threshold;

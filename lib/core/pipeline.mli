@@ -127,6 +127,14 @@ module Options : sig
             target binary.  Off by default: legacy callers (including
             stitched LBR profiles, which are deliberately not a legal
             path) keep full-trust behaviour *)
+    proven_safe : bool;
+        (** harden the ladder's [Safe_only] rung from a denylist to an
+            allowlist: instead of stripping only hints the path-search
+            classifier flags (harmful/redundant), keep only hints the
+            abstract interpretation ({!Ripple_analysis.Abs_cache})
+            positively proves safe — dead, persistent-set, or
+            guaranteed-pressure verdicts.  Off by default (the legacy
+            denylist) *)
     min_salvage : float;
         (** below this salvage ratio the profile is discarded outright
             ([Hints_off]); default 0.5 *)

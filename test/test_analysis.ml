@@ -609,6 +609,406 @@ let test_pipeline_verify_gate () =
     on.Pipeline.drops.Cue_block.windows_total;
   checkb "partition" true (partition_holds on.Pipeline.drops)
 
+(* --------------- layer 4: the dataflow engine (Fixpoint) ------------- *)
+
+module Fixpoint = Ripple_analysis.Fixpoint
+module Abs = Ripple_analysis.Abs_cache
+module Cache = Ripple_cache.Cache
+module Registry = Ripple_cache.Registry
+module Simulator = Ripple_cpu.Simulator
+
+(* Integers under [max]: the simplest tall chain, enough to exercise
+   plain convergence, joins and widening. *)
+module FMax = Fixpoint.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let join = max
+end)
+
+let test_fixpoint_straight_line () =
+  (* 0 -> 1 -> 2 counts path length; node 3 is disconnected. *)
+  let r =
+    FMax.solve ~n:4 ~entries:[ (0, 0) ]
+      ~preds:[| []; [ 0 ]; [ 1 ]; [] |]
+      ~transfer:(fun _ x -> x + 1)
+      ()
+  in
+  checkb "entry in" true (r.FMax.in_.(0) = Some 0);
+  checkb "entry out" true (r.FMax.out.(0) = Some 1);
+  checkb "chain end" true (r.FMax.out.(2) = Some 3);
+  checkb "disconnected node stays bottom" true
+    (r.FMax.in_.(3) = None && r.FMax.out.(3) = None)
+
+let test_fixpoint_diamond_join () =
+  (* Arms add 1 and 5: the merge point must see the lub, not an arm. *)
+  let r =
+    FMax.solve ~n:4 ~entries:[ (0, 0) ]
+      ~preds:[| []; [ 0 ]; [ 0 ]; [ 1; 2 ] |]
+      ~transfer:(fun v x -> if v = 1 then x + 1 else if v = 2 then x + 5 else x)
+      ()
+  in
+  checkb "join of arms" true (r.FMax.in_.(3) = Some 5)
+
+let test_fixpoint_loop_saturates () =
+  (* A self loop under a capped increment climbs to the cap and stops,
+     with no widening involved. *)
+  let r =
+    FMax.solve ~n:1 ~entries:[ (0, 0) ]
+      ~preds:[| [ 0 ] |]
+      ~transfer:(fun _ x -> min (x + 1) 10)
+      ()
+  in
+  checkb "reaches the cap" true (r.FMax.in_.(0) = Some 10);
+  checkb "climbed, not guessed" true (r.FMax.stats.Fixpoint.iterations > 5);
+  checki "no widening configured" 0 r.FMax.stats.Fixpoint.widenings
+
+let test_fixpoint_widening () =
+  (* The same loop with a 1e6 cap would take ~1e6 refreshes; a
+     jump-to-cap widening after 3 must terminate it almost at once. *)
+  let cap = 1_000_000 in
+  let r =
+    FMax.solve
+      ~widen:(fun old fresh -> if fresh > old then cap else old)
+      ~widen_after:3 ~n:1 ~entries:[ (0, 0) ]
+      ~preds:[| [ 0 ] |]
+      ~transfer:(fun _ x -> min (x + 1) cap)
+      ()
+  in
+  checkb "widened to the cap" true (r.FMax.in_.(0) = Some cap);
+  checkb "widening fired" true (r.FMax.stats.Fixpoint.widenings > 0);
+  checkb "terminated early" true (r.FMax.stats.Fixpoint.iterations < 100)
+
+(* --------------- layer 4: abstract cache interpretation -------------- *)
+
+let abs_analyze blocks = Abs.analyze ~geometry:tiny_geometry ~entry:0 blocks
+let fact abs ~block ~index = (Abs.facts abs).(block).(index)
+let set_of line = Geometry.set_of_line tiny_geometry line
+
+let test_abs_must_hit_and_always_miss () =
+  (* Two half-line blocks sharing one line; the second invalidates it.
+     Set 0's only reachable line is that one, so it is persistent. *)
+  let with_hint hints =
+    [|
+      mk ~bytes:32 ~id:0 ~addr:(at 0) (Basic_block.Fallthrough 1);
+      mk ~bytes:32 ~hints ~id:1 ~addr:(at 0 + 32) Basic_block.Halt;
+    |]
+  in
+  let abs = abs_analyze (with_hint [| Basic_block.Invalidate (line_at 0) |]) in
+  let f1 = fact abs ~block:1 ~index:0 in
+  checkb "hit after the touch" true f1.Abs.must_hit;
+  checkb "must implies must-LRU" true f1.Abs.must_hit_lru;
+  (* The invalidation flows around the halt-to-entry closure edge, so
+     block 0's access is may-absent on every incoming path. *)
+  let f0 = fact abs ~block:0 ~index:0 in
+  checkb "guaranteed cold miss" true f0.Abs.always_miss;
+  checkb "not a must hit" false f0.Abs.must_hit;
+  checkb "invalidation defeats first-miss-only" false (Abs.first_miss_only abs (line_at 0));
+  (* Without the hint the closure loop keeps the line may-resident. *)
+  let abs = abs_analyze (with_hint [||]) in
+  let f0 = fact abs ~block:0 ~index:0 in
+  checkb "no longer always-miss" false f0.Abs.always_miss;
+  checkb "persistent set" true (Abs.persistent abs ~set:(set_of (line_at 0)));
+  checkb "first-miss-only" true (Abs.first_miss_only abs (line_at 0))
+
+let test_abs_conflict_vs_fit () =
+  (* Three set-0 lines across a diamond overflow 2 ways: no
+     policy-independent must fact survives the join, but the LRU age
+     bound (one conflict on either arm) still proves the re-reference
+     hits under LRU specifically. *)
+  let diamond arm1 arm2 =
+    [|
+      mk ~bytes:32 ~id:0 ~addr:(at 0) (Basic_block.Cond { taken = 1; fallthrough = 2 });
+      mk ~id:1 ~addr:arm1 (Basic_block.Jump 3);
+      mk ~id:2 ~addr:arm2 (Basic_block.Jump 3);
+      mk ~bytes:32 ~id:3 ~addr:(at 0 + 32) Basic_block.Halt;
+    |]
+  in
+  let abs = abs_analyze (diamond (at 4) (at 8)) in
+  let f = fact abs ~block:3 ~index:0 in
+  checkb "no policy-independent proof" false f.Abs.must_hit;
+  checkb "LRU age bound proves it" true f.Abs.must_hit_lru;
+  checkb "set overflows" false (Abs.persistent abs ~set:(set_of (line_at 0)));
+  (* Move the arms to other sets: the whole set-0 working set fits. *)
+  let abs = abs_analyze (diamond (at 1) (at 2)) in
+  let f = fact abs ~block:3 ~index:0 in
+  checkb "must hit under every policy" true f.Abs.must_hit;
+  checkb "set fits" true (Abs.persistent abs ~set:(set_of (line_at 0)))
+
+let test_abs_verdicts () =
+  let l = line_at 0 in
+  (* Dead: a second invalidation of the same line later in the block
+     shields the first; the second then finds the line may-absent. *)
+  let abs =
+    abs_analyze
+      [|
+        mk ~bytes:32 ~id:0 ~addr:(at 0) (Basic_block.Fallthrough 1);
+        mk ~bytes:32
+          ~hints:[| Basic_block.Invalidate l; Basic_block.Invalidate l |]
+          ~id:1 ~addr:(at 0 + 32) Basic_block.Halt;
+      |]
+  in
+  checkb "first is dead" true (Abs.prove abs ~block:1 ~index:0 = Abs.Proved_dead);
+  checkb "second is a no-op" true (Abs.prove abs ~block:1 ~index:1 = Abs.Proved_noop);
+  checkb "dead is safe" true (Abs.proved_safe Abs.Proved_dead);
+  checkb "no-op is not kept" false (Abs.proved_safe Abs.Proved_noop);
+  (* Persistent: a demotion in a set that fits never costs anything —
+     the victim preference it expresses is never consulted. *)
+  let abs =
+    abs_analyze
+      [|
+        mk ~bytes:32 ~id:0 ~addr:(at 0) (Basic_block.Fallthrough 1);
+        mk ~bytes:32 ~hints:[| Basic_block.Demote l |] ~id:1 ~addr:(at 0 + 32)
+          Basic_block.Halt;
+      |]
+  in
+  checkb "demote in a fitting set" true
+    (Abs.prove abs ~block:1 ~index:0 = Abs.Proved_persistent);
+  (* Pressure: both conflicting lines (= ways) precede the only
+     re-reference, mirroring the path-search safe-pressure scenario. *)
+  let abs =
+    abs_analyze
+      [|
+        mk
+          ~hints:[| Basic_block.Invalidate (line_at 12) |]
+          ~id:0 ~addr:(at 0) (Basic_block.Fallthrough 1);
+        mk ~id:1 ~addr:(at 4) (Basic_block.Fallthrough 2);
+        mk ~id:2 ~addr:(at 8) (Basic_block.Fallthrough 3);
+        mk ~id:3 ~addr:(at 12) Basic_block.Halt;
+      |]
+  in
+  checkb "evicted anyway" true (Abs.prove abs ~block:0 ~index:0 = Abs.Proved_pressure);
+  (* An operand outside the text can never change cache contents. *)
+  let abs =
+    abs_analyze
+      [|
+        mk ~hints:[| Basic_block.Invalidate (line_at 4096) |] ~id:0 ~addr:(at 0)
+          Basic_block.Halt;
+      |]
+  in
+  checkb "outside footprint is a no-op" true
+    (Abs.prove abs ~block:0 ~index:0 = Abs.Proved_noop)
+
+let test_lint_classifier_disagreement () =
+  (* Reuse that flows only through the Return resumption: the path
+     search (bare flow graph, Return is a sink) calls the hint dead,
+     the abstract proofs (closed graph) prove it converts a guaranteed
+     hit into a guaranteed miss.  The cross-check must fire as an
+     error. *)
+  let blocks =
+    [|
+      mk ~id:0 ~addr:(at 0) (Basic_block.Call { callee = 1; return_to = 2 });
+      mk ~hints:[| Basic_block.Invalidate (line_at 0) |] ~id:1 ~addr:(at 1) Basic_block.Return;
+      mk ~id:2 ~addr:(at 2) Basic_block.Halt;
+    |]
+  in
+  (match Icheck.classify_proved ~geometry:tiny_geometry ~entry:0 blocks with
+  | [ (_, Icheck.Safe_dead, Abs.Proved_harmful) ] -> ()
+  | [ (_, c, v) ] ->
+    Alcotest.failf "expected safe_dead/proved_harmful, got %s/%s"
+      (Icheck.classification_name c) (Abs.verdict_name v)
+  | _ -> Alcotest.fail "expected exactly one hint site");
+  checkb "pair is a disagreement" true
+    (Icheck.disagreement Icheck.Safe_dead Abs.Proved_harmful);
+  let s = Lint.check_blocks ~geometry:tiny_geometry ~entry:0 blocks in
+  checkb "cross-check fired" true (has Finding.Classifier_disagreement s);
+  checki "as an error" 2 (Lint.exit_code s);
+  checki "counted" 1 s.Lint.proofs.Lint.disagreements;
+  checki "harmful proof counted" 1 s.Lint.proofs.Lint.proved_harmful
+
+let test_lint_proof_counters () =
+  let s = Lint.check_blocks ~geometry:tiny_geometry ~entry:0 (harmful_blocks ~demote:false) in
+  (* The path-search harmful verdict rests on a forward-slice witness
+     the abstract domains cannot reproduce through the closure loop:
+     unproved, and explicitly not a disagreement. *)
+  checki "no disagreement" 0 s.Lint.proofs.Lint.disagreements;
+  checki "unproved" 1 s.Lint.proofs.Lint.unproved;
+  checki "none safe" 0 (Lint.proved_safe s.Lint.proofs);
+  checkb "abstract summary attached" true (s.Lint.abstract <> None);
+  (* The new sections render deterministically. *)
+  let j1 = Json.to_string (Lint.to_json s) in
+  let s2 = Lint.check_blocks ~geometry:tiny_geometry ~entry:0 (harmful_blocks ~demote:false) in
+  let j2 = Json.to_string (Lint.to_json s2) in
+  checkb "byte-deterministic" true (String.equal j1 j2);
+  checkb "proofs section" true (contains j1 "\"proofs\"");
+  checkb "abstract section" true (contains j1 "\"abstract\"")
+
+(* ------------- qcheck: abstract facts vs concrete replay ------------- *)
+
+(* Sprinkle deterministic hints over a generated program so the
+   invalidate/demote transfer edges are exercised. *)
+let with_random_hints seed program =
+  let blocks = Program.blocks program in
+  let n = Array.length blocks in
+  let line_of i = List.hd (Basic_block.lines blocks.(i mod n)) in
+  let hints =
+    Array.init n (fun i ->
+        if i = seed mod n then [ Basic_block.Invalidate (line_of (seed * 7)) ]
+        else if i = ((seed * 3) + 1) mod n then [ Basic_block.Demote (line_of (seed * 13)) ]
+        else [])
+  in
+  fst (Program.with_hints program ~hints)
+
+(* Replay a concrete executor trace against the abstract facts.  The
+   trace is a legal path of the closed graph (execution resumes at the
+   dispatcher, which is the entry block), so every per-site claim must
+   hold at every dynamic occurrence, from a cold cache. *)
+let replay_agrees ~lru abs blocks trace ~geometry ~policy =
+  let facts = Abs.facts abs in
+  let cache = Cache.create ~geometry ~policy () in
+  Array.for_all
+    (fun b ->
+      let fs = facts.(b) in
+      let ok = ref true in
+      List.iteri
+        (fun index line ->
+          let r = Cache.access cache (Access.demand ~line ~block:b) in
+          if index < Array.length fs then begin
+            let f = fs.(index) in
+            if f.Abs.must_hit && r <> Cache.Hit then ok := false;
+            if lru && f.Abs.must_hit_lru && r <> Cache.Hit then ok := false;
+            if f.Abs.always_miss && r <> Cache.Miss then ok := false
+          end)
+        (Basic_block.lines blocks.(b));
+      Array.iter
+        (function
+          | Basic_block.Invalidate l -> Cache.invalidate cache l
+          | Basic_block.Demote l -> Cache.demote cache l)
+        blocks.(b).Basic_block.hints;
+      !ok)
+    trace
+
+let prop_abs_soundness =
+  QCheck.Test.make ~count:8 ~name:"abstract facts sound in concrete replay (every policy)"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let w = W.Cfg_gen.generate (tiny_model seed) in
+      let trace = W.Executor.run w ~input:W.Executor.train ~n_instrs:20_000 in
+      let program = with_random_hints seed w.W.Cfg_gen.program in
+      let blocks = Program.blocks program in
+      List.for_all
+        (fun geometry ->
+          let abs = Abs.analyze ~geometry ~entry:(Program.entry program) blocks in
+          List.for_all
+            (fun (e : Registry.entry) ->
+              replay_agrees
+                ~lru:(String.equal e.Registry.name "lru")
+                abs blocks trace ~geometry
+                ~policy:(Registry.factory e.Registry.name))
+            Registry.all)
+        [ tiny_geometry; Geometry.l1i ])
+
+let prop_abs_agreement =
+  QCheck.Test.make ~count:8 ~name:"abstract never blesses a path-search harmful hint"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let program = with_random_hints seed (tiny_program seed) in
+      List.for_all
+        (fun (_, c, v) ->
+          match c with
+          | Icheck.Harmful _ -> not (Abs.proved_safe v)
+          | _ -> true)
+        (Icheck.classify_proved ~geometry:tiny_geometry ~entry:(Program.entry program)
+           (Program.blocks program)))
+
+(* -------------- nine apps: static bounds bracket reality ------------- *)
+
+let test_nine_apps_bounds_bracket () =
+  List.iter
+    (fun (m : W.App_model.t) ->
+      let w = W.Cfg_gen.generate m in
+      let program = w.W.Cfg_gen.program in
+      let trace = W.Executor.run w ~input:W.Executor.train ~n_instrs:100_000 in
+      (* Evaluate on the very trace the profile (and hence the bounds'
+         exec counts) came from, demand fetches only, cold start: the
+         static bracket must contain the simulated miss count. *)
+      let outcome =
+        Pipeline.run
+          {
+            Pipeline.Options.default with
+            verify = true;
+            prefetch = Pipeline.No_prefetch;
+            pt_roundtrip = false;
+            eval = Some (Pipeline.Eval.v ~trace ~policy:(Registry.factory "lru") ());
+          }
+          ~source:program (Pipeline.Trace trace)
+      in
+      let name = m.W.App_model.name in
+      let s =
+        match outcome.Pipeline.analysis.Pipeline.lint with
+        | Some s -> s
+        | None -> Alcotest.fail (name ^ ": missing lint summary")
+      in
+      checkb (name ^ ": no cross-check finding") false
+        (has Finding.Classifier_disagreement s);
+      let a =
+        match s.Lint.abstract with
+        | Some a -> a
+        | None -> Alcotest.fail (name ^ ": missing abstract summary")
+      in
+      let b =
+        match a.Abs.bounds with
+        | Some b -> b
+        | None -> Alcotest.fail (name ^ ": missing static bounds")
+      in
+      let r =
+        match outcome.Pipeline.evaluation with
+        | Some e -> e.Pipeline.result
+        | None -> Alcotest.fail (name ^ ": missing evaluation")
+      in
+      let misses = r.Simulator.demand_misses in
+      checkb
+        (Printf.sprintf "%s: %d <= %d <= %d" name b.Abs.lower_misses misses
+           b.Abs.upper_misses)
+        true
+        (b.Abs.lower_misses <= misses && misses <= b.Abs.upper_misses);
+      checkb (name ^ ": mpki bracket") true
+        (b.Abs.mpki_lower <= r.Simulator.mpki +. 1e-9
+        && r.Simulator.mpki <= b.Abs.mpki_upper +. 1e-9))
+    W.Apps.all
+
+(* ------------- degradation ladder: proven-safe allowlist ------------- *)
+
+let test_proven_safe_ladder () =
+  let w = W.Cfg_gen.generate (tiny_model 23) in
+  let program = w.W.Cfg_gen.program in
+  let trace = W.Executor.run w ~input:W.Executor.train ~n_instrs:100_000 in
+  (* Salvage 0.9: good enough to keep hints (>= min_salvage) but below
+     the full-trust bar, so the ladder lands on Safe_only. *)
+  let profile = { Pipeline.trace; source = program; salvage = 0.9; pt_errors = 3 } in
+  let run proven_safe =
+    Pipeline.run
+      {
+        Pipeline.Options.default with
+        degrade = true;
+        proven_safe;
+        verify = true;
+        prefetch = Pipeline.No_prefetch;
+      }
+      ~source:program (Pipeline.Profile profile)
+  in
+  let legacy = run false in
+  let proven = run true in
+  let level (o : Pipeline.outcome) =
+    o.Pipeline.analysis.Pipeline.degrade.Pipeline.Degrade.level
+  in
+  checkb "legacy lands on safe-only" true (level legacy = Pipeline.Degrade.Safe_only);
+  checkb "proven lands on safe-only" true (level proven = Pipeline.Degrade.Safe_only);
+  (* The allowlist run ships only hints with a positive safety proof. *)
+  let verdicts (o : Pipeline.outcome) =
+    Icheck.classify_proved ~geometry:Geometry.l1i
+      ~entry:(Program.entry o.Pipeline.program)
+      (Program.blocks o.Pipeline.program)
+  in
+  checkb "all shipped hints proved safe" true
+    (List.for_all (fun (_, _, v) -> Abs.proved_safe v) (verdicts proven));
+  (* The allowlist is a refinement: it strips at least as much as the
+     legacy denylist ever did. *)
+  let stripped (o : Pipeline.outcome) =
+    o.Pipeline.analysis.Pipeline.degrade.Pipeline.Degrade.stripped
+  in
+  checkb "allowlist strips at least as much" true (stripped proven >= stripped legacy)
+
 let suites =
   [
     ( "analysis.structural",
@@ -661,4 +1061,24 @@ let suites =
         Alcotest.test_case "injector placements" `Quick test_injector_placements;
         Alcotest.test_case "pipeline verify gate" `Quick test_pipeline_verify_gate;
       ] );
+    ( "analysis.fixpoint",
+      [
+        Alcotest.test_case "straight line" `Quick test_fixpoint_straight_line;
+        Alcotest.test_case "diamond join" `Quick test_fixpoint_diamond_join;
+        Alcotest.test_case "loop saturates" `Quick test_fixpoint_loop_saturates;
+        Alcotest.test_case "widening" `Quick test_fixpoint_widening;
+      ] );
+    ( "analysis.abs_cache",
+      [
+        Alcotest.test_case "must hit and always miss" `Quick
+          test_abs_must_hit_and_always_miss;
+        Alcotest.test_case "conflict vs fit" `Quick test_abs_conflict_vs_fit;
+        Alcotest.test_case "hint verdicts" `Quick test_abs_verdicts;
+        Alcotest.test_case "classifier disagreement" `Quick test_lint_classifier_disagreement;
+        Alcotest.test_case "proof counters and json" `Quick test_lint_proof_counters;
+        Alcotest.test_case "proven-safe ladder" `Quick test_proven_safe_ladder;
+        Alcotest.test_case "nine apps: bounds bracket simulation" `Slow
+          test_nine_apps_bounds_bracket;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest [ prop_abs_soundness; prop_abs_agreement ] );
   ]
