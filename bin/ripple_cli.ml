@@ -434,36 +434,70 @@ let chaos_cmd =
       const (fun n quick -> if quick && n = 200_000 then 60_000 else n)
       $ chaos_instrs_arg $ quick_flag)
   in
-  let run apps policy n_instrs seed jobs quick json out metrics prefetch =
-    let prefetch =
-      match prefetch with
-      | Some p -> p
-      | None -> if quick then Pipeline.No_prefetch else Pipeline.Fdip
-    in
-    let apps = List.map (fun (m : W.App_model.t) -> m.W.App_model.name) apps in
-    let report = Chaos.run ~apps ~n_instrs ~seed ~prefetch ~policy ?jobs () in
-    let j = Chaos.report_to_json report in
-    (match out with
-    | None -> ()
-    | Some path -> Cli_args.write_text path (Json.to_string j ^ "\n"));
-    (match metrics with
-    | None -> ()
-    | Some path -> write_metrics path (Chaos.merged_metrics report));
-    if json then print_endline (Json.to_string j) else Chaos.print_summary report;
-    let code = Chaos.exit_code report in
-    if code <> 0 then exit code
+  let net_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "net" ]
+          ~doc:
+            "Run the network-level matrix instead: a live serve daemon behind a seeded fault \
+             proxy (torn frames, corrupted length prefixes, mid-frame disconnects, \
+             duplicated and stalled frames), plus a kill -9 mid-capture recovery cell; \
+             asserts every push completes and the session state is byte-equivalent to an \
+             uninterrupted run.")
+  in
+  let run apps policy n_instrs seed jobs quick json out metrics prefetch net =
+    let module Net_chaos = Ripple_fault.Net_chaos in
+    if net then begin
+      let app =
+        match apps with
+        | (m : W.App_model.t) :: _ -> m.W.App_model.name
+        | [] -> "kafka"
+      in
+      let n_instrs = if quick && n_instrs = 200_000 then 30_000 else n_instrs in
+      let timeout = if quick then 0.5 else 0.8 in
+      let stall_delay = if quick then 1.2 else 2.0 in
+      let report = Net_chaos.run ~app ~n_instrs ~seed ~timeout ~stall_delay () in
+      let j = Net_chaos.report_to_json report in
+      (match out with
+      | None -> ()
+      | Some path -> Cli_args.write_text path (Json.to_string j ^ "\n"));
+      if json then print_endline (Json.to_string j) else Net_chaos.print_summary report;
+      let code = Net_chaos.exit_code report in
+      if code <> 0 then exit code
+    end
+    else begin
+      let prefetch =
+        match prefetch with
+        | Some p -> p
+        | None -> if quick then Pipeline.No_prefetch else Pipeline.Fdip
+      in
+      let apps = List.map (fun (m : W.App_model.t) -> m.W.App_model.name) apps in
+      let report = Chaos.run ~apps ~n_instrs ~seed ~prefetch ~policy ?jobs () in
+      let j = Chaos.report_to_json report in
+      (match out with
+      | None -> ()
+      | Some path -> Cli_args.write_text path (Json.to_string j ^ "\n"));
+      (match metrics with
+      | None -> ()
+      | Some path -> write_metrics path (Chaos.merged_metrics report));
+      if json then print_endline (Json.to_string j) else Chaos.print_summary report;
+      let code = Chaos.exit_code report in
+      if code <> 0 then exit code
+    end
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run the fault-injection matrix: every application under corrupted PT streams, \
           truncated captures and profile drift, asserting no crash, bounded degradation, and \
-          the never-worse-than-no-hints guarantee.  Exit status: 0 clean, 1 contract \
-          violation, 2 crash.")
+          the never-worse-than-no-hints guarantee.  With $(b,--net), stress the transport \
+          instead: a live daemon behind a seeded fault proxy plus a kill -9 recovery check.  \
+          Exit status: 0 clean, 1 contract violation, 2 crash.")
     Term.(
       const run $ Cli_args.apps_arg ~verb:"stress" $ Cli_args.policy_arg $ instrs_set_flag
       $ seed_arg $ Cli_args.jobs_arg $ quick_flag $ json_flag $ out_arg $ Cli_args.metrics_arg
-      $ prefetch_opt_arg)
+      $ prefetch_opt_arg $ net_flag)
 
 (* ------------------------------- serve ------------------------------ *)
 
@@ -519,8 +553,39 @@ let serve_cmd =
              cache analysis positively proves safe, instead of merely stripping the ones the \
              path-search classifier flags.")
   in
+  let state_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Make sessions durable in $(docv): every flush writes an atomic snapshot, \
+             in-flight chunks are journaled write-ahead, and a restart with the same \
+             directory recovers every session — crash-only operation.")
+  in
+  let max_conns_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.max_conns
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Shed connections beyond $(docv) open at once (answered \"overloaded\").")
+  in
+  let max_sessions_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.max_sessions
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Refuse new app registrations beyond $(docv) sessions.")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value
+      & opt float Server.default_config.Server.idle_timeout
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Reap connections silent for $(docv) seconds (0 disables the deadline).")
+  in
   let run host port metrics_port window reemit_every threshold prefetch backing proven_safe
-      ready_file =
+      ready_file state_dir max_conns max_sessions idle_timeout =
     let config =
       {
         Server.default_config with
@@ -539,10 +604,15 @@ let serve_cmd =
             backing;
           };
         ready_file;
+        state_dir;
+        max_conns;
+        max_sessions;
+        idle_timeout;
       }
     in
-    Printf.printf "ripple-sim serve: %s port=%d metrics-port=%d window=%d reemit-every=%d\n%!"
-      host port metrics_port window reemit_every;
+    Printf.printf "ripple-sim serve: %s port=%d metrics-port=%d window=%d reemit-every=%d%s\n%!"
+      host port metrics_port window reemit_every
+      (match state_dir with None -> "" | Some d -> " state-dir=" ^ d);
     Server.serve_forever (Server.create config)
   in
   Cmd.v
@@ -551,11 +621,15 @@ let serve_cmd =
          "Run the continuous-profiling daemon: accept chunked PT captures over a framed \
           socket protocol, maintain a rolling windowed profile per application, re-emit \
           hints through the degradation ladder as the profile drifts, and expose live \
-          OpenMetrics on a scrape endpoint.")
+          OpenMetrics on a scrape endpoint.  With $(b,--state-dir) the daemon is \
+          crash-only: kill -9 it and a restart recovers every session from its snapshot \
+          and journal; SIGTERM drains gracefully (snapshot all sessions, remove the ready \
+          file, exit 0).")
     Term.(
       const run $ host_arg $ port_arg $ metrics_port_arg $ window_arg $ reemit_arg
       $ Cli_args.threshold_arg $ Cli_args.prefetch_arg $ Cli_args.backing_arg
-      $ proven_safe_flag $ ready_file_arg)
+      $ proven_safe_flag $ ready_file_arg $ state_dir_arg $ max_conns_arg $ max_sessions_arg
+      $ idle_timeout_arg)
 
 (* ------------------------------- push ------------------------------- *)
 
@@ -605,44 +679,82 @@ let push_cmd =
       & opt int 1
       & info [ "flushes" ] ~docv:"K" ~doc:"Push the capture $(docv) times, flushing after each.")
   in
-  let run app host port n_instrs chunk fault seed flushes =
+  let retries_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Attempts per capture for the resumable push (reconnect-and-resume).")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt float 5.0
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Socket send/receive timeout per operation.")
+  in
+  let v1_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "v1" ]
+          ~doc:
+            "Use the legacy unsequenced protocol on one blocking connection (no retries, no \
+             resume) instead of the sequenced at-least-once push.")
+  in
+  let run app host port n_instrs chunk fault seed flushes retries timeout v1 =
     let workload = W.Cfg_gen.generate app in
     let program = workload.W.Cfg_gen.program in
     let trace = W.Executor.run workload ~input:W.Executor.train ~n_instrs in
     let data = Pt.encode program trace in
     let data = match fault with None -> data | Some f -> Fault.corrupt_pt ~seed f data in
     let name = app.W.App_model.name in
-    let client = Client.connect ~host ~port in
-    let expect label = function
-      | Protocol.Ok json -> json
-      | Protocol.Error msg -> failwith (Printf.sprintf "push: %s failed: %s" label msg)
-    in
-    ignore (expect "hello" (Client.request client (Protocol.Hello name)) : Json.t);
-    for _ = 1 to flushes do
-      let len = Bytes.length data in
-      let pos = ref 0 in
-      while !pos < len do
-        let n = min chunk (len - !pos) in
-        ignore
-          (expect "chunk" (Client.request client (Protocol.Chunk (Bytes.sub data !pos n)))
-            : Json.t);
-        pos := !pos + n
+    if v1 then begin
+      let client = Client.connect ~host ~port () in
+      let expect label = function
+        | Protocol.Ok json -> json
+        | Protocol.Error msg -> failwith (Printf.sprintf "push: %s failed: %s" label msg)
+      in
+      ignore (expect "hello" (Client.request client (Protocol.Hello name)) : Json.t);
+      for _ = 1 to flushes do
+        let len = Bytes.length data in
+        let pos = ref 0 in
+        while !pos < len do
+          let n = min chunk (len - !pos) in
+          ignore
+            (expect "chunk" (Client.request client (Protocol.Chunk (Bytes.sub data !pos n)))
+              : Json.t);
+          pos := !pos + n
+        done;
+        let status = expect "flush" (Client.request client Protocol.Flush) in
+        print_endline (Json.to_string status)
       done;
-      let status = expect "flush" (Client.request client Protocol.Flush) in
-      print_endline (Json.to_string status)
-    done;
-    ignore (expect "bye" (Client.request client Protocol.Bye) : Json.t);
-    Client.close client
+      ignore (expect "bye" (Client.request client Protocol.Bye) : Json.t);
+      Client.close client
+    end
+    else
+      for k = 1 to flushes do
+        match
+          Client.push_with_retries ~attempts:retries ~timeout ~seed:(seed + k) ~chunk ~host
+            ~port ~app:name data
+        with
+        | Ok { Client.status; attempts_used } ->
+          if attempts_used > 1 then
+            Printf.eprintf "push: capture %d took %d attempts\n%!" k attempts_used;
+          print_endline (Json.to_string status)
+        | Error msg -> failwith ("push: " ^ msg)
+      done
   in
   Cmd.v
     (Cmd.info "push"
        ~doc:
          "Capture an application's profile as an encoded PT stream (optionally \
           fault-injected) and stream it to a running $(b,serve) daemon in chunks, flushing \
-          at the end; prints the daemon's status report per flush.")
+          at the end; prints the daemon's status report per flush.  The default push is \
+          resumable: sequenced frames, at-least-once delivery with server-side dedup, and \
+          reconnect-and-resume with backoff on any network fault.")
     Term.(
       const run $ Cli_args.app_pos_arg $ host_arg $ port_arg $ Cli_args.instrs_arg $ chunk_arg
-      $ fault_arg $ seed_arg $ flushes_arg)
+      $ fault_arg $ seed_arg $ flushes_arg $ retries_arg $ timeout_arg $ v1_flag)
 
 let () =
   let info =

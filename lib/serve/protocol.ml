@@ -1,6 +1,15 @@
 module Json = Ripple_util.Json
 
-type frame = Hello of string | Chunk of bytes | Flush | Status | Bye
+type frame =
+  | Hello of string
+  | Hello_v of { app : string; version : int }
+  | Chunk of bytes
+  | Chunk_seq of { seq : int; data : bytes }
+  | Flush
+  | Flush_seq of { seq : int }
+  | Status
+  | Bye
+
 type reply = Ok of Json.t | Error of string
 
 (* Generous for PT chunks (a whole capture fits in one frame if the
@@ -8,17 +17,26 @@ type reply = Ok of Json.t | Error of string
    the reader try to buffer. *)
 let max_payload = 16 * 1024 * 1024
 
+(* Highest protocol version this build speaks.  v1 is the original
+   unsequenced frame set; v2 adds version negotiation in Hello and
+   per-session sequence numbers on Chunk/Flush so pushes are
+   at-least-once with server-side dedup. *)
+let version = 2
+
 let frame_name = function
-  | Hello _ -> "hello"
-  | Chunk _ -> "chunk"
-  | Flush -> "flush"
+  | Hello _ | Hello_v _ -> "hello"
+  | Chunk _ | Chunk_seq _ -> "chunk"
+  | Flush | Flush_seq _ -> "flush"
   | Status -> "status"
   | Bye -> "bye"
 
 let tag_of_frame = function
   | Hello _ -> 'H'
+  | Hello_v _ -> 'h'
   | Chunk _ -> 'C'
+  | Chunk_seq _ -> 'c'
   | Flush -> 'F'
+  | Flush_seq _ -> 'f'
   | Status -> 'S'
   | Bye -> 'B'
 
@@ -27,6 +45,17 @@ let add_u32 buf n =
   Buffer.add_char buf (Char.chr ((n lsr 16) land 0xFF));
   Buffer.add_char buf (Char.chr ((n lsr 8) land 0xFF));
   Buffer.add_char buf (Char.chr (n land 0xFF))
+
+let u32_to_string n =
+  let b = Buffer.create 4 in
+  add_u32 b n;
+  Buffer.contents b
+
+let u32_of_string s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
 
 let write buf tag payload =
   let n = String.length payload in
@@ -39,7 +68,12 @@ let write_frame buf frame =
   let payload =
     match frame with
     | Hello app -> app
+    | Hello_v { app; version } ->
+      if version < 1 || version > 0xFF then invalid_arg "Protocol.write_frame: bad version";
+      String.make 1 (Char.chr version) ^ app
     | Chunk data -> Bytes.to_string data
+    | Chunk_seq { seq; data } -> u32_to_string seq ^ Bytes.to_string data
+    | Flush_seq { seq } -> u32_to_string seq
     | Flush | Status | Bye -> ""
   in
   write buf (tag_of_frame frame) payload
@@ -96,8 +130,29 @@ module Reader = struct
     | `Raw (tag, payload) -> begin
       match tag with
       | 'H' -> `Frame (Hello payload)
+      | 'h' ->
+        if String.length payload < 1 then `Corrupt "hello-v payload too short"
+        else
+          `Frame
+            (Hello_v
+               {
+                 app = String.sub payload 1 (String.length payload - 1);
+                 version = Char.code payload.[0];
+               })
       | 'C' -> `Frame (Chunk (Bytes.of_string payload))
+      | 'c' ->
+        if String.length payload < 4 then `Corrupt "sequenced chunk payload too short"
+        else
+          `Frame
+            (Chunk_seq
+               {
+                 seq = u32_of_string payload 0;
+                 data = Bytes.of_string (String.sub payload 4 (String.length payload - 4));
+               })
       | 'F' -> `Frame Flush
+      | 'f' ->
+        if String.length payload <> 4 then `Corrupt "sequenced flush payload malformed"
+        else `Frame (Flush_seq { seq = u32_of_string payload 0 })
       | 'S' -> `Frame Status
       | 'B' -> `Frame Bye
       | c -> `Corrupt (Printf.sprintf "unknown frame tag %C" c)

@@ -7,15 +7,29 @@
     slices and yields exactly the frames the peer wrote, however the
     transport split them.
 
-    A client session is [Hello] (bind this connection to an app), any
-    number of [Chunk]s carrying PT-stream bytes, [Flush] to close the
-    capture generation and trigger re-analysis, [Status] at will, and
-    [Bye].  Every frame is answered with one reply. *)
+    Two dialects share the frame set.  Version 1 is the original
+    fair-weather protocol: [Hello], unsequenced [Chunk]s, [Flush],
+    [Status], [Bye].  Version 2 ({!version}) makes the push resumable:
+    [Hello_v] negotiates a version (the server replies with the one it
+    granted plus the session's next expected sequence number), and
+    [Chunk_seq]/[Flush_seq] carry per-session sequence numbers so
+    delivery is at-least-once — the server applies a frame exactly once
+    and answers duplicates idempotently, which is what lets a client
+    reconnect after any network fault and resume where the server
+    actually got to.  Every frame is answered with one reply. *)
 
 type frame =
-  | Hello of string  (** register/select the named app for this connection *)
-  | Chunk of bytes  (** raw PT-stream bytes, any split *)
-  | Flush  (** end of capture: close the generation, re-emit hints *)
+  | Hello of string  (** v1: register/select the named app *)
+  | Hello_v of { app : string; version : int }
+      (** v2: also request a protocol version; the reply carries the
+          granted version and the session's [next_seq] *)
+  | Chunk of bytes  (** v1: raw PT-stream bytes, any split *)
+  | Chunk_seq of { seq : int; data : bytes }
+      (** v2: sequenced PT-stream bytes; [seq] must equal the session's
+          next expected number to be applied, smaller numbers are
+          acknowledged as duplicates, larger ones rejected as a gap *)
+  | Flush  (** v1: end of capture: close the generation, re-emit hints *)
+  | Flush_seq of { seq : int }  (** v2: sequenced [Flush], same dedup rules *)
   | Status  (** report the bound session's state *)
   | Bye  (** close the connection (the session itself persists) *)
 
@@ -26,9 +40,12 @@ type reply =
 val max_payload : int
 (** Frames advertising a larger payload are rejected as corrupt. *)
 
+val version : int
+(** Highest protocol version this build speaks (2). *)
+
 val frame_name : frame -> string
 (** ["hello"], ["chunk"], ["flush"], ["status"], ["bye"] — span and
-    metric label values. *)
+    metric label values (v1/v2 variants share names). *)
 
 val write_frame : Buffer.t -> frame -> unit
 val write_reply : Buffer.t -> reply -> unit

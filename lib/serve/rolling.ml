@@ -56,6 +56,14 @@ let trace t =
     t.gens;
   out
 
+let dump t =
+  List.rev_map
+    (fun g ->
+      let blocks = Array.make (Int_stream.length g.g_blocks) 0 in
+      Int_stream.iteri (fun i v -> blocks.(i) <- v) g.g_blocks;
+      (blocks, g.g_expected, g.g_errors))
+    t.gens
+
 let advertised t = List.fold_left (fun acc g -> acc + g.g_expected) 0 t.gens
 
 let salvage t =

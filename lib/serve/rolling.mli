@@ -30,6 +30,12 @@ val add : t -> blocks:int array -> expected:int -> errors:int -> unit
 val trace : t -> int array
 (** Concatenation of the retained generations, oldest first. *)
 
+val dump : t -> (int array * int * int) list
+(** The retained generations as [(blocks, expected, errors)] triples,
+    oldest first — the snapshot image.  Re-{!add}ing them in order into
+    a fresh window of the same capacity reproduces the window exactly
+    (retained state never triggers re-eviction). *)
+
 val blocks : t -> int
 (** Total decoded blocks retained (= [Array.length (trace t)]). *)
 

@@ -14,6 +14,10 @@ type config = {
   options : Pipeline.Options.t;
   lookup : string -> Program.t option;
   ready_file : string option;
+  state_dir : string option;
+  max_conns : int;
+  max_sessions : int;
+  idle_timeout : float;
 }
 
 let builtin_lookup =
@@ -38,6 +42,10 @@ let default_config =
     options = { Pipeline.Options.default with degrade = true };
     lookup = builtin_lookup;
     ready_file = None;
+    state_dir = None;
+    max_conns = 64;
+    max_sessions = 32;
+    idle_timeout = 30.0;
   }
 
 type cells = {
@@ -45,14 +53,29 @@ type cells = {
   connections_gauge : Obs.Metric.gauge;
   frames : Obs.Metric.counter;
   scrapes : Obs.Metric.counter;
+  snapshots_written : Obs.Metric.counter;
+  snapshots_recovered : Obs.Metric.counter;
+  connections_shed : Obs.Metric.counter;
+  deadlines_expired : Obs.Metric.counter;
+  client_retries : Obs.Metric.counter;
 }
 
 type t = {
   config : config;
   obs : Obs.Run.t;
+  store : Snapshot.Store.t option;
   mutable sessions : Session.t list;  (* name-sorted *)
+  mutable stopping : bool;
   cells : cells;
 }
+
+let session_of t (state : Snapshot.state) journal =
+  match t.config.lookup state.Snapshot.app with
+  | None -> None
+  | Some program ->
+    Some
+      (Session.restore ?store:t.store ~obs:t.obs ~options:t.config.options
+         ~window:t.config.window ~reemit_every:t.config.reemit_every ~program state journal)
 
 let create config =
   let obs = Obs.Run.create () in
@@ -71,28 +94,89 @@ let create config =
         Obs.Registry.gauge reg ~help:"open protocol connections" "ripple_serve_connections";
       frames = Obs.Registry.counter reg ~help:"protocol frames handled" "ripple_serve_frames";
       scrapes = Obs.Registry.counter reg ~help:"metrics scrapes served" "ripple_serve_scrapes";
+      snapshots_written =
+        Obs.Registry.counter reg ~help:"durable session snapshots written"
+          "ripple_serve_snapshots_written";
+      snapshots_recovered =
+        Obs.Registry.counter reg ~help:"sessions recovered from durable snapshots at startup"
+          "ripple_serve_snapshots_recovered";
+      connections_shed =
+        Obs.Registry.counter reg ~help:"connections shed under overload"
+          "ripple_serve_connections_shed";
+      deadlines_expired =
+        Obs.Registry.counter reg ~help:"connections reaped by the idle deadline"
+          "ripple_serve_deadlines_expired";
+      client_retries =
+        Obs.Registry.counter reg ~help:"duplicate sequenced frames (client retry evidence)"
+          "ripple_serve_client_retries";
     }
   in
-  { config; obs; sessions = []; cells }
+  let store = Option.map Snapshot.Store.open_dir config.state_dir in
+  let t = { config; obs; store; sessions = []; stopping = false; cells } in
+  (* Crash-only startup: every session with a loadable snapshot comes
+     back — rolling window, ladder position, sequence horizon and the
+     in-flight capture replayed from its journal. *)
+  (match store with
+  | None -> ()
+  | Some store ->
+    t.sessions <-
+      List.filter_map
+        (fun (state, journal) ->
+          match session_of t state journal with
+          | Some s ->
+            Obs.Metric.incr cells.snapshots_recovered;
+            Some s
+          | None -> None)
+        (Snapshot.Store.load_all store)
+      |> List.sort (fun a b -> compare (Session.name a) (Session.name b)));
+  Obs.Metric.set cells.sessions_gauge (Float.of_int (List.length t.sessions));
+  t
 
 let obs t = t.obs
 let sessions t = t.sessions
+let request_stop t = t.stopping <- true
 let find_session t name = List.find_opt (fun s -> Session.name s = name) t.sessions
 
 let register_session t name program =
   let s =
-    Session.create ~obs:t.obs ~options:t.config.options ~window:t.config.window
-      ~reemit_every:t.config.reemit_every ~name ~program
+    Session.create ?store:t.store ~obs:t.obs ~options:t.config.options ~window:t.config.window
+      ~reemit_every:t.config.reemit_every ~name ~program ()
   in
   t.sessions <-
     List.sort (fun a b -> compare (Session.name a) (Session.name b)) (s :: t.sessions);
   Obs.Metric.set t.cells.sessions_gauge (Float.of_int (List.length t.sessions));
   s
 
-module Conn = struct
-  type conn = { mutable session : Session.t option }
+let snapshot_all t =
+  List.iter
+    (fun s ->
+      Session.save s;
+      if t.store <> None then Obs.Metric.incr t.cells.snapshots_written)
+    t.sessions
 
-  let create () = { session = None }
+module Conn = struct
+  type conn = { mutable session : Session.t option; mutable version : int }
+
+  let create () = { session = None; version = 1 }
+
+  let bind_session t conn app =
+    match find_session t app with
+    | Some s ->
+      conn.session <- Some s;
+      `Ok s
+    | None ->
+      if List.length t.sessions >= t.config.max_sessions then `Overloaded
+      else begin
+        match t.config.lookup app with
+        | Some program ->
+          let s = register_session t app program in
+          conn.session <- Some s;
+          `Ok s
+        | None -> `Unknown
+      end
+
+  let with_fields extra json =
+    match json with Json.Obj fields -> Json.Obj (extra @ fields) | json -> json
 
   let handle t conn frame =
     Obs.Metric.incr t.cells.frames;
@@ -100,19 +184,25 @@ module Conn = struct
       ("serve/" ^ Protocol.frame_name frame)
       (fun () ->
         match frame with
-        | Protocol.Hello app -> begin
-          match find_session t app with
-          | Some s ->
-            conn.session <- Some s;
-            (Protocol.Ok (Session.status s), `Keep)
-          | None -> begin
-            match t.config.lookup app with
-            | Some program ->
-              let s = register_session t app program in
-              conn.session <- Some s;
-              (Protocol.Ok (Session.status s), `Keep)
-            | None -> (Protocol.Error (Printf.sprintf "unknown app %S" app), `Keep)
-          end
+        | Protocol.Hello app | Protocol.Hello_v { app; _ } -> begin
+          let version =
+            match frame with
+            | Protocol.Hello_v { version; _ } -> min (max version 1) Protocol.version
+            | _ -> 1
+          in
+          conn.version <- version;
+          match bind_session t conn app with
+          | `Ok s ->
+            let extra =
+              match frame with
+              | Protocol.Hello_v _ -> [ ("version", Json.Int version) ]
+              | _ -> []
+            in
+            (Protocol.Ok (with_fields extra (Session.status s)), `Keep)
+          | `Overloaded ->
+            Obs.Metric.incr t.cells.connections_shed;
+            (Protocol.Error "overloaded", `Keep)
+          | `Unknown -> (Protocol.Error (Printf.sprintf "unknown app %S" app), `Keep)
         end
         | Protocol.Chunk data -> begin
           match conn.session with
@@ -121,12 +211,54 @@ module Conn = struct
             let decoded = Session.feed s data in
             (Protocol.Ok (Json.Obj [ ("decoded", Json.Int decoded) ]), `Keep)
         end
+        | Protocol.Chunk_seq { seq; data } -> begin
+          match conn.session with
+          | None -> (Protocol.Error "chunk before hello", `Keep)
+          | Some s -> begin
+            match Session.apply_chunk s ~seq data with
+            | `Applied decoded ->
+              ( Protocol.Ok (Json.Obj [ ("decoded", Json.Int decoded); ("seq", Json.Int seq) ]),
+                `Keep )
+            | `Duplicate decoded ->
+              Obs.Metric.incr t.cells.client_retries;
+              ( Protocol.Ok
+                  (Json.Obj
+                     [
+                       ("decoded", Json.Int decoded);
+                       ("seq", Json.Int seq);
+                       ("dup", Json.Bool true);
+                     ]),
+                `Keep )
+            | `Gap expected ->
+              (Protocol.Error (Printf.sprintf "gap: expected seq %d" expected), `Keep)
+          end
+        end
         | Protocol.Flush -> begin
           match conn.session with
           | None -> (Protocol.Error "flush before hello", `Keep)
           | Some s ->
             Session.flush s;
+            if t.store <> None then Obs.Metric.incr t.cells.snapshots_written;
             (Protocol.Ok (Session.status s), `Keep)
+        end
+        | Protocol.Flush_seq { seq } -> begin
+          match conn.session with
+          | None -> (Protocol.Error "flush before hello", `Keep)
+          | Some s -> begin
+            match Session.apply_flush s ~seq with
+            | `Applied ->
+              if t.store <> None then Obs.Metric.incr t.cells.snapshots_written;
+              (Protocol.Ok (with_fields [ ("seq", Json.Int seq) ] (Session.status s)), `Keep)
+            | `Duplicate ->
+              Obs.Metric.incr t.cells.client_retries;
+              ( Protocol.Ok
+                  (with_fields
+                     [ ("seq", Json.Int seq); ("dup", Json.Bool true) ]
+                     (Session.status s)),
+                `Keep )
+            | `Gap expected ->
+              (Protocol.Error (Printf.sprintf "gap: expected seq %d" expected), `Keep)
+          end
         end
         | Protocol.Status -> begin
           match conn.session with
@@ -143,18 +275,12 @@ let metrics_body t =
 (* ------------------------------------------------------------------ *)
 (* Socket plumbing                                                     *)
 
-let write_all fd s =
-  let len = String.length s in
-  let pos = ref 0 in
-  while !pos < len do
-    pos := !pos + Unix.write_substring fd s !pos (len - !pos)
-  done
-
 let listen_on host port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-  Unix.listen fd 16;
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
   let bound =
     match Unix.getsockname fd with
     | Unix.ADDR_INET (_, p) -> p
@@ -162,10 +288,20 @@ let listen_on host port =
   in
   (fd, bound)
 
+type kind =
+  | Proto of { reader : Protocol.Reader.t; conn : Conn.conn }
+  | Scrape of { req : Buffer.t }
+
+(* One live connection in the event loop: a non-blocking fd, a buffered
+   writer (replies queue here; the loop writes when the socket can take
+   them), and an activity clock for the idle deadline. *)
 type live = {
   fd : Unix.file_descr;
-  reader : Protocol.Reader.t;
-  conn : Conn.conn;
+  kind : kind;
+  out : Buffer.t;
+  mutable sent : int;
+  mutable closing : bool;  (* close once [out] drains *)
+  mutable last_activity : float;
 }
 
 let http_response body =
@@ -178,15 +314,42 @@ let http_response body =
      %s"
     (String.length body) body
 
-(* One scrape per connection, handled synchronously: read the request
-   head, answer, close.  Plenty for a pull-based collector. *)
-let handle_scrape t fd =
-  let buf = Bytes.create 4096 in
-  (try ignore (Unix.read fd buf 0 (Bytes.length buf) : int) with Unix.Unix_error _ -> ());
-  (try write_all fd (http_response (metrics_body t)) with Unix.Unix_error _ -> ());
-  Unix.close fd
+let http_unavailable =
+  "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 10\r\nConnection: close\r\n\r\noverloaded"
 
 let set_connections t n = Obs.Metric.set t.cells.connections_gauge (Float.of_int n)
+
+let queue_reply c reply =
+  let buf = Buffer.create 256 in
+  Protocol.write_reply buf reply;
+  Buffer.add_buffer c.out buf
+
+(* Drain as much of the pending output as the socket accepts right now.
+   Returns [false] if the connection died. *)
+let pump_out c =
+  let total = Buffer.length c.out in
+  if c.sent >= total then true
+  else begin
+    let data = Buffer.to_bytes c.out in
+    let rec go () =
+      if c.sent >= total then ()
+      else
+        match Unix.write c.fd data c.sent (total - c.sent) with
+        | n ->
+          c.sent <- c.sent + n;
+          go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    match go () with
+    | () ->
+      if c.sent >= total then begin
+        Buffer.clear c.out;
+        c.sent <- 0
+      end;
+      true
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) -> false
+  end
 
 let serve_forever t =
   let serve_fd, port = listen_on t.config.host t.config.port in
@@ -197,53 +360,175 @@ let serve_forever t =
       Printf.fprintf oc "%d %d\n" port metrics_port;
       close_out oc)
     t.config.ready_file;
+  (* A dead peer must surface as EPIPE on write, not kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* Crash-only shutdown: SIGTERM requests a graceful drain — flush
+     buffered replies, snapshot every session, drop the ready file —
+     and anything harder (SIGKILL) is recovered from the snapshots and
+     journals instead. *)
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> t.stopping <- true))
+   with Invalid_argument _ -> ());
   let conns = ref [] in
   let close_conn c =
     (try Unix.close c.fd with Unix.Unix_error _ -> ());
     conns := List.filter (fun o -> o != c) !conns;
     set_connections t (List.length !conns)
   in
+  let add_conn c =
+    Unix.set_nonblock c.fd;
+    conns := c :: !conns;
+    set_connections t (List.length !conns)
+  in
+  let now () = Unix.gettimeofday () in
+  let live kind fd =
+    { fd; kind; out = Buffer.create 256; sent = 0; closing = false; last_activity = now () }
+  in
   let buf = Bytes.create 65536 in
-  let pump c =
+  let handle_read c =
     match Unix.read c.fd buf 0 (Bytes.length buf) with
-    | 0 -> close_conn c
-    | n ->
-      Protocol.Reader.add c.reader buf n;
-      let rec drain () =
-        match Protocol.Reader.pop_frame c.reader with
-        | `Awaiting -> ()
-        | `Corrupt msg ->
-          let out = Buffer.create 64 in
-          Protocol.write_reply out (Protocol.Error msg);
-          (try write_all c.fd (Buffer.contents out) with Unix.Unix_error _ -> ());
-          close_conn c
-        | `Frame frame ->
-          let reply, disposition = Conn.handle t c.conn frame in
-          let out = Buffer.create 256 in
-          Protocol.write_reply out reply;
-          (try write_all c.fd (Buffer.contents out) with Unix.Unix_error _ -> ());
-          if disposition = `Close then close_conn c else drain ()
-      in
-      drain ()
+    | 0 -> begin
+      (* Peer closed its end.  A scrape that never sent a full request
+         still gets the exposition (curl-style half-close tolerance);
+         protocol connections just go away. *)
+      match c.kind with
+      | Scrape _ when Buffer.length c.out = 0 && not c.closing ->
+        Buffer.add_string c.out (http_response (metrics_body t));
+        c.closing <- true
+      | _ -> close_conn c
+    end
+    | n -> begin
+      c.last_activity <- now ();
+      match c.kind with
+      | Proto { reader; conn } ->
+        Protocol.Reader.add reader buf n;
+        let rec drain () =
+          if not c.closing then
+            match Protocol.Reader.pop_frame reader with
+            | `Awaiting -> ()
+            | `Corrupt msg ->
+              queue_reply c (Protocol.Error msg);
+              c.closing <- true
+            | `Frame frame ->
+              let reply, disposition = Conn.handle t conn frame in
+              queue_reply c reply;
+              if disposition = `Close then c.closing <- true else drain ()
+        in
+        drain ()
+      | Scrape { req } ->
+        Buffer.add_subbytes req buf 0 n;
+        let s = Buffer.contents req in
+        (* Serve once the request head is complete; one response per
+           connection, close after. *)
+        let complete =
+          let rec find i =
+            i + 3 < String.length s
+            && (String.sub s i 4 = "\r\n\r\n" || find (i + 1))
+          in
+          String.length s >= 4 && find 0
+        in
+        if complete && Buffer.length c.out = 0 then begin
+          Buffer.add_string c.out (http_response (metrics_body t));
+          c.closing <- true
+        end
+    end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
     | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_conn c
   in
-  while true do
-    let fds = serve_fd :: metrics_fd :: List.map (fun c -> c.fd) !conns in
-    let readable, _, _ = Unix.select fds [] [] (-1.0) in
-    List.iter
-      (fun fd ->
-        if fd = serve_fd then begin
-          let cfd, _ = Unix.accept serve_fd in
-          conns := { fd = cfd; reader = Protocol.Reader.create (); conn = Conn.create () } :: !conns;
-          set_connections t (List.length !conns)
+  let accept_loop lfd make_overloaded make_conn =
+    let rec go () =
+      match Unix.accept lfd with
+      | cfd, _ ->
+        if List.length !conns >= t.config.max_conns then begin
+          (* Load shedding: answer, don't hang — the reply is queued and
+             the connection closes as soon as it drains. *)
+          Obs.Metric.incr t.cells.connections_shed;
+          let c = make_overloaded cfd in
+          c.closing <- true;
+          add_conn c
         end
-        else if fd = metrics_fd then begin
-          let cfd, _ = Unix.accept metrics_fd in
-          handle_scrape t cfd
-        end
-        else
+        else add_conn (make_conn cfd);
+        go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> go ()
+      | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+        (* Out of descriptors: shed by not accepting; the idle reaper
+           frees capacity rather than the daemon crashing. *)
+        Obs.Metric.incr t.cells.connections_shed
+    in
+    go ()
+  in
+  let proto_conn cfd = live (Proto { reader = Protocol.Reader.create (); conn = Conn.create () }) cfd in
+  let scrape_conn cfd = live (Scrape { req = Buffer.create 256 }) cfd in
+  let overloaded_proto cfd =
+    let c = proto_conn cfd in
+    queue_reply c (Protocol.Error "overloaded");
+    c
+  in
+  let overloaded_scrape cfd =
+    let c = scrape_conn cfd in
+    Buffer.add_string c.out http_unavailable;
+    c
+  in
+  while not t.stopping do
+    let pending c = Buffer.length c.out > c.sent in
+    let rfds = serve_fd :: metrics_fd :: List.map (fun c -> c.fd) !conns in
+    let wfds = List.filter_map (fun c -> if pending c then Some c.fd else None) !conns in
+    let timeout = if !conns = [] then -1.0 else 0.1 in
+    match Unix.select rfds wfds [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, writable, _ ->
+      if List.mem serve_fd readable then accept_loop serve_fd overloaded_proto proto_conn;
+      if List.mem metrics_fd readable then accept_loop metrics_fd overloaded_scrape scrape_conn;
+      List.iter
+        (fun fd ->
           match List.find_opt (fun c -> c.fd = fd) !conns with
-          | Some c -> pump c
+          | Some c when fd <> serve_fd && fd <> metrics_fd -> handle_read c
+          | _ -> ())
+        readable;
+      List.iter
+        (fun fd ->
+          match List.find_opt (fun c -> c.fd = fd) !conns with
+          | Some c -> if not (pump_out c) then close_conn c
           | None -> ())
-      readable
-  done
+        writable;
+      (* Opportunistic write for replies queued this tick, so a request
+         served in one round trip doesn't wait for the next select. *)
+      List.iter (fun c -> if pending c then ignore (pump_out c : bool)) !conns;
+      List.iter (fun c -> if c.closing && not (pending c) then close_conn c) !conns;
+      (* Idle deadline: a connected-but-silent peer (a stuck scraper, a
+         wedged agent) is reaped instead of holding state forever. *)
+      if t.config.idle_timeout > 0.0 then begin
+        let horizon = now () -. t.config.idle_timeout in
+        List.iter
+          (fun c ->
+            if c.last_activity < horizon then begin
+              Obs.Metric.incr t.cells.deadlines_expired;
+              close_conn c
+            end)
+          !conns
+      end
+  done;
+  (* Graceful drain: push out whatever replies are still buffered (best
+     effort, bounded), make every session durable, and withdraw the
+     ready-file handshake so a supervisor never reads a stale port. *)
+  let deadline = Unix.gettimeofday () +. 1.0 in
+  List.iter
+    (fun c ->
+      let rec flush () =
+        if Buffer.length c.out > c.sent && Unix.gettimeofday () < deadline then
+          if pump_out c then begin
+            if Buffer.length c.out > c.sent then begin
+              ignore
+                (try Unix.select [] [ c.fd ] [] 0.05
+                 with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], []));
+              flush ()
+            end
+          end
+      in
+      flush ();
+      try Unix.close c.fd with Unix.Unix_error _ -> ())
+    !conns;
+  snapshot_all t;
+  (try Unix.close serve_fd with Unix.Unix_error _ -> ());
+  (try Unix.close metrics_fd with Unix.Unix_error _ -> ());
+  Option.iter (fun path -> try Sys.remove path with Sys_error _ -> ()) t.config.ready_file

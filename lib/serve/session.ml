@@ -22,10 +22,12 @@ type t = {
   options : Pipeline.Options.t;
   reemit_every : int;
   rolling : Rolling.t;
+  store : Snapshot.Store.t option;
   mutable pt : Pt.Session.t;
   mutable level : Pipeline.Degrade.level;
   mutable transitions : int;
   mutable emissions : int;
+  mutable next_seq : int;  (** next protocol sequence number expected *)
   mutable last : Pipeline.outcome option;
   mutable since_emit : int;  (** fresh blocks since the last re-emission *)
   cells : cells;
@@ -48,7 +50,7 @@ let register_cells reg app =
         "ripple_stream_spill_bytes";
   }
 
-let create ~obs ~options ~window ~reemit_every ~name ~program =
+let create ?store ~obs ~options ~window ~reemit_every ~name ~program () =
   let options = { options with Pipeline.Options.eval = None; search = [] } in
   let backing = options.Pipeline.Options.backing in
   let reg = Obs.Run.registry obs in
@@ -58,26 +60,47 @@ let create ~obs ~options ~window ~reemit_every ~name ~program =
     (Obs.Registry.gauge reg ~help:"access-stream backing: 0 heap, 1 mmap"
        "ripple_stream_backing")
     (match backing with Ripple_util.Int_stream.Heap -> 0.0 | Ripple_util.Int_stream.Spill _ -> 1.0);
-  {
-    name;
-    source = program;
-    obs;
-    options;
-    reemit_every;
-    rolling = Rolling.create ~backing ~window ();
-    pt = Pt.Session.create program;
-    level = Pipeline.Degrade.Hints_off;
-    transitions = 0;
-    emissions = 0;
-    last = None;
-    since_emit = 0;
-    cells;
-  }
+  let t =
+    {
+      name;
+      source = program;
+      obs;
+      options;
+      reemit_every;
+      rolling = Rolling.create ~backing ~window ();
+      store;
+      pt = Pt.Session.create program;
+      level = Pipeline.Degrade.Hints_off;
+      transitions = 0;
+      emissions = 0;
+      next_seq = 0;
+      last = None;
+      since_emit = 0;
+      cells;
+    }
+  in
+  (* Durable sessions snapshot at birth: a kill -9 before the first
+     flush then still recovers (empty snapshot + journal replay) —
+     recovery must never depend on having flushed at least once. *)
+  (match store with
+  | None -> ()
+  | Some store ->
+    Snapshot.Store.save store
+      {
+        Snapshot.app = name;
+        level = 2;
+        transitions = 0;
+        emissions = 0;
+        next_seq = 0;
+        gens = [];
+      });
+  t
 
 let name t = t.name
 let level t = t.level
 let transitions t = t.transitions
 let emissions t = t.emissions
+let next_seq t = t.next_seq
 let last_outcome t = t.last
 
 let program t =
@@ -87,6 +110,16 @@ let level_code = function
   | Pipeline.Degrade.Full -> 0.0
   | Pipeline.Degrade.Safe_only -> 1.0
   | Pipeline.Degrade.Hints_off -> 2.0
+
+let level_int = function
+  | Pipeline.Degrade.Full -> 0
+  | Pipeline.Degrade.Safe_only -> 1
+  | Pipeline.Degrade.Hints_off -> 2
+
+let level_of_int = function
+  | 0 -> Pipeline.Degrade.Full
+  | 1 -> Pipeline.Degrade.Safe_only
+  | _ -> Pipeline.Degrade.Hints_off
 
 (* The merged profile right now: closed generations plus the in-flight
    one.  The in-flight capture counts only what has already decoded
@@ -107,25 +140,70 @@ let profile_now t =
   in
   { Pipeline.trace; source = t.source; salvage; pt_errors = errors }
 
-let emit t =
+(* FNV-1a 64 over the durable profile content — what the chaos harness
+   compares across an interrupted and an uninterrupted run. *)
+let profile_fnv t =
+  let h = ref 0xcbf29ce484222325L in
+  let mix v =
+    for shift = 0 to 7 do
+      let byte = (v lsr (8 * shift)) land 0xFF in
+      h := Int64.logxor !h (Int64.of_int byte);
+      h := Int64.mul !h 0x100000001b3L
+    done
+  in
+  Array.iter mix (Rolling.trace t.rolling);
+  mix (Rolling.advertised t.rolling);
+  mix (Rolling.errors t.rolling);
+  Printf.sprintf "%016Lx" !h
+
+(* [count] is false only while rebuilding state during recovery: the
+   emission then reconstructs the instrumented binary without claiming
+   new work happened. *)
+let emit ?(count = true) t =
   let profile = profile_now t in
   let oc = Pipeline.run ~obs:t.obs t.options ~source:t.source (Pipeline.Profile profile) in
   let degrade = oc.Pipeline.analysis.Pipeline.degrade in
   let level = degrade.Pipeline.Degrade.level in
-  if level <> t.level then begin
+  if level <> t.level && count then begin
     t.transitions <- t.transitions + 1;
     Obs.Metric.incr t.cells.ladder_transitions
   end;
   t.level <- level;
   t.last <- Some oc;
-  t.emissions <- t.emissions + 1;
+  if count then begin
+    t.emissions <- t.emissions + 1;
+    Obs.Metric.incr t.cells.reemissions
+  end;
   t.since_emit <- 0;
   Obs.Metric.set t.cells.ladder_level (level_code level);
   Obs.Metric.set t.cells.salvage profile.Pipeline.salvage;
-  Obs.Metric.set t.cells.drift degrade.Pipeline.Degrade.drift;
-  Obs.Metric.incr t.cells.reemissions
+  Obs.Metric.set t.cells.drift degrade.Pipeline.Degrade.drift
 
-let feed t chunk =
+(* ---------------------------- persistence ---------------------------- *)
+
+let snapshot_state t =
+  {
+    Snapshot.app = t.name;
+    level = level_int t.level;
+    transitions = t.transitions;
+    emissions = t.emissions;
+    next_seq = t.next_seq;
+    gens =
+      List.map
+        (fun (blocks, expected, errors) ->
+          { Snapshot.g_blocks = blocks; g_expected = expected; g_errors = errors })
+        (Rolling.dump t.rolling);
+  }
+
+let save t =
+  match t.store with None -> () | Some store -> Snapshot.Store.save store (snapshot_state t)
+
+(* --------------------------- sequenced ops --------------------------- *)
+
+(* Feed the decoder and drive mid-capture re-emission; shared by the
+   live path and journal replay (replay must reproduce exactly the
+   state the live path built, re-emissions included). *)
+let ingest t chunk =
   Obs.Metric.add t.cells.chunk_bytes (Bytes.length chunk);
   if not (Pt.Session.finished t.pt) then Pt.Session.feed t.pt chunk;
   let fresh = Array.length (Pt.Session.drain t.pt) in
@@ -134,7 +212,21 @@ let feed t chunk =
   if t.reemit_every > 0 && t.since_emit >= t.reemit_every then emit t;
   Pt.Session.decoded t.pt
 
-let flush t =
+let apply_chunk t ~seq chunk =
+  if seq < t.next_seq then `Duplicate (Pt.Session.decoded t.pt)
+  else if seq > t.next_seq then `Gap t.next_seq
+  else begin
+    (* Write-ahead: the journal record lands (and is fsynced) before the
+       decoder sees the bytes, so recovery never misses an applied
+       chunk. *)
+    (match t.store with
+    | Some store -> Snapshot.Store.journal_append store ~app:t.name ~seq chunk
+    | None -> ());
+    t.next_seq <- seq + 1;
+    `Applied (ingest t chunk)
+  end
+
+let do_flush t =
   Pt.Session.finish t.pt;
   let r = Pt.Session.result t.pt in
   Rolling.add t.rolling ~blocks:r.Pt.trace ~expected:r.Pt.expected
@@ -145,9 +237,68 @@ let flush t =
     Obs.Metric.add t.cells.stream_spill_bytes (8 * Array.length r.Pt.trace));
   t.pt <- Pt.Session.create t.source;
   t.since_emit <- 0;
-  emit t
+  emit t;
+  (* The capture is folded into a generation: snapshot the new durable
+     state, then drop the journal it supersedes. *)
+  match t.store with
+  | None -> ()
+  | Some store ->
+    Snapshot.Store.save store (snapshot_state t);
+    Snapshot.Store.journal_reset store ~app:t.name
 
-let close t = Rolling.close t.rolling
+let apply_flush t ~seq =
+  if seq < t.next_seq then `Duplicate
+  else if seq > t.next_seq then `Gap t.next_seq
+  else begin
+    t.next_seq <- seq + 1;
+    do_flush t;
+    `Applied
+  end
+
+(* v1 entry points: unsequenced traffic consumes sequence numbers
+   implicitly, so v1 and v2 clients share one dedup/journal horizon. *)
+let feed t chunk =
+  match apply_chunk t ~seq:t.next_seq chunk with
+  | `Applied decoded | `Duplicate decoded -> decoded
+  | `Gap _ -> assert false
+
+let flush t =
+  match apply_flush t ~seq:t.next_seq with `Applied | `Duplicate -> () | `Gap _ -> assert false
+
+(* ----------------------------- recovery ------------------------------ *)
+
+let restore ?store ~obs ~options ~window ~reemit_every ~program (state : Snapshot.state)
+    journal =
+  let t = create ?store ~obs ~options ~window ~reemit_every ~name:state.Snapshot.app ~program () in
+  List.iter
+    (fun g ->
+      Rolling.add t.rolling ~blocks:g.Snapshot.g_blocks ~expected:g.Snapshot.g_expected
+        ~errors:g.Snapshot.g_errors)
+    state.Snapshot.gens;
+  t.level <- level_of_int state.Snapshot.level;
+  t.transitions <- state.Snapshot.transitions;
+  t.emissions <- state.Snapshot.emissions;
+  t.next_seq <- state.Snapshot.next_seq;
+  Obs.Metric.set t.cells.ladder_level (level_code t.level);
+  (* Re-run the pipeline over the recovered window so the instrumented
+     binary (and the salvage/drift gauges) exist again without a client
+     replaying history.  Deterministic, so the level matches the stored
+     one; the counters saw this emission before the crash already. *)
+  if Rolling.generations t.rolling > 0 then emit ~count:false t;
+  (* Replay the in-flight capture journal through the live ingest path
+     (without re-journaling: the records are already durable). *)
+  List.iter
+    (fun (seq, chunk) ->
+      if seq >= t.next_seq then begin
+        t.next_seq <- seq + 1;
+        ignore (ingest t chunk : int)
+      end)
+    journal;
+  t
+
+let close t =
+  Rolling.close t.rolling;
+  match t.store with None -> () | Some store -> Snapshot.Store.close store
 
 let status t =
   let drift, salvage =
@@ -169,6 +320,8 @@ let status t =
       ("pt_errors", Json.Int (Rolling.errors t.rolling + Pt.Session.errors t.pt));
       ("transitions", Json.Int t.transitions);
       ("emissions", Json.Int t.emissions);
+      ("next_seq", Json.Int t.next_seq);
+      ("profile_fnv", Json.String (profile_fnv t));
       ( "hints",
         Json.Int
           (match t.last with

@@ -13,6 +13,16 @@
     in-flight capture then counts only what has already decoded; its
     missing tail is judged at flush).
 
+    {b Sequencing and durability.}  Every state-changing frame (chunk or
+    flush) consumes one sequence number; {!apply_chunk}/{!apply_flush}
+    apply a frame exactly once and answer replays idempotently, which is
+    what makes v2 pushes at-least-once safe.  With a
+    {!Snapshot.Store} attached, chunks are journaled (write-ahead,
+    fsynced) before decoding and every flush writes an atomic snapshot,
+    so {!restore} after a [kill -9] rebuilds the session — rolling
+    window, ladder position, sequence horizon and the in-flight decoder
+    — without the client replaying history.
+
     All sessions share the daemon's {!Ripple_obs.Run.t}: pipeline metric
     families aggregate across apps, while the [ripple_serve_*] per-app
     families carry an [app] label ({!Ripple_obs.Metric.labelled}). *)
@@ -24,18 +34,38 @@ module Obs := Ripple_obs
 type t
 
 val create :
+  ?store:Snapshot.Store.t ->
   obs:Obs.Run.t ->
   options:Pipeline.Options.t ->
   window:int ->
   reemit_every:int ->
   name:string ->
   program:Program.t ->
+  unit ->
   t
 (** [options] drives every re-emission ([eval]/[search] are cleared;
     set [degrade] or the ladder never engages).  [window] is the rolling
     capacity in blocks; [reemit_every] enables mid-capture re-emission
-    when positive.  The session starts at {!Pipeline.Degrade.Hints_off}
-    with the binary untouched — trust is earned by the first flush. *)
+    when positive.  [store] makes the session durable.  The session
+    starts at {!Pipeline.Degrade.Hints_off} with the binary untouched —
+    trust is earned by the first flush. *)
+
+val restore :
+  ?store:Snapshot.Store.t ->
+  obs:Obs.Run.t ->
+  options:Pipeline.Options.t ->
+  window:int ->
+  reemit_every:int ->
+  program:Program.t ->
+  Snapshot.state ->
+  (int * bytes) list ->
+  t
+(** Rebuild a session from its snapshot and in-flight journal records:
+    re-adds the snapshot generations, restores counters and the
+    sequence horizon, re-emits over the recovered window (without
+    recounting the emission) so the instrumented binary exists again,
+    then replays the journal through the live ingest path.  The result
+    is the state a [kill -9] interrupted, ready for a resumed push. *)
 
 val name : t -> string
 val program : t -> Program.t
@@ -47,15 +77,37 @@ val transitions : t -> int
 (** Ladder-level changes observed across re-emissions. *)
 
 val emissions : t -> int
+val next_seq : t -> int
+(** Next sequence number the session will apply. *)
+
 val last_outcome : t -> Pipeline.outcome option
 
+val apply_chunk : t -> seq:int -> bytes -> [ `Applied of int | `Duplicate of int | `Gap of int ]
+(** Sequenced chunk: applied exactly when [seq] equals {!next_seq}
+    (journal-appended first when durable), acknowledged with the current
+    decode count when it is a replay of an already-applied number, and
+    rejected as [`Gap expected] when it skips ahead. *)
+
+val apply_flush : t -> seq:int -> [ `Applied | `Duplicate | `Gap of int ]
+(** Sequenced flush, same dedup rules.  An applied flush closes the
+    generation, re-emits, snapshots (when durable) and resets the
+    journal. *)
+
 val feed : t -> bytes -> int
-(** Feed one chunk of PT bytes; returns blocks decoded so far in the
-    in-flight generation.  May re-emit per [reemit_every]. *)
+(** v1 unsequenced chunk: consumes the next sequence number implicitly.
+    Returns blocks decoded so far in the in-flight generation. *)
 
 val flush : t -> unit
-(** Close the in-flight generation into the rolling window, start a
-    fresh decoder generation, and re-emit hints. *)
+(** v1 unsequenced flush: consumes the next sequence number implicitly. *)
+
+val save : t -> unit
+(** Write the snapshot now (graceful-drain hook).  No-op without a
+    store. *)
+
+val profile_fnv : t -> string
+(** FNV-1a 64 hex digest of the durable rolling profile (blocks,
+    advertised count, error tally) — the equivalence check the chaos
+    harness runs across interrupted and uninterrupted runs. *)
 
 val status : t -> Ripple_util.Json.t
 (** Deterministic state report (the [Status] frame's payload). *)
@@ -63,5 +115,5 @@ val status : t -> Ripple_util.Json.t
 val close : t -> unit
 (** Releases the rolling window's generations — unlinking their spill
     files when the session's backing ({!Pipeline.Options.t.backing})
-    is [Spill].  Teardown hook; the daemon also sweeps leftover spill
-    files at process exit. *)
+    is [Spill] — and closes any journal descriptors.  Teardown hook;
+    the daemon also sweeps leftover spill files at process exit. *)

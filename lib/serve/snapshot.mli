@@ -1,0 +1,79 @@
+(** Durable session state for the crash-only daemon.
+
+    Two on-disk artifacts per app session, both integrity-checked with
+    FNV-1a 64 so a torn write is detected rather than trusted:
+
+    - a {e snapshot} ([<app>.snap]): the closed rolling-window
+      generations, the merged salvage counters they imply, the
+      degradation-ladder position and the protocol sequence horizon —
+      everything except the in-flight capture.  Written atomically
+      (temp file + [fsync] + rename + directory [fsync]) at every flush
+      and at graceful shutdown;
+
+    - a {e capture journal} ([<app>.journal]): one checksummed record
+      per applied chunk of the in-flight generation, appended (and
+      fsynced) before the chunk reaches the decoder, truncated when a
+      flush folds the capture into a snapshot generation.
+
+    Recovery is snapshot ∘ journal: load the snapshot, replay the
+    journal records at or past its sequence horizon, and the session is
+    byte-for-byte where a [kill -9] found it.  Both decoders are total:
+    corrupt or truncated input yields [Error] (snapshot) or the longest
+    valid record prefix (journal), never an exception. *)
+
+type gen = { g_blocks : int array; g_expected : int; g_errors : int }
+(** One closed capture generation, as {!Rolling} retains it. *)
+
+type state = {
+  app : string;
+  level : int;  (** degradation-ladder rung: 0 full, 1 safe-only, 2 off *)
+  transitions : int;
+  emissions : int;
+  next_seq : int;  (** next protocol sequence number the session expects *)
+  gens : gen list;  (** oldest first *)
+}
+
+val encode : state -> bytes
+(** Versioned, checksummed snapshot image. *)
+
+val decode : bytes -> (state, string) result
+(** Total: a corrupt, truncated or foreign byte string is [Error]. *)
+
+val journal_record : seq:int -> bytes -> bytes
+(** One checksummed journal record. *)
+
+val journal_decode : bytes -> (int * bytes) list
+(** Longest valid record prefix, in append order.  A partial or
+    corrupt tail (the crash-mid-append case) is silently dropped. *)
+
+(** File management for a [--state-dir]. *)
+module Store : sig
+  type t
+
+  val open_dir : string -> t
+  (** Creates the directory (and parents) if needed. *)
+
+  val dir : t -> string
+
+  val save : t -> state -> unit
+  (** Atomic durable snapshot write: temp + [fsync] + rename +
+      directory [fsync]. *)
+
+  val journal_append : t -> app:string -> seq:int -> bytes -> unit
+  (** Append one record and [fsync] — call {e before} applying the
+      chunk, so the journal never lags the decoder. *)
+
+  val journal_reset : t -> app:string -> unit
+  (** Remove the app's journal (after its capture was folded into a
+      snapshot). *)
+
+  val load : t -> string -> (state * (int * bytes) list) option
+  (** The app's snapshot plus the journal records at or past its
+      sequence horizon; [None] if there is no loadable snapshot. *)
+
+  val load_all : t -> (state * (int * bytes) list) list
+  (** Every recoverable session in the directory, app-sorted. *)
+
+  val close : t -> unit
+  (** Close any open journal descriptors. *)
+end

@@ -278,7 +278,7 @@ let test_session_ladder () =
      the ladder then tracks the quality of the latest capture. *)
   let s =
     Session.create ~obs ~options:serve_options ~window:blocks ~reemit_every:0 ~name:"kafka"
-      ~program
+      ~program ()
   in
   checkb "starts with hints off" true (Session.level s = Core.Pipeline.Degrade.Hints_off);
   push_capture s clean;
@@ -301,7 +301,7 @@ let test_session_matches_one_shot () =
   let obs = Obs.Run.create () in
   let s =
     Session.create ~obs ~options:serve_options ~window:max_int ~reemit_every:0 ~name:"kafka"
-      ~program
+      ~program ()
   in
   push_capture ~chunk:777 s data;
   let one_shot = Core.Pipeline.run serve_options ~source:program (Core.Pipeline.Pt_bytes data) in
@@ -322,7 +322,7 @@ let test_session_reemit_mid_capture () =
   let obs = Obs.Run.create () in
   let s =
     Session.create ~obs ~options:serve_options ~window:max_int ~reemit_every:500 ~name:"kafka"
-      ~program
+      ~program ()
   in
   let len = Bytes.length data in
   let pos = ref 0 in
@@ -436,6 +436,351 @@ let test_server_scrape_schema () =
   check (Alcotest.list Alcotest.string) "scrape carries the full pinned schema" (read [])
     type_lines
 
+(* --------------------- durability: snapshot codec -------------------- *)
+
+module Snapshot = Ripple_serve.Snapshot
+module Net_fault = Ripple_fault.Net_fault
+module Client = Ripple_serve.Client
+
+let state_gen =
+  QCheck.Gen.(
+    let gen_gen =
+      map3
+        (fun blocks expected errors ->
+          { Snapshot.g_blocks = Array.of_list blocks; g_expected = expected; g_errors = errors })
+        (list_size (int_bound 40) (int_bound 0xFFFF))
+        (int_bound 10_000) (int_bound 50)
+    in
+    map
+      (fun (app, (level, transitions, emissions, next_seq), gens) ->
+        { Snapshot.app; level; transitions; emissions; next_seq; gens })
+      (triple (string_size ~gen:printable (int_range 0 12))
+         (quad (int_bound 2) (int_bound 100) (int_bound 100) (int_bound 10_000))
+         (list_size (int_bound 5) gen_gen)))
+
+let state_arb = QCheck.make ~print:(fun s -> s.Snapshot.app) state_gen
+
+let snapshot_roundtrip_prop =
+  QCheck.Test.make ~count:200 ~name:"snapshot encode/decode round-trips" state_arb (fun st ->
+      match Snapshot.decode (Snapshot.encode st) with
+      | Result.Error e -> QCheck.Test.fail_reportf "decode failed: %s" e
+      | Result.Ok got ->
+        got.Snapshot.app = st.Snapshot.app
+        && got.Snapshot.level = st.Snapshot.level
+        && got.Snapshot.transitions = st.Snapshot.transitions
+        && got.Snapshot.emissions = st.Snapshot.emissions
+        && got.Snapshot.next_seq = st.Snapshot.next_seq
+        && List.length got.Snapshot.gens = List.length st.Snapshot.gens
+        && List.for_all2
+             (fun (a : Snapshot.gen) (b : Snapshot.gen) ->
+               a.Snapshot.g_blocks = b.Snapshot.g_blocks
+               && a.Snapshot.g_expected = b.Snapshot.g_expected
+               && a.Snapshot.g_errors = b.Snapshot.g_errors)
+             got.Snapshot.gens st.Snapshot.gens)
+
+(* Any truncation or byte flip must surface as [Error], never as an
+   exception or a silently-wrong state: a half-written or bit-rotted
+   snapshot loads as "no durable state". *)
+let snapshot_corruption_prop =
+  QCheck.Test.make ~count:200 ~name:"snapshot tolerates truncation and corruption"
+    QCheck.(triple state_arb small_nat small_nat)
+    (fun (st, cut_raw, flip_raw) ->
+      let b = Snapshot.encode st in
+      let len = Bytes.length b in
+      let truncated = Bytes.sub b 0 (cut_raw mod len) in
+      (match Snapshot.decode truncated with
+      | Result.Error _ -> ()
+      | Result.Ok _ -> QCheck.Test.fail_report "truncated snapshot decoded");
+      let flipped = Bytes.copy b in
+      let i = flip_raw mod len in
+      Bytes.set flipped i (Char.chr (Char.code (Bytes.get flipped i) lxor 0x40));
+      (match Snapshot.decode flipped with
+      | Result.Error _ -> ()
+      | Result.Ok _ -> QCheck.Test.fail_report "corrupted snapshot decoded");
+      true)
+
+let journal_tail_prop =
+  QCheck.Test.make ~count:200 ~name:"journal keeps the longest valid prefix"
+    QCheck.(pair (list_of_size Gen.(int_range 0 8) (pair small_nat small_string)) small_nat)
+    (fun (records, cut_raw) ->
+      let buf = Buffer.create 256 in
+      List.iteri
+        (fun i (_, data) ->
+          Buffer.add_bytes buf (Snapshot.journal_record ~seq:i (Bytes.of_string data)))
+        records;
+      let wire = Buffer.to_bytes buf in
+      let full = Snapshot.journal_decode wire in
+      if List.length full <> List.length records then
+        QCheck.Test.fail_reportf "full journal lost records: %d of %d" (List.length full)
+          (List.length records);
+      (* A crash-truncated tail drops whole records from the end, never
+         from the middle, and never raises. *)
+      let cut = if Bytes.length wire = 0 then 0 else cut_raw mod Bytes.length wire in
+      let partial = Snapshot.journal_decode (Bytes.sub wire 0 cut) in
+      List.length partial <= List.length full
+      && List.for_all2
+           (fun (sa, da) (sb, db) -> sa = sb && Bytes.equal da db)
+           partial
+           (List.filteri (fun i _ -> i < List.length partial) full))
+
+(* ------------------- v2 frames and wire-level faults ------------------ *)
+
+let frames_equal a b =
+  match (a, b) with
+  | Protocol.Hello x, Protocol.Hello y -> x = y
+  | ( Protocol.Hello_v { app = a1; version = v1 },
+      Protocol.Hello_v { app = a2; version = v2 } ) ->
+    a1 = a2 && v1 = v2
+  | Protocol.Chunk x, Protocol.Chunk y -> Bytes.equal x y
+  | ( Protocol.Chunk_seq { seq = s1; data = d1 },
+      Protocol.Chunk_seq { seq = s2; data = d2 } ) ->
+    s1 = s2 && Bytes.equal d1 d2
+  | Protocol.Flush, Protocol.Flush | Protocol.Status, Protocol.Status | Protocol.Bye, Protocol.Bye
+    ->
+    true
+  | Protocol.Flush_seq { seq = s1 }, Protocol.Flush_seq { seq = s2 } -> s1 = s2
+  | _ -> false
+
+let test_protocol_v2_roundtrip () =
+  let frames =
+    [
+      Protocol.Hello_v { app = "kafka"; version = 2 };
+      Protocol.Chunk_seq { seq = 0; data = Bytes.of_string "\x01\x02" };
+      Protocol.Chunk_seq { seq = 0xFFFF; data = Bytes.empty };
+      Protocol.Flush_seq { seq = 3 };
+      Protocol.Hello_v { app = ""; version = 250 };
+    ]
+  in
+  let buf = Buffer.create 128 in
+  List.iter (Protocol.write_frame buf) frames;
+  let wire = Buffer.to_bytes buf in
+  let reader = Protocol.Reader.create () in
+  let got = ref [] in
+  (* Byte-by-byte: every header and payload straddles a delivery. *)
+  Bytes.iter
+    (fun c ->
+      Protocol.Reader.add reader (Bytes.make 1 c) 1;
+      match Protocol.Reader.pop_frame reader with
+      | `Frame f -> got := f :: !got
+      | `Awaiting -> ()
+      | `Corrupt msg -> Alcotest.failf "unexpected corrupt: %s" msg)
+    wire;
+  checki "all v2 frames recovered" (List.length frames) (List.length !got);
+  List.iter2
+    (fun sent got -> checkb "v2 frame round-trips" true (frames_equal sent got))
+    frames (List.rev !got)
+
+(* Torn and duplicated frames through the net-fault planner: tearing
+   never changes what the reader yields, duplication yields the victim
+   exactly twice — the transport property the resumable push's dedup
+   depends on. *)
+let torn_duplicate_prop =
+  QCheck.Test.make ~count:120 ~name:"torn/duplicated frames parse as planned"
+    QCheck.(triple (int_bound 1000) (int_bound 5) bool)
+    (fun (seed, victim, duplicate) ->
+      let frames =
+        [
+          Protocol.Hello_v { app = "kafka"; version = 2 };
+          Protocol.Chunk_seq { seq = 0; data = Bytes.of_string "abcdef" };
+          Protocol.Chunk_seq { seq = 1; data = Bytes.make 300 'x' };
+          Protocol.Chunk_seq { seq = 2; data = Bytes.empty };
+          Protocol.Flush_seq { seq = 3 };
+          Protocol.Status;
+        ]
+      in
+      let fault = if duplicate then Net_fault.Duplicate_frame else Net_fault.Torn_frame in
+      let reader = Protocol.Reader.create () in
+      let got = ref [] in
+      let feed run =
+        Protocol.Reader.add reader run (Bytes.length run);
+        let rec drain () =
+          match Protocol.Reader.pop_frame reader with
+          | `Frame f ->
+            got := f :: !got;
+            drain ()
+          | `Awaiting -> ()
+          | `Corrupt msg -> Alcotest.failf "corrupt under %s: %s" (Net_fault.name fault) msg
+        in
+        drain ()
+      in
+      List.iteri
+        (fun index frame ->
+          let buf = Buffer.create 64 in
+          Protocol.write_frame buf frame;
+          let raw = Buffer.to_bytes buf in
+          match Net_fault.plan ~seed fault ~victim ~index raw with
+          | Net_fault.Deliver runs -> List.iter feed runs
+          | Net_fault.Deliver_then_cut runs -> List.iter feed runs
+          | Net_fault.Delay (_, run) -> feed run)
+        frames;
+      let expected =
+        List.concat
+          (List.mapi
+             (fun i f -> if duplicate && i = victim && victim < List.length frames then [ f; f ] else [ f ])
+             frames)
+      in
+      List.length !got = List.length expected
+      && List.for_all2 frames_equal expected (List.rev !got))
+
+(* ------------------ durable sessions and v2 serving ------------------- *)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ripple-test-serve-%d-%d" (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+(* The kafka fixture captures to ~1.1 KB, so split small: the
+   mid-capture window must hold several chunks for half-pushed state to
+   mean anything. *)
+let chunks_of ?(chunk = 97) data =
+  let len = Bytes.length data in
+  let n = (len + chunk - 1) / chunk in
+  List.init n (fun i -> Bytes.sub data (i * chunk) (min chunk (len - (i * chunk))))
+
+(* Status comparison strips nothing: every field — profile digest,
+   ladder level, counters, sequence horizon — must match. *)
+let check_status_equal label control live =
+  if not (Json.equal control live) then
+    Alcotest.failf "%s: control=%s live=%s" label (Json.to_string control) (Json.to_string live)
+
+let test_session_persistence () =
+  let program, data = Lazy.force clean_capture in
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let mk ?store obs =
+        Session.create ?store ~obs ~options:serve_options ~window:max_int ~reemit_every:0
+          ~name:"kafka" ~program ()
+      in
+      (* Control: every chunk and the flush, uninterrupted, no store. *)
+      let control =
+        let s = mk (Obs.Run.create ()) in
+        List.iteri
+          (fun i c ->
+            match Session.apply_chunk s ~seq:i c with
+            | `Applied _ -> ()
+            | `Duplicate _ | `Gap _ -> Alcotest.fail "control apply rejected")
+          (chunks_of data);
+        (match Session.apply_flush s ~seq:(List.length (chunks_of data)) with
+        | `Applied -> ()
+        | `Duplicate | `Gap _ -> Alcotest.fail "control flush rejected");
+        Session.status s
+      in
+      (* Live: half the chunks into a durable session, then "crash"
+         (drop the session on the floor), restore, finish, flush. *)
+      let store = Snapshot.Store.open_dir dir in
+      let s1 = mk ~store (Obs.Run.create ()) in
+      let chunks = chunks_of data in
+      let k = List.length chunks / 2 in
+      List.iteri
+        (fun i c -> if i < k then ignore (Session.apply_chunk s1 ~seq:i c))
+        chunks;
+      (* Dedup and gap answers while we are here. *)
+      (match Session.apply_chunk s1 ~seq:0 (List.hd chunks) with
+      | `Duplicate _ -> ()
+      | `Applied _ | `Gap _ -> Alcotest.fail "replayed seq 0 must be a duplicate");
+      (match Session.apply_chunk s1 ~seq:9999 (List.hd chunks) with
+      | `Gap expected -> checki "gap names the horizon" k expected
+      | `Applied _ | `Duplicate _ -> Alcotest.fail "far-future seq must be a gap");
+      Snapshot.Store.close store;
+      (* Recovery: fresh store handle, load, restore, resume. *)
+      let store = Snapshot.Store.open_dir dir in
+      (match Snapshot.Store.load store "kafka" with
+      | None -> Alcotest.fail "no durable state found"
+      | Some (state, journal) ->
+        checki "journal holds the in-flight chunks" k (List.length journal);
+        let s2 =
+          Session.restore ~store ~obs:(Obs.Run.create ()) ~options:serve_options ~window:max_int
+            ~reemit_every:0 ~program state journal
+        in
+        checki "recovered sequence horizon" k (Session.next_seq s2);
+        List.iteri (fun i c -> if i >= k then ignore (Session.apply_chunk s2 ~seq:i c)) chunks;
+        (match Session.apply_flush s2 ~seq:(List.length chunks) with
+        | `Applied -> ()
+        | `Duplicate | `Gap _ -> Alcotest.fail "resumed flush rejected");
+        check_status_equal "recovered session" control (Session.status s2);
+        Session.close s2))
+
+let test_server_v2_frames () =
+  let t = mini_server () in
+  let conn = Server.Conn.create () in
+  let _, data = Lazy.force clean_capture in
+  let json, _ =
+    expect_ok "hello_v" (Server.Conn.handle t conn (Protocol.Hello_v { app = "kafka"; version = 9 }))
+  in
+  checkb "server grants its own version, not the requested one" true
+    (Json.member "version" json = Some (Json.Int Protocol.version));
+  checkb "hello reply carries the sequence horizon" true
+    (Json.member "next_seq" json = Some (Json.Int 0));
+  let json, _ =
+    expect_ok "chunk 0" (Server.Conn.handle t conn (Protocol.Chunk_seq { seq = 0; data }))
+  in
+  checkb "applied chunk echoes its seq" true (Json.member "seq" json = Some (Json.Int 0));
+  checkb "applied chunk is not a dup" true (Json.member "dup" json = None);
+  let json, _ =
+    expect_ok "chunk 0 again" (Server.Conn.handle t conn (Protocol.Chunk_seq { seq = 0; data }))
+  in
+  checkb "replayed chunk is acknowledged as dup" true
+    (Json.member "dup" json = Some (Json.Bool true));
+  (match Server.Conn.handle t conn (Protocol.Chunk_seq { seq = 5; data }) with
+  | Protocol.Error msg, `Keep ->
+    checkb "gap error names the expected seq" true
+      (msg = Printf.sprintf "gap: expected seq %d" 1)
+  | _ -> Alcotest.fail "out-of-order chunk must be a gap error");
+  let json, _ =
+    expect_ok "flush_seq" (Server.Conn.handle t conn (Protocol.Flush_seq { seq = 1 }))
+  in
+  checkb "flush echoes its seq" true (Json.member "seq" json = Some (Json.Int 1));
+  let json, _ =
+    expect_ok "flush_seq dup" (Server.Conn.handle t conn (Protocol.Flush_seq { seq = 1 }))
+  in
+  checkb "replayed flush is a dup, not a second emission" true
+    (Json.member "dup" json = Some (Json.Bool true));
+  checkb "flush dup did not re-emit" true
+    (Json.member "emissions" (Session.status (List.hd (Server.sessions t)))
+    = Some (Json.Int 1))
+
+let test_server_overload () =
+  let t =
+    Server.create
+      {
+        Server.default_config with
+        Server.options = serve_options;
+        max_sessions = 1;
+        lookup = (fun _ -> Some (mini_program ()));
+      }
+  in
+  let a = Server.Conn.create () and b = Server.Conn.create () in
+  ignore (expect_ok "first app" (Server.Conn.handle t a (Protocol.Hello "kafka")));
+  (match Server.Conn.handle t b (Protocol.Hello "zippy") with
+  | Protocol.Error "overloaded", `Keep -> ()
+  | Protocol.Error msg, _ -> Alcotest.failf "expected overloaded, got %s" msg
+  | Protocol.Ok _, _ -> Alcotest.fail "session past max-sessions must be refused");
+  (* A re-hello to the existing session still works at the cap. *)
+  ignore (expect_ok "rebind" (Server.Conn.handle t b (Protocol.Hello "kafka")));
+  checki "one session registered" 1 (List.length (Server.sessions t))
+
+(* The end-to-end kill -9 / restart / resume acceptance test lives in
+   its own executable (test_recover.ml): it forks real daemon
+   processes, and OCaml forbids [Unix.fork] in a process that has ever
+   spawned domains — which this binary has, via the experiment-pool
+   suites. *)
+
 let suites =
   [
     ( "serve",
@@ -459,5 +804,13 @@ let suites =
         Alcotest.test_case "server frame handling" `Slow test_server_frames;
         Alcotest.test_case "server two concurrent sessions" `Slow test_server_two_sessions;
         Alcotest.test_case "server scrape schema" `Slow test_server_scrape_schema;
+        QCheck_alcotest.to_alcotest snapshot_roundtrip_prop;
+        QCheck_alcotest.to_alcotest snapshot_corruption_prop;
+        QCheck_alcotest.to_alcotest journal_tail_prop;
+        Alcotest.test_case "protocol v2 roundtrip" `Quick test_protocol_v2_roundtrip;
+        QCheck_alcotest.to_alcotest torn_duplicate_prop;
+        Alcotest.test_case "session persistence across restore" `Slow test_session_persistence;
+        Alcotest.test_case "server v2 frame handling" `Slow test_server_v2_frames;
+        Alcotest.test_case "server session overload" `Slow test_server_overload;
       ] );
   ]
