@@ -334,8 +334,11 @@ let run_fault_cell ~config ~app ~chunk ~seed ~timeout ~data fault =
 
 (* The recovery cell: kill -9 mid-capture, restart on the same state
    directory, and let the SAME push_with_retries call finish the job —
-   then the recovered session must be byte-equivalent to the control. *)
-let run_recover_cell ~config ~app ~chunk ~seed ~data =
+   then the recovered session must be byte-equivalent to the control.
+   With [kills > 1], the extra strikes land right after each recovery,
+   proving a freshly restored daemon is itself recoverable (restore
+   must never clobber the durable state it just loaded). *)
+let run_recover_cell ~config ~app ~chunk ~seed ~label ~kills ~data =
   let dir = fresh_dir "ripple-net-chaos" in
   Fun.protect
     ~finally:(fun () -> rm_rf dir)
@@ -350,8 +353,8 @@ let run_recover_cell ~config ~app ~chunk ~seed ~data =
           ready_file = Some (Filename.concat dir ready);
         }
       in
-      let daemon_a = spawn_daemon ~config:(durable "ready-a") in
-      ignore (await_ready (Filename.concat dir "ready-a") : int);
+      let daemon_a = spawn_daemon ~config:(durable "ready-0") in
+      ignore (await_ready (Filename.concat dir "ready-0") : int);
       let status_path = Filename.concat dir "push-status" in
       (* The pusher lives in its own process so the parent is free to
          murder and resurrect the daemon under its feet. *)
@@ -379,8 +382,21 @@ let run_recover_cell ~config ~app ~chunk ~seed ~data =
         && Sys.file_exists journal
       in
       kill9 daemon_a;
-      let daemon_b = spawn_daemon ~config:(durable "ready-b") in
-      ignore (await_ready (Filename.concat dir "ready-b") : int);
+      let rec resurrect i daemon =
+        if i > kills then daemon
+        else begin
+          kill9 daemon;
+          let ready = Printf.sprintf "ready-%d" i in
+          let next = spawn_daemon ~config:(durable ready) in
+          ignore (await_ready (Filename.concat dir ready) : int);
+          resurrect (i + 1) next
+        end
+      in
+      (* daemon_a is already dead; spawn incarnation 1, then kill and
+         respawn once per remaining strike. *)
+      let daemon_b = spawn_daemon ~config:(durable "ready-1") in
+      ignore (await_ready (Filename.concat dir "ready-1") : int);
+      let daemon_b = resurrect 2 daemon_b in
       let pusher_code =
         if pusher_done () then 0
         else
@@ -406,7 +422,7 @@ let run_recover_cell ~config ~app ~chunk ~seed ~data =
       in
       let daemon_clean = terminate daemon_b in
       {
-        label = "kill9-recover";
+        label;
         fault = None;
         pushed;
         attempts = (if pushed then 1 else 0);
@@ -463,12 +479,12 @@ let run ?(app = "kafka") ?(n_instrs = 40_000) ?(seed = 20240) ?(chunk = 1024)
       }
   in
   let cells = List.map cell_of (default_faults ~stall_delay) in
-  let recover =
-    match run_recover_cell ~config ~app ~chunk ~seed ~data with
+  let recover ~label ~kills =
+    match run_recover_cell ~config ~app ~chunk ~seed ~label ~kills ~data with
     | cell -> cell
     | exception e ->
       {
-        label = "kill9-recover";
+        label;
         fault = None;
         pushed = false;
         attempts = 0;
@@ -477,7 +493,13 @@ let run ?(app = "kafka") ?(n_instrs = 40_000) ?(seed = 20240) ?(chunk = 1024)
         detail = "harness: " ^ Printexc.to_string e;
       }
   in
-  let cells = cells @ [ recover ] in
+  let cells =
+    cells
+    @ [
+        recover ~label:"kill9-recover" ~kills:1;
+        recover ~label:"kill9x2-recover" ~kills:2;
+      ]
+  in
   let crashes =
     List.length (List.filter (fun c -> (not c.pushed) || not c.daemon_clean) cells)
   in

@@ -131,8 +131,13 @@ let push_with_retries ?(attempts = 8) ?(timeout = 5.0) ?(backoff = 0.05) ?(seed 
             | Some next_seq -> begin
               let b =
                 match !base with
-                | Some b -> b
-                | None ->
+                | Some b when next_seq >= b -> b
+                | Some _ | None ->
+                  (* First hello — or the server's horizon regressed
+                     below the pinned base (state dir wiped, durable
+                     state lost).  Re-pin and restart the push from
+                     chunk 0: retrying the old range would be answered
+                     "gap: expected seq N" forever. *)
                   base := Some next_seq;
                   next_seq
               in

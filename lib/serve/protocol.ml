@@ -64,6 +64,14 @@ let write buf tag payload =
   add_u32 buf n;
   Buffer.add_string buf payload
 
+(* The wire carries sequence numbers as u32.  A seq past that would
+   alias an earlier one after encoding, silently corrupting the dedup
+   horizon — reject it loudly instead (the durable snapshot keeps
+   counters at full width; only the wire is 32-bit). *)
+let check_seq seq =
+  if seq < 0 || seq > 0xFFFF_FFFF then invalid_arg "Protocol.write_frame: seq exceeds u32";
+  seq
+
 let write_frame buf frame =
   let payload =
     match frame with
@@ -72,8 +80,8 @@ let write_frame buf frame =
       if version < 1 || version > 0xFF then invalid_arg "Protocol.write_frame: bad version";
       String.make 1 (Char.chr version) ^ app
     | Chunk data -> Bytes.to_string data
-    | Chunk_seq { seq; data } -> u32_to_string seq ^ Bytes.to_string data
-    | Flush_seq { seq } -> u32_to_string seq
+    | Chunk_seq { seq; data } -> u32_to_string (check_seq seq) ^ Bytes.to_string data
+    | Flush_seq { seq } -> u32_to_string (check_seq seq)
     | Flush | Status | Bye -> ""
   in
   write buf (tag_of_frame frame) payload

@@ -317,6 +317,13 @@ let http_response body =
 let http_unavailable =
   "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 10\r\nConnection: close\r\n\r\noverloaded"
 
+(* Abuse bounds.  A peer that drips bytes that never complete a scrape
+   request head, or that sends protocol frames without ever reading the
+   replies, must not grow daemon memory without bound (each read also
+   refreshes the idle clock, so the reaper alone cannot stop it). *)
+let max_scrape_head = 8 * 1024
+let max_out_buffer = 1 lsl 20
+
 let set_connections t n = Obs.Metric.set t.cells.connections_gauge (Float.of_int n)
 
 let queue_reply c reply =
@@ -413,22 +420,33 @@ let serve_forever t =
               queue_reply c reply;
               if disposition = `Close then c.closing <- true else drain ()
         in
-        drain ()
+        drain ();
+        (* Out-buffer cap: a peer that keeps sending frames but never
+           reads replies is broken or hostile — drop it rather than
+           queue without bound. *)
+        if Buffer.length c.out - c.sent > max_out_buffer then close_conn c
       | Scrape { req } ->
         Buffer.add_subbytes req buf 0 n;
-        let s = Buffer.contents req in
-        (* Serve once the request head is complete; one response per
-           connection, close after. *)
-        let complete =
-          let rec find i =
-            i + 3 < String.length s
-            && (String.sub s i 4 = "\r\n\r\n" || find (i + 1))
+        if Buffer.length req > max_scrape_head then
+          (* Request-head cap: a slow-loris peer streaming bytes that
+             never contain the blank line would otherwise grow [req]
+             (and refresh the idle clock) forever. *)
+          close_conn c
+        else begin
+          let s = Buffer.contents req in
+          (* Serve once the request head is complete; one response per
+             connection, close after. *)
+          let complete =
+            let rec find i =
+              i + 3 < String.length s
+              && (String.sub s i 4 = "\r\n\r\n" || find (i + 1))
+            in
+            String.length s >= 4 && find 0
           in
-          String.length s >= 4 && find 0
-        in
-        if complete && Buffer.length c.out = 0 then begin
-          Buffer.add_string c.out (http_response (metrics_body t));
-          c.closing <- true
+          if complete && Buffer.length c.out = 0 then begin
+            Buffer.add_string c.out (http_response (metrics_body t));
+            c.closing <- true
+          end
         end
     end
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()

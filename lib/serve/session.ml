@@ -50,7 +50,10 @@ let register_cells reg app =
         "ripple_stream_spill_bytes";
   }
 
-let create ?store ~obs ~options ~window ~reemit_every ~name ~program () =
+(* Build the in-memory session only; what (if anything) gets persisted
+   at construction time is the caller's business — [create] and
+   [restore] differ on exactly that. *)
+let make ?store ~obs ~options ~window ~reemit_every ~name ~program () =
   let options = { options with Pipeline.Options.eval = None; search = [] } in
   let backing = options.Pipeline.Options.backing in
   let reg = Obs.Run.registry obs in
@@ -60,31 +63,37 @@ let create ?store ~obs ~options ~window ~reemit_every ~name ~program () =
     (Obs.Registry.gauge reg ~help:"access-stream backing: 0 heap, 1 mmap"
        "ripple_stream_backing")
     (match backing with Ripple_util.Int_stream.Heap -> 0.0 | Ripple_util.Int_stream.Spill _ -> 1.0);
-  let t =
-    {
-      name;
-      source = program;
-      obs;
-      options;
-      reemit_every;
-      rolling = Rolling.create ~backing ~window ();
-      store;
-      pt = Pt.Session.create program;
-      level = Pipeline.Degrade.Hints_off;
-      transitions = 0;
-      emissions = 0;
-      next_seq = 0;
-      last = None;
-      since_emit = 0;
-      cells;
-    }
-  in
-  (* Durable sessions snapshot at birth: a kill -9 before the first
-     flush then still recovers (empty snapshot + journal replay) —
-     recovery must never depend on having flushed at least once. *)
+  {
+    name;
+    source = program;
+    obs;
+    options;
+    reemit_every;
+    rolling = Rolling.create ~backing ~window ();
+    store;
+    pt = Pt.Session.create program;
+    level = Pipeline.Degrade.Hints_off;
+    transitions = 0;
+    emissions = 0;
+    next_seq = 0;
+    last = None;
+    since_emit = 0;
+    cells;
+  }
+
+let create ?store ~obs ~options ~window ~reemit_every ~name ~program () =
+  let t = make ?store ~obs ~options ~window ~reemit_every ~name ~program () in
   (match store with
   | None -> ()
   | Some store ->
+    (* A genuinely new session owns its journal: a stale one left by a
+       prior incarnation (a snapshot that failed to decode, an app the
+       recovery lookup could not resolve) would otherwise be appended
+       after and replayed into this fresh session at the next crash. *)
+    Snapshot.Store.journal_reset store ~app:name;
+    (* Durable sessions snapshot at birth: a kill -9 before the first
+       flush then still recovers (empty snapshot + journal replay) —
+       recovery must never depend on having flushed at least once. *)
     Snapshot.Store.save store
       {
         Snapshot.app = name;
@@ -269,7 +278,10 @@ let flush t =
 
 let restore ?store ~obs ~options ~window ~reemit_every ~program (state : Snapshot.state)
     journal =
-  let t = create ?store ~obs ~options ~window ~reemit_every ~name:state.Snapshot.app ~program () in
+  (* [make], not [create]: create's at-birth snapshot (and journal
+     reset) would destroy exactly the durable state being recovered,
+     and a second kill -9 before the next flush must recover again. *)
+  let t = make ?store ~obs ~options ~window ~reemit_every ~name:state.Snapshot.app ~program () in
   List.iter
     (fun g ->
       Rolling.add t.rolling ~blocks:g.Snapshot.g_blocks ~expected:g.Snapshot.g_expected
@@ -285,6 +297,10 @@ let restore ?store ~obs ~options ~window ~reemit_every ~program (state : Snapsho
      replaying history.  Deterministic, so the level matches the stored
      one; the counters saw this emission before the crash already. *)
   if Rolling.generations t.rolling > 0 then emit ~count:false t;
+  (* Re-persist the recovered state exactly as loaded — with the
+     pre-replay [next_seq], so the journal records replayed below stay
+     past the snapshot's horizon and survive for the next recovery. *)
+  (match store with None -> () | Some store -> Snapshot.Store.save store state);
   (* Replay the in-flight capture journal through the live ingest path
      (without re-journaling: the records are already durable). *)
   List.iter

@@ -46,9 +46,11 @@ val create :
 (** [options] drives every re-emission ([eval]/[search] are cleared;
     set [degrade] or the ladder never engages).  [window] is the rolling
     capacity in blocks; [reemit_every] enables mid-capture re-emission
-    when positive.  [store] makes the session durable.  The session
-    starts at {!Pipeline.Degrade.Hints_off} with the binary untouched —
-    trust is earned by the first flush. *)
+    when positive.  [store] makes the session durable: any stale journal
+    a prior incarnation left behind is cleared and an empty at-birth
+    snapshot is written, so a kill -9 before the first flush still
+    recovers.  The session starts at {!Pipeline.Degrade.Hints_off} with
+    the binary untouched — trust is earned by the first flush. *)
 
 val restore :
   ?store:Snapshot.Store.t ->
@@ -65,7 +67,11 @@ val restore :
     sequence horizon, re-emits over the recovered window (without
     recounting the emission) so the instrumented binary exists again,
     then replays the journal through the live ingest path.  The result
-    is the state a [kill -9] interrupted, ready for a resumed push. *)
+    is the state a [kill -9] interrupted, ready for a resumed push.
+
+    Restoring never discards durable state: the loaded snapshot is
+    re-persisted as-is (pre-replay horizon, journal kept), so a second
+    kill -9 right after recovery recovers the same session again. *)
 
 val name : t -> string
 val program : t -> Program.t

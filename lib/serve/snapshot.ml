@@ -16,8 +16,13 @@ type state = {
   gens : gen list;  (* oldest first, the Rolling window's dump *)
 }
 
-let magic = "RPLSNAP2"
-let journal_magic = 'J'
+(* Format 3: the monotonic counters (transitions, emissions, next_seq,
+   journal seqs) are u64 — a u32 would silently wrap the dedup horizon
+   on a very long-lived session.  Block counts and payload lengths stay
+   u32.  Old-format files fail the magic (snapshot) or the checksum
+   (journal) and load as "no durable state". *)
+let magic = "RPLSNAP3"
+let journal_magic = 'K'
 
 (* FNV-1a 64 over a byte range: the integrity check for both formats. *)
 let fnv64 ?(init = 0xcbf29ce484222325L) b pos len =
@@ -61,9 +66,9 @@ let encode state =
   add_u32 buf (String.length state.app);
   Buffer.add_string buf state.app;
   add_u32 buf state.level;
-  add_u32 buf state.transitions;
-  add_u32 buf state.emissions;
-  add_u32 buf state.next_seq;
+  add_u64 buf (Int64.of_int state.transitions);
+  add_u64 buf (Int64.of_int state.emissions);
+  add_u64 buf (Int64.of_int state.next_seq);
   add_u32 buf (List.length state.gens);
   List.iter
     (fun g ->
@@ -99,14 +104,20 @@ let decode b =
           pos := !pos + 4;
           v
         in
+        let u64 () =
+          if !pos + 8 > body_len then failwith "short";
+          let v = get_u64 b !pos in
+          pos := !pos + 8;
+          Int64.to_int v
+        in
         let app_len = u32 () in
         if app_len < 0 || !pos + app_len > body_len then failwith "short";
         let app = Bytes.sub_string b !pos app_len in
         pos := !pos + app_len;
         let level = u32 () in
-        let transitions = u32 () in
-        let emissions = u32 () in
-        let next_seq = u32 () in
+        let transitions = u64 () in
+        let emissions = u64 () in
+        let next_seq = u64 () in
         let n_gens = u32 () in
         if n_gens < 0 || n_gens > 1_000_000 then failwith "absurd generation count";
         let gens = ref [] in
@@ -127,16 +138,16 @@ let decode b =
 
 (* ------------------------------ journal ------------------------------ *)
 
-(* One record per applied chunk: magic byte, u32 seq, u32 length, the
+(* One record per applied chunk: magic byte, u64 seq, u32 length, the
    chunk bytes, then an FNV of everything before it.  A crash mid-append
    leaves a partial (or checksum-failing) tail; [journal_decode] keeps
    the longest valid prefix and drops the rest, which is exactly the
    set of chunks the session had durably applied. *)
 
 let journal_record ~seq data =
-  let buf = Buffer.create (Bytes.length data + 17) in
+  let buf = Buffer.create (Bytes.length data + 21) in
   Buffer.add_char buf journal_magic;
-  add_u32 buf seq;
+  add_u64 buf (Int64.of_int seq);
   add_u32 buf (Bytes.length data);
   Buffer.add_bytes buf data;
   let body = Buffer.to_bytes buf in
@@ -151,18 +162,18 @@ let journal_decode b =
   let pos = ref 0 in
   let ok = ref true in
   while !ok && !pos < len do
-    if !pos + 9 > len then ok := false
+    if !pos + 13 > len then ok := false
     else if Bytes.get b !pos <> journal_magic then ok := false
     else begin
-      let seq = get_u32 b (!pos + 1) in
-      let n = get_u32 b (!pos + 5) in
-      if n < 0 || !pos + 9 + n + 8 > len then ok := false
+      let seq = Int64.to_int (get_u64 b (!pos + 1)) in
+      let n = get_u32 b (!pos + 9) in
+      if n < 0 || !pos + 13 + n + 8 > len then ok := false
       else begin
-        let body_len = 9 + n in
+        let body_len = 13 + n in
         let stored = get_u64 b (!pos + body_len) in
         if fnv64 b !pos body_len <> stored then ok := false
         else begin
-          records := (seq, Bytes.sub b (!pos + 9) n) :: !records;
+          records := (seq, Bytes.sub b (!pos + 13) n) :: !records;
           pos := !pos + body_len + 8
         end
       end

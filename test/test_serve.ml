@@ -451,11 +451,14 @@ let state_gen =
         (list_size (int_bound 40) (int_bound 0xFFFF))
         (int_bound 10_000) (int_bound 50)
     in
+    (* Counters are u64 on disk: exercise values past the u32 boundary
+       so a regression to 32-bit truncation fails the round-trip. *)
+    let counter = oneof [ int_bound 10_000; map (fun k -> 0xFFFF_FFFF + k) (int_bound 10_000) ] in
     map
       (fun (app, (level, transitions, emissions, next_seq), gens) ->
         { Snapshot.app; level; transitions; emissions; next_seq; gens })
       (triple (string_size ~gen:printable (int_range 0 12))
-         (quad (int_bound 2) (int_bound 100) (int_bound 100) (int_bound 10_000))
+         (quad (int_bound 2) counter counter counter)
          (list_size (int_bound 5) gen_gen)))
 
 let state_arb = QCheck.make ~print:(fun s -> s.Snapshot.app) state_gen
@@ -522,6 +525,48 @@ let journal_tail_prop =
            (fun (sa, da) (sb, db) -> sa = sb && Bytes.equal da db)
            partial
            (List.filteri (fun i _ -> i < List.length partial) full))
+
+(* Pin the u32→u64 widening deterministically: a session horizon past
+   2^32 must survive both the snapshot and the journal verbatim, never
+   wrap into a live-looking but wrong dedup horizon. *)
+let test_wide_counters () =
+  let st =
+    {
+      Snapshot.app = "wide";
+      level = 1;
+      transitions = 0x1_0000_0001;
+      emissions = 0x2_0000_0002;
+      next_seq = 0x3_0000_0003;
+      gens = [];
+    }
+  in
+  (match Snapshot.decode (Snapshot.encode st) with
+  | Result.Error e -> Alcotest.failf "wide snapshot decode failed: %s" e
+  | Result.Ok got ->
+    Alcotest.(check int) "transitions" st.Snapshot.transitions got.Snapshot.transitions;
+    Alcotest.(check int) "emissions" st.Snapshot.emissions got.Snapshot.emissions;
+    Alcotest.(check int) "next_seq" st.Snapshot.next_seq got.Snapshot.next_seq);
+  let seq = 0x1_0000_0005 in
+  match Snapshot.journal_decode (Snapshot.journal_record ~seq (Bytes.of_string "abc")) with
+  | [ (got, data) ] ->
+    Alcotest.(check int) "journal seq" seq got;
+    Alcotest.(check string) "journal data" "abc" (Bytes.to_string data)
+  | records -> Alcotest.failf "wide journal decode: %d records" (List.length records)
+
+(* The wire keeps seqs at u32: sending one past that must be an
+   explicit error, not a silent alias of seq mod 2^32. *)
+let test_seq_overflow_rejected () =
+  let buf = Buffer.create 64 in
+  (match
+     Protocol.write_frame buf (Protocol.Flush_seq { seq = 0x1_0000_0000 })
+   with
+  | () -> Alcotest.fail "overflowing flush seq must be rejected"
+  | exception Invalid_argument _ -> ());
+  match
+    Protocol.write_frame buf (Protocol.Chunk_seq { seq = 0x1_0000_0000; data = Bytes.create 1 })
+  with
+  | () -> Alcotest.fail "overflowing chunk seq must be rejected"
+  | exception Invalid_argument _ -> ()
 
 (* ------------------- v2 frames and wire-level faults ------------------ *)
 
@@ -807,6 +852,8 @@ let suites =
         QCheck_alcotest.to_alcotest snapshot_roundtrip_prop;
         QCheck_alcotest.to_alcotest snapshot_corruption_prop;
         QCheck_alcotest.to_alcotest journal_tail_prop;
+        Alcotest.test_case "snapshot/journal counters are u64" `Quick test_wide_counters;
+        Alcotest.test_case "wire seq overflow rejected" `Quick test_seq_overflow_rejected;
         Alcotest.test_case "protocol v2 roundtrip" `Quick test_protocol_v2_roundtrip;
         QCheck_alcotest.to_alcotest torn_duplicate_prop;
         Alcotest.test_case "session persistence across restore" `Slow test_session_persistence;
