@@ -90,6 +90,9 @@ type cell = {
   drrip : Cpu.Simulator.result;
   ghrp : Cpu.Simulator.result;
   hawkeye : Cpu.Simulator.result;
+  trrip : Cpu.Simulator.result;
+  ehc_hawkeye : Cpu.Simulator.result;
+  ship_sb : Cpu.Simulator.result;
   ideal_cache : Cpu.Simulator.result;
   oracle : Cpu.Simulator.result;  (** ideal replacement (MIN / Demand-MIN) *)
   ripple_lru : ripple_result;
@@ -163,7 +166,8 @@ let write_metrics () =
     close_out oc;
     log "wrote %s" path
 
-let cell_policies = [ "lru"; "random"; "srrip"; "drrip"; "ghrp"; "hawkeye" ]
+let cell_policies =
+  [ "lru"; "random"; "srrip"; "drrip"; "ghrp"; "hawkeye"; "trrip"; "ehc-hawkeye"; "ship-sb" ]
 
 let ensure_cells pairs =
   let key (model, prefetch) =
@@ -233,6 +237,9 @@ let ensure_cells pairs =
             drrip = result (Exp.Spec.Policy "drrip");
             ghrp = result (Exp.Spec.Policy "ghrp");
             hawkeye = result (Exp.Spec.Policy "hawkeye");
+            trrip = result (Exp.Spec.Policy "trrip");
+            ehc_hawkeye = result (Exp.Spec.Policy "ehc-hawkeye");
+            ship_sb = result (Exp.Spec.Policy "ship-sb");
             ideal_cache = result Exp.Spec.Ideal_cache;
             oracle = result Exp.Spec.Oracle;
             ripple_lru = { threshold; ev };
@@ -286,7 +293,10 @@ let tab1 () =
     List.map
       (fun (e : Registry.entry) ->
         ( e.Registry.display,
-          (e.Registry.factory ~seed:0 ~sets ~ways).Cache.Policy.storage_bits,
+          (e.Registry.factory ~seed:0
+             ~params:(Registry.Param.defaults e.Registry.params)
+             ~sets ~ways)
+            .Cache.Policy.storage_bits,
           e.Registry.storage_note ))
       Registry.all
     @ [ ("Ripple (software)", 0, "no hardware metadata beyond the base policy") ]
@@ -353,12 +363,15 @@ let fig3 () =
           speedup ~base cell.hawkeye;
           speedup ~base cell.srrip;
           speedup ~base cell.drrip;
+          speedup ~base cell.trrip;
+          speedup ~base cell.ehc_hawkeye;
+          speedup ~base cell.ship_sb;
           speedup ~base cell.oracle;
         ])
   in
   print_per_app
     ~title:
-      "Fig. 3: prior replacement policies over LRU, with FDIP\n\
+      "Fig. 3: prior and modern replacement policies over LRU, with FDIP\n\
        (paper: none beat LRU; ideal replacement +3.16% mean)"
     ~columns:
       [
@@ -366,6 +379,9 @@ let fig3 () =
         ("Hawkeye", Table.Right);
         ("SRRIP", Table.Right);
         ("DRRIP", Table.Right);
+        ("TRRIP", Table.Right);
+        ("EHC-Hawkeye", Table.Right);
+        ("SHiP-SB", Table.Right);
         ("ideal repl", Table.Right);
       ]
     ~fmt:pct rows
@@ -434,6 +450,9 @@ let fig7_8 which () =
               metric ~base cell.hawkeye;
               metric ~base cell.srrip;
               metric ~base cell.drrip;
+              metric ~base cell.trrip;
+              metric ~base cell.ehc_hawkeye;
+              metric ~base cell.ship_sb;
               metric ~base cell.random;
             ])
       in
@@ -458,10 +477,77 @@ let fig7_8 which () =
             ("Hawkeye", Table.Right);
             ("SRRIP", Table.Right);
             ("DRRIP", Table.Right);
+            ("TRRIP", Table.Right);
+            ("EHC-Hawkeye", Table.Right);
+            ("SHiP-SB", Table.Right);
             ("Random", Table.Right);
           ]
         ~fmt:pct rows)
     prefetches
+
+let zoo_policies =
+  [ ("TRRIP", "trrip"); ("EHC-Hawkeye", "ehc-hawkeye"); ("SHiP-SB", "ship-sb") ]
+
+let zoo () =
+  (* "Modern policies vs Ripple hints": each policy-zoo newcomer runs
+     plain and with Ripple's hint stream layered on top, at the
+     invalidation threshold the per-app LRU search already chose
+     (Â§III-C) â answering the question the paper leaves open: do
+     profile-guided hints still pay once the base policy is smarter
+     than LRU? *)
+  prewarm [ Core.Pipeline.Fdip ];
+  let spec_of model p threshold =
+    Exp.Spec.v ~n_instrs:!n_instrs ~seed:1234 ~prefetch:Core.Pipeline.Fdip
+      ~app:model.W.App_model.name
+      (Exp.Spec.Ripple { policy = p; threshold })
+  in
+  let specs =
+    List.concat_map
+      (fun model ->
+        let cell = cell_of model Core.Pipeline.Fdip in
+        List.map
+          (fun (_, p) -> spec_of model p cell.ripple_lru.threshold)
+          zoo_policies)
+      apps
+  in
+  let cells = run_specs specs in
+  let hinted model p threshold =
+    match Exp.Runner.find cells (spec_of model p threshold) with
+    | Some cell -> (require cell).Exp.Runner.result
+    | None ->
+      failwith
+        (Printf.sprintf "zoo: missing hinted cell %s/%s" model.W.App_model.name p)
+  in
+  let plain_of cell p =
+    match p with
+    | "trrip" -> cell.trrip
+    | "ehc-hawkeye" -> cell.ehc_hawkeye
+    | "ship-sb" -> cell.ship_sb
+    | _ -> invalid_arg p
+  in
+  let rows =
+    app_rows (fun model ->
+        let cell = cell_of model Core.Pipeline.Fdip in
+        let base = cell.lru in
+        let threshold = cell.ripple_lru.threshold in
+        List.concat_map
+          (fun (_, p) ->
+            [
+              speedup ~base (plain_of cell p);
+              speedup ~base (hinted model p threshold);
+            ])
+          zoo_policies)
+  in
+  print_per_app
+    ~title:
+      "Modern policies vs Ripple hints (FDIP; speedup over LRU)\n\
+       (each policy plain, then with Ripple invalidation/demotion hints at\n\
+       the per-app threshold the LRU search chose)"
+    ~columns:
+      (List.concat_map
+         (fun (label, _) -> [ (label, Table.Right); (label ^ "+hints", Table.Right) ])
+         zoo_policies)
+    ~fmt:pct rows
 
 let fig9_12 () =
   prewarm [ Core.Pipeline.Fdip ];
@@ -858,6 +944,9 @@ let smoke () =
   n_instrs := min !n_instrs 150_000;
   gc_in_jsonl := true;
   let smoke_apps = [ W.Apps.cassandra; W.Apps.finagle_http; W.Apps.verilator ] in
+  (* Table I is free (no simulation) and covers every registry policy,
+     so the smoke artefact pins the storage accounting too. *)
+  tab1 ();
   ensure_cells (List.map (fun m -> (m, Core.Pipeline.Fdip)) smoke_apps);
   let table =
     Table.create ~title:"smoke sweep (FDIP, tiny budgets — shape check only)"
@@ -869,6 +958,9 @@ let smoke () =
           ("ideal repl", Table.Right);
           ("Ripple-LRU", Table.Right);
           ("Ripple-Rand", Table.Right);
+          ("trrip", Table.Right);
+          ("ehc-hawkeye", Table.Right);
+          ("ship-sb", Table.Right);
           ("coverage", Table.Right);
         ]
   in
@@ -884,6 +976,9 @@ let smoke () =
           pct (speedup ~base cell.oracle);
           pct (speedup ~base cell.ripple_lru.ev.Core.Pipeline.result);
           pct (speedup ~base cell.ripple_random.Core.Pipeline.result);
+          pct (speedup ~base cell.trrip);
+          pct (speedup ~base cell.ehc_hawkeye);
+          pct (speedup ~base cell.ship_sb);
           pct0 cell.ripple_lru.ev.Core.Pipeline.coverage;
         ])
     smoke_apps;
@@ -900,6 +995,7 @@ let all () =
   fig6 ();
   fig7_8 `Speedup ();
   fig7_8 `Mpki ();
+  zoo ();
   fig9_12 ();
   fig13 ();
   ablation ();
@@ -923,6 +1019,7 @@ let () =
       ("fig11", fig9_12);
       ("fig12", fig9_12);
       ("fig13", fig13);
+      ("zoo", zoo);
       ("ablation", ablation);
       ("lbr", lbr);
       ("geometry", geometry);

@@ -34,25 +34,37 @@ let prefetch_conv =
   let print fmt p = Format.fprintf fmt "%s" (Pipeline.prefetch_name p) in
   Arg.conv (parse, print)
 
-(* The policy vocabulary (parser and help text) comes from the one
-   registry, so a policy added there is immediately accepted here. *)
+(* The policy vocabulary (parser, parameter schemas and help text)
+   comes from the one registry, so a policy added there is immediately
+   accepted here.  Specs parse to their canonical string (overrides
+   sorted, defaults dropped), which is what JSONL rows record. *)
 let policy_conv =
   let parse s =
-    match Registry.find s with
-    | Some e -> Ok e.Registry.name
-    | None ->
-      Error
-        (`Msg
-          (Printf.sprintf "unknown policy %S (known: %s)" s (String.concat ", " Registry.names)))
+    match Registry.parse_spec s with
+    | Ok spec -> Ok (Registry.spec_to_string spec)
+    | Error m -> Error (`Msg m)
   in
   let print fmt name = Format.fprintf fmt "%s" name in
   Arg.conv (parse, print)
 
 let policy_doc =
-  "Replacement policy: "
-  ^ String.concat ", "
+  "Replacement policy spec: $(i,NAME) or $(i,NAME):$(i,KEY)=$(i,VAL),$(i,KEY)=$(i,VAL),...     ($(b,+) also separates pairs, for use inside comma-separated lists).  Known: "
+  ^ String.concat "; "
       (List.map
-         (fun e -> Printf.sprintf "$(b,%s) (%s)" e.Registry.name e.Registry.description)
+         (fun e ->
+           let params =
+             match e.Registry.params with
+             | [] -> ""
+             | ps ->
+               Printf.sprintf " [%s]"
+                 (String.concat ", "
+                    (List.map
+                       (fun (p : Registry.Param.spec) ->
+                         Printf.sprintf "%s=%s" p.Registry.Param.key
+                           (Registry.Param.value_to_string p.Registry.Param.default))
+                       ps))
+           in
+           Printf.sprintf "$(b,%s) (%s)%s" e.Registry.name e.Registry.description params)
          Registry.all)
   ^ "."
 

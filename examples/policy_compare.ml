@@ -40,7 +40,7 @@ let () =
           ("LRU (baseline)", lru);
           ("Random", run (Cache.Random_policy.make ~seed:1));
           ("SRRIP", run Cache.Srrip.make);
-          ("DRRIP", run Cache.Drrip.make);
+          ("DRRIP", run (Cache.Drrip.make ()));
           ("GHRP", run (Cache.Ghrp.make ()));
           ("Hawkeye/Harmony", run (Cache.Hawkeye.make ()));
           ("SHiP", run Cache.Ship.make);

@@ -38,6 +38,8 @@ let create ?name ~geometry ~policy () =
 let geometry t = t.geom
 let stats t = t.stats
 let policy_name t = t.name
+let duel t = t.policy.Policy.duel
+let may_bypass t = t.policy.Policy.may_bypass
 
 let slot t set way = (set * t.ways) + way
 
@@ -112,7 +114,9 @@ let access_packed t (acc : Access.packed) =
         Hashtbl.add t.seen line ();
         t.stats.Stats.demand_misses_cold <- t.stats.Stats.demand_misses_cold + 1
       end;
-      fill t set acc;
+      (match t.policy.Policy.fill_decision ~set acc with
+      | `Install -> fill t set acc
+      | `Bypass -> t.stats.Stats.fill_bypasses <- t.stats.Stats.fill_bypasses + 1);
       Miss
     end
   end
@@ -121,8 +125,11 @@ let access_packed t (acc : Access.packed) =
     if find_way t set line >= 0 then Hit
     else begin
       Hashtbl.replace t.seen line ();
-      t.stats.Stats.prefetch_fills <- t.stats.Stats.prefetch_fills + 1;
-      fill t set acc;
+      (match t.policy.Policy.fill_decision ~set acc with
+      | `Install ->
+        t.stats.Stats.prefetch_fills <- t.stats.Stats.prefetch_fills + 1;
+        fill t set acc
+      | `Bypass -> t.stats.Stats.fill_bypasses <- t.stats.Stats.fill_bypasses + 1);
       Miss
     end
   end

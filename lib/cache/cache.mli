@@ -8,7 +8,12 @@
 
     Prefetch semantics follow the usual front-end model: a prefetch that
     hits is a no-op; a prefetch that misses installs the line tagged as a
-    prefetch fill. *)
+    prefetch fill.
+
+    On every miss the policy's [fill_decision] is consulted before a way
+    is chosen; [`Bypass] serves the access without installing the line
+    (counted in [Stats.fill_bypasses]; bypassed prefetches are not
+    prefetch fills). *)
 
 module Addr := Ripple_isa.Addr
 
@@ -20,6 +25,14 @@ val create : ?name:string -> geometry:Geometry.t -> policy:Policy.factory -> uni
 val geometry : t -> Geometry.t
 val stats : t -> Stats.t
 val policy_name : t -> string
+
+val duel : t -> Dueling.t option
+(** The policy's set-dueling component, when it has one — read-only
+    telemetry for the [ripple_duel_*] metric families. *)
+
+val may_bypass : t -> bool
+(** Whether the policy's [fill_decision] can ever bypass — static
+    must-hit reasoning is unsound for such caches. *)
 
 val access_packed : t -> Access.packed -> result
 (** Performs a reference, filling on a miss.  [Hit]/[Miss] reflects

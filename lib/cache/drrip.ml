@@ -1,39 +1,21 @@
 let rrpv_max = (1 lsl Srrip.rrpv_bits) - 1
 let rrpv_long = rrpv_max - 1
-let psel_bits = 10
-let psel_max = (1 lsl psel_bits) - 1
-let brrip_throttle = 32 (* 1-in-32 long insertions in bimodal mode *)
 
-type set_role = Leader_srrip | Leader_brrip | Follower
-
-let make ~sets ~ways =
+let make ?(psel_bits = 10) ?(throttle = 32) ?(spacing = 16) () ~sets ~ways =
+  if throttle < 1 then invalid_arg "Drrip.make: throttle must be >= 1";
   let rrpv = Array.make (sets * ways) rrpv_max in
-  let psel = ref (psel_max / 2) in
+  (* Flavour A duels SRRIP insertion, flavour B bimodal (BRRIP)
+     insertion; the substrate's defaults are the constants this policy
+     always used inline, so the port is byte-identical (pinned test). *)
+  let duel = Dueling.make ~sets ~spacing ~psel_bits () in
   let brrip_counter = ref 0 in
-  (* A handful of leader sets per flavour, spread across the index
-     space. *)
-  let n_leaders = max 1 (sets / 16) in
-  let role set =
-    if set mod 16 = 0 && set / 16 < n_leaders then Leader_srrip
-    else if set mod 16 = 8 && set / 16 < n_leaders then Leader_brrip
-    else Follower
-  in
-  let use_brrip set =
-    match role set with
-    | Leader_srrip -> false
-    | Leader_brrip -> true
-    | Follower -> !psel > psel_max / 2
-  in
   let on_fill ~set ~way _ =
     (* A fill means this set just missed: train the duel. *)
-    (match role set with
-    | Leader_srrip -> psel := min psel_max (!psel + 1)
-    | Leader_brrip -> psel := max 0 (!psel - 1)
-    | Follower -> ());
+    Dueling.train_miss duel ~set;
     let insertion =
-      if use_brrip set then begin
+      if Dueling.selects_b duel ~set then begin
         incr brrip_counter;
-        if !brrip_counter mod brrip_throttle = 0 then rrpv_long else rrpv_max
+        if !brrip_counter mod throttle = 0 then rrpv_long else rrpv_max
       end
       else rrpv_long
     in
@@ -43,6 +25,8 @@ let make ~sets ~ways =
     Policy.name = "drrip";
     on_hit = (fun ~set ~way _ -> rrpv.((set * ways) + way) <- 0);
     on_fill;
+    fill_decision = Policy.nop_fill_decision;
+    may_bypass = false;
     victim = (fun ~set -> Srrip.rrpv_victim rrpv ~ways ~set);
     on_eviction = Policy.nop_evict;
     on_invalidate = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
@@ -50,10 +34,12 @@ let make ~sets ~ways =
     save =
       (fun () ->
         let rrpv' = Array.copy rrpv in
-        let psel' = !psel and brrip_counter' = !brrip_counter in
+        let restore_duel = Dueling.save duel in
+        let brrip_counter' = !brrip_counter in
         fun () ->
           Array.blit rrpv' 0 rrpv 0 (Array.length rrpv);
-          psel := psel';
+          restore_duel ();
           brrip_counter := brrip_counter');
-    storage_bits = (sets * ways * Srrip.rrpv_bits) + psel_bits;
+    storage_bits = (sets * ways * Srrip.rrpv_bits) + Dueling.storage_bits duel;
+    duel = Some duel;
   }

@@ -1,8 +1,13 @@
 (** Dynamic re-reference interval prediction (DRRIP, Jaleel et al. 2010).
 
     Set-dueling between SRRIP insertion and bimodal (thrash-resistant)
-    insertion, with a PSEL counter arbitrating for follower sets.  Like
-    SRRIP it brings nothing for I-cache traffic (§II-D): data-center code
-    neither scans nor thrashes in the cyclic-reuse sense DRRIP detects. *)
+    insertion, built on the shared {!Dueling} substrate, with a PSEL
+    counter arbitrating for follower sets.  Like SRRIP it brings nothing
+    for I-cache traffic (§II-D): data-center code neither scans nor
+    thrashes in the cyclic-reuse sense DRRIP detects. *)
 
-val make : Policy.factory
+val make : ?psel_bits:int -> ?throttle:int -> ?spacing:int -> unit -> Policy.factory
+(** [throttle] is the bimodal rate (1-in-[throttle] fills insert long,
+    default 32); [psel_bits] (default 10) and [spacing] (default 16) are
+    the {!Dueling} geometry.  The defaults reproduce the historical
+    inline implementation bit for bit. *)

@@ -104,6 +104,8 @@ let make ?(fixed = true) () ~sets ~ways =
     Policy.name = "ghrp";
     on_hit;
     on_fill;
+    fill_decision = Policy.nop_fill_decision;
+    may_bypass = false;
     victim;
     on_eviction;
     on_invalidate = Policy.nop_way;
@@ -130,4 +132,5 @@ let make ?(fixed = true) () ~sets ~ways =
           Array.blit victims_sig' 0 victims_sig 0 victim_buffer_size;
           victims_head := victims_head');
     storage_bits;
+    duel = None;
   }

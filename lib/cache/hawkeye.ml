@@ -28,12 +28,24 @@ type sampler = {
   occupancy : int array; (* ring over the last [sampler_associativity] quanta *)
 }
 
-let make ?(harmony = true) () ~sets ~ways =
+let ehc_entries = 2048
+
+let make ?(harmony = true) ?(ehc = false) ?(max_hits = 7) () ~sets ~ways =
   friendly_lookups := 0;
   total_lookups := 0;
+  if max_hits < 1 then invalid_arg "Hawkeye.make: max_hits must be >= 1";
   let predictor = Array.make predictor_entries friendly_threshold in
   let rrpv = Array.make (sets * ways) rrpv_max in
   let last_pc = Array.make (sets * ways) 0 in
+  (* EHC refinement (Vakil-Ghahani et al. 2018): count hits per resident
+     line, learn a per-PC expected hit count on eviction, and break
+     highest-RRPV victim ties towards the line with the fewest expected
+     remaining hits.  A set duel arbitrates plain vs. refined victim
+     selection; with every tie equal it degenerates to plain Hawkeye. *)
+  let hits = Array.make (sets * ways) 0 in
+  let ehc_table = Array.make ehc_entries 0 in
+  let ehc_duel = if ehc then Some (Dueling.make ~sets ()) else None in
+  let ehc_index pc = mix pc land (ehc_entries - 1) in
   let sample_every = 4 in
   let samplers =
     Array.init (sets / sample_every) (fun _ ->
@@ -134,14 +146,18 @@ let make ?(harmony = true) () ~sets ~ways =
     match sampler_of set with Some s -> optgen_access s acc | None -> ()
   in
   let on_hit ~set ~way acc =
+    let slot = (set * ways) + way in
+    hits.(slot) <- min max_hits (hits.(slot) + 1);
     observe ~set acc;
     place ~set ~way acc
   in
   let on_fill ~set ~way acc =
+    (match ehc_duel with Some d -> Dueling.train_miss d ~set | None -> ());
+    hits.((set * ways) + way) <- 0;
     observe ~set acc;
     place ~set ~way acc
   in
-  let victim ~set =
+  let plain_victim ~set =
     let best = ref 0 and best_rrpv = ref (-1) in
     for way = 0 to ways - 1 do
       let r = rrpv.((set * ways) + way) in
@@ -152,8 +168,40 @@ let make ?(harmony = true) () ~sets ~ways =
     done;
     !best
   in
+  (* Among the ways tied at the highest RRPV, pick the fewest expected
+     remaining hits (EHC[pc] - hits so far); ties resolve to the lowest
+     way, i.e. plain Hawkeye's choice. *)
+  let ehc_victim ~set =
+    let best_rrpv = ref (-1) in
+    for way = 0 to ways - 1 do
+      let r = rrpv.((set * ways) + way) in
+      if r > !best_rrpv then best_rrpv := r
+    done;
+    let best = ref (-1) and best_remaining = ref max_int in
+    for way = 0 to ways - 1 do
+      let slot = (set * ways) + way in
+      if rrpv.(slot) = !best_rrpv then begin
+        let remaining = max 0 (ehc_table.(ehc_index last_pc.(slot)) - hits.(slot)) in
+        if remaining < !best_remaining then begin
+          best := way;
+          best_remaining := remaining
+        end
+      end
+    done;
+    !best
+  in
+  let victim ~set =
+    match ehc_duel with
+    | Some d when Dueling.selects_b d ~set -> ehc_victim ~set
+    | Some _ | None -> plain_victim ~set
+  in
   let on_eviction ~set ~way ~line:_ =
     let slot = (set * ways) + way in
+    (* Learn the PC's expected hit count as a rounding running average
+       of the counts its lines actually achieved. *)
+    (if ehc then
+       let i = ehc_index last_pc.(slot) in
+       ehc_table.(i) <- (ehc_table.(i) + hits.(slot) + 1) lsr 1);
     (* Evicting a still-friendly line means the prediction
        over-committed: detrain its source.  Only sampled sets train, so
        positive (OPTgen) and negative (eviction) evidence stay in
@@ -168,11 +216,16 @@ let make ?(harmony = true) () ~sets ~ways =
     + (200 * 40) (* sampler entries *)
     + (1024 * 8) (* occupancy vectors *)
     + (sets * ways * 3) (* RRIP counters: 192 B *)
+    + (match ehc_duel with
+      | Some d -> (ehc_entries * 3) + (sets * ways * 3) + Dueling.storage_bits d
+      | None -> 0)
   in
   {
-    Policy.name = (if harmony then "harmony" else "hawkeye");
+    Policy.name = (if ehc then "ehc-hawkeye" else if harmony then "harmony" else "hawkeye");
     on_hit;
     on_fill;
+    fill_decision = Policy.nop_fill_decision;
+    may_bypass = false;
     victim;
     on_eviction;
     on_invalidate = Policy.nop_way;
@@ -184,6 +237,9 @@ let make ?(harmony = true) () ~sets ~ways =
         let predictor' = Array.copy predictor in
         let rrpv' = Array.copy rrpv in
         let last_pc' = Array.copy last_pc in
+        let hits' = Array.copy hits in
+        let ehc_table' = Array.copy ehc_table in
+        let restore_duel = match ehc_duel with Some d -> Dueling.save d | None -> Policy.nop_save () in
         let samplers' =
           Array.map
             (fun s ->
@@ -200,6 +256,9 @@ let make ?(harmony = true) () ~sets ~ways =
           Array.blit predictor' 0 predictor 0 predictor_entries;
           Array.blit rrpv' 0 rrpv 0 (Array.length rrpv);
           Array.blit last_pc' 0 last_pc 0 (Array.length last_pc);
+          Array.blit hits' 0 hits 0 (Array.length hits);
+          Array.blit ehc_table' 0 ehc_table 0 ehc_entries;
+          restore_duel ();
           Array.iteri
             (fun i s' ->
               let s = samplers.(i) in
@@ -210,4 +269,5 @@ let make ?(harmony = true) () ~sets ~ways =
               Array.blit s'.occupancy 0 s.occupancy 0 sampler_associativity)
             samplers');
     storage_bits;
+    duel = ehc_duel;
   }

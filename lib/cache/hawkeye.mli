@@ -9,16 +9,25 @@
 
     [~harmony:true] (default) enables the prefetch-aware training.
 
+    [~ehc:true] adds the Expected-Hit-Count victim refinement
+    (Vakil-Ghahani et al. 2018): hits per resident line are counted, a
+    PC-indexed table learns each source's expected hit count on
+    eviction, and victim selection breaks highest-RRPV ties towards the
+    line with the fewest expected *remaining* hits.  A {!Dueling}
+    component arbitrates plain vs. refined victim selection per set;
+    [max_hits] (default 7) saturates the hit counters.
+
     §II-D explains why this family cannot help the I-cache: an
     instruction PC maps to exactly one line, whose behaviour mixes
     friendly and averse phases, so the predictor collapses to "almost
     everything friendly" and the policy degenerates to LRU — which is
     what this implementation reproduces. *)
 
-val make : ?harmony:bool -> unit -> Policy.factory
+val make : ?harmony:bool -> ?ehc:bool -> ?max_hits:int -> unit -> Policy.factory
 
 val predictor_entries : int
 val sampler_associativity : int
+val ehc_entries : int
 
 val stats_friendly_fraction : unit -> float
 (** Fraction of predictor lookups since the last [make] that returned

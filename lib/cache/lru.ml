@@ -26,6 +26,8 @@ let make ~sets ~ways =
     Policy.name = "lru";
     on_hit = (fun ~set ~way _ -> touch ~set ~way);
     on_fill = (fun ~set ~way _ -> touch ~set ~way);
+    fill_decision = Policy.nop_fill_decision;
+    may_bypass = false;
     victim;
     on_eviction = Policy.nop_evict;
     on_invalidate = Policy.nop_way;
@@ -42,4 +44,5 @@ let make ~sets ~ways =
           clock := clock';
           demote_clock := demote_clock');
     storage_bits = storage_bits ~sets ~ways;
+    duel = None;
   }

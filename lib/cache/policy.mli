@@ -10,12 +10,30 @@
     instantiated geometry, following the accounting of the paper's
     Table I; it is what the Table I bench prints. *)
 
+type fill_decision = [ `Install | `Bypass ]
+(** What to do with a missing line: install it (the default for every
+    classical policy) or bypass the cache entirely — the line is
+    fetched but no way is allocated (streaming-bypass policies). *)
+
 type t = {
   name : string;
   on_hit : set:int -> way:int -> Access.packed -> unit;
       (** A resident line was demand-referenced. *)
   on_fill : set:int -> way:int -> Access.packed -> unit;
       (** A line was installed into [way] (demand or prefetch fill). *)
+  fill_decision : set:int -> Access.packed -> fill_decision;
+      (** Consulted once per miss, before any way is chosen.  [`Bypass]
+          serves the access without installing the line: no victim, no
+          eviction, no [on_fill] — the cache core counts it in
+          [Stats.fill_bypasses].  Policies that duel on misses must
+          train here rather than in [on_fill], so bypassed misses still
+          train. *)
+  may_bypass : bool;
+      (** Whether [fill_decision] can ever return [`Bypass].  Static
+          analyses (the abstract cache interpretation) rely on this:
+          their must-hit facts assume install-on-miss and are only
+          sound for policies where this is [false]; always-miss facts
+          hold either way. *)
   victim : set:int -> int;
       (** Way to evict from a full set. *)
   on_eviction : set:int -> way:int -> line:Ripple_isa.Addr.line -> unit;
@@ -32,6 +50,12 @@ type t = {
           (sampled simulation) snapshots the cache after the warm-up
           prefix and rewinds to it before each sample window. *)
   storage_bits : int;
+  duel : Dueling.t option;
+      (** The policy's set-dueling component, if it has one — a typed
+          telemetry channel: the simulator reads PSEL, per-flavour
+          leader misses and selection flips off it for the
+          [ripple_duel_*] metric families.  Policies that set this must
+          fold [Dueling.save] into [save]. *)
 }
 
 type factory = sets:int -> ways:int -> t
@@ -45,3 +69,7 @@ val nop_evict : set:int -> way:int -> line:Ripple_isa.Addr.line -> unit
 
 val nop_save : unit -> unit -> unit
 (** For stateless policies: capturing and restoring are both no-ops. *)
+
+val nop_fill_decision : set:int -> Access.packed -> fill_decision
+(** Always [`Install] — the behaviour of every policy that predates the
+    hook, and the default for any policy without a bypass story. *)

@@ -17,6 +17,8 @@ let make ~seed ~sets ~ways =
     on_hit = Policy.nop_access;
     on_fill =
       (fun ~set ~way _ -> if demoted.(set) = way then demoted.(set) <- -1);
+    fill_decision = Policy.nop_fill_decision;
+    may_bypass = false;
     victim;
     on_eviction = Policy.nop_evict;
     on_invalidate = (fun ~set ~way -> if demoted.(set) = way then demoted.(set) <- -1);
@@ -29,4 +31,5 @@ let make ~seed ~sets ~ways =
           Prng.copy_into ~src:rng' ~dst:rng;
           Array.blit demoted' 0 demoted 0 (Array.length demoted));
     storage_bits = 0;
+    duel = None;
   }

@@ -1,23 +1,67 @@
 (** The single name → replacement-policy catalogue.
 
     Every hardware policy the system can simulate is registered here
-    once, with the description and Table-I storage note that user-facing
-    surfaces print.  The CLI's [--policy] parser and help text, the
-    bench's Table I, and the experiment runner's spec resolution all
-    read this table, so adding a policy in one place makes it available
-    everywhere — the name → constructor match can no longer drift
-    between front ends.
+    once, with the description, Table-I storage note and typed parameter
+    schema that user-facing surfaces print.  The CLI's [--policy] parser
+    and help text, the bench's Table I, and the experiment runner's spec
+    resolution all read this table, so adding a policy in one place
+    makes it available everywhere — the name → constructor match can no
+    longer drift between front ends.
+
+    Policies are addressed by *specs*: ["drrip"] or
+    ["drrip:psel_bits=8,throttle=16"].  [parse_spec] validates both the
+    name and every key/value against the schema; [spec_to_string]
+    canonicalises (default-valued overrides dropped, keys sorted) so the
+    same cell always prints the same string in JSONL rows.
 
     Factories take a [seed] so stochastic policies (Random) are
     reproducible from an experiment spec; deterministic policies ignore
     it. *)
+
+(** Typed policy parameters. *)
+module Param : sig
+  type value = Int of int | Float of float | Bool of bool
+
+  type spec = {
+    key : string;  (** lowercase identifier, e.g. ["psel_bits"] *)
+    doc : string;  (** one-line summary for help text *)
+    default : value;  (** also fixes the key's type *)
+  }
+
+  type set = (string * value) list
+  (** A resolved parameter set: every declared key bound exactly once. *)
+
+  val type_name : value -> string
+  val value_to_string : value -> string
+  val value_equal : value -> value -> bool
+
+  val value_of_string : like:value -> string -> value option
+  (** Parse [s] at the type of [like]; [None] on type mismatch.  A float
+      key accepts integer literals; an int key does not accept floats. *)
+
+  val defaults : spec list -> set
+
+  val get_int : set -> string -> int
+  (** @raise Invalid_argument if the key is absent or not an int. *)
+
+  val get_float : set -> string -> float
+  (** Accepts an [Int] binding too (widened).
+      @raise Invalid_argument if the key is absent or boolean. *)
+
+  val get_bool : set -> string -> bool
+  (** @raise Invalid_argument if the key is absent or not a bool. *)
+end
 
 type entry = {
   name : string;  (** CLI-facing identifier, lowercase *)
   display : string;  (** print form, e.g. ["SHiP"], ["Hawkeye/Harmony"] *)
   description : string;  (** one-line summary for help text *)
   storage_note : string;  (** Table I replacement-metadata note *)
-  factory : seed:int -> Policy.factory;
+  params : Param.spec list;  (** the policy's tunable knobs, possibly empty *)
+  factory : seed:int -> params:Param.set -> Policy.factory;
+      (** [params] must bind every declared key; resolve specs through
+          {!spec_factory} (or {!factory}) rather than calling this
+          directly. *)
 }
 
 val all : entry list
@@ -26,12 +70,41 @@ val all : entry list
 val names : string list
 
 val find : string -> entry option
-(** Case-insensitive lookup by [name]. *)
+(** Case-insensitive lookup by bare [name] (no parameters). *)
 
 val find_exn : string -> entry
 (** @raise Invalid_argument on unknown names, listing the known ones. *)
 
+(** A parsed policy spec: a registry name plus parameter overrides. *)
+type spec = { policy : string; overrides : (string * Param.value) list }
+
+val parse_spec : string -> (spec, string) result
+(** Parse ["name"] or ["name:key=val,key=val"].  ['+'] is accepted as an
+    alternative pair separator (so specs survive comma-splitting list
+    parsers, e.g. sweep's [--policies]).  Unknown names and unknown keys
+    both error listing the known ones; values are checked against the
+    key's declared type. *)
+
+val parse_spec_exn : string -> spec
+(** @raise Invalid_argument with the [parse_spec] error message. *)
+
+val spec_to_string : spec -> string
+(** Canonical form: overrides equal to their default are dropped and the
+    rest print sorted by key, so equal cells render equal strings. *)
+
+val canonical : string -> string
+(** [canonical s = spec_to_string (parse_spec_exn s)].
+    @raise Invalid_argument on invalid specs. *)
+
+val spec_params : spec -> Param.set
+(** The fully resolved parameter set: declared defaults overlaid with
+    the spec's overrides. *)
+
+val spec_factory : ?seed:int -> spec -> Policy.factory
+(** Resolve and apply in one step ([seed] defaults to 1234, the
+    historical fixed seed of the bench). *)
+
 val factory : ?seed:int -> string -> Policy.factory
-(** [factory name] resolves and applies in one step ([seed] defaults
-    to 1234, the historical fixed seed of the bench).
-    @raise Invalid_argument on unknown names. *)
+(** [factory str] parses [str] as a spec and resolves it.
+    @raise Invalid_argument on unknown names, unknown keys or ill-typed
+    values. *)

@@ -43,6 +43,8 @@ let make ~sets ~ways =
     Policy.name = "ship";
     on_hit;
     on_fill;
+    fill_decision = Policy.nop_fill_decision;
+    may_bypass = false;
     victim = (fun ~set -> Srrip.rrpv_victim rrpv ~ways ~set);
     on_eviction;
     on_invalidate = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
@@ -63,4 +65,5 @@ let make ~sets ~ways =
       + (table_entries * 2) (* SHCT *)
       + (sets * ways * 14) (* per-line signature *)
       + (sets * ways) (* reuse bit *);
+    duel = None;
   }

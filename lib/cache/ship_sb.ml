@@ -1,0 +1,131 @@
+let rrpv_max = (1 lsl Srrip.rrpv_bits) - 1
+let rrpv_long = rrpv_max - 1
+let sig_bits = 6
+let table_entries = 1 lsl sig_bits
+let counter_max = 3
+let stride_confident = 3
+
+let mix x =
+  let x = x * 0x9E3779B1 in
+  x lxor (x lsr 16)
+
+let make ?(bypass = true) ?(throttle = 32) ?(stream_window = 8) () ~sets ~ways =
+  if throttle < 1 then invalid_arg "Ship_sb.make: throttle must be >= 1";
+  if stream_window < 1 then invalid_arg "Ship_sb.make: stream_window must be >= 1";
+  let rrpv = Array.make (sets * ways) rrpv_max in
+  (* SHiP-lite: a 6-bit PC signature indexes a small bank of 2-bit
+     outcome counters; per-slot bookkeeping of the filling signature and
+     whether the line was ever re-referenced trains it. *)
+  let outcome = Array.make table_entries 1 in
+  let fill_sig = Array.make (sets * ways) 0 in
+  let reused = Array.make (sets * ways) false in
+  let signature pc = mix pc land (table_entries - 1) in
+  (* Per-set streaming detector: a stable non-zero stride between
+     consecutive misses opens a window of [stream_window] misses during
+     which dead-signature fills may bypass the cache entirely. *)
+  let last_line = Array.make sets min_int in
+  let stride = Array.make sets 0 in
+  let confidence = Array.make sets 0 in
+  let window = Array.make sets 0 in
+  (* Flavour A: SRRIP insertion.  Flavour B: bimodal (BRRIP) insertion.
+     Trained in [fill_decision] so bypassed misses still vote. *)
+  let duel = Dueling.make ~sets () in
+  let brrip_counter = ref 0 in
+  let update_stream set line =
+    let d = if last_line.(set) = min_int then 0 else line - last_line.(set) in
+    last_line.(set) <- line;
+    if d <> 0 && d = stride.(set) then
+      confidence.(set) <- min stride_confident (confidence.(set) + 1)
+    else begin
+      stride.(set) <- d;
+      confidence.(set) <- 0
+    end;
+    if confidence.(set) >= stride_confident then window.(set) <- stream_window
+    else if window.(set) > 0 then window.(set) <- window.(set) - 1
+  in
+  let fill_decision ~set (acc : Access.packed) =
+    Dueling.train_miss duel ~set;
+    update_stream set (Access.packed_line acc);
+    if bypass && window.(set) > 0 && outcome.(signature (Access.packed_pc acc)) = 0 then
+      `Bypass
+    else `Install
+  in
+  let on_hit ~set ~way _ =
+    let slot = (set * ways) + way in
+    if not reused.(slot) then begin
+      reused.(slot) <- true;
+      let i = fill_sig.(slot) in
+      outcome.(i) <- min counter_max (outcome.(i) + 1)
+    end;
+    rrpv.(slot) <- 0
+  in
+  let on_fill ~set ~way (acc : Access.packed) =
+    let slot = (set * ways) + way in
+    let s = signature (Access.packed_pc acc) in
+    fill_sig.(slot) <- s;
+    reused.(slot) <- false;
+    let base =
+      if Dueling.selects_b duel ~set then begin
+        incr brrip_counter;
+        if !brrip_counter mod throttle = 0 then rrpv_long else rrpv_max
+      end
+      else rrpv_long
+    in
+    (* The outcome counter overrides the duel at its extremes: dead
+       signatures insert eviction-first, proven-reused ones near-MRU. *)
+    let insertion =
+      if outcome.(s) = 0 then rrpv_max
+      else if outcome.(s) = counter_max then 0
+      else base
+    in
+    rrpv.(slot) <- insertion
+  in
+  let on_eviction ~set ~way ~line:_ =
+    let slot = (set * ways) + way in
+    if not reused.(slot) then begin
+      let i = fill_sig.(slot) in
+      outcome.(i) <- max 0 (outcome.(i) - 1)
+    end
+  in
+  {
+    Policy.name = "ship-sb";
+    on_hit;
+    on_fill;
+    fill_decision;
+    may_bypass = bypass;
+    victim = (fun ~set -> Srrip.rrpv_victim rrpv ~ways ~set);
+    on_eviction;
+    on_invalidate = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
+    demote = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
+    save =
+      (fun () ->
+        let rrpv' = Array.copy rrpv in
+        let outcome' = Array.copy outcome in
+        let fill_sig' = Array.copy fill_sig in
+        let reused' = Array.copy reused in
+        let last_line' = Array.copy last_line in
+        let stride' = Array.copy stride in
+        let confidence' = Array.copy confidence in
+        let window' = Array.copy window in
+        let brrip_counter' = !brrip_counter in
+        let restore_duel = Dueling.save duel in
+        fun () ->
+          Array.blit rrpv' 0 rrpv 0 (Array.length rrpv);
+          Array.blit outcome' 0 outcome 0 table_entries;
+          Array.blit fill_sig' 0 fill_sig 0 (Array.length fill_sig);
+          Array.blit reused' 0 reused 0 (Array.length reused);
+          Array.blit last_line' 0 last_line 0 sets;
+          Array.blit stride' 0 stride 0 sets;
+          Array.blit confidence' 0 confidence 0 sets;
+          Array.blit window' 0 window 0 sets;
+          brrip_counter := brrip_counter';
+          restore_duel ());
+    storage_bits =
+      (sets * ways * Srrip.rrpv_bits) (* RRPV *)
+      + (table_entries * 2) (* outcome counters *)
+      + (sets * ways * sig_bits) (* per-line signature *)
+      + (sets * ways) (* reuse bit *)
+      + (sets * (16 + 8 + 2 + 4)) (* stream detector: last line, stride, conf, window *)
+      + Dueling.storage_bits duel;
+    duel = Some duel;
+  }

@@ -1,0 +1,24 @@
+(** SHiP-lite with streaming bypass.
+
+    The hardware-budget rendition of SHiP used in the ChampSim
+    replacement championships: a 6-bit PC signature indexes a 64-entry
+    bank of 2-bit outcome counters (never-reused signatures insert
+    eviction-first, proven-reused ones near-MRU), the middle ground
+    duels SRRIP against bimodal insertion on the shared {!Dueling}
+    substrate — and a per-set stride detector opens a short streaming
+    window during which fills from dead signatures *bypass* the cache
+    entirely, exercising [Policy.fill_decision].
+
+    The duel is trained in [fill_decision], which the cache core
+    consults on every miss, so bypassed misses still vote. *)
+
+val make : ?bypass:bool -> ?throttle:int -> ?stream_window:int -> unit -> Policy.factory
+(** [bypass] (default [true]) enables the streaming-bypass path —
+    [false] degrades the policy to pure SHiP-lite over DRRIP insertion;
+    [throttle] is the bimodal rate (default 32); [stream_window]
+    (default 8) is how many misses a detected stream keeps the bypass
+    window open.
+    @raise Invalid_argument if [throttle] or [stream_window] < 1. *)
+
+val sig_bits : int
+val table_entries : int

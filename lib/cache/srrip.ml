@@ -30,6 +30,8 @@ let make ~sets ~ways =
     Policy.name = "srrip";
     on_hit = (fun ~set ~way _ -> rrpv.((set * ways) + way) <- 0);
     on_fill = (fun ~set ~way _ -> rrpv.((set * ways) + way) <- rrpv_long);
+    fill_decision = Policy.nop_fill_decision;
+    may_bypass = false;
     victim = (fun ~set -> rrpv_victim rrpv ~ways ~set);
     on_eviction = Policy.nop_evict;
     on_invalidate = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
@@ -39,4 +41,5 @@ let make ~sets ~ways =
         let rrpv' = Array.copy rrpv in
         fun () -> Array.blit rrpv' 0 rrpv 0 (Array.length rrpv));
     storage_bits = sets * ways * rrpv_bits;
+    duel = None;
   }

@@ -10,6 +10,7 @@ type t = {
   mutable invalidate_hits : int;
   mutable invalidate_misses : int;
   mutable demotes : int;
+  mutable fill_bypasses : int;
 }
 
 let create () =
@@ -25,6 +26,7 @@ let create () =
     invalidate_hits = 0;
     invalidate_misses = 0;
     demotes = 0;
+    fill_bypasses = 0;
   }
 
 let reset t =
@@ -38,7 +40,8 @@ let reset t =
   t.hinted_fills <- 0;
   t.invalidate_hits <- 0;
   t.invalidate_misses <- 0;
-  t.demotes <- 0
+  t.demotes <- 0;
+  t.fill_bypasses <- 0
 
 let copy t =
   {
@@ -53,6 +56,7 @@ let copy t =
     invalidate_hits = t.invalidate_hits;
     invalidate_misses = t.invalidate_misses;
     demotes = t.demotes;
+    fill_bypasses = t.fill_bypasses;
   }
 
 let copy_into ~src ~dst =
@@ -66,7 +70,8 @@ let copy_into ~src ~dst =
   dst.hinted_fills <- src.hinted_fills;
   dst.invalidate_hits <- src.invalidate_hits;
   dst.invalidate_misses <- src.invalidate_misses;
-  dst.demotes <- src.demotes
+  dst.demotes <- src.demotes;
+  dst.fill_bypasses <- src.fill_bypasses
 
 let accumulate_delta ~into ~before ~after =
   into.demand_accesses <- into.demand_accesses + after.demand_accesses - before.demand_accesses;
@@ -84,7 +89,8 @@ let accumulate_delta ~into ~before ~after =
     into.invalidate_hits + after.invalidate_hits - before.invalidate_hits;
   into.invalidate_misses <-
     into.invalidate_misses + after.invalidate_misses - before.invalidate_misses;
-  into.demotes <- into.demotes + after.demotes - before.demotes
+  into.demotes <- into.demotes + after.demotes - before.demotes;
+  into.fill_bypasses <- into.fill_bypasses + after.fill_bypasses - before.fill_bypasses
 
 let total_accesses t = t.demand_accesses + t.prefetch_accesses
 
@@ -103,7 +109,7 @@ let coverage t =
 let pp fmt t =
   Format.fprintf fmt
     "@[demand %d/%d miss (%d cold), prefetch %d (%d fills), evict %d, repl %d, hinted %d,@ \
-     inval %d+%d, demote %d@]"
+     inval %d+%d, demote %d, bypass %d@]"
     t.demand_misses t.demand_accesses t.demand_misses_cold t.prefetch_accesses t.prefetch_fills
     t.evictions t.replacement_decisions t.hinted_fills t.invalidate_hits t.invalidate_misses
-    t.demotes
+    t.demotes t.fill_bypasses

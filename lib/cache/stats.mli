@@ -23,6 +23,9 @@ type t = {
   mutable invalidate_hits : int;  (** hint executions that found the line *)
   mutable invalidate_misses : int;  (** hint executions to an absent line *)
   mutable demotes : int;
+  mutable fill_bypasses : int;
+      (** misses the policy chose not to install ([`Bypass] from
+          [Policy.fill_decision]) — streaming-bypass traffic *)
 }
 
 val create : unit -> t

@@ -1,0 +1,89 @@
+let rrpv_max = (1 lsl Srrip.rrpv_bits) - 1
+let rrpv_long = rrpv_max - 1
+let temp_max = 3
+
+let mix x =
+  let x = x * 0x9E3779B1 in
+  x lxor (x lsr 16)
+
+let make ?(table_bits = 12) ?(hot = 2) () ~sets ~ways =
+  if table_bits < 4 || table_bits > 20 then
+    invalid_arg "Trrip.make: table_bits must be in [4,20]";
+  if hot < 1 || hot > temp_max then
+    invalid_arg (Printf.sprintf "Trrip.make: hot must be in [1,%d]" temp_max);
+  let entries = 1 lsl table_bits in
+  let rrpv = Array.make (sets * ways) rrpv_max in
+  (* Per-PC 2-bit temperature counters: the online stand-in for TRRIP's
+     profile-derived code temperature.  A line re-referenced while
+     resident heats its fetch PC; a line evicted untouched cools it. *)
+  let temp = Array.make entries 1 in
+  let fill_pc = Array.make (sets * ways) 0 in
+  let reused = Array.make (sets * ways) false in
+  let index pc = mix pc land (entries - 1) in
+  (* Flavour A: plain SRRIP insertion.  Flavour B: temperature-guided
+     insertion.  Followers adopt whichever wins on leader-set misses. *)
+  let duel = Dueling.make ~sets () in
+  let on_hit ~set ~way _ =
+    let slot = (set * ways) + way in
+    if not reused.(slot) then begin
+      reused.(slot) <- true;
+      let i = index fill_pc.(slot) in
+      temp.(i) <- min temp_max (temp.(i) + 1)
+    end;
+    rrpv.(slot) <- 0
+  in
+  let on_fill ~set ~way (acc : Access.packed) =
+    Dueling.train_miss duel ~set;
+    let slot = (set * ways) + way in
+    let pc = Access.packed_pc acc in
+    fill_pc.(slot) <- pc;
+    reused.(slot) <- false;
+    let insertion =
+      if Dueling.selects_b duel ~set then begin
+        let t = temp.(index pc) in
+        if t >= hot then 1 (* hot code: near-MRU *)
+        else if t = 0 then rrpv_max (* cold code: eviction-first *)
+        else rrpv_long
+      end
+      else rrpv_long
+    in
+    rrpv.(slot) <- insertion
+  in
+  let on_eviction ~set ~way ~line:_ =
+    let slot = (set * ways) + way in
+    if not reused.(slot) then begin
+      let i = index fill_pc.(slot) in
+      temp.(i) <- max 0 (temp.(i) - 1)
+    end
+  in
+  {
+    Policy.name = "trrip";
+    on_hit;
+    on_fill;
+    fill_decision = Policy.nop_fill_decision;
+    may_bypass = false;
+    victim = (fun ~set -> Srrip.rrpv_victim rrpv ~ways ~set);
+    on_eviction;
+    on_invalidate = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
+    demote = (fun ~set ~way -> rrpv.((set * ways) + way) <- rrpv_max);
+    save =
+      (fun () ->
+        let rrpv' = Array.copy rrpv in
+        let temp' = Array.copy temp in
+        let fill_pc' = Array.copy fill_pc in
+        let reused' = Array.copy reused in
+        let restore_duel = Dueling.save duel in
+        fun () ->
+          Array.blit rrpv' 0 rrpv 0 (Array.length rrpv);
+          Array.blit temp' 0 temp 0 entries;
+          Array.blit fill_pc' 0 fill_pc 0 (Array.length fill_pc);
+          Array.blit reused' 0 reused 0 (Array.length reused);
+          restore_duel ());
+    storage_bits =
+      (sets * ways * Srrip.rrpv_bits) (* RRPV *)
+      + (entries * 2) (* temperature counters *)
+      + (sets * ways * 14) (* per-line fill signature *)
+      + (sets * ways) (* reuse bit *)
+      + Dueling.storage_bits duel;
+    duel = Some duel;
+  }

@@ -1,0 +1,21 @@
+(** TRRIP: temperature-based re-reference interval prediction for
+    instruction caches (Mehta et al. 2025; PAPERS.md).
+
+    The published policy maps profile-derived code *temperature* (how
+    hot a function's working set runs) onto RRIP insertion positions.
+    This online rendition learns the temperature in hardware instead of
+    reading it from a profile: a PC-indexed bank of 2-bit saturating
+    counters heats when a line from that PC is re-referenced while
+    resident and cools when it is evicted untouched.  Hot PCs insert
+    near-MRU (RRPV 1), cold PCs insert eviction-first, everything else
+    inserts at SRRIP's long position — and a {!Dueling} component duels
+    the temperature-guided insertion against plain SRRIP insertion, so
+    the policy can never lose more than its leader sets when the
+    temperature signal is wrong for a workload. *)
+
+val make : ?table_bits:int -> ?hot:int -> unit -> Policy.factory
+(** [table_bits] sizes the temperature table at [2^table_bits] entries
+    (default 12); [hot] is the counter value at or above which a PC
+    counts as hot (default 2 of a 0..3 range).
+    @raise Invalid_argument if [table_bits] is outside [4..20] or [hot]
+    outside [1..3]. *)

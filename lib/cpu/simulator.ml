@@ -54,6 +54,7 @@ let result_to_json (r : result) =
             ("invalidate_hits", Json.Int l1i.Stats.invalidate_hits);
             ("invalidate_misses", Json.Int l1i.Stats.invalidate_misses);
             ("demotes", Json.Int l1i.Stats.demotes);
+            ("fill_bypasses", Json.Int l1i.Stats.fill_bypasses);
           ] );
     ]
 
@@ -162,6 +163,15 @@ let register_obs reg =
   c "ripple_sim_invalidate_hits" "invalidation hints that found their line";
   c "ripple_sim_invalidate_misses" "invalidation hints to an absent line";
   c "ripple_sim_demotes" "demote hints executed";
+  c "ripple_sim_fill_bypasses" "misses the policy declined to install";
+  (* Set-dueling telemetry: zero unless the policy carries a Dueling
+     component, but always registered so the metric vocabulary (and the
+     pinned docs/metrics.schema) is identical for every policy. *)
+  c "ripple_duel_leader_a_misses" "misses in flavour-A leader sets";
+  c "ripple_duel_leader_b_misses" "misses in flavour-B leader sets";
+  c "ripple_duel_flips" "follower-selection changes of the policy duel";
+  ignore
+    (Obs.Registry.gauge reg ~help:"final PSEL of the policy's set duel" "ripple_duel_psel");
   ignore (Obs.Registry.series reg ~help:"periodic IPC over virtual time" "ripple_sim_ipc");
   ignore (Obs.Registry.series reg ~help:"periodic MPKI over virtual time" "ripple_sim_mpki")
 
@@ -180,7 +190,24 @@ let observe_result obs (r : result) =
   add "ripple_sim_hinted_fills" r.l1i.Stats.hinted_fills;
   add "ripple_sim_invalidate_hits" r.l1i.Stats.invalidate_hits;
   add "ripple_sim_invalidate_misses" r.l1i.Stats.invalidate_misses;
-  add "ripple_sim_demotes" r.l1i.Stats.demotes
+  add "ripple_sim_demotes" r.l1i.Stats.demotes;
+  add "ripple_sim_fill_bypasses" r.l1i.Stats.fill_bypasses
+
+(* Duel telemetry comes off the live policy, not the result record, so
+   only the trace-driven paths that own a cache can emit it. *)
+let observe_duel obs l1 =
+  match Cache.duel l1 with
+  | None -> ()
+  | Some d ->
+    let reg = Obs.Run.registry obs in
+    register_obs reg;
+    let add name v = Obs.Metric.add (Obs.Registry.counter reg name) v in
+    add "ripple_duel_leader_a_misses" (Ripple_cache.Dueling.a_misses d);
+    add "ripple_duel_leader_b_misses" (Ripple_cache.Dueling.b_misses d);
+    add "ripple_duel_flips" (Ripple_cache.Dueling.flips d);
+    Obs.Metric.set
+      (Obs.Registry.gauge reg "ripple_duel_psel")
+      (Float.of_int (Ripple_cache.Dueling.psel d))
 
 let prefetcher_none _program = Prefetcher.none
 
@@ -357,7 +384,11 @@ let run_trace ?(config = Config.default) ?(warmup = 0) ?obs
         ~miss_cycles:(Float.of_int !miss_cycles) ~l1i:(Cache.stats l1)
         ~l2_served:!l2_served ~l3_served:!l3_served ~mem_served:!mem_served
     in
-    (match obs with Some o -> observe_result o result | None -> ());
+    (match obs with
+    | Some o ->
+      observe_result o result;
+      observe_duel o l1
+    | None -> ());
     (result, None)
   | Some (sampling : Sampling.t) ->
     let spans = Sampling.select ~warmup ~n sampling in
@@ -411,7 +442,11 @@ let run_trace ?(config = Config.default) ?(warmup = 0) ?obs
         ~miss_cycles:(Float.of_int !t_miss) ~l1i:total_stats ~l2_served:!t_l2
         ~l3_served:!t_l3 ~mem_served:!t_mem
     in
-    (match obs with Some o -> observe_result o result | None -> ());
+    (match obs with
+    | Some o ->
+      observe_result o result;
+      observe_duel o l1
+    | None -> ());
     (result, Some (Sampling.report_of_spans ~warmup ~n spans))
 
 let run ?config ?warmup ?obs ?on_hint ~program ~trace ~policy ~prefetcher () =

@@ -16,12 +16,19 @@ type input =
   | Train  (** the profiling input — profile/evaluate on the same path *)
 
 type kind =
-  | Policy of string  (** one hardware replacement policy ({!Ripple_cache.Registry}) *)
+  | Policy of string
+      (** one hardware replacement policy, as a full registry spec
+          string — ["drrip"] or ["drrip:psel_bits=8,throttle=16"]
+          ({!Ripple_cache.Registry}).  Use the canonical form
+          ({!Ripple_cache.Registry.canonical}; the CLI canonicalises at
+          parse time) so equal cells compare equal and the JSONL
+          [policy] field records one stable spelling per
+          parameterization. *)
   | Ideal_cache  (** the Fig. 1 never-miss limit *)
   | Oracle  (** ideal replacement: MIN, or Demand-MIN under a prefetcher *)
   | Ripple of { policy : string; threshold : float }
       (** profile on the train input, instrument at [threshold], evaluate
-          under [policy] *)
+          under [policy] (a registry spec string, like {!Policy}) *)
 
 type t = {
   app : string;  (** application model name ({!Ripple_workloads.Apps.by_name}) *)
@@ -57,7 +64,9 @@ val to_string : t -> string
     ["cassandra/fdip/ripple:lru@0.55/n=4000000/i=eval0/s=1234"]. *)
 
 val policy_name : t -> string option
-(** The registry policy the cell runs under, if any. *)
+(** The registry policy spec the cell runs under, if any — parameter
+    overrides included, exactly as recorded in the JSONL [policy]
+    field. *)
 
 val threshold : t -> float option
 

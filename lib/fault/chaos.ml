@@ -160,7 +160,7 @@ let run ?(apps = app_names ()) ?(faults = Fault.matrix) ?(n_instrs = 200_000) ?(
     let train = W.Executor.run workload ~input:W.Executor.train ~n_instrs in
     let eval = W.Executor.run workload ~input:W.Executor.eval_inputs.(0) ~n_instrs in
     let warmup = Array.length eval / 2 in
-    let policy_factory = (Registry.find_exn policy).Registry.factory ~seed in
+    let policy_factory = Registry.factory ~seed policy in
     let baseline =
       Simulator.run ~config ~warmup ~program ~trace:eval ~policy:policy_factory
         ~prefetcher:(Pipeline.prefetcher_of ~config prefetch)

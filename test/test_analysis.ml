@@ -856,6 +856,10 @@ let with_random_hints seed program =
 let replay_agrees ~lru abs blocks trace ~geometry ~policy =
   let facts = Abs.facts abs in
   let cache = Cache.create ~geometry ~policy () in
+  (* Must-hit facts assume install-on-miss; a bypassing policy (ship-sb)
+     can legally miss on them.  Always-miss facts stay sound either way:
+     bypassing only removes resident lines. *)
+  let installs = not (Cache.may_bypass cache) in
   Array.for_all
     (fun b ->
       let fs = facts.(b) in
@@ -865,8 +869,8 @@ let replay_agrees ~lru abs blocks trace ~geometry ~policy =
           let r = Cache.access cache (Access.demand ~line ~block:b) in
           if index < Array.length fs then begin
             let f = fs.(index) in
-            if f.Abs.must_hit && r <> Cache.Hit then ok := false;
-            if lru && f.Abs.must_hit_lru && r <> Cache.Hit then ok := false;
+            if installs && f.Abs.must_hit && r <> Cache.Hit then ok := false;
+            if installs && lru && f.Abs.must_hit_lru && r <> Cache.Hit then ok := false;
             if f.Abs.always_miss && r <> Cache.Miss then ok := false
           end)
         (Basic_block.lines blocks.(b));

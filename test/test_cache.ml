@@ -201,7 +201,7 @@ let test_srrip_victim_progress () =
 
 let test_drrip_behaves () =
   let c =
-    run_policy Drrip.make
+    run_policy (Drrip.make ())
       (List.concat_map (fun i -> [ i * 2; i * 2 ]) (List.init 40 (fun i -> i)))
   in
   checki "full set" 2 (Cache.occupancy c ~set:0)

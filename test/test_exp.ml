@@ -332,7 +332,11 @@ let test_registry_complete () =
   Alcotest.(check bool) "registry non-empty" true (List.length Cache.Registry.all >= 7);
   List.iter
     (fun (e : Cache.Registry.entry) ->
-      let p = e.Cache.Registry.factory ~seed:1 ~sets ~ways in
+      let p =
+        e.Cache.Registry.factory ~seed:1
+          ~params:(Cache.Registry.Param.defaults e.Cache.Registry.params)
+          ~sets ~ways
+      in
       Alcotest.(check bool)
         (e.Cache.Registry.name ^ " storage_bits sane")
         true
